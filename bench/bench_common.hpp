@@ -1,0 +1,25 @@
+// Shared scaffolding for the bench binaries: every binary first prints its
+// paper-style experiment table (the reproduction artifact recorded in
+// bench_output.txt), then runs its google-benchmark micro timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/table.hpp"
+
+/// Defines main(): prints the experiment via `print_fn`, then runs the
+/// registered google-benchmark timings.
+#define SSPS_BENCH_MAIN(print_fn)                                  \
+  int main(int argc, char** argv) {                                \
+    print_fn();                                                    \
+    std::fflush(stdout);                                           \
+    ::benchmark::Initialize(&argc, argv);                          \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
+      return 1;                                                    \
+    }                                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                         \
+    ::benchmark::Shutdown();                                       \
+    return 0;                                                      \
+  }

@@ -1,0 +1,91 @@
+// Experiment E1 — Lemma 3: skip-ring degrees and edge counts.
+//
+// Paper claims: worst-case degree 2(⌈log n⌉ − k + 1) = O(log n); average
+// degree < 4 = Θ(1); degree-slot sum 4n − 4 (n a power of two); diameter
+// log n. This bench regenerates the series over a size sweep.
+#include <algorithm>
+#include <cmath>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/shortcuts.hpp"
+#include "core/skip_ring_spec.hpp"
+
+namespace {
+
+using namespace ssps;
+using namespace ssps::core;
+
+int sampled_diameter(const SkipRingSpec& spec, std::size_t sources) {
+  // Exact for small n; max eccentricity over sampled sources for large n.
+  Rng rng(1);
+  int best = 0;
+  const auto& order = spec.ring_order();
+  for (std::size_t s = 0; s < sources; ++s) {
+    const Label& from = order[rng.pick_index(order)];
+    for (const auto& [key, d] : spec.hops_from(from)) best = std::max(best, d);
+  }
+  return best;
+}
+
+void print_experiment() {
+  Table table({"n", "max_degree", "2(logn-k+1) bound", "avg_degree", "edges",
+               "slot_sum", "4n-4", "diameter", "log2(n)"});
+  for (std::size_t n : {16u, 64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+    const SkipRingSpec spec(n);
+    std::size_t max_deg = 0;
+    std::size_t total_deg = 0;
+    std::size_t slot_sum = 0;
+    int min_len = 64;
+    for (const Label& l : spec.ring_order()) {
+      const std::size_t d = spec.degree(l);
+      max_deg = std::max(max_deg, d);
+      total_deg += d;
+      slot_sum += 2u * static_cast<std::size_t>(spec.top_level() - l.length() + 1);
+      min_len = std::min(min_len, l.length());
+    }
+    const int diameter =
+        n <= 2048 ? spec.diameter() : sampled_diameter(spec, 24);
+    table.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                   Table::num(static_cast<std::uint64_t>(max_deg)),
+                   Table::num(static_cast<std::uint64_t>(
+                       2 * (static_cast<std::size_t>(spec.top_level()) -
+                            static_cast<std::size_t>(min_len) + 1))),
+                   Table::num(static_cast<double>(total_deg) / static_cast<double>(n), 3),
+                   Table::num(static_cast<std::uint64_t>(spec.edge_count())),
+                   Table::num(static_cast<std::uint64_t>(slot_sum)),
+                   Table::num(static_cast<std::uint64_t>(4 * n - 4)),
+                   Table::num(static_cast<std::uint64_t>(diameter)),
+                   Table::num(std::log2(static_cast<double>(n)), 1)});
+  }
+  table.print(
+      "E1 / Lemma 3 — degrees, edges, diameter of SR(n) "
+      "(expect: max ~2log n, avg < 4 flat, slot_sum = 4n-4, diameter ~log n)");
+}
+
+void BM_SpecConstruction(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    SkipRingSpec spec(n);
+    benchmark::DoNotOptimize(spec.edge_count());
+  }
+}
+BENCHMARK(BM_SpecConstruction)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ShortcutDerivation(benchmark::State& state) {
+  const SkipRingSpec spec(4096);
+  const auto& order = spec.ring_order();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const Label& me = order[i % order.size()];
+    const NodeSpec& s = spec.expected(me);
+    benchmark::DoNotOptimize(
+        expected_shortcut_labels(me, s.left ? s.left : s.ring, s.right ? s.right : s.ring));
+    ++i;
+  }
+}
+BENCHMARK(BM_ShortcutDerivation);
+
+}  // namespace
+
+SSPS_BENCH_MAIN(print_experiment)

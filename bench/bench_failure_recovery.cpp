@@ -1,0 +1,65 @@
+// Experiment E11 — §3.3: recovery from unannounced crashes. The supervisor
+// (sole failure-detector holder) evicts crashed subscribers; relabeling
+// pulls the highest labels into the holes; survivors re-stabilize to
+// SR(n − f).
+#include "bench_common.hpp"
+#include "core/system.hpp"
+
+namespace {
+
+using namespace ssps;
+using namespace ssps::core;
+
+struct Recovery {
+  std::size_t rounds = 0;
+  bool ok = false;
+  std::size_t survivors = 0;
+};
+
+Recovery run(std::size_t n, std::size_t crashes, sim::Round fd_delay,
+             std::uint64_t seed) {
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = seed, .fd_delay = fd_delay});
+  const auto ids = sys.add_subscribers(n);
+  if (!sys.run_until_legit(8000)) return {};
+  const std::size_t stride = n / crashes;
+  for (std::size_t i = 0; i < crashes; ++i) sys.crash(ids[i * stride]);
+  const auto rounds = sys.run_until_legit(30000);
+  Recovery out;
+  out.ok = rounds.has_value();
+  out.rounds = rounds.value_or(0);
+  out.survivors = sys.supervisor().size();
+  return out;
+}
+
+void print_experiment() {
+  Table table({"n", "crashes", "fd delay", "recovery rounds", "survivors"});
+  const std::size_t n = 64;
+  for (std::size_t crashes : {1u, 4u, 16u, 32u}) {
+    for (sim::Round delay : {sim::Round{0}, sim::Round{8}}) {
+      const Recovery r = run(n, crashes, delay, 100 + crashes + delay);
+      table.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                     Table::num(static_cast<std::uint64_t>(crashes)),
+                     Table::num(static_cast<std::uint64_t>(delay)),
+                     r.ok ? Table::num(static_cast<std::uint64_t>(r.rounds))
+                          : std::string("DNF"),
+                     Table::num(static_cast<std::uint64_t>(r.survivors))});
+    }
+  }
+  table.print(
+      "E11 / §3.3 — crash recovery to SR(n-f) "
+      "(expect: recovery rounds grow with f and fd delay; survivors = n-f)");
+}
+
+void BM_CrashRecovery(benchmark::State& state) {
+  const std::size_t n = 48;
+  std::uint64_t seed = 9;
+  for (auto _ : state) {
+    const Recovery r = run(n, 8, 2, seed++);
+    benchmark::DoNotOptimize(r.rounds);
+  }
+}
+BENCHMARK(BM_CrashRecovery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+SSPS_BENCH_MAIN(print_experiment)

@@ -1,0 +1,124 @@
+// Experiment E14 — micro-costs of the publication substrate: SHA-256
+// throughput, key derivation, Patricia insert/locate/prefix-harvest, and
+// the per-message digest work of the CheckTrie path (§4.2).
+#include <string>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "pubsub/patricia.hpp"
+
+namespace {
+
+using namespace ssps;
+using namespace ssps::pubsub;
+
+PatriciaTrie build_trie(std::size_t count) {
+  PatriciaTrie t(64);
+  for (std::size_t i = 0; i < count; ++i) {
+    t.insert(Publication{sim::NodeId{1 + (i % 16)}, "payload-" + std::to_string(i)});
+  }
+  return t;
+}
+
+void print_experiment() {
+  Table table({"keys", "trie depth estimate", "insert cost basis"});
+  for (std::size_t keys : {64u, 1024u, 16384u}) {
+    const PatriciaTrie t = build_trie(keys);
+    // Probe depth: length of the walk to a random leaf label.
+    const auto all = t.all();
+    std::size_t depth_sum = 0;
+    std::size_t probes = 0;
+    Rng rng(1);
+    for (int i = 0; i < 64; ++i) {
+      const auto& p = all[rng.pick_index(all)];
+      BitString key = t.key_of(p);
+      // Depth = number of distinct node labels along the path; approximate
+      // by counting prefix lengths where locate() finds an exact node.
+      std::size_t depth = 0;
+      for (std::size_t cut = 0; cut <= key.size(); ++cut) {
+        if (t.locate(key.prefix(cut)).kind == Locate::Kind::kExact) ++depth;
+      }
+      depth_sum += depth;
+      ++probes;
+    }
+    table.add_row({Table::num(static_cast<std::uint64_t>(keys)),
+                   Table::num(static_cast<double>(depth_sum) / static_cast<double>(probes), 1),
+                   "see timings below"});
+  }
+  table.print(
+      "E14 — Patricia trie shape (expect: depth ~log2(keys); timings follow)");
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string data(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_PublicationKey(benchmark::State& state) {
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        publication_key(sim::NodeId{7}, "payload-" + std::to_string(i++), 64));
+  }
+}
+BENCHMARK(BM_PublicationKey);
+
+void BM_TrieInsert(benchmark::State& state) {
+  const std::size_t base = static_cast<std::size_t>(state.range(0));
+  PatriciaTrie t = build_trie(base);
+  std::size_t i = base;
+  for (auto _ : state) {
+    t.insert(Publication{sim::NodeId{3}, "fresh-" + std::to_string(i++)});
+  }
+}
+BENCHMARK(BM_TrieInsert)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_TrieLocate(benchmark::State& state) {
+  const PatriciaTrie t = build_trie(static_cast<std::size_t>(state.range(0)));
+  const auto all = t.all();
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto& p = all[rng.pick_index(all)];
+    benchmark::DoNotOptimize(t.locate(t.key_of(p)));
+  }
+}
+BENCHMARK(BM_TrieLocate)->Arg(1024)->Arg(16384);
+
+void BM_TrieCollectPrefix(benchmark::State& state) {
+  const PatriciaTrie t = build_trie(static_cast<std::size_t>(state.range(0)));
+  Rng rng(3);
+  for (auto _ : state) {
+    const BitString probe = BitString::from_uint(rng.below(16), 4);
+    benchmark::DoNotOptimize(t.collect_prefix(probe));
+  }
+}
+BENCHMARK(BM_TrieCollectPrefix)->Arg(1024)->Arg(16384);
+
+void BM_RootDigestAfterInsert(benchmark::State& state) {
+  // The Merkle re-hash along the insert path dominates insert cost.
+  PatriciaTrie t = build_trie(4096);
+  std::size_t i = 1000000;
+  for (auto _ : state) {
+    t.insert(Publication{sim::NodeId{4}, std::to_string(i++)});
+    benchmark::DoNotOptimize(t.root());
+  }
+}
+BENCHMARK(BM_RootDigestAfterInsert);
+
+void BM_TrieCopy(benchmark::State& state) {
+  const PatriciaTrie t = build_trie(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    PatriciaTrie copy = t;
+    benchmark::DoNotOptimize(copy.size());
+  }
+}
+BENCHMARK(BM_TrieCopy)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+SSPS_BENCH_MAIN(print_experiment)

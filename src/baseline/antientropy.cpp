@@ -1,0 +1,27 @@
+#include "baseline/antientropy.hpp"
+
+namespace ssps::baseline {
+
+void NaiveSyncProtocol::timeout() {
+  if (order_.empty()) return;
+  const auto neighbors = overlay_->ring_neighbors();
+  if (neighbors.empty()) return;
+  const sim::NodeId target = neighbors[rng_->pick_index(neighbors)];
+  sink_->send(target, std::make_unique<msg::FullState>(order_));
+}
+
+bool NaiveSyncProtocol::handle(const sim::Message& m) {
+  if (const auto* fs = dynamic_cast<const msg::FullState*>(&m)) {
+    for (const auto& p : fs->pubs) add_local(p);
+    return true;
+  }
+  return false;
+}
+
+void NaiveSyncProtocol::add_local(const pubsub::Publication& p) {
+  const pubsub::BitString key = pubsub::publication_key(p.origin, p.payload, 64);
+  auto [it, inserted] = pubs_.emplace(key, true);
+  if (inserted) order_.push_back(p);
+}
+
+}  // namespace ssps::baseline

@@ -1,0 +1,90 @@
+// Naive full-state anti-entropy baseline (E6 contrast for §4.2).
+//
+// Runs the very same BuildSR overlay, but synchronizes publications by
+// pushing the complete publication set to one random ring neighbor per
+// round, instead of walking Merkle-hashed Patricia tries. Converges too —
+// at O(|P|) bytes per exchange forever, whereas CheckTrie costs O(1) per
+// exchange once converged and O(missing · payload + depth · digest) while
+// diverged. bench_pub_convergence quantifies the gap.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/system.hpp"
+#include "pubsub/patricia.hpp"
+
+namespace ssps::baseline {
+
+namespace msg {
+
+/// The whole publication set of the sender.
+struct FullState final : sim::Message {
+  std::vector<pubsub::Publication> pubs;
+
+  explicit FullState(std::vector<pubsub::Publication> p) : pubs(std::move(p)) {}
+  std::string_view name() const override { return "FullState"; }
+  std::size_t wire_size() const override {
+    std::size_t sz = 8;
+    for (const auto& p : pubs) sz += 8 + p.payload.size();
+    return sz;
+  }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    for (const auto& p : pubs) out.push_back(p.origin);
+  }
+};
+
+}  // namespace msg
+
+/// Full-state push protocol (one instance per node).
+class NaiveSyncProtocol {
+ public:
+  NaiveSyncProtocol(core::SubscriberProtocol& overlay, core::MessageSink& sink,
+                    ssps::Rng& rng)
+      : overlay_(&overlay), sink_(&sink), rng_(&rng) {}
+
+  void timeout();
+  bool handle(const sim::Message& m);
+
+  void add_local(const pubsub::Publication& p);
+  std::size_t size() const { return pubs_.size(); }
+  const std::vector<pubsub::Publication>& all() const { return order_; }
+
+ private:
+  core::SubscriberProtocol* overlay_;
+  core::MessageSink* sink_;
+  ssps::Rng* rng_;
+  /// Key -> present (key derived exactly like the Patricia layer's).
+  std::unordered_map<pubsub::BitString, bool> pubs_;
+  std::vector<pubsub::Publication> order_;
+};
+
+/// Overlay subscriber + naive sync, mirroring PubSubNode's shape.
+class NaiveSyncNode final : public core::SubscriberNode {
+ public:
+  explicit NaiveSyncNode(sim::NodeId supervisor) : core::SubscriberNode(supervisor) {}
+
+  void on_register() override {
+    core::SubscriberNode::on_register();
+    sink_ = std::make_unique<core::DirectSink>(net());
+    sync_ = std::make_unique<NaiveSyncProtocol>(protocol(), *sink_, rng());
+  }
+  void handle(std::unique_ptr<sim::Message> msg) override {
+    if (sync_->handle(*msg)) return;
+    core::SubscriberNode::handle(std::move(msg));
+  }
+  void timeout() override {
+    core::SubscriberNode::timeout();
+    if (!protocol().departed()) sync_->timeout();
+  }
+
+  NaiveSyncProtocol& sync() { return *sync_; }
+  const NaiveSyncProtocol& sync() const { return *sync_; }
+
+ private:
+  std::unique_ptr<core::DirectSink> sink_;
+  std::unique_ptr<NaiveSyncProtocol> sync_;
+};
+
+}  // namespace ssps::baseline

@@ -1,0 +1,39 @@
+#include "baseline/broker.hpp"
+
+namespace ssps::baseline {
+
+void BrokerNode::handle(std::unique_ptr<sim::Message> m) {
+  if (const auto* s = dynamic_cast<const msg::BrokerSubscribe*>(m.get())) {
+    subscribers_.insert(s->who);
+    return;
+  }
+  if (const auto* u = dynamic_cast<const msg::BrokerUnsubscribe*>(m.get())) {
+    subscribers_.erase(u->who);
+    return;
+  }
+  if (const auto* p = dynamic_cast<const msg::BrokerPublish*>(m.get())) {
+    for (sim::NodeId sub : subscribers_) {
+      if (sub == p->from) continue;  // publishers already have their message
+      net().send(sub, std::make_unique<msg::BrokerDeliver>(p->payload));
+      ++deliveries_;
+    }
+    return;
+  }
+}
+
+void BrokerClientNode::handle(std::unique_ptr<sim::Message> m) {
+  if (const auto* d = dynamic_cast<const msg::BrokerDeliver*>(m.get())) {
+    received_.push_back(d->payload);
+  }
+}
+
+void BrokerClientNode::subscribe() {
+  net().send(broker_, std::make_unique<msg::BrokerSubscribe>(id()));
+}
+
+void BrokerClientNode::publish(std::string payload) {
+  received_.push_back(payload);  // local copy, as in the supervised system
+  net().send(broker_, std::make_unique<msg::BrokerPublish>(id(), std::move(payload)));
+}
+
+}  // namespace ssps::baseline

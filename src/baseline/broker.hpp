@@ -1,0 +1,91 @@
+// Centralized broker baseline (the client-server architecture of the
+// paper's introduction).
+//
+// The broker stores subscriptions and relays every publication to every
+// subscriber, so its load scales with the publication volume times the
+// subscriber count. Experiment E10 contrasts this with the supervised
+// system, where the supervisor handles only membership (O(1) messages per
+// subscribe/unsubscribe, ~1 maintenance message per round) and
+// publications never touch it.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace ssps::baseline {
+
+namespace msg {
+
+struct BrokerSubscribe final : sim::Message {
+  sim::NodeId who;
+  explicit BrokerSubscribe(sim::NodeId w) : who(w) {}
+  std::string_view name() const override { return "BrokerSubscribe"; }
+  std::size_t wire_size() const override { return 16; }
+  void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
+};
+
+struct BrokerUnsubscribe final : sim::Message {
+  sim::NodeId who;
+  explicit BrokerUnsubscribe(sim::NodeId w) : who(w) {}
+  std::string_view name() const override { return "BrokerUnsubscribe"; }
+  std::size_t wire_size() const override { return 16; }
+  void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
+};
+
+struct BrokerPublish final : sim::Message {
+  sim::NodeId from;
+  std::string payload;
+  BrokerPublish(sim::NodeId f, std::string p) : from(f), payload(std::move(p)) {}
+  std::string_view name() const override { return "BrokerPublish"; }
+  std::size_t wire_size() const override { return 16 + payload.size(); }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    out.push_back(from);
+  }
+};
+
+struct BrokerDeliver final : sim::Message {
+  std::string payload;
+  explicit BrokerDeliver(std::string p) : payload(std::move(p)) {}
+  std::string_view name() const override { return "BrokerDeliver"; }
+  std::size_t wire_size() const override { return 8 + payload.size(); }
+};
+
+}  // namespace msg
+
+/// The broker server: fans every publication out to all subscribers.
+class BrokerNode final : public sim::Node {
+ public:
+  void handle(std::unique_ptr<sim::Message> m) override;
+  void timeout() override {}
+
+  std::size_t subscriber_count() const { return subscribers_.size(); }
+  std::uint64_t deliveries() const { return deliveries_; }
+
+ private:
+  std::unordered_set<sim::NodeId> subscribers_;
+  std::uint64_t deliveries_ = 0;
+};
+
+/// A broker client: counts what it receives.
+class BrokerClientNode final : public sim::Node {
+ public:
+  explicit BrokerClientNode(sim::NodeId broker) : broker_(broker) {}
+
+  void handle(std::unique_ptr<sim::Message> m) override;
+  void timeout() override {}
+
+  void subscribe();
+  void publish(std::string payload);
+
+  std::size_t received() const { return received_.size(); }
+  const std::vector<std::string>& received_payloads() const { return received_; }
+
+ private:
+  sim::NodeId broker_;
+  std::vector<std::string> received_;
+};
+
+}  // namespace ssps::baseline

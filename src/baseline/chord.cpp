@@ -1,0 +1,102 @@
+#include "baseline/chord.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ssps::baseline {
+
+ChordRing::ChordRing(std::size_t n, std::uint64_t seed, bool uniform_ids) {
+  SSPS_ASSERT(n >= 1);
+  ssps::Rng rng(seed);
+  ids_.reserve(n);
+  if (uniform_ids) {
+    const std::uint64_t stride = ~0ULL / n;
+    for (std::size_t i = 0; i < n; ++i) ids_.push_back(stride * i);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) ids_.push_back(rng.next());
+    std::sort(ids_.begin(), ids_.end());
+    ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+    while (ids_.size() < n) {  // extremely unlikely 64-bit collisions
+      ids_.push_back(rng.next());
+      std::sort(ids_.begin(), ids_.end());
+      ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+    }
+  }
+
+  finger_.resize(ids_.size());
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    std::vector<std::size_t>& f = finger_[i];
+    // Successor plus fingers at id + 2^j for all j.
+    f.push_back((i + 1) % ids_.size());
+    for (int j = 0; j < 64; ++j) {
+      const std::uint64_t point = ids_[i] + (1ULL << j);
+      const std::size_t t = successor_index(point);
+      if (t != i) f.push_back(t);
+    }
+    std::sort(f.begin(), f.end());
+    f.erase(std::unique(f.begin(), f.end()), f.end());
+  }
+}
+
+std::size_t ChordRing::successor_index(std::uint64_t point) const {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), point);
+  if (it == ids_.end()) it = ids_.begin();
+  return static_cast<std::size_t>(it - ids_.begin());
+}
+
+std::size_t ChordRing::degree(std::size_t i) const { return finger_[i].size(); }
+
+int ChordRing::route(std::size_t from, std::size_t to,
+                     std::vector<std::uint64_t>* load) const {
+  const std::uint64_t target = ids_[to];
+  std::size_t cur = from;
+  int hops = 0;
+  while (cur != to) {
+    // Greedy: the finger that minimizes the remaining clockwise distance
+    // without overshooting the target.
+    std::size_t best = finger_[cur].front();  // successor always progresses
+    std::uint64_t best_remaining = clockwise(ids_[best], target);
+    const std::uint64_t remaining = clockwise(ids_[cur], target);
+    for (std::size_t f : finger_[cur]) {
+      const std::uint64_t advance = clockwise(ids_[cur], ids_[f]);
+      if (advance == 0 || advance > remaining) continue;  // overshoot
+      const std::uint64_t rem = clockwise(ids_[f], target);
+      if (rem < best_remaining) {
+        best_remaining = rem;
+        best = f;
+      }
+    }
+    cur = best;
+    ++hops;
+    if (load != nullptr && cur != to) (*load)[cur] += 1;
+    SSPS_ASSERT_MSG(hops <= static_cast<int>(ids_.size()) + 64,
+                    "chord routing failed to make progress");
+  }
+  return hops;
+}
+
+std::vector<std::uint64_t> ChordRing::sample_congestion(std::size_t samples,
+                                                        ssps::Rng& rng) const {
+  std::vector<std::uint64_t> load(ids_.size(), 0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t a = static_cast<std::size_t>(rng.below(ids_.size()));
+    std::size_t b = static_cast<std::size_t>(rng.below(ids_.size()));
+    if (a == b) b = (b + 1) % ids_.size();
+    route(a, b, &load);
+  }
+  return load;
+}
+
+int ChordRing::sample_max_hops(std::size_t samples, ssps::Rng& rng) const {
+  int best = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t a = static_cast<std::size_t>(rng.below(ids_.size()));
+    std::size_t b = static_cast<std::size_t>(rng.below(ids_.size()));
+    if (a == b) b = (b + 1) % ids_.size();
+    best = std::max(best, route(a, b, nullptr));
+  }
+  return best;
+}
+
+}  // namespace ssps::baseline

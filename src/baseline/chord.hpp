@@ -1,0 +1,59 @@
+// Chord baseline [13 in the paper]: ring + finger tables over hashed ids.
+//
+// Used by experiment E9 to check the paper's §1.3 claim that the
+// supervised skip ring achieves better congestion than Chord because the
+// supervisor hands out perfectly balanced labels, whereas Chord positions
+// nodes at (pseudo-)random points of the identifier circle, creating
+// uneven arcs and uneven routing load.
+//
+// This is a structural model (graph + greedy routing), not a live
+// protocol: the experiments compare converged topologies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ssps::baseline {
+
+/// A converged Chord ring of n nodes on the 2^64 identifier circle.
+class ChordRing {
+ public:
+  /// `uniform_ids` places nodes evenly (an idealized Chord for ablation);
+  /// the default draws random ids, as Chord does via hashing.
+  ChordRing(std::size_t n, std::uint64_t seed, bool uniform_ids = false);
+
+  std::size_t size() const { return ids_.size(); }
+
+  /// Number of distinct outgoing neighbors of node `i` (successor +
+  /// fingers, deduplicated).
+  std::size_t degree(std::size_t i) const;
+
+  /// The distinct outgoing neighbor indices of node `i`.
+  const std::vector<std::size_t>& out_neighbors(std::size_t i) const {
+    return finger_[i];
+  }
+
+  /// Greedy clockwise routing from node `from` to the node owning the
+  /// target id of node `to`. Returns the hop count and, if `load` is
+  /// non-null, increments load[v] for every intermediate node v visited.
+  int route(std::size_t from, std::size_t to, std::vector<std::uint64_t>* load) const;
+
+  /// Routes `samples` random (from, to) pairs; returns per-node load.
+  std::vector<std::uint64_t> sample_congestion(std::size_t samples, ssps::Rng& rng) const;
+
+  /// Max hop count over sampled pairs (diameter estimate).
+  int sample_max_hops(std::size_t samples, ssps::Rng& rng) const;
+
+ private:
+  /// Index of the first node clockwise at or after `point`.
+  std::size_t successor_index(std::uint64_t point) const;
+  /// Clockwise distance a -> b on the circle.
+  static std::uint64_t clockwise(std::uint64_t a, std::uint64_t b) { return b - a; }
+
+  std::vector<std::uint64_t> ids_;              // sorted
+  std::vector<std::vector<std::size_t>> finger_;  // per node: distinct targets
+};
+
+}  // namespace ssps::baseline

@@ -1,0 +1,137 @@
+#include "baseline/skipgraph.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ssps::baseline {
+
+SkipGraph::SkipGraph(std::size_t n, std::uint64_t seed) : n_(n) {
+  SSPS_ASSERT(n >= 1);
+  ssps::Rng rng(seed);
+  levels_ = 1;
+  while ((1ULL << levels_) < n) ++levels_;
+  levels_ += 1;  // a little headroom; empty top lists cost nothing
+
+  // Random membership vector per node: level-l list of v = nodes whose
+  // vector agrees with v's on the low l bits.
+  std::vector<std::uint64_t> membership(n);
+  for (auto& m : membership) m = rng.next();
+
+  links_.assign(n, std::vector<LevelLinks>(static_cast<std::size_t>(levels_) + 1));
+  // Level 0: everyone, sorted by key = index.
+  std::vector<std::size_t> current(n);
+  for (std::size_t i = 0; i < n; ++i) current[i] = i;
+
+  for (int level = 0; level <= levels_; ++level) {
+    // Wire the sorted list at this level.
+    for (std::size_t j = 0; j < current.size(); ++j) {
+      const std::size_t v = current[j];
+      links_[v][static_cast<std::size_t>(level)].left =
+          (j > 0) ? static_cast<std::ptrdiff_t>(current[j - 1]) : -1;
+      links_[v][static_cast<std::size_t>(level)].right =
+          (j + 1 < current.size()) ? static_cast<std::ptrdiff_t>(current[j + 1]) : -1;
+    }
+    if (current.size() <= 1) break;
+    // Split by the next membership bit; keep only v's own list chain —
+    // every node keeps the sub-list containing itself, so constructing
+    // both halves and recursing over each reproduces all lists.
+    std::vector<std::size_t> zeros;
+    std::vector<std::size_t> ones;
+    for (std::size_t v : current) {
+      ((membership[v] >> level) & 1ULL ? ones : zeros).push_back(v);
+    }
+    // Recurse over both halves iteratively: handle `zeros` now, queue
+    // `ones`. A simple explicit stack keeps the construction linear.
+    if (!ones.empty() && !zeros.empty()) {
+      // Process the two halves independently for the remaining levels.
+      auto wire_rest = [&](std::vector<std::size_t> list, int from_level,
+                           auto&& self) -> void {
+        for (int l = from_level; l <= levels_; ++l) {
+          for (std::size_t j = 0; j < list.size(); ++j) {
+            const std::size_t v = list[j];
+            links_[v][static_cast<std::size_t>(l)].left =
+                (j > 0) ? static_cast<std::ptrdiff_t>(list[j - 1]) : -1;
+            links_[v][static_cast<std::size_t>(l)].right =
+                (j + 1 < list.size()) ? static_cast<std::ptrdiff_t>(list[j + 1]) : -1;
+          }
+          if (list.size() <= 1) return;
+          std::vector<std::size_t> z;
+          std::vector<std::size_t> o;
+          for (std::size_t v : list) {
+            ((membership[v] >> l) & 1ULL ? o : z).push_back(v);
+          }
+          if (z.empty() || o.empty()) continue;  // all in one half: same list
+          self(std::move(o), l + 1, self);
+          list = std::move(z);
+        }
+      };
+      wire_rest(std::move(zeros), level + 1, wire_rest);
+      wire_rest(std::move(ones), level + 1, wire_rest);
+      return;  // fully wired by the recursion
+    }
+    // Degenerate split: everyone shares the bit; the next level has the
+    // same list. Loop continues.
+  }
+}
+
+std::size_t SkipGraph::degree(std::size_t i) const {
+  std::vector<std::size_t> nbrs;
+  for (const LevelLinks& l : links_[i]) {
+    if (l.left >= 0) nbrs.push_back(static_cast<std::size_t>(l.left));
+    if (l.right >= 0) nbrs.push_back(static_cast<std::size_t>(l.right));
+  }
+  std::sort(nbrs.begin(), nbrs.end());
+  nbrs.erase(std::unique(nbrs.begin(), nbrs.end()), nbrs.end());
+  return nbrs.size();
+}
+
+int SkipGraph::route(std::size_t from, std::size_t to,
+                     std::vector<std::uint64_t>* load) const {
+  std::size_t cur = from;
+  int hops = 0;
+  while (cur != to) {
+    // Top-down: take the highest-level link that moves towards `to`
+    // without overshooting.
+    std::ptrdiff_t next = -1;
+    for (int l = levels_; l >= 0 && next < 0; --l) {
+      const LevelLinks& lk = links_[cur][static_cast<std::size_t>(l)];
+      if (to > cur && lk.right >= 0 && static_cast<std::size_t>(lk.right) <= to) {
+        next = lk.right;
+      } else if (to < cur && lk.left >= 0 && static_cast<std::size_t>(lk.left) >= to) {
+        next = lk.left;
+      }
+    }
+    SSPS_ASSERT_MSG(next >= 0, "skip graph search stuck");
+    cur = static_cast<std::size_t>(next);
+    ++hops;
+    if (load != nullptr && cur != to) (*load)[cur] += 1;
+    SSPS_ASSERT(hops <= static_cast<int>(n_) + levels_);
+  }
+  return hops;
+}
+
+std::vector<std::uint64_t> SkipGraph::sample_congestion(std::size_t samples,
+                                                        ssps::Rng& rng) const {
+  std::vector<std::uint64_t> load(n_, 0);
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t a = static_cast<std::size_t>(rng.below(n_));
+    std::size_t b = static_cast<std::size_t>(rng.below(n_));
+    if (a == b) b = (b + 1) % n_;
+    route(a, b, &load);
+  }
+  return load;
+}
+
+int SkipGraph::sample_max_hops(std::size_t samples, ssps::Rng& rng) const {
+  int best = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::size_t a = static_cast<std::size_t>(rng.below(n_));
+    std::size_t b = static_cast<std::size_t>(rng.below(n_));
+    if (a == b) b = (b + 1) % n_;
+    best = std::max(best, route(a, b, nullptr));
+  }
+  return best;
+}
+
+}  // namespace ssps::baseline

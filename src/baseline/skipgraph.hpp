@@ -1,0 +1,49 @@
+// Skip-graph baseline [10 in the paper]: sorted lists at every level,
+// membership decided by random membership vectors.
+//
+// Level 0 is the sorted list of all nodes by key; at level i, nodes sharing
+// an i-bit membership-vector prefix form their own sorted list. Degrees are
+// Θ(log n) w.h.p., but the *random* vectors make list sizes and search
+// paths uneven — the contrast experiment E9 measures this against the skip
+// ring's supervisor-balanced levels.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ssps::baseline {
+
+/// A converged skip graph over n keys 0 … n−1.
+class SkipGraph {
+ public:
+  SkipGraph(std::size_t n, std::uint64_t seed);
+
+  std::size_t size() const { return n_; }
+
+  /// Distinct neighbors across all levels.
+  std::size_t degree(std::size_t i) const;
+
+  int levels() const { return levels_; }
+
+  /// Search from node `from` for key `to` (standard top-down skip-graph
+  /// search along `from`'s lists). Counts hops; adds intermediate load.
+  int route(std::size_t from, std::size_t to, std::vector<std::uint64_t>* load) const;
+
+  std::vector<std::uint64_t> sample_congestion(std::size_t samples, ssps::Rng& rng) const;
+  int sample_max_hops(std::size_t samples, ssps::Rng& rng) const;
+
+ private:
+  struct LevelLinks {
+    std::ptrdiff_t left = -1;
+    std::ptrdiff_t right = -1;
+  };
+
+  std::size_t n_;
+  int levels_;
+  /// links_[v][l]: neighbors of v in its level-l list (indices by key).
+  std::vector<std::vector<LevelLinks>> links_;
+};
+
+}  // namespace ssps::baseline

@@ -1,0 +1,19 @@
+#include "common/assert.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ssps {
+
+void assert_fail(std::string_view condition, std::string_view message,
+                 std::source_location loc) {
+  std::fprintf(stderr, "SSPS invariant violated: %.*s\n  at %s:%u (%s)\n",
+               static_cast<int>(condition.size()), condition.data(), loc.file_name(),
+               loc.line(), loc.function_name());
+  if (!message.empty()) {
+    std::fprintf(stderr, "  %.*s\n", static_cast<int>(message.size()), message.data());
+  }
+  std::abort();
+}
+
+}  // namespace ssps

@@ -1,0 +1,32 @@
+// Lightweight always-on assertion machinery for protocol invariants.
+//
+// Simulation code checks protocol invariants aggressively; a violated
+// invariant is a bug in the reproduction, never a recoverable condition,
+// so assertions stay enabled in all build types (unlike <cassert>).
+#pragma once
+
+#include <source_location>
+#include <string_view>
+
+namespace ssps {
+
+/// Aborts with a diagnostic naming the failed condition and location.
+[[noreturn]] void assert_fail(std::string_view condition, std::string_view message,
+                              std::source_location loc = std::source_location::current());
+
+namespace detail {
+inline void check(bool ok, std::string_view condition, std::string_view message,
+                  std::source_location loc) {
+  if (!ok) assert_fail(condition, message, loc);
+}
+}  // namespace detail
+
+}  // namespace ssps
+
+/// SSPS_ASSERT(cond): hard invariant; aborts the process when violated.
+#define SSPS_ASSERT(cond) \
+  ::ssps::detail::check(static_cast<bool>(cond), #cond, {}, std::source_location::current())
+
+/// SSPS_ASSERT_MSG(cond, msg): hard invariant with extra context.
+#define SSPS_ASSERT_MSG(cond, msg) \
+  ::ssps::detail::check(static_cast<bool>(cond), #cond, (msg), std::source_location::current())

@@ -1,0 +1,63 @@
+// Deterministic, seedable random number generation for simulations.
+//
+// Every stochastic decision in the simulator and in the protocols (the
+// paper's probabilistic configuration requests, random neighbor choice for
+// anti-entropy, scheduler interleavings) draws from an Rng owned by the
+// simulation, so a (seed, parameters) pair reproduces a run bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ssps {
+
+/// SplitMix64-seeded xoshiro256** generator.
+///
+/// Implemented locally (rather than std::mt19937_64) so that simulation
+/// traces are stable across standard-library versions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  /// Re-initializes the state from a 64-bit seed via SplitMix64.
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
+
+  /// Bernoulli trial: true with probability num/den. Requires den > 0.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Derives an independent child generator (for per-node streams).
+  Rng split();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks a uniformly random element index; container must be non-empty.
+  template <typename T>
+  std::size_t pick_index(const std::vector<T>& v) {
+    return static_cast<std::size_t>(below(v.size()));
+  }
+
+ private:
+  std::uint64_t s_[4] = {};
+};
+
+}  // namespace ssps

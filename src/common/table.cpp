@@ -1,0 +1,59 @@
+#include "common/table.hpp"
+
+#include <cstdio>
+
+#include "common/assert.hpp"
+
+namespace ssps {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  SSPS_ASSERT(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(const std::string& title) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > width[c]) width[c] = row[c].size();
+    }
+  }
+
+  std::size_t total = 1;
+  for (std::size_t w : width) total += w + 3;
+
+  std::printf("\n=== %s ===\n", title.c_str());
+  auto print_sep = [&] {
+    for (std::size_t i = 0; i < total; ++i) std::putchar('-');
+    std::putchar('\n');
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::putchar('|');
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf(" %-*s |", static_cast<int>(width[c]), row[c].c_str());
+    }
+    std::putchar('\n');
+  };
+  print_sep();
+  print_row(header_);
+  print_sep();
+  for (const auto& row : rows_) print_row(row);
+  print_sep();
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace ssps

@@ -1,0 +1,62 @@
+// Adversarial initial-state generators.
+//
+// Self-stabilization (Definition 1) quantifies over arbitrary initial
+// states: node variables may hold any values and channels any finite
+// number of corrupted messages (only node references must denote existing
+// nodes — §1.1 assumes no corrupted IDs). These generators produce the
+// state classes used by the convergence experiments (E4) and tests.
+#pragma once
+
+#include <cstdint>
+
+#include "core/system.hpp"
+
+namespace ssps::core {
+
+/// Knobs for one corrupted-state instantiation.
+struct ChaosOptions {
+  std::uint64_t seed = 7;
+
+  // -- subscriber-state corruption --
+  /// Fraction (0..1 as percent) of subscribers whose label is cleared (⊥).
+  int clear_label_pct = 20;
+  /// Percent of subscribers that get a random (possibly non-canonical,
+  /// possibly duplicate) label.
+  int random_label_pct = 40;
+  /// Percent of neighbor slots filled with uniformly random peers.
+  int scramble_edges_pct = 60;
+  /// Percent of subscribers receiving bogus shortcut entries.
+  int bogus_shortcut_pct = 30;
+
+  // -- supervisor-database corruption (§3.1 cases) --
+  bool corrupt_database = true;
+  /// case (i): insert this many (label, ⊥) tuples.
+  int null_tuples = 2;
+  /// case (ii): duplicate this many nodes under extra labels.
+  int duplicate_nodes = 2;
+  /// case (iii): delete this many tuples (creating label holes).
+  int missing_labels = 2;
+  /// case (iv): relabel this many tuples to indices >= n.
+  int out_of_range_labels = 2;
+  /// Drop every database tuple entirely (empty-database cold start).
+  bool wipe_database = false;
+
+  // -- channel corruption --
+  /// Number of garbage messages injected into random channels.
+  int junk_messages = 32;
+};
+
+/// Builds a system of `n` subscribers that has fully converged, then
+/// applies the corruption described by `options`. The result is the
+/// adversarial initial state handed to convergence runs.
+///
+/// Every injected reference denotes an existing node, per the model.
+void corrupt_system(SkipRingSystem& system, const ChaosOptions& options);
+
+/// Partition scenario: assigns the subscribers labels as if they formed
+/// two independent rings built by two different supervisors (each half
+/// internally consistent), while the real supervisor's database knows only
+/// the first half. Models the "merge two overlays" recovery case.
+void split_brain(SkipRingSystem& system, std::uint64_t seed);
+
+}  // namespace ssps::core

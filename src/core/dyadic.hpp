@@ -1,0 +1,66 @@
+// Exact dyadic-rational arithmetic on [0, 1).
+//
+// Every label y ∈ {0,1}* of the paper evaluates to the real value
+// r(y) = Σ y_i / 2^i (§2.1). All protocol decisions (ring order, shortcut
+// derivation, neighbor distances) compare these values, so we represent
+// them exactly as num / 2^exp and never touch floating point.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace ssps::core {
+
+/// A dyadic rational in [0, 1): value = num / 2^exp.
+///
+/// Invariant (normal form): num is odd, or num == 0 and exp == 0. This
+/// makes structural equality coincide with numeric equality.
+struct Dyadic {
+  std::uint64_t num = 0;
+  int exp = 0;
+
+  /// Maximum representable exponent. Chosen so that all intermediate
+  /// 128-bit cross-multiplications in comparisons stay exact.
+  static constexpr int kMaxExp = 60;
+
+  /// The value 0.
+  static constexpr Dyadic zero() { return Dyadic{}; }
+
+  /// Builds num / 2^exp and normalizes. Requires num < 2^exp (value < 1)
+  /// and exp <= kMaxExp.
+  static Dyadic make(std::uint64_t num, int exp);
+
+  bool operator==(const Dyadic&) const = default;
+
+  /// Numeric order (exact).
+  std::strong_ordering operator<=>(const Dyadic& o) const {
+    const unsigned __int128 a = static_cast<unsigned __int128>(num) << o.exp;
+    const unsigned __int128 b = static_cast<unsigned __int128>(o.num) << exp;
+    if (a < b) return std::strong_ordering::less;
+    if (a > b) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  bool is_zero() const { return num == 0; }
+
+  /// Lossy conversion for reporting only (never used in protocol logic).
+  double to_double() const {
+    return static_cast<double>(num) / static_cast<double>(1ULL << exp);
+  }
+};
+
+/// (2·w − v) mod 1 — the shortcut mirror step of §3.2.2: reflecting the
+/// previously inserted neighbor w across v yields the next-coarser ring
+/// neighbor of v.
+Dyadic mirror_mod1(const Dyadic& w, const Dyadic& v);
+
+/// |a − b| on the line (not around the ring) — the distance used by the
+/// configuration-merge rule (action (iii) of §3.2.1).
+Dyadic linear_distance(const Dyadic& a, const Dyadic& b);
+
+/// min(|a−b|, 1−|a−b|): distance around the unit ring.
+Dyadic ring_distance(const Dyadic& a, const Dyadic& b);
+
+}  // namespace ssps::core

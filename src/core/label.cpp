@@ -1,0 +1,54 @@
+#include "core/label.hpp"
+
+#include <bit>
+
+namespace ssps::core {
+
+Label::Label(std::uint64_t bits, int len) : bits_(bits), len_(len) {
+  SSPS_ASSERT(len >= 1 && len <= kMaxLen);
+  SSPS_ASSERT_MSG(len == 64 || bits < (1ULL << len), "Label: bits wider than len");
+}
+
+Label Label::from_index(std::uint64_t x) {
+  if (x == 0) return Label(0, 1);
+  // d = index of the leading bit; binary rep is (x_d … x_0).
+  const int d = 63 - std::countl_zero(x);
+  SSPS_ASSERT(d + 1 <= kMaxLen);
+  // Rotate leading bit to the units place: (x_{d−1} … x_0 x_d) = the low d
+  // bits shifted up by one, with a 1 appended.
+  const std::uint64_t low = x - (1ULL << d);
+  return Label((low << 1) | 1ULL, d + 1);
+}
+
+std::optional<Label> Label::parse(const std::string& s) {
+  if (s.empty() || s.size() > static_cast<std::size_t>(kMaxLen)) return std::nullopt;
+  std::uint64_t bits = 0;
+  for (char c : s) {
+    if (c != '0' && c != '1') return std::nullopt;
+    bits = (bits << 1) | static_cast<std::uint64_t>(c == '1');
+  }
+  return Label(bits, static_cast<int>(s.size()));
+}
+
+std::uint64_t Label::to_index() const {
+  SSPS_ASSERT_MSG(is_canonical(), "to_index on non-canonical label");
+  if (len_ == 1) return bits_;  // "0" -> 0, "1" -> 1
+  // Invert the rotation: leading bit was 1 and sits in the units place.
+  const int d = len_ - 1;
+  return (1ULL << d) + (bits_ >> 1);
+}
+
+bool Label::is_canonical() const {
+  if (len_ == 1) return true;
+  return (bits_ & 1ULL) == 1ULL;
+}
+
+std::string Label::to_string() const {
+  std::string s(static_cast<std::size_t>(len_), '0');
+  for (int i = 0; i < len_; ++i) {
+    if ((bits_ >> (len_ - 1 - i)) & 1ULL) s[static_cast<std::size_t>(i)] = '1';
+  }
+  return s;
+}
+
+}  // namespace ssps::core

@@ -1,0 +1,84 @@
+// Skip-ring labels and the label mapping l : N0 → {0,1}* of §2.1.
+//
+// l(x) takes the binary representation (x_d … x_0)_2 of x (d minimal) and
+// rotates the leading bit to the units place: l(x) = (x_{d−1} … x_0 x_d).
+// Labels are generated in the order 0, 1, 01, 11, 001, 011, 101, 111, …
+// and evaluate to r(l(x)) values that uniformly interleave earlier ones,
+// which is what makes supervised insertion spread over the ring (§4.1).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/dyadic.hpp"
+#include "sim/types.hpp"
+
+namespace ssps::core {
+
+/// A bit-string label (first bit is the most significant, i.e. worth 1/2).
+///
+/// Stored packed: `bits` is the label read as a binary number, `len` its
+/// length in bits (>= 1). Two labels are identical only if both bits and
+/// len match ("01" != "010"); use r() / r_key() for numeric comparisons.
+class Label {
+ public:
+  /// Maximum supported length; bounded by Dyadic::kMaxExp.
+  static constexpr int kMaxLen = Dyadic::kMaxExp;
+
+  Label() : bits_(0), len_(1) {}  // the label "0"
+  Label(std::uint64_t bits, int len);
+
+  /// The supervisor's label function l(x).
+  static Label from_index(std::uint64_t x);
+
+  /// Parses a string of '0'/'1' characters; empty/overlong returns nullopt.
+  static std::optional<Label> parse(const std::string& s);
+
+  /// l⁻¹: defined for canonical labels only (see is_canonical()).
+  std::uint64_t to_index() const;
+
+  /// A label is canonical iff it is in the image of l: either "0", or it
+  /// ends in bit 1 (the rotated leading bit). Corrupted initial states may
+  /// hold non-canonical labels; the supervisor's repair removes them.
+  bool is_canonical() const;
+
+  /// r(label): exact position on the unit ring.
+  Dyadic r() const { return Dyadic::make(bits_, len_); }
+
+  /// 64-bit key monotone in r(): bits left-aligned. Distinct canonical
+  /// labels have distinct keys; non-canonical labels may collide with the
+  /// canonical label of equal r (ties broken by len in ROrder).
+  std::uint64_t r_key() const { return bits_ << (64 - len_); }
+
+  int length() const { return len_; }
+  std::uint64_t bits() const { return bits_; }
+
+  bool operator==(const Label&) const = default;
+
+  /// Structural order: by r, then by length (total order usable in maps).
+  std::strong_ordering operator<=>(const Label& o) const {
+    if (auto c = r_key() <=> o.r_key(); c != 0) return c;
+    return len_ <=> o.len_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::uint64_t bits_;
+  int len_;
+};
+
+/// A database/neighbor tuple (label_v, v) as used throughout the paper's
+/// pseudocode: a node reference together with the label the holder believes
+/// that node has. The label may be stale in non-legitimate states; the
+/// extended BuildRing protocol repairs it (Lemma 4).
+struct LabeledRef {
+  Label label;
+  sim::NodeId node;
+
+  bool operator==(const LabeledRef&) const = default;
+};
+
+}  // namespace ssps::core

@@ -1,0 +1,157 @@
+// Protocol messages of BuildSR (Algorithms 1–4).
+//
+// Every message models one remote action call ⟨label⟩(⟨parameters⟩).
+// wire_size() estimates a compact binary encoding (8-byte node refs,
+// labels as len byte + packed bits) and is used for byte accounting only.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/label.hpp"
+#include "sim/message.hpp"
+
+namespace ssps::core {
+
+/// Flag distinguishing linear (sorted-list) candidates from cyclic
+/// (ring-closure) candidates, as in Algorithms 1–2 (LIN / CYC).
+enum class IntroFlag : std::uint8_t { kLinear, kCyclic };
+
+namespace msg {
+
+constexpr std::size_t kRefBytes = 8;    // one node reference
+constexpr std::size_t kLabelBytes = 9;  // length + packed bits
+constexpr std::size_t kHeaderBytes = 8;
+
+/// Subscribe(v): v asks the supervisor to integrate it (action (i)).
+struct Subscribe final : sim::Message {
+  sim::NodeId who;
+
+  explicit Subscribe(sim::NodeId w) : who(w) {}
+  std::string_view name() const override { return "Subscribe"; }
+  std::size_t wire_size() const override { return kHeaderBytes + kRefBytes; }
+  void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
+};
+
+/// Unsubscribe(v): v asks to leave (§4.1).
+struct Unsubscribe final : sim::Message {
+  sim::NodeId who;
+
+  explicit Unsubscribe(sim::NodeId w) : who(w) {}
+  std::string_view name() const override { return "Unsubscribe"; }
+  std::size_t wire_size() const override { return kHeaderBytes + kRefBytes; }
+  void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
+};
+
+/// GetConfiguration(u): request the supervisor to (re)send u's
+/// configuration. Sent by u itself (actions (ii)/(iv)) or on u's behalf by
+/// a neighbor (action (iii)).
+///
+/// `requester` extends Algorithm 3 for the crash case (§3.3): when the
+/// supervisor's failure detector reports the subject crashed, the reply
+/// goes to the requester as a RemoveConnections(subject) — otherwise a
+/// dead neighbor whose stale label looks closer than every live proposal
+/// could be referenced forever (messages to it invoke no action). The
+/// supervisor remains the only failure detector in the system.
+struct GetConfiguration final : sim::Message {
+  sim::NodeId subject;
+  sim::NodeId requester;
+
+  explicit GetConfiguration(sim::NodeId s, sim::NodeId r = sim::NodeId::null())
+      : subject(s), requester(r) {}
+  std::string_view name() const override { return "GetConfiguration"; }
+  std::size_t wire_size() const override { return kHeaderBytes + 2 * kRefBytes; }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    out.push_back(subject);
+    if (requester) out.push_back(requester);
+  }
+};
+
+/// SetData(pred, label, succ): the supervisor's configuration reply. All
+/// fields empty (⊥,⊥,⊥) evicts the receiver (unknown node / unsubscribe
+/// permission, Lemma 6).
+struct SetData final : sim::Message {
+  std::optional<LabeledRef> pred;
+  std::optional<Label> label;
+  std::optional<LabeledRef> succ;
+
+  SetData(std::optional<LabeledRef> p, std::optional<Label> l, std::optional<LabeledRef> s)
+      : pred(std::move(p)), label(std::move(l)), succ(std::move(s)) {}
+  std::string_view name() const override { return "SetData"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + 2 * (kRefBytes + kLabelBytes) + kLabelBytes;
+  }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    if (pred) out.push_back(pred->node);
+    if (succ) out.push_back(succ->node);
+  }
+};
+
+/// Check(sender, label, flag): sender introduces itself and names the
+/// label it believes the receiver has; the receiver replies with a
+/// correction when the believed label is stale (extended BuildRing, §2.2).
+struct Check final : sim::Message {
+  LabeledRef sender;
+  Label believed;
+  IntroFlag flag;
+
+  Check(LabeledRef s, Label b, IntroFlag f) : sender(s), believed(b), flag(f) {}
+  std::string_view name() const override { return "Check"; }
+  std::size_t wire_size() const override {
+    return kHeaderBytes + kRefBytes + 2 * kLabelBytes + 1;
+  }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    out.push_back(sender.node);
+  }
+};
+
+/// Introduce(candidate, flag): hands the receiver a node reference to be
+/// linearized (LIN) or routed to the ring extremes (CYC).
+struct Introduce final : sim::Message {
+  LabeledRef cand;
+  IntroFlag flag;
+
+  Introduce(LabeledRef c, IntroFlag f) : cand(c), flag(f) {}
+  std::string_view name() const override { return "Introduce"; }
+  std::size_t wire_size() const override { return kHeaderBytes + kRefBytes + kLabelBytes + 1; }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    out.push_back(cand.node);
+  }
+};
+
+/// RemoveConnections(who): ask the receiver to purge its references to
+/// `who` (used by departed/label-less nodes, Lemma 6).
+struct RemoveConnections final : sim::Message {
+  sim::NodeId who;
+
+  explicit RemoveConnections(sim::NodeId w) : who(w) {}
+  std::string_view name() const override { return "RemoveConnections"; }
+  std::size_t wire_size() const override { return kHeaderBytes + kRefBytes; }
+  void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
+};
+
+/// IntroduceShortcut(candidate): level-k introduction (§3.2.2): the sender
+/// vouches that `cand` is the receiver's neighbor in some ring K_i.
+struct IntroduceShortcut final : sim::Message {
+  LabeledRef cand;
+
+  explicit IntroduceShortcut(LabeledRef c) : cand(c) {}
+  std::string_view name() const override { return "IntroduceShortcut"; }
+  std::size_t wire_size() const override { return kHeaderBytes + kRefBytes + kLabelBytes; }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    out.push_back(cand.node);
+  }
+};
+
+}  // namespace msg
+
+/// Abstraction over "put message m into v.Ch" so that protocol objects can
+/// be embedded either directly in a sim::Node (single topic) or behind a
+/// topic-multiplexing envelope (multi-topic pub-sub, §4).
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) = 0;
+};
+
+}  // namespace ssps::core

@@ -1,0 +1,58 @@
+#include "core/shortcuts.hpp"
+
+#include <algorithm>
+
+namespace ssps::core {
+
+namespace {
+
+/// Converts a mirror result back into a label. A zero value is the label
+/// "0" (length 1); any other normalized dyadic num/2^e is the length-e
+/// label with bits = num (odd num ⇒ the label ends in 1, i.e. canonical).
+Label label_of_dyadic(const Dyadic& d) {
+  if (d.is_zero()) return Label(0, 1);
+  return Label(d.num, d.exp);
+}
+
+}  // namespace
+
+std::vector<Label> mirror_chain(const Label& self, const Label& ring_neighbor) {
+  std::vector<Label> chain;
+  const Dyadic v = self.r();
+  Dyadic w = ring_neighbor.r();
+  if (w == v) return chain;  // corrupted duplicate position; nothing derivable
+  int guard = Label::kMaxLen + 2;
+  Label current = ring_neighbor;
+  while (current.length() > self.length() && guard-- > 0) {
+    const Dyadic s = mirror_mod1(w, v);
+    if (s == v) break;  // mirrored onto ourselves: corrupted geometry
+    current = label_of_dyadic(s);
+    chain.push_back(current);
+    w = s;
+  }
+  return chain;
+}
+
+std::vector<Label> expected_shortcut_labels(const Label& self,
+                                            const std::optional<Label>& left_neighbor,
+                                            const std::optional<Label>& right_neighbor) {
+  std::vector<Label> out;
+  if (left_neighbor) {
+    auto chain = mirror_chain(self, *left_neighbor);
+    out.insert(out.end(), chain.begin(), chain.end());
+  }
+  if (right_neighbor) {
+    auto chain = mirror_chain(self, *right_neighbor);
+    out.insert(out.end(), chain.begin(), chain.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Label level_k_partner(const Label& self, const Label& ring_neighbor) {
+  const auto chain = mirror_chain(self, ring_neighbor);
+  return chain.empty() ? ring_neighbor : chain.back();
+}
+
+}  // namespace ssps::core

@@ -1,0 +1,40 @@
+// Local shortcut-label derivation (§3.2.2).
+//
+// A subscriber v computes all labels it must keep shortcuts to purely from
+// its own label and the labels of its two direct ring neighbors: while the
+// neighbor's label is longer than v's, reflecting it across v
+// (s = 2·r(w) − r(v) mod 1) yields v's neighbor in the next-coarser ring
+// K_i; iterating until the derived label is no longer than v's own yields
+// v's neighbor in every K_i for i = |v.label| … ⌈log n⌉ − 1.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/label.hpp"
+
+namespace ssps::core {
+
+/// The mirror chain of v towards one side, starting from the direct ring
+/// neighbor's label on that side. Returns the derived shortcut labels in
+/// order of decreasing level (closest first); the ring neighbor itself is
+/// not included. Empty when the neighbor's label is not longer than v's.
+///
+/// Robust against corrupted inputs: the chain stops when it would reach
+/// v's own r-value or exceed a hard iteration cap, so arbitrary label
+/// garbage cannot loop forever (needed for self-stabilization).
+std::vector<Label> mirror_chain(const Label& self, const Label& ring_neighbor);
+
+/// The union of both chains, deduplicated, sorted by r. This is exactly
+/// the set of labels v.shortcuts must contain in a legitimate state.
+std::vector<Label> expected_shortcut_labels(const Label& self,
+                                            const std::optional<Label>& left_neighbor,
+                                            const std::optional<Label>& right_neighbor);
+
+/// The level-k partner on one side, k = |self|: the node v must introduce
+/// to its other-side partner each Timeout (§3.2.2). It is the far end of
+/// the mirror chain, or the ring neighbor itself when the chain is empty
+/// (which also covers the paper's special case |v.label| = ⌈log n⌉).
+Label level_k_partner(const Label& self, const Label& ring_neighbor);
+
+}  // namespace ssps::core

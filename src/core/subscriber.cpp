@@ -1,0 +1,543 @@
+#include "core/subscriber.hpp"
+
+#include <algorithm>
+
+#include "core/shortcuts.hpp"
+
+namespace ssps::core {
+
+namespace {
+
+/// Probability denominator of action (ii): request a configuration with
+/// probability 1/(2^k · k²) where k = |label| (§3.2.1, Theorem 5).
+/// Saturates for very long (necessarily corrupted) labels, for which the
+/// probability is negligible anyway — those nodes are reached via actions
+/// (iii)/(iv) instead, exactly the situation §3.2.1 discusses.
+std::uint64_t action2_denominator(int k) {
+  SSPS_ASSERT(k >= 1 && k <= Label::kMaxLen);
+  if (k >= 50) return ~0ULL;
+  const auto kk = static_cast<std::uint64_t>(k);
+  return (1ULL << k) * kk * kk;
+}
+
+}  // namespace
+
+SubscriberProtocol::SubscriberProtocol(sim::NodeId self, sim::NodeId supervisor,
+                                       MessageSink& sink, ssps::Rng& rng)
+    : self_(self), supervisor_(supervisor), sink_(&sink), rng_(&rng) {}
+
+LabeledRef SubscriberProtocol::self_ref() const {
+  SSPS_ASSERT(label_.has_value());
+  return LabeledRef{*label_, self_};
+}
+
+// ---------------------------------------------------------------------------
+// Timeout (Algorithm 4 + the Timeout parts of Algorithms 1–2)
+// ---------------------------------------------------------------------------
+
+void SubscriberProtocol::timeout() {
+  if (phase_ == SubscriberPhase::kDeparted) return;
+
+  // Supervisor contact (§3.2.1 / §4.1).
+  if (phase_ == SubscriberPhase::kLeaving) {
+    // Keep asking until the supervisor grants permission (SetData ⊥⊥⊥).
+    sink_->send(supervisor_, std::make_unique<msg::Unsubscribe>(self_));
+  } else if (!label_) {
+    // Action (i): not yet labeled — subscribe.
+    sink_->send(supervisor_, std::make_unique<msg::Subscribe>(self_));
+  } else if (!left_) {
+    // Action (iv): local information says our label may be minimal.
+    if (rng_->chance(1, 2)) {
+      sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(self_));
+    }
+  } else {
+    // Action (ii): probabilistic refresh, rarer for longer labels.
+    if (rng_->chance(1, action2_denominator(label_->length()))) {
+      sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(self_));
+    }
+  }
+
+  if (!label_) return;
+  revalidate_sides();
+
+  // BuildList self-introduction with label correction (Algorithm 1).
+  if (left_) send_check(*left_, IntroFlag::kLinear);
+  if (right_) send_check(*right_, IntroFlag::kLinear);
+
+  // Ring-closure maintenance (Algorithm 2).
+  if (left_ && right_ && ring_) {
+    // An interior node must not hold a ring edge: re-linearize it.
+    const LabeledRef stray = *ring_;
+    ring_.reset();
+    consider_linear(stray);
+  }
+  if ((!left_ || !right_) && ring_) {
+    send_check(*ring_, IntroFlag::kCyclic);
+  }
+  if (!left_ && !ring_ && right_) {
+    // We believe we are the minimum but know no maximum: float our
+    // reference towards the maximum along the right chain.
+    sink_->send(right_->node,
+                std::make_unique<msg::Introduce>(self_ref(), IntroFlag::kCyclic));
+  }
+  if (!right_ && !ring_ && left_) {
+    sink_->send(left_->node,
+                std::make_unique<msg::Introduce>(self_ref(), IntroFlag::kCyclic));
+  }
+
+  // Shortcut maintenance (§3.2.2).
+  refresh_shortcuts();
+  introduce_level_partners();
+}
+
+void SubscriberProtocol::send_check(const LabeledRef& to, IntroFlag flag) {
+  sink_->send(to.node, std::make_unique<msg::Check>(self_ref(), to.label, flag));
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+bool SubscriberProtocol::handle(const sim::Message& m) {
+  if (const auto* c = dynamic_cast<const msg::Check*>(&m)) {
+    on_check(*c);
+    return true;
+  }
+  if (const auto* i = dynamic_cast<const msg::Introduce*>(&m)) {
+    on_introduce(*i);
+    return true;
+  }
+  if (const auto* s = dynamic_cast<const msg::SetData*>(&m)) {
+    on_set_data(*s);
+    return true;
+  }
+  if (const auto* is = dynamic_cast<const msg::IntroduceShortcut*>(&m)) {
+    on_introduce_shortcut(*is);
+    return true;
+  }
+  if (const auto* rc = dynamic_cast<const msg::RemoveConnections*>(&m)) {
+    purge(rc->who);
+    return true;
+  }
+  return false;
+}
+
+void SubscriberProtocol::request_unsubscribe() {
+  if (phase_ != SubscriberPhase::kActive) return;
+  phase_ = SubscriberPhase::kLeaving;
+  sink_->send(supervisor_, std::make_unique<msg::Unsubscribe>(self_));
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+void SubscriberProtocol::on_check(const msg::Check& m) {
+  if (m.sender.node == self_) return;
+  if (phase_ == SubscriberPhase::kDeparted || !label_) {
+    // Lemma 6: a label-less node asks introducers to drop it.
+    sink_->send(m.sender.node, std::make_unique<msg::RemoveConnections>(self_));
+    return;
+  }
+  if (m.believed != *label_) {
+    // Label correction (extended BuildRing, Lemma 4): tell the sender our
+    // true label. The sender keeps its reference to us, so no edge is lost.
+    sink_->send(m.sender.node,
+                std::make_unique<msg::Introduce>(self_ref(), m.flag));
+    return;
+  }
+  consider(m.sender, m.flag);
+}
+
+void SubscriberProtocol::on_introduce(const msg::Introduce& m) {
+  consider(m.cand, m.flag);
+}
+
+void SubscriberProtocol::on_introduce_shortcut(const msg::IntroduceShortcut& m) {
+  if (m.cand.node == self_) return;
+  if (phase_ == SubscriberPhase::kDeparted || !label_) {
+    sink_->send(m.cand.node, std::make_unique<msg::RemoveConnections>(self_));
+    return;
+  }
+  auto it = shortcuts_.find(m.cand.label);
+  if (it != shortcuts_.end()) {
+    // Expected label: adopt, re-linearizing any displaced reference
+    // (Algorithm 4, IntroduceShortcut).
+    const sim::NodeId old = it->second;
+    it->second = m.cand.node;
+    if (old && old != m.cand.node) consider_linear(LabeledRef{m.cand.label, old});
+    return;
+  }
+  // Unexpected label: the candidate still is a real node — linearize it.
+  consider(m.cand, IntroFlag::kLinear);
+}
+
+void SubscriberProtocol::on_set_data(const msg::SetData& m) {
+  if (!m.label) {
+    // Eviction: unknown to the supervisor, or unsubscribe permission.
+    if (phase_ == SubscriberPhase::kLeaving) phase_ = SubscriberPhase::kDeparted;
+    label_.reset();
+    left_.reset();
+    right_.reset();
+    ring_.reset();
+    shortcuts_.clear();
+    return;
+  }
+  if (phase_ == SubscriberPhase::kDeparted) {
+    // A stale Subscribe of ours (channels are non-FIFO) may have been
+    // processed after our departure, re-inserting us into the database.
+    // Answer every re-integration attempt with a fresh Unsubscribe so the
+    // supervisor forgets us again (the departed counterpart of Lemma 6).
+    sink_->send(supervisor_, std::make_unique<msg::Unsubscribe>(self_));
+    return;
+  }
+
+  // Action (iii) of §3.2.1: if a currently stored neighbor is at least as
+  // close as the proposed one (and differs from it), it may be a node the
+  // supervisor does not know yet — request its configuration.
+  const Dyadic me = m.label->r();
+  auto closer_unknown = [&](const std::optional<LabeledRef>& stored,
+                            const std::optional<LabeledRef>& proposed) {
+    if (!stored || stored->node == self_) return;
+    if (proposed && proposed->node == stored->node) return;
+    if (!proposed ||
+        !(ring_distance(proposed->label.r(), me) < ring_distance(stored->label.r(), me))) {
+      sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(stored->node, self_));
+    }
+  };
+  // Match each local slot with the proposal on its side of the new label.
+  // pred normally sits left of us; if it sits right, we are the minimum
+  // and pred is the wraparound partner (the maximum) — symmetrically for
+  // succ.
+  std::optional<LabeledRef> prop_left;
+  std::optional<LabeledRef> prop_right;
+  std::optional<LabeledRef> prop_ring;
+  if (m.pred && m.pred->label.r() != me) {
+    (m.pred->label.r() < me ? prop_left : prop_ring) = m.pred;
+  }
+  if (m.succ && m.succ->label.r() != me) {
+    (m.succ->label.r() > me ? prop_right : prop_ring) = m.succ;
+  }
+  closer_unknown(left_, prop_left);
+  closer_unknown(right_, prop_right);
+  closer_unknown(ring_, prop_ring);
+
+  // Adopt the authoritative label, then merge the proposed neighbors
+  // (trusted: a configuration comes from the supervisor's database).
+  label_ = *m.label;
+  revalidate_sides();
+  if (prop_left && prop_left->node != self_) consider_linear(*prop_left, /*trusted=*/true);
+  if (prop_right && prop_right->node != self_) {
+    consider_linear(*prop_right, /*trusted=*/true);
+  }
+  if (prop_ring && prop_ring->node != self_) consider_cyclic(*prop_ring, /*trusted=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Linearization core
+// ---------------------------------------------------------------------------
+
+void SubscriberProtocol::consider(const LabeledRef& c, IntroFlag flag) {
+  if (!c.node || c.node == self_) return;
+  if (phase_ == SubscriberPhase::kDeparted || !label_) {
+    sink_->send(c.node, std::make_unique<msg::RemoveConnections>(self_));
+    return;
+  }
+  // Stale-label update for already-stored direct neighbors (Algorithm 1,
+  // the labelv ≠ u.left case): correct the label, then re-home the entry.
+  bool matched = false;
+  for (auto* slot : {&left_, &right_, &ring_}) {
+    if (*slot && (*slot)->node == c.node) {
+      if ((*slot)->label != c.label) (*slot)->label = c.label;
+      matched = true;
+    }
+  }
+  if (matched) {
+    revalidate_sides();
+    return;
+  }
+  if (c.label.r() == label_->r()) {
+    conflict(c);
+    return;
+  }
+  if (flag == IntroFlag::kCyclic) {
+    consider_cyclic(c);
+  } else {
+    consider_linear(c);
+  }
+}
+
+void SubscriberProtocol::conflict(const LabeledRef& c) {
+  // Two distinct nodes claim the same position. The supervisor's database
+  // is the authority (§3.1); ask it to straighten the other node out, and
+  // to re-send our own configuration (whose merge resolves the conflict
+  // on our side, trusted).
+  sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(c.node, self_));
+  sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(self_));
+}
+
+void SubscriberProtocol::consider_linear(const LabeledRef& c, bool trusted) {
+  if (!c.node || c.node == self_ || !label_) return;
+  const Dyadic me = label_->r();
+  const Dyadic pos = c.label.r();
+  if (pos == me) {
+    conflict(c);
+    return;
+  }
+  auto place = [&](std::optional<LabeledRef>& slot, bool is_left) {
+    if (!slot) {
+      slot = c;
+      return;
+    }
+    if (slot->node == c.node) {
+      slot->label = c.label;
+      revalidate_sides();
+      return;
+    }
+    const Dyadic cur = slot->label.r();
+    if (pos == cur) {
+      if (trusted) {
+        // The supervisor vouches for c; the incumbent may be crashed and
+        // silent. Adopt c and let the supervisor deal with the incumbent.
+        const LabeledRef old = *slot;
+        slot = c;
+        sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(old.node, self_));
+      } else {
+        conflict(c);
+      }
+      return;
+    }
+    const bool closer = is_left ? (pos > cur) : (pos < cur);
+    if (closer) {
+      // Adopt c; delegate the displaced (farther) neighbor to c, which
+      // lies between it and us.
+      const LabeledRef displaced = *slot;
+      slot = c;
+      sink_->send(c.node,
+                  std::make_unique<msg::Introduce>(displaced, IntroFlag::kLinear));
+    } else {
+      // c is farther out: delegate it towards that side.
+      sink_->send(slot->node, std::make_unique<msg::Introduce>(c, IntroFlag::kLinear));
+    }
+  };
+  if (pos < me) {
+    place(left_, /*is_left=*/true);
+  } else {
+    place(right_, /*is_left=*/false);
+  }
+}
+
+void SubscriberProtocol::consider_cyclic(const LabeledRef& c, bool trusted) {
+  if (!c.node || c.node == self_ || !label_) return;
+  const Dyadic me = label_->r();
+  const Dyadic pos = c.label.r();
+  if (pos == me) {
+    conflict(c);
+    return;
+  }
+  const bool candidate_is_smaller = pos < me;
+  // Extremum holders adopt the best partner; interior nodes route the
+  // candidate onwards (Algorithm 2): smaller-labelled candidates travel
+  // right (towards the maximum), larger ones left (towards the minimum).
+  const bool i_am_max = !right_;
+  const bool i_am_min = !left_;
+  auto adopt_extreme = [&](bool keep_smaller) {
+    if (!ring_) {
+      ring_ = c;
+      return;
+    }
+    if (ring_->node == c.node) {
+      ring_->label = c.label;
+      revalidate_sides();
+      return;
+    }
+    if (pos == ring_->label.r()) {
+      if (trusted) {
+        const LabeledRef old = *ring_;
+        ring_ = c;
+        sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(old.node, self_));
+      } else {
+        conflict(c);
+      }
+      return;
+    }
+    const bool better = keep_smaller ? (pos < ring_->label.r()) : (pos > ring_->label.r());
+    if (better) {
+      // Better extremum partner: keep it, re-linearize the loser.
+      const LabeledRef loser = *ring_;
+      ring_ = c;
+      consider_linear(loser);
+    } else {
+      consider_linear(c);
+    }
+  };
+  if (candidate_is_smaller && i_am_max) {
+    adopt_extreme(/*keep_smaller=*/true);
+    return;
+  }
+  if (!candidate_is_smaller && i_am_min) {
+    adopt_extreme(/*keep_smaller=*/false);
+    return;
+  }
+  // Interior (w.r.t. this candidate's direction): route towards the
+  // extremum the candidate is looking for.
+  if (candidate_is_smaller && right_) {
+    sink_->send(right_->node, std::make_unique<msg::Introduce>(c, IntroFlag::kCyclic));
+    return;
+  }
+  if (!candidate_is_smaller && left_) {
+    sink_->send(left_->node, std::make_unique<msg::Introduce>(c, IntroFlag::kCyclic));
+    return;
+  }
+  // No suitable chain to route along: fall back to linearization so the
+  // reference is never dropped.
+  consider_linear(c);
+}
+
+void SubscriberProtocol::revalidate_sides() {
+  if (!label_) return;
+  // Self-references are meaningless edges and — because a node ignores
+  // introductions from itself — would never be corrected: drop them
+  // outright (they only arise in corrupted initial states).
+  for (auto* slot : {&left_, &right_, &ring_}) {
+    if (*slot && (*slot)->node == self_) slot->reset();
+  }
+  const Dyadic me = label_->r();
+  // Pop any neighbor that sits on the wrong side of our (possibly new)
+  // label and feed it back through placement. Each entry is re-homed at
+  // most once per call, so this terminates.
+  std::vector<LabeledRef> rehome;
+  if (left_ && !(left_->label.r() < me)) {
+    rehome.push_back(*left_);
+    left_.reset();
+  }
+  if (right_ && !(right_->label.r() > me)) {
+    rehome.push_back(*right_);
+    right_.reset();
+  }
+  if (ring_) {
+    const bool valid_for_min = !left_ && ring_->label.r() > me;
+    const bool valid_for_max = !right_ && ring_->label.r() < me;
+    if (!(valid_for_min || valid_for_max)) {
+      rehome.push_back(*ring_);
+      ring_.reset();
+    }
+  }
+  for (const LabeledRef& c : rehome) {
+    if (c.label.r() == me) {
+      conflict(c);
+    } else {
+      consider_linear(c);
+    }
+  }
+}
+
+void SubscriberProtocol::purge(sim::NodeId who) {
+  if (left_ && left_->node == who) left_.reset();
+  if (right_ && right_->node == who) right_.reset();
+  if (ring_ && ring_->node == who) ring_.reset();
+  for (auto& [lab, node] : shortcuts_) {
+    if (node == who) node = sim::NodeId::null();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shortcut maintenance (§3.2.2)
+// ---------------------------------------------------------------------------
+
+std::optional<LabeledRef> SubscriberProtocol::side_source_ref(bool left_side) const {
+  if (!label_) return std::nullopt;
+  const Dyadic me = label_->r();
+  if (left_side) {
+    if (left_) return left_;
+    if (ring_ && ring_->label.r() > me) return ring_;  // min: predecessor = max
+    return std::nullopt;
+  }
+  if (right_) return right_;
+  if (ring_ && ring_->label.r() < me) return ring_;  // max: successor = min
+  return std::nullopt;
+}
+
+std::optional<Label> SubscriberProtocol::side_source_label(bool left_side) const {
+  auto ref = side_source_ref(left_side);
+  if (!ref) return std::nullopt;
+  return ref->label;
+}
+
+void SubscriberProtocol::refresh_shortcuts() {
+  if (!label_) {
+    if (!shortcuts_.empty()) shortcuts_.clear();
+    return;
+  }
+  const auto expected =
+      expected_shortcut_labels(*label_, side_source_label(true), side_source_label(false));
+  std::map<Label, sim::NodeId> next;
+  for (const Label& l : expected) {
+    auto it = shortcuts_.find(l);
+    const sim::NodeId kept =
+        (it == shortcuts_.end() || it->second == self_) ? sim::NodeId::null()
+                                                        : it->second;
+    next.emplace(l, kept);
+  }
+  // Evicted references re-enter the sorted ring instead of being dropped.
+  std::vector<LabeledRef> evicted;
+  for (const auto& [lab, node] : shortcuts_) {
+    if (node && !next.contains(lab)) evicted.push_back(LabeledRef{lab, node});
+  }
+  shortcuts_ = std::move(next);
+  for (const LabeledRef& c : evicted) consider(c, IntroFlag::kLinear);
+}
+
+std::optional<LabeledRef> SubscriberProtocol::partner_ref(bool left_side) const {
+  const auto src = side_source_ref(left_side);
+  if (!src || !label_) return std::nullopt;
+  const Label partner = level_k_partner(*label_, src->label);
+  if (partner == src->label) return src;  // chain empty: partner is the neighbor
+  auto it = shortcuts_.find(partner);
+  if (it == shortcuts_.end() || !it->second) return std::nullopt;
+  return LabeledRef{partner, it->second};
+}
+
+void SubscriberProtocol::introduce_level_partners() {
+  const auto lp = partner_ref(true);
+  const auto rp = partner_ref(false);
+  if (!lp || !rp) return;
+  if (lp->node == rp->node || lp->node == self_ || rp->node == self_) return;
+  sink_->send(lp->node, std::make_unique<msg::IntroduceShortcut>(*rp));
+  sink_->send(rp->node, std::make_unique<msg::IntroduceShortcut>(*lp));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::vector<sim::NodeId> SubscriberProtocol::ring_neighbors() const {
+  std::vector<sim::NodeId> out;
+  for (const auto* slot : {&left_, &right_, &ring_}) {
+    if (*slot && (*slot)->node && (*slot)->node != self_) out.push_back((*slot)->node);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<sim::NodeId> SubscriberProtocol::overlay_neighbors() const {
+  std::vector<sim::NodeId> out = ring_neighbors();
+  for (const auto& [lab, node] : shortcuts_) {
+    if (node && node != self_) out.push_back(node);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+void SubscriberProtocol::collect_refs(std::vector<sim::NodeId>& out) const {
+  for (const auto* slot : {&left_, &right_, &ring_}) {
+    if (*slot && (*slot)->node) out.push_back((*slot)->node);
+  }
+  for (const auto& [lab, node] : shortcuts_) {
+    if (node) out.push_back(node);
+  }
+}
+
+}  // namespace ssps::core

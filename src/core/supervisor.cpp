@@ -1,0 +1,298 @@
+#include "core/supervisor.hpp"
+
+#include <algorithm>
+
+namespace ssps::core {
+
+SupervisorProtocol::SupervisorProtocol(sim::NodeId self, MessageSink& sink)
+    : self_(self), sink_(&sink) {}
+
+// ---------------------------------------------------------------------------
+// Reverse index upkeep
+// ---------------------------------------------------------------------------
+
+void SupervisorProtocol::index_add(sim::NodeId node, const Label& label) {
+  if (!node) return;
+  index_[node].push_back(label);
+}
+
+void SupervisorProtocol::index_remove(sim::NodeId node, const Label& label) {
+  if (!node) return;
+  auto it = index_.find(node);
+  if (it == index_.end()) return;
+  auto& labels = it->second;
+  labels.erase(std::remove(labels.begin(), labels.end(), label), labels.end());
+  if (labels.empty()) index_.erase(it);
+}
+
+// ---------------------------------------------------------------------------
+// Timeout (Algorithm 3)
+// ---------------------------------------------------------------------------
+
+void SupervisorProtocol::timeout() {
+  check_labels();
+  if (db_.empty()) return;
+  next_ = (next_ + 1) % db_.size();
+  // After check_labels the keys are exactly {l(0) … l(n−1)}.
+  auto it = db_.find(Label::from_index(next_));
+  if (it == db_.end()) return;  // only reachable mid-repair with chaos active
+  // GetConfiguration path, including the duplicate sweep (Alg. 3 line 5).
+  on_get_configuration(it->second);
+}
+
+// ---------------------------------------------------------------------------
+// Message dispatch
+// ---------------------------------------------------------------------------
+
+bool SupervisorProtocol::handle(const sim::Message& m) {
+  if (const auto* s = dynamic_cast<const msg::Subscribe*>(&m)) {
+    on_subscribe(s->who);
+    return true;
+  }
+  if (const auto* u = dynamic_cast<const msg::Unsubscribe*>(&m)) {
+    on_unsubscribe(u->who);
+    return true;
+  }
+  if (const auto* g = dynamic_cast<const msg::GetConfiguration*>(&m)) {
+    on_get_configuration(g->subject, g->requester);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Database repair (§3.1)
+// ---------------------------------------------------------------------------
+
+void SupervisorProtocol::check_labels() {
+  // §3.3: evict subscribers the failure detector reports as crashed. The
+  // eviction punches holes that the relabeling below repairs in the same
+  // sweep.
+  if (fd_ != nullptr) {
+    for (auto it = db_.begin(); it != db_.end();) {
+      if (it->second && fd_->suspects(it->second)) {
+        index_remove(it->second, it->first);
+        it = db_.erase(it);
+        labels_clean_ = false;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (labels_clean_) return;
+
+  // Case (i): drop tuples without a subscriber.
+  for (auto it = db_.begin(); it != db_.end();) {
+    if (!it->second) {
+      it = db_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Cases (iii)/(iv): the n remaining tuples must carry exactly the labels
+  // l(0) … l(n−1). Wrongly-labeled tuples (non-canonical, or index ≥ n)
+  // fill the missing indices; per Algorithm 3 the tuple with the largest
+  // index moves to the smallest missing one.
+  const std::size_t n = db_.size();
+  std::vector<std::uint64_t> missing;
+  std::vector<std::pair<Label, sim::NodeId>> wrong;  // to be relabeled
+  for (const auto& [label, node] : db_) {
+    if (!label.is_canonical() || label.to_index() >= n) wrong.emplace_back(label, node);
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (!db_.contains(Label::from_index(i))) missing.push_back(i);
+  }
+  SSPS_ASSERT(missing.size() == wrong.size());
+  // Largest owned index first. Canonical labels order by index along r?
+  // They do not — so order explicitly by index, with non-canonical labels
+  // ranked above all canonical ones (they are "i ≥ n" junk either way).
+  std::sort(wrong.begin(), wrong.end(), [](const auto& a, const auto& b) {
+    const bool ca = a.first.is_canonical();
+    const bool cb = b.first.is_canonical();
+    if (ca != cb) return !ca && cb;  // non-canonical first (treated as largest)
+    if (!ca) return b.first < a.first;
+    return a.first.to_index() > b.first.to_index();
+  });
+  for (std::size_t j = 0; j < wrong.size(); ++j) {
+    const auto& [old_label, node] = wrong[j];
+    db_.erase(old_label);
+    index_remove(node, old_label);
+    const Label fresh = Label::from_index(missing[j]);
+    db_.emplace(fresh, node);
+    index_add(node, fresh);
+  }
+  labels_clean_ = true;
+}
+
+void SupervisorProtocol::check_multiple_copies(sim::NodeId who) {
+  auto it = index_.find(who);
+  if (it == index_.end() || it->second.size() <= 1) return;
+  // Keep the lowest label (§3.1 case (ii)), drop the rest.
+  std::vector<Label> labels = it->second;
+  std::sort(labels.begin(), labels.end());
+  for (std::size_t i = 1; i < labels.size(); ++i) {
+    db_.erase(labels[i]);
+    index_remove(who, labels[i]);
+  }
+  labels_clean_ = false;  // dropping tuples leaves label holes
+  check_labels();
+}
+
+bool SupervisorProtocol::database_consistent() const {
+  std::size_t i = 0;
+  for (const auto& [label, node] : db_) {
+    if (!node) return false;
+    if (!label.is_canonical()) return false;
+    auto it = index_.find(node);
+    if (it == index_.end() || it->second.size() != 1) return false;
+    ++i;
+  }
+  for (std::uint64_t j = 0; j < db_.size(); ++j) {
+    if (!db_.contains(Label::from_index(j))) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Configuration handling
+// ---------------------------------------------------------------------------
+
+std::optional<LabeledRef> SupervisorProtocol::pred_of(const Label& label) const {
+  if (db_.size() < 2) return std::nullopt;
+  auto it = db_.find(label);
+  SSPS_ASSERT(it != db_.end());
+  auto pit = (it == db_.begin()) ? std::prev(db_.end()) : std::prev(it);
+  return LabeledRef{pit->first, pit->second};
+}
+
+std::optional<LabeledRef> SupervisorProtocol::succ_of(const Label& label) const {
+  if (db_.size() < 2) return std::nullopt;
+  auto it = db_.find(label);
+  SSPS_ASSERT(it != db_.end());
+  auto sit = std::next(it);
+  if (sit == db_.end()) sit = db_.begin();
+  return LabeledRef{sit->first, sit->second};
+}
+
+void SupervisorProtocol::send_configuration(
+    std::map<Label, sim::NodeId>::const_iterator it) {
+  sink_->send(it->second, std::make_unique<msg::SetData>(pred_of(it->first), it->first,
+                                                         succ_of(it->first)));
+}
+
+void SupervisorProtocol::on_get_configuration(sim::NodeId subject,
+                                              sim::NodeId requester) {
+  if (!subject) return;
+  // §3.3: the supervisor holds the system's only failure detector. A
+  // request about a crashed node is answered by telling the requester to
+  // purge it — otherwise a dead neighbor with a plausible stale label
+  // could be referenced forever (messages to it invoke no action).
+  if (fd_ != nullptr && fd_->suspects(subject)) {
+    if (auto idx = index_.find(subject); idx != index_.end()) {
+      labels_clean_ = false;  // eviction handled by the next repair sweep
+      check_labels();
+    }
+    if (requester && requester != subject) {
+      sink_->send(requester, std::make_unique<msg::RemoveConnections>(subject));
+    }
+    return;
+  }
+  check_multiple_copies(subject);
+  auto idx = index_.find(subject);
+  if (idx == index_.end()) {
+    // Unknown node (Alg. 3 line 30): evict it; it will re-subscribe.
+    sink_->send(subject,
+                std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+    return;
+  }
+  SSPS_ASSERT(idx->second.size() == 1);
+  send_configuration(db_.find(idx->second.front()));
+}
+
+void SupervisorProtocol::on_subscribe(sim::NodeId who) {
+  if (!who) return;
+  if (index_.contains(who)) {
+    // Already recorded: just resend its configuration (Alg. 3 line 12).
+    on_get_configuration(who);
+    return;
+  }
+  check_labels();  // l(n) must be free before appending
+  const Label label = Label::from_index(db_.size());
+  db_.emplace(label, who);
+  index_add(who, label);
+  send_configuration(db_.find(label));
+}
+
+void SupervisorProtocol::on_unsubscribe(sim::NodeId who) {
+  if (!who) return;
+  check_multiple_copies(who);
+  auto idx = index_.find(who);
+  if (idx == index_.end()) {
+    // Not recorded (repeat request after removal): grant permission anyway
+    // so the subscriber can shut down (idempotence).
+    sink_->send(who,
+                std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+    return;
+  }
+  check_labels();
+  const Label leaving_label = idx->second.front();
+  const std::size_t n = db_.size();
+  const Label last = Label::from_index(n - 1);
+  db_.erase(leaving_label);
+  index_remove(who, leaving_label);
+  if (n > 1 && leaving_label != last) {
+    // Move the highest-labeled subscriber into the hole (§4.1) and tell it
+    // — the only other message this operation costs (Theorem 7).
+    auto lit = db_.find(last);
+    SSPS_ASSERT(lit != db_.end());
+    const sim::NodeId w = lit->second;
+    db_.erase(lit);
+    index_remove(w, last);
+    db_.emplace(leaving_label, w);
+    index_add(w, leaving_label);
+    send_configuration(db_.find(leaving_label));
+  }
+  // Permission to depart (Lemma 6).
+  sink_->send(who,
+              std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+}
+
+// ---------------------------------------------------------------------------
+// Introspection / chaos
+// ---------------------------------------------------------------------------
+
+std::optional<Label> SupervisorProtocol::label_of(sim::NodeId node) const {
+  auto it = index_.find(node);
+  if (it == index_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+void SupervisorProtocol::collect_refs(std::vector<sim::NodeId>& out) const {
+  for (const auto& [label, node] : db_) {
+    if (node) out.push_back(node);
+  }
+}
+
+void SupervisorProtocol::chaos_insert(const Label& label, sim::NodeId node) {
+  auto existing = db_.find(label);
+  if (existing != db_.end()) index_remove(existing->second, label);
+  db_.insert_or_assign(label, node);
+  index_add(node, label);
+  labels_clean_ = false;
+}
+
+void SupervisorProtocol::chaos_insert_null(const Label& label) {
+  auto existing = db_.find(label);
+  if (existing != db_.end()) index_remove(existing->second, label);
+  db_.insert_or_assign(label, sim::NodeId::null());
+  labels_clean_ = false;
+}
+
+void SupervisorProtocol::chaos_clear() {
+  db_.clear();
+  index_.clear();
+  labels_clean_ = false;
+}
+
+}  // namespace ssps::core

@@ -1,0 +1,103 @@
+// Supervisor half of BuildSR (Algorithm 3; §3.1, §3.3, §4.1).
+//
+// The supervisor owns the database of (label, subscriber) tuples, hands
+// out configurations (pred, label, succ) in a round-robin fashion, repairs
+// the four database corruption classes of §3.1, processes subscribe /
+// unsubscribe with O(1) messages (Theorem 7), and evicts crashed
+// subscribers reported by its eventually-correct failure detector (§3.3).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "sim/failure_detector.hpp"
+
+namespace ssps::core {
+
+/// The per-topic supervisor state machine.
+///
+/// Independent of sim::Node for the same reason as SubscriberProtocol: a
+/// single supervisor process runs one instance per topic (§4).
+class SupervisorProtocol {
+ public:
+  SupervisorProtocol(sim::NodeId self, MessageSink& sink);
+
+  /// Attaches the failure detector (optional; §3.3).
+  void set_failure_detector(const sim::FailureDetector* fd) { fd_ = fd; }
+
+  /// Algorithm 3 Timeout: repair the database, then send one configuration
+  /// round-robin.
+  void timeout();
+
+  /// Dispatches one incoming message; false if not a supervisor message.
+  bool handle(const sim::Message& m);
+
+  // ---- Observable state ------------------------------------------------
+
+  sim::NodeId self() const { return self_; }
+
+  /// The database, keyed by label in ring order (ascending r).
+  const std::map<Label, sim::NodeId>& database() const { return db_; }
+
+  std::size_t size() const { return db_.size(); }
+
+  /// True when the database satisfies none of the corruption conditions
+  /// (i)–(iv) of §3.1: values non-null, node-unique, labels = {l(0..n−1)}.
+  bool database_consistent() const;
+
+  /// Label currently assigned to `node`, if recorded.
+  std::optional<Label> label_of(sim::NodeId node) const;
+
+  void collect_refs(std::vector<sim::NodeId>& out) const;
+
+  // ---- Adversarial injection (tests/benches only) -----------------------
+
+  /// Inserts a raw tuple, bypassing all invariants (may create duplicates
+  /// per node, out-of-range or non-canonical labels).
+  void chaos_insert(const Label& label, sim::NodeId node);
+  /// Inserts a (label, ⊥) tuple (corruption case (i)).
+  void chaos_insert_null(const Label& label);
+  void chaos_clear();
+  void chaos_set_next(std::uint64_t next) { next_ = next; }
+
+ private:
+  void on_subscribe(sim::NodeId who);
+  void on_unsubscribe(sim::NodeId who);
+  void on_get_configuration(sim::NodeId subject,
+                            sim::NodeId requester = sim::NodeId::null());
+
+  /// §3.1 cases (i), (iii), (iv) + §3.3 crash eviction. Runs lazily: a
+  /// clean database (the steady state) is validated in O(1).
+  void check_labels();
+  /// §3.1 case (ii): drop duplicate tuples for `who`, keeping the lowest
+  /// label.
+  void check_multiple_copies(sim::NodeId who);
+  /// Sends (pred, label, succ) to the node recorded at `it` (one message).
+  void send_configuration(std::map<Label, sim::NodeId>::const_iterator it);
+  /// Ring-order neighbors of a label within the database.
+  std::optional<LabeledRef> pred_of(const Label& label) const;
+  std::optional<LabeledRef> succ_of(const Label& label) const;
+
+  void index_add(sim::NodeId node, const Label& label);
+  void index_remove(sim::NodeId node, const Label& label);
+
+  sim::NodeId self_;
+  MessageSink* sink_;
+  const sim::FailureDetector* fd_ = nullptr;
+
+  /// database ⊂ {0,1}* × V. Key order (r, then len) is the ring order for
+  /// canonical labels. Values may be null (⊥) in corrupted states.
+  std::map<Label, sim::NodeId> db_;
+  /// Reverse index node -> labels (multi-valued in corrupted states).
+  std::unordered_map<sim::NodeId, std::vector<Label>> index_;
+  /// Round-robin pointer (the `next` variable of Algorithm 3).
+  std::uint64_t next_ = 0;
+  /// Cleared by chaos injection; when set, check_labels() is a no-op.
+  bool labels_clean_ = true;
+};
+
+}  // namespace ssps::core

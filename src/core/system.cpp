@@ -1,0 +1,180 @@
+#include "core/system.hpp"
+
+#include <sstream>
+
+#include "core/skip_ring_spec.hpp"
+#include "sim/trace.hpp"
+
+namespace ssps::core {
+
+SkipRingSystem::SkipRingSystem(const Options& options) : net_(options.seed) {
+  supervisor_id_ = net_.spawn<SupervisorNode>();
+  fd_ = std::make_unique<sim::FailureDetector>(net_, options.fd_delay);
+  supervisor().set_failure_detector(fd_.get());
+}
+
+SupervisorProtocol& SkipRingSystem::supervisor() {
+  return net_.node_as<SupervisorNode>(supervisor_id_).protocol();
+}
+
+const SupervisorProtocol& SkipRingSystem::supervisor() const {
+  return const_cast<SkipRingSystem*>(this)->supervisor();
+}
+
+sim::NodeId SkipRingSystem::add_subscriber() {
+  return net_.spawn<SubscriberNode>(supervisor_id_);
+}
+
+std::vector<sim::NodeId> SkipRingSystem::add_subscribers(std::size_t count) {
+  std::vector<sim::NodeId> ids;
+  ids.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) ids.push_back(add_subscriber());
+  return ids;
+}
+
+SubscriberProtocol& SkipRingSystem::subscriber(sim::NodeId id) {
+  return net_.node_as<SubscriberNode>(id).protocol();
+}
+
+const SubscriberProtocol& SkipRingSystem::subscriber(sim::NodeId id) const {
+  return const_cast<SkipRingSystem*>(this)->subscriber(id);
+}
+
+std::vector<sim::NodeId> SkipRingSystem::subscriber_ids() const {
+  std::vector<sim::NodeId> out;
+  for (sim::NodeId id : net_.alive_ids()) {
+    if (id != supervisor_id_) out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<sim::NodeId> SkipRingSystem::active_ids() const {
+  std::vector<sim::NodeId> out;
+  for (sim::NodeId id : subscriber_ids()) {
+    if (subscriber(id).phase() == SubscriberPhase::kActive) out.push_back(id);
+  }
+  return out;
+}
+
+void SkipRingSystem::request_unsubscribe(sim::NodeId id) {
+  subscriber(id).request_unsubscribe();
+}
+
+void SkipRingSystem::crash(sim::NodeId id) { net_.crash(id); }
+
+std::optional<std::size_t> SkipRingSystem::run_until_legit(std::size_t max_rounds) {
+  return net_.run_until([this] { return topology_legit(); }, max_rounds);
+}
+
+bool SkipRingSystem::topology_legit() const { return legitimacy_violation().empty(); }
+
+std::string SkipRingSystem::to_dot() const {
+  std::vector<sim::NodeId> nodes = subscriber_ids();
+  std::vector<sim::DotEdge> edges;
+  for (sim::NodeId id : nodes) {
+    const SubscriberProtocol& sub = subscriber(id);
+    auto add = [&](const std::optional<LabeledRef>& slot, const char* kind) {
+      if (slot && slot->node) edges.push_back(sim::DotEdge{id, slot->node, kind});
+    };
+    add(sub.left(), "ring");
+    add(sub.right(), "ring");
+    add(sub.ring(), "cyc");
+    for (const auto& [label, node] : sub.shortcuts()) {
+      if (node) edges.push_back(sim::DotEdge{id, node, "shortcut"});
+    }
+  }
+  return sim::to_dot(nodes, edges, [this](sim::NodeId id) {
+    const auto& label = subscriber(id).label();
+    return std::to_string(id.value) + "\n" + (label ? label->to_string() : "⊥");
+  });
+}
+
+std::string SkipRingSystem::legitimacy_violation() const {
+  std::ostringstream why;
+  const auto active = active_ids();
+  const std::size_t n = active.size();
+  const auto& db = supervisor().database();
+
+  // 1. Database: consistent and covering exactly the active subscribers.
+  if (!supervisor().database_consistent()) return "database corrupted";
+  if (db.size() != n) {
+    why << "database size " << db.size() << " != active " << n;
+    return why.str();
+  }
+  std::unordered_map<sim::NodeId, Label> assignment;
+  for (const auto& [label, node] : db) {
+    if (!net_.alive(node) || node == supervisor_id_) {
+      why << "database references dead node " << node.value;
+      return why.str();
+    }
+    if (subscriber(node).phase() != SubscriberPhase::kActive) {
+      why << "database references non-active node " << node.value;
+      return why.str();
+    }
+    assignment.emplace(node, label);
+  }
+  if (assignment.size() != n) return "database misses an active subscriber";
+
+  // 2. Every subscriber state matches the SR(n) spec under the database's
+  // label assignment.
+  const SkipRingSpec spec(n == 0 ? 1 : n);
+  auto ref_of = [&](const Label& l) -> LabeledRef {
+    return LabeledRef{l, db.at(l)};
+  };
+  auto check_slot = [&](const char* what, sim::NodeId who,
+                        const std::optional<LabeledRef>& got,
+                        const std::optional<Label>& want) -> bool {
+    if (want.has_value() != got.has_value()) {
+      why << "node " << who.value << ": " << what << (want ? " missing" : " spurious");
+      return false;
+    }
+    if (want && !(got->label == *want && got->node == ref_of(*want).node)) {
+      why << "node " << who.value << ": " << what << " mismatch (have "
+          << got->label.to_string() << "@" << got->node.value << ", want "
+          << want->to_string() << "@" << ref_of(*want).node.value << ")";
+      return false;
+    }
+    return true;
+  };
+
+  for (sim::NodeId id : active) {
+    const SubscriberProtocol& sub = subscriber(id);
+    auto it = assignment.find(id);
+    if (it == assignment.end()) {
+      why << "node " << id.value << " not recorded";
+      return why.str();
+    }
+    if (!sub.label() || !(*sub.label() == it->second)) {
+      why << "node " << id.value << " label "
+          << (sub.label() ? sub.label()->to_string() : "⊥") << " != db "
+          << it->second.to_string();
+      return why.str();
+    }
+    const NodeSpec& ns = spec.expected(it->second);
+    if (!check_slot("left", id, sub.left(), ns.left)) return why.str();
+    if (!check_slot("right", id, sub.right(), ns.right)) return why.str();
+    if (!check_slot("ring", id, sub.ring(), ns.ring)) return why.str();
+
+    const auto& sc = sub.shortcuts();
+    if (sc.size() != ns.shortcuts.size()) {
+      why << "node " << id.value << " has " << sc.size() << " shortcut labels, want "
+          << ns.shortcuts.size();
+      return why.str();
+    }
+    for (const Label& l : ns.shortcuts) {
+      auto jt = sc.find(l);
+      if (jt == sc.end()) {
+        why << "node " << id.value << " missing shortcut label " << l.to_string();
+        return why.str();
+      }
+      if (jt->second != ref_of(l).node) {
+        why << "node " << id.value << " shortcut " << l.to_string()
+            << " points to wrong node";
+        return why.str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace ssps::core

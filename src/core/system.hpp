@@ -1,0 +1,139 @@
+// Single-topic system harness: wires one supervisor and its subscribers
+// into a sim::Network and provides legitimacy checking against SR(n).
+//
+// This is the primary entry point for tests, benches and examples that
+// exercise the overlay layer on its own (topic multiplexing lives in
+// src/pubsub/topics.hpp).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/subscriber.hpp"
+#include "core/supervisor.hpp"
+#include "sim/failure_detector.hpp"
+#include "sim/network.hpp"
+
+namespace ssps::core {
+
+/// sim::Node adapter that forwards directly into a protocol object.
+/// Messages are sent verbatim (no topic envelope).
+class DirectSink final : public MessageSink {
+ public:
+  explicit DirectSink(sim::Network& net) : net_(&net) {}
+  void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+    net_->send(to, std::move(msg));
+  }
+
+ private:
+  sim::Network* net_;
+};
+
+/// A network node running exactly one SubscriberProtocol instance.
+class SubscriberNode : public sim::Node {
+ public:
+  explicit SubscriberNode(sim::NodeId supervisor) : supervisor_(supervisor) {}
+
+  void handle(std::unique_ptr<sim::Message> msg) override { proto_->handle(*msg); }
+  void timeout() override { proto_->timeout(); }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    if (proto_) proto_->collect_refs(out);
+  }
+  void on_register() override {
+    sink_ = std::make_unique<DirectSink>(net());
+    proto_ = std::make_unique<SubscriberProtocol>(id(), supervisor_, *sink_, rng());
+  }
+
+  SubscriberProtocol& protocol() { return *proto_; }
+  const SubscriberProtocol& protocol() const { return *proto_; }
+
+ private:
+  sim::NodeId supervisor_;
+  std::unique_ptr<DirectSink> sink_;
+  std::unique_ptr<SubscriberProtocol> proto_;
+};
+
+/// A network node running exactly one SupervisorProtocol instance.
+class SupervisorNode : public sim::Node {
+ public:
+  void handle(std::unique_ptr<sim::Message> msg) override { proto_->handle(*msg); }
+  void timeout() override { proto_->timeout(); }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    if (proto_) proto_->collect_refs(out);
+  }
+  void on_register() override {
+    sink_ = std::make_unique<DirectSink>(net());
+    proto_ = std::make_unique<SupervisorProtocol>(id(), *sink_);
+  }
+
+  SupervisorProtocol& protocol() { return *proto_; }
+  const SupervisorProtocol& protocol() const { return *proto_; }
+
+ private:
+  std::unique_ptr<DirectSink> sink_;
+  std::unique_ptr<SupervisorProtocol> proto_;
+};
+
+/// One supervised skip ring: supervisor + subscribers + failure detector.
+class SkipRingSystem {
+ public:
+  struct Options {
+    std::uint64_t seed = 1;
+    /// Failure-detector delay in rounds (0 = perfect detector).
+    sim::Round fd_delay = 0;
+  };
+
+  SkipRingSystem() : SkipRingSystem(Options{}) {}
+  explicit SkipRingSystem(const Options& options);
+
+  sim::Network& net() { return net_; }
+  const sim::Network& net() const { return net_; }
+
+  sim::NodeId supervisor_id() const { return supervisor_id_; }
+  SupervisorProtocol& supervisor();
+  const SupervisorProtocol& supervisor() const;
+
+  /// Spawns a fresh subscriber node; it subscribes on its first Timeout.
+  sim::NodeId add_subscriber();
+
+  /// Spawns `count` subscribers; returns their ids.
+  std::vector<sim::NodeId> add_subscribers(std::size_t count);
+
+  SubscriberProtocol& subscriber(sim::NodeId id);
+  const SubscriberProtocol& subscriber(sim::NodeId id) const;
+
+  /// All alive subscriber ids (excluding the supervisor), in id order.
+  std::vector<sim::NodeId> subscriber_ids() const;
+
+  /// Alive subscribers that are active members (not leaving/departed) —
+  /// the set the database must converge to.
+  std::vector<sim::NodeId> active_ids() const;
+
+  void request_unsubscribe(sim::NodeId id);
+  void crash(sim::NodeId id);
+
+  /// Full legitimacy check: database consistent and matching the active
+  /// set, every subscriber holding its database label, and every explicit
+  /// edge equal to the SR(n) spec.
+  bool topology_legit() const;
+
+  /// Human-readable first violation ("" when legitimate). For diagnostics
+  /// in tests.
+  std::string legitimacy_violation() const;
+
+  /// Convenience: run rounds until topology_legit() or max_rounds; returns
+  /// rounds used (nullopt = did not converge).
+  std::optional<std::size_t> run_until_legit(std::size_t max_rounds);
+
+  /// Graphviz rendering of the current overlay (ring edges black,
+  /// shortcuts green); see src/sim/trace.hpp.
+  std::string to_dot() const;
+
+ private:
+  sim::Network net_;
+  sim::NodeId supervisor_id_;
+  std::unique_ptr<sim::FailureDetector> fd_;
+};
+
+}  // namespace ssps::core

@@ -1,0 +1,131 @@
+#include "pubsub/bitstring.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace ssps::pubsub {
+
+BitString BitString::from_string(const std::string& s) {
+  BitString out;
+  for (char c : s) {
+    SSPS_ASSERT_MSG(c == '0' || c == '1', "BitString::from_string: bad character");
+    out.push_back(c == '1');
+  }
+  return out;
+}
+
+BitString BitString::from_bytes(std::span<const std::uint8_t> data, std::size_t bits) {
+  SSPS_ASSERT(bits <= data.size() * 8);
+  BitString out;
+  out.len_ = bits;
+  out.words_.assign((bits + 63) / 64, 0);
+  for (std::size_t i = 0; i < bits; ++i) {
+    const bool b = (data[i / 8] >> (7 - (i % 8))) & 1U;
+    if (b) out.words_[i / 64] |= (1ULL << (63 - (i % 64)));
+  }
+  return out;
+}
+
+BitString BitString::from_uint(std::uint64_t value, std::size_t bits) {
+  SSPS_ASSERT(bits <= 64);
+  BitString out;
+  for (std::size_t i = 0; i < bits; ++i) {
+    out.push_back((value >> (bits - 1 - i)) & 1ULL);
+  }
+  return out;
+}
+
+bool BitString::bit(std::size_t i) const {
+  SSPS_ASSERT(i < len_);
+  return (words_[i / 64] >> (63 - (i % 64))) & 1ULL;
+}
+
+void BitString::push_back(bool b) {
+  if (len_ % 64 == 0) words_.push_back(0);
+  if (b) words_[len_ / 64] |= (1ULL << (63 - (len_ % 64)));
+  ++len_;
+}
+
+void BitString::append(const BitString& other) {
+  // Simple bit-by-bit append; labels are short, keys at most a few words.
+  for (std::size_t i = 0; i < other.len_; ++i) push_back(other.bit(i));
+}
+
+BitString BitString::prefix(std::size_t k) const {
+  SSPS_ASSERT(k <= len_);
+  BitString out;
+  out.len_ = k;
+  out.words_.assign((k + 63) / 64, 0);
+  for (std::size_t w = 0; w < out.words_.size(); ++w) out.words_[w] = words_[w];
+  // Clear bits past k in the last word.
+  const std::size_t rem = k % 64;
+  if (rem != 0) out.words_.back() &= ~0ULL << (64 - rem);
+  return out;
+}
+
+BitString BitString::with_bit(bool b) const {
+  BitString out = *this;
+  out.push_back(b);
+  return out;
+}
+
+std::size_t BitString::common_prefix_len(const BitString& other) const {
+  const std::size_t limit = len_ < other.len_ ? len_ : other.len_;
+  std::size_t i = 0;
+  const std::size_t words = (limit + 63) / 64;
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t x = words_[w] ^ other.words_[w];
+    if (x != 0) {
+      i = w * 64 + static_cast<std::size_t>(std::countl_zero(x));
+      return i < limit ? i : limit;
+    }
+  }
+  return limit;
+}
+
+bool BitString::is_prefix_of(const BitString& other) const {
+  return len_ <= other.len_ && common_prefix_len(other) == len_;
+}
+
+bool BitString::operator==(const BitString& other) const {
+  return len_ == other.len_ && words_ == other.words_;
+}
+
+std::strong_ordering BitString::operator<=>(const BitString& other) const {
+  const std::size_t cpl = common_prefix_len(other);
+  if (cpl == len_ && cpl == other.len_) return std::strong_ordering::equal;
+  if (cpl == len_) return std::strong_ordering::less;     // we are a proper prefix
+  if (cpl == other.len_) return std::strong_ordering::greater;
+  return bit(cpl) ? std::strong_ordering::greater : std::strong_ordering::less;
+}
+
+std::string BitString::to_string() const {
+  std::string s(len_, '0');
+  for (std::size_t i = 0; i < len_; ++i) {
+    if (bit(i)) s[i] = '1';
+  }
+  return s;
+}
+
+std::vector<std::uint8_t> BitString::to_bytes() const {
+  std::vector<std::uint8_t> out((len_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < len_; ++i) {
+    if (bit(i)) out[i / 8] |= static_cast<std::uint8_t>(1U << (7 - (i % 8)));
+  }
+  return out;
+}
+
+std::size_t BitString::hash_value() const noexcept {
+  // FNV-1a over the words plus the length.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  for (std::uint64_t w : words_) mix(w);
+  mix(len_);
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ssps::pubsub

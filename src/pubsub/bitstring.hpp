@@ -1,0 +1,81 @@
+// Arbitrary-length bit strings over Σ = {0,1} — the alphabet of Patricia
+// trie labels and publication keys (§4.2).
+//
+// Stored MSB-first and packed into 64-bit words; prefix operations
+// (common-prefix length, prefix tests) are word-parallel.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ssps::pubsub {
+
+/// An immutable-ish bit string (mutation limited to push_back/append).
+class BitString {
+ public:
+  BitString() = default;
+
+  /// Parses '0'/'1' characters; any other character aborts.
+  static BitString from_string(const std::string& s);
+
+  /// The first `bits` bits of a byte buffer (MSB of data[0] first).
+  static BitString from_bytes(std::span<const std::uint8_t> data, std::size_t bits);
+
+  /// The `bits`-bit big-endian representation of `value`'s low bits.
+  static BitString from_uint(std::uint64_t value, std::size_t bits);
+
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  /// The i-th bit, 0-indexed from the front (most significant).
+  bool bit(std::size_t i) const;
+
+  void push_back(bool b);
+  void append(const BitString& other);
+
+  /// The first k bits. Requires k <= size().
+  BitString prefix(std::size_t k) const;
+
+  /// `*this` followed by a single bit (the l ∘ (1 − b1) construction of
+  /// Algorithm 5).
+  BitString with_bit(bool b) const;
+
+  /// True iff *this is a (not necessarily proper) prefix of other.
+  bool is_prefix_of(const BitString& other) const;
+
+  /// Length of the longest common prefix.
+  std::size_t common_prefix_len(const BitString& other) const;
+
+  bool operator==(const BitString& other) const;
+
+  /// Lexicographic order, shorter-prefix-first on ties.
+  std::strong_ordering operator<=>(const BitString& other) const;
+
+  std::string to_string() const;
+
+  /// Packed bytes (final partial byte zero-padded) — hashing input. The
+  /// length is hashed separately to keep ("0", "00") distinct.
+  std::vector<std::uint8_t> to_bytes() const;
+
+  /// Stable 64-bit hash of content (for hash maps).
+  std::size_t hash_value() const noexcept;
+
+ private:
+  std::size_t word_count() const { return (len_ + 63) / 64; }
+  /// Word i holds bits [64i, 64i+63], bit j of the string at bit position
+  /// 63 − (j mod 64) of its word; trailing unused bits are zero.
+  std::vector<std::uint64_t> words_;
+  std::size_t len_ = 0;
+};
+
+}  // namespace ssps::pubsub
+
+template <>
+struct std::hash<ssps::pubsub::BitString> {
+  std::size_t operator()(const ssps::pubsub::BitString& b) const noexcept {
+    return b.hash_value();
+  }
+};

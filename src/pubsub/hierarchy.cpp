@@ -1,0 +1,97 @@
+#include "pubsub/hierarchy.hpp"
+
+#include "common/assert.hpp"
+#include "pubsub/hash.hpp"
+
+namespace ssps::pubsub {
+
+namespace {
+
+bool valid_path(const std::string& path) {
+  if (path.empty() || path.front() == '/' || path.back() == '/') return false;
+  bool last_was_slash = false;
+  for (char c : path) {
+    if (c == '/') {
+      if (last_was_slash) return false;  // empty segment
+      last_was_slash = true;
+    } else {
+      last_was_slash = false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::string> parent_of(const std::string& path) {
+  const auto pos = path.rfind('/');
+  if (pos == std::string::npos) return std::nullopt;
+  return path.substr(0, pos);
+}
+
+}  // namespace
+
+TopicId TopicHierarchy::derive_id(const std::string& path) {
+  const Digest d = Sha256::digest(path);
+  TopicId id = 0;
+  for (int i = 0; i < 4; ++i) id = (id << 8) | d[static_cast<std::size_t>(i)];
+  return id;
+}
+
+TopicId TopicHierarchy::add(const std::string& path) {
+  SSPS_ASSERT_MSG(valid_path(path), "invalid topic path");
+  // Register ancestors bottom-up so a subtree query sees the whole chain.
+  if (auto parent = parent_of(path)) add(*parent);
+  auto it = by_path_.find(path);
+  if (it != by_path_.end()) return it->second;
+  TopicId id = derive_id(path);
+  // Resolve (astronomically unlikely) 32-bit collisions deterministically.
+  while (by_id_.contains(id)) ++id;
+  by_path_.emplace(path, id);
+  by_id_.emplace(id, path);
+  return id;
+}
+
+std::optional<TopicId> TopicHierarchy::id_of(const std::string& path) const {
+  auto it = by_path_.find(path);
+  if (it == by_path_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> TopicHierarchy::path_of(TopicId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<TopicId> TopicHierarchy::subtree(const std::string& path) const {
+  std::vector<TopicId> out;
+  const std::string prefix = path + "/";
+  for (auto it = by_path_.lower_bound(path); it != by_path_.end(); ++it) {
+    if (it->first == path || it->first.starts_with(prefix)) {
+      out.push_back(it->second);
+    } else if (!(it->first.starts_with(path))) {
+      break;  // past the subtree in sorted order
+    }
+  }
+  return out;
+}
+
+std::vector<TopicId> TopicHierarchy::ancestors(const std::string& path) const {
+  std::vector<TopicId> out;
+  std::string cur = path;
+  for (;;) {
+    if (auto id = id_of(cur)) out.push_back(*id);
+    auto parent = parent_of(cur);
+    if (!parent) break;
+    cur = *parent;
+  }
+  return out;
+}
+
+std::vector<std::string> TopicHierarchy::paths() const {
+  std::vector<std::string> out;
+  out.reserve(by_path_.size());
+  for (const auto& [path, id] : by_path_) out.push_back(path);
+  return out;
+}
+
+}  // namespace ssps::pubsub

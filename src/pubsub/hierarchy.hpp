@@ -1,0 +1,60 @@
+// Hierarchical topics (§1.3): "better scalability can be achieved by
+// organizing topics in a hierarchical manner".
+//
+// Topics form a rooted forest ("sports" ⊃ "sports/football" ⊃
+// "sports/football/cup"). A client subscribing to an interior topic wants
+// everything published under its subtree. Rather than fanning every
+// publication out to all ancestor rings (write amplification), the
+// hierarchy maps each *subscription* to the set of concrete rings to join:
+// subscribing to a topic joins its whole subtree's rings; publications go
+// only to their own topic's ring. This keeps the per-ring machinery
+// exactly the paper's BuildSR and pushes the hierarchy entirely into a
+// client-side resolution layer.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pubsub/supervisor_group.hpp"
+
+namespace ssps::pubsub {
+
+/// A registry of hierarchical topic names ("a/b/c") mapped to flat
+/// TopicIds. Deterministic: the id of a path is derived from its hash, so
+/// all participants agree without coordination.
+class TopicHierarchy {
+ public:
+  /// Registers a path (and implicitly its ancestors). Returns the path's
+  /// TopicId. Paths are '/'-separated, non-empty segments.
+  TopicId add(const std::string& path);
+
+  /// The TopicId of a known path; nullopt when never registered.
+  std::optional<TopicId> id_of(const std::string& path) const;
+
+  /// The path of a known id (inverse of id_of).
+  std::optional<std::string> path_of(TopicId id) const;
+
+  /// The ids of `path`'s subtree (itself + all registered descendants) —
+  /// the rings a subscriber of `path` joins.
+  std::vector<TopicId> subtree(const std::string& path) const;
+
+  /// The ids of `path` and all its ancestors — useful for clients that
+  /// want to publish "up the tree" instead (the dual convention).
+  std::vector<TopicId> ancestors(const std::string& path) const;
+
+  /// All registered paths, sorted.
+  std::vector<std::string> paths() const;
+
+  std::size_t size() const { return by_path_.size(); }
+
+  /// Derives the TopicId for a path without registering it (stable hash).
+  static TopicId derive_id(const std::string& path);
+
+ private:
+  std::map<std::string, TopicId> by_path_;
+  std::map<TopicId, std::string> by_id_;
+};
+
+}  // namespace ssps::pubsub

@@ -1,0 +1,163 @@
+#include "pubsub/pubsub_node.hpp"
+
+#include <unordered_set>
+
+namespace ssps::pubsub {
+
+PubSubProtocol::PubSubProtocol(core::SubscriberProtocol& overlay, core::MessageSink& sink,
+                               ssps::Rng& rng, const PubSubConfig& config)
+    : overlay_(&overlay), sink_(&sink), rng_(&rng), config_(config),
+      trie_(config.key_bits) {}
+
+// ---------------------------------------------------------------------------
+// PublishTimeout
+// ---------------------------------------------------------------------------
+
+void PubSubProtocol::timeout() {
+  if (!config_.anti_entropy) return;
+  if (trie_.empty()) return;  // nothing to offer; we learn via neighbors
+  const auto neighbors = overlay_->ring_neighbors();
+  if (neighbors.empty()) return;
+  const sim::NodeId target = neighbors[rng_->pick_index(neighbors)];
+  sink_->send(target, std::make_unique<msg::CheckTrie>(
+                          overlay_->self(), std::vector<NodeSummary>{*trie_.root()}));
+}
+
+void PubSubProtocol::publish(std::string payload) {
+  Publication p{overlay_->self(), std::move(payload)};
+  if (trie_.insert(p) && config_.flooding) flood(p, sim::NodeId::null());
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+bool PubSubProtocol::handle(const sim::Message& m) {
+  if (const auto* ct = dynamic_cast<const msg::CheckTrie*>(&m)) {
+    on_check_trie(ct->sender, ct->tuples);
+    return true;
+  }
+  if (const auto* cp = dynamic_cast<const msg::CheckAndPublish*>(&m)) {
+    on_check_and_publish(*cp);
+    return true;
+  }
+  if (const auto* p = dynamic_cast<const msg::Publish*>(&m)) {
+    on_publish(*p);
+    return true;
+  }
+  if (const auto* pn = dynamic_cast<const msg::PublishNew*>(&m)) {
+    on_publish_new(*pn);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Anti-entropy (the three CheckTrie cases of §4.2)
+// ---------------------------------------------------------------------------
+
+void PubSubProtocol::check_tuple(sim::NodeId sender, const NodeSummary& tuple) {
+  const Locate loc = trie_.locate(tuple.label);
+  switch (loc.kind) {
+    case Locate::Kind::kExact: {
+      if (loc.node.hash == tuple.hash) return;  // subtries identical: silence
+      if (!loc.is_leaf) {
+        // Case (ii): recurse into our children; the sender compares them.
+        sink_->send(sender, std::make_unique<msg::CheckTrie>(overlay_->self(),
+                                                             loc.children));
+        return;
+      }
+      // Equal leaf labels always hash equally (hash = h(label)); reaching
+      // this point means the tuple is corrupted. Re-anchor the exchange at
+      // our root so the protocol still converges from garbage.
+      if (auto r = trie_.root()) {
+        sink_->send(sender, std::make_unique<msg::CheckTrie>(
+                                overlay_->self(), std::vector<NodeSummary>{*r}));
+      }
+      return;
+    }
+    case Locate::Kind::kExtension: {
+      // Case (iii)a: we have no node with this exact label but some node c
+      // extends it ⇒ everything under label ∘ (1 − b1) is missing here,
+      // where b1 is c's bit right after the probe label.
+      const bool b1 = loc.node.label.bit(tuple.label.size());
+      sink_->send(sender, std::make_unique<msg::CheckAndPublish>(
+                              overlay_->self(), std::vector<NodeSummary>{loc.node},
+                              tuple.label.with_bit(!b1)));
+      return;
+    }
+    case Locate::Kind::kMiss: {
+      // Case (iii)b: the whole subtrie is missing here — ask for all of it.
+      sink_->send(sender, std::make_unique<msg::CheckAndPublish>(
+                              overlay_->self(), std::vector<NodeSummary>{},
+                              tuple.label));
+      return;
+    }
+  }
+}
+
+void PubSubProtocol::on_check_trie(sim::NodeId sender,
+                                   const std::vector<NodeSummary>& tuples) {
+  if (sender == overlay_->self() || !sender) return;
+  for (const NodeSummary& t : tuples) check_tuple(sender, t);
+}
+
+void PubSubProtocol::on_check_and_publish(const msg::CheckAndPublish& m) {
+  if (m.sender == overlay_->self() || !m.sender) return;
+  on_check_trie(m.sender, m.tuples);
+  auto pubs = trie_.collect_prefix(m.prefix);
+  if (!pubs.empty()) {
+    sink_->send(m.sender, std::make_unique<msg::Publish>(std::move(pubs)));
+  }
+}
+
+void PubSubProtocol::on_publish(const msg::Publish& m) {
+  for (const Publication& p : m.pubs) trie_.insert(p);
+}
+
+// ---------------------------------------------------------------------------
+// Flooding (§4.3)
+// ---------------------------------------------------------------------------
+
+void PubSubProtocol::flood(const Publication& p, sim::NodeId except) {
+  for (sim::NodeId nbr : overlay_->overlay_neighbors()) {
+    if (nbr != except) sink_->send(nbr, std::make_unique<msg::PublishNew>(p));
+  }
+}
+
+void PubSubProtocol::on_publish_new(const msg::PublishNew& m) {
+  if (!trie_.insert(m.pub)) return;  // already known: drop, do not forward
+  if (config_.flooding) flood(m.pub, m.pub.origin);
+}
+
+// ---------------------------------------------------------------------------
+// PubSubSystem helpers
+// ---------------------------------------------------------------------------
+
+bool PubSubSystem::publications_converged() const {
+  const auto ids = active_ids();
+  if (ids.empty()) return true;
+  const PatriciaTrie* first = nullptr;
+  std::size_t union_size = distinct_publications();
+  for (sim::NodeId id : ids) {
+    const PatriciaTrie& t = pubsub(id).trie();
+    if (t.size() != union_size) return false;
+    if (first == nullptr) {
+      first = &t;
+    } else if (!first->equal_contents(t)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t PubSubSystem::distinct_publications() const {
+  std::unordered_set<BitString> keys;
+  for (sim::NodeId id : active_ids()) {
+    const PatriciaTrie& t = pubsub(id).trie();
+    for (const Publication& p : t.all()) keys.insert(t.key_of(p));
+  }
+  return keys.size();
+}
+
+}  // namespace ssps::pubsub

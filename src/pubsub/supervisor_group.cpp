@@ -1,0 +1,90 @@
+#include "pubsub/supervisor_group.hpp"
+
+#include "common/assert.hpp"
+
+namespace ssps::pubsub {
+
+namespace {
+
+std::uint64_t digest_to_point(const Digest& d) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+SupervisorGroup::SupervisorGroup(std::vector<sim::NodeId> supervisors,
+                                 int virtual_nodes)
+    : virtual_nodes_(virtual_nodes) {
+  SSPS_ASSERT(virtual_nodes >= 1);
+  for (sim::NodeId id : supervisors) add_supervisor(id);
+}
+
+std::uint64_t SupervisorGroup::point_of_topic(TopicId topic) {
+  std::array<std::uint8_t, 5> buf{static_cast<std::uint8_t>(topic >> 24),
+                                  static_cast<std::uint8_t>(topic >> 16),
+                                  static_cast<std::uint8_t>(topic >> 8),
+                                  static_cast<std::uint8_t>(topic), 'T'};
+  return digest_to_point(Sha256::digest(std::span<const std::uint8_t>(buf)));
+}
+
+std::uint64_t SupervisorGroup::point_of_replica(sim::NodeId id, int replica) {
+  std::array<std::uint8_t, 12> buf;
+  for (int i = 0; i < 8; ++i) buf[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(id.value >> (8 * i));
+  for (int i = 0; i < 4; ++i) buf[static_cast<std::size_t>(8 + i)] =
+      static_cast<std::uint8_t>(static_cast<std::uint32_t>(replica) >> (8 * i));
+  return digest_to_point(Sha256::digest(std::span<const std::uint8_t>(buf)));
+}
+
+void SupervisorGroup::insert_points(sim::NodeId id) {
+  for (int r = 0; r < virtual_nodes_; ++r) {
+    ring_.emplace(point_of_replica(id, r), id);
+  }
+}
+
+void SupervisorGroup::add_supervisor(sim::NodeId id) {
+  SSPS_ASSERT(!id.is_null());
+  insert_points(id);
+  ++members_;
+}
+
+void SupervisorGroup::remove_supervisor(sim::NodeId id) {
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == id) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  SSPS_ASSERT(members_ > 0);
+  --members_;
+}
+
+sim::NodeId SupervisorGroup::supervisor_for(TopicId topic) const {
+  SSPS_ASSERT_MSG(!ring_.empty(), "empty supervisor group");
+  const std::uint64_t p = point_of_topic(topic);
+  auto it = ring_.lower_bound(p);
+  if (it == ring_.end()) it = ring_.begin();  // wrap around the unit ring
+  return it->second;
+}
+
+double SupervisorGroup::arc_share(sim::NodeId id) const {
+  if (ring_.empty()) return 0.0;
+  // Each point owns the arc ending at it and starting after the previous
+  // point (successor rule).
+  double owned = 0.0;
+  std::uint64_t prev = ring_.rbegin()->first;  // wrap: last point precedes first
+  bool first_iteration = true;
+  for (const auto& [point, owner] : ring_) {
+    const std::uint64_t arc =
+        first_iteration ? (point + (~prev + 1)) : (point - prev);
+    if (owner == id) owned += static_cast<double>(arc);
+    prev = point;
+    first_iteration = false;
+  }
+  return owned / 18446744073709551616.0;  // / 2^64
+}
+
+}  // namespace ssps::pubsub

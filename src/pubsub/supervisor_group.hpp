@@ -1,0 +1,55 @@
+// Consistent-hashing supervisor group (§1.3).
+//
+// The paper notes that supervisor load grows linearly with the number of
+// topics and proposes sharding topics over multiple supervisors with a
+// distributed hash table using consistent hashing: each supervisor owns a
+// sub-interval of [0, 1) and serves the topics hashing into it. This is
+// the concrete realization of that sketch: supervisors are placed on the
+// unit ring via hashed virtual nodes; a topic belongs to the first
+// supervisor point at or after its own hash point (successor rule).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pubsub/hash.hpp"
+#include "sim/types.hpp"
+
+namespace ssps::pubsub {
+
+using TopicId = std::uint32_t;
+
+/// Static assignment of topics to supervisors via consistent hashing.
+class SupervisorGroup {
+ public:
+  /// `virtual_nodes` ring points per supervisor smooth the arc lengths.
+  explicit SupervisorGroup(std::vector<sim::NodeId> supervisors,
+                           int virtual_nodes = 32);
+
+  /// The supervisor responsible for `topic`. Aborts on an empty group.
+  sim::NodeId supervisor_for(TopicId topic) const;
+
+  /// Membership changes move only the arcs adjacent to the affected
+  /// supervisor's points — the classic consistent-hashing locality, which
+  /// the tests verify.
+  void add_supervisor(sim::NodeId id);
+  void remove_supervisor(sim::NodeId id);
+
+  std::size_t size() const { return members_; }
+
+  /// Fraction of the [0,1) ring owned by `id` (for balance experiments).
+  double arc_share(sim::NodeId id) const;
+
+ private:
+  static std::uint64_t point_of_topic(TopicId topic);
+  static std::uint64_t point_of_replica(sim::NodeId id, int replica);
+  void insert_points(sim::NodeId id);
+
+  int virtual_nodes_;
+  std::size_t members_ = 0;
+  /// Ring point -> owning supervisor.
+  std::map<std::uint64_t, sim::NodeId> ring_;
+};
+
+}  // namespace ssps::pubsub

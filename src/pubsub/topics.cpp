@@ -1,0 +1,137 @@
+#include "pubsub/topics.hpp"
+
+namespace ssps::pubsub {
+
+// ---------------------------------------------------------------------------
+// MultiTopicNode
+// ---------------------------------------------------------------------------
+
+MultiTopicNode::Instance& MultiTopicNode::instance(TopicId topic) {
+  auto it = topics_.find(topic);
+  SSPS_ASSERT_MSG(it != topics_.end(), "not subscribed to this topic");
+  return it->second;
+}
+
+const MultiTopicNode::Instance& MultiTopicNode::instance(TopicId topic) const {
+  auto it = topics_.find(topic);
+  SSPS_ASSERT_MSG(it != topics_.end(), "not subscribed to this topic");
+  return it->second;
+}
+
+void MultiTopicNode::subscribe(TopicId topic) {
+  if (topics_.contains(topic)) return;
+  Instance inst;
+  inst.sink = std::make_unique<TopicSink>(net(), topic);
+  inst.sub = std::make_unique<core::SubscriberProtocol>(id(), resolver_(topic),
+                                                        *inst.sink, rng());
+  inst.ps = std::make_unique<PubSubProtocol>(*inst.sub, *inst.sink, rng(), config_);
+  topics_.emplace(topic, std::move(inst));
+}
+
+void MultiTopicNode::unsubscribe(TopicId topic) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return;
+  it->second.sub->request_unsubscribe();
+}
+
+void MultiTopicNode::publish(TopicId topic, std::string payload) {
+  instance(topic).ps->publish(std::move(payload));
+}
+
+std::vector<TopicId> MultiTopicNode::topics() const {
+  std::vector<TopicId> out;
+  out.reserve(topics_.size());
+  for (const auto& [t, inst] : topics_) out.push_back(t);
+  return out;
+}
+
+core::SubscriberProtocol& MultiTopicNode::overlay(TopicId topic) {
+  return *instance(topic).sub;
+}
+const core::SubscriberProtocol& MultiTopicNode::overlay(TopicId topic) const {
+  return *instance(topic).sub;
+}
+PubSubProtocol& MultiTopicNode::pubsub(TopicId topic) { return *instance(topic).ps; }
+const PubSubProtocol& MultiTopicNode::pubsub(TopicId topic) const {
+  return *instance(topic).ps;
+}
+
+void MultiTopicNode::handle(std::unique_ptr<sim::Message> msg) {
+  auto* env = dynamic_cast<TopicEnvelope*>(msg.get());
+  if (env == nullptr) return;  // not a topic message; nothing to do
+  auto it = topics_.find(env->topic);
+  if (it == topics_.end()) {
+    // Stale traffic for a topic we left: tell every referenced node to
+    // drop us in that topic (the departed behavior of Lemma 6).
+    std::vector<sim::NodeId> refs;
+    env->inner->collect_refs(refs);
+    TopicSink sink(net(), env->topic);
+    for (sim::NodeId ref : refs) {
+      if (ref && ref != id()) {
+        sink.send(ref, std::make_unique<core::msg::RemoveConnections>(id()));
+      }
+    }
+    return;
+  }
+  Instance& inst = it->second;
+  if (inst.ps->handle(*env->inner)) return;
+  inst.sub->handle(*env->inner);
+}
+
+void MultiTopicNode::timeout() {
+  // Remove instances whose departure completed ("remove the protocol once
+  // permission arrives", §4), then run every remaining instance.
+  for (auto it = topics_.begin(); it != topics_.end();) {
+    if (it->second.sub->departed()) {
+      it = topics_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& [topic, inst] : topics_) {
+    inst.sub->timeout();
+    if (!inst.sub->departed()) inst.ps->timeout();
+  }
+}
+
+void MultiTopicNode::collect_refs(std::vector<sim::NodeId>& out) const {
+  for (const auto& [topic, inst] : topics_) inst.sub->collect_refs(out);
+}
+
+// ---------------------------------------------------------------------------
+// MultiTopicSupervisorNode
+// ---------------------------------------------------------------------------
+
+core::SupervisorProtocol& MultiTopicSupervisorNode::topic_supervisor(TopicId topic) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    Instance inst;
+    inst.sink = std::make_unique<TopicSink>(net(), topic);
+    inst.proto = std::make_unique<core::SupervisorProtocol>(id(), *inst.sink);
+    if (fd_ != nullptr && *fd_ != nullptr) inst.proto->set_failure_detector(*fd_);
+    it = topics_.emplace(topic, std::move(inst)).first;
+  }
+  return *it->second.proto;
+}
+
+const core::SupervisorProtocol* MultiTopicSupervisorNode::find_topic(
+    TopicId topic) const {
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : it->second.proto.get();
+}
+
+void MultiTopicSupervisorNode::handle(std::unique_ptr<sim::Message> msg) {
+  auto* env = dynamic_cast<TopicEnvelope*>(msg.get());
+  if (env == nullptr) return;
+  topic_supervisor(env->topic).handle(*env->inner);
+}
+
+void MultiTopicSupervisorNode::timeout() {
+  for (auto& [topic, inst] : topics_) inst.proto->timeout();
+}
+
+void MultiTopicSupervisorNode::collect_refs(std::vector<sim::NodeId>& out) const {
+  for (const auto& [topic, inst] : topics_) inst.proto->collect_refs(out);
+}
+
+}  // namespace ssps::pubsub

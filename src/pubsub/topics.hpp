@@ -1,0 +1,123 @@
+// Topic-based publish-subscribe (§4): one BuildSR + Algorithm 5 instance
+// per topic, multiplexed over a single node and a single supervisor
+// process by tagging every message with its topic.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "pubsub/pubsub_node.hpp"
+#include "pubsub/supervisor_group.hpp"
+
+namespace ssps::pubsub {
+
+/// Wraps a protocol message with the topic it refers to (§4: "each message
+/// contains the topic"). Metrics keep the inner action label so per-action
+/// accounting stays meaningful across topics.
+struct TopicEnvelope final : sim::Message {
+  TopicId topic;
+  std::unique_ptr<sim::Message> inner;
+
+  TopicEnvelope(TopicId t, std::unique_ptr<sim::Message> m)
+      : topic(t), inner(std::move(m)) {}
+  std::string_view name() const override { return inner->name(); }
+  std::size_t wire_size() const override { return inner->wire_size() + sizeof(TopicId); }
+  void collect_refs(std::vector<sim::NodeId>& out) const override {
+    inner->collect_refs(out);
+  }
+};
+
+/// MessageSink that stamps outgoing messages with a fixed topic.
+class TopicSink final : public core::MessageSink {
+ public:
+  TopicSink(sim::Network& net, TopicId topic) : net_(&net), topic_(topic) {}
+  void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+    net_->send(to, std::make_unique<TopicEnvelope>(topic_, std::move(msg)));
+  }
+
+ private:
+  sim::Network* net_;
+  TopicId topic_;
+};
+
+/// Maps a topic to the supervisor responsible for it. The single-supervisor
+/// deployment is a constant function; the scalable deployment hashes
+/// through a SupervisorGroup (§1.3).
+using SupervisorResolver = std::function<sim::NodeId(TopicId)>;
+
+/// A client node participating in any number of topics.
+class MultiTopicNode final : public sim::Node {
+ public:
+  explicit MultiTopicNode(SupervisorResolver resolver,
+                          const PubSubConfig& config = {})
+      : resolver_(std::move(resolver)), config_(config) {}
+
+  /// Convenience for the one-supervisor deployment.
+  static SupervisorResolver fixed(sim::NodeId supervisor) {
+    return [supervisor](TopicId) { return supervisor; };
+  }
+
+  void handle(std::unique_ptr<sim::Message> msg) override;
+  void timeout() override;
+  void collect_refs(std::vector<sim::NodeId>& out) const override;
+
+  /// Starts a BuildSR instance for `topic`; it subscribes on next Timeout.
+  void subscribe(TopicId topic);
+  /// Requests departure; the instance is deleted once permission arrives
+  /// ("the subscriber may remove the respective BuildSR protocol", §4).
+  void unsubscribe(TopicId topic);
+  void publish(TopicId topic, std::string payload);
+
+  bool subscribed(TopicId topic) const { return topics_.contains(topic); }
+  std::vector<TopicId> topics() const;
+
+  /// Accessors abort if the topic is not joined.
+  core::SubscriberProtocol& overlay(TopicId topic);
+  const core::SubscriberProtocol& overlay(TopicId topic) const;
+  PubSubProtocol& pubsub(TopicId topic);
+  const PubSubProtocol& pubsub(TopicId topic) const;
+
+ private:
+  struct Instance {
+    std::unique_ptr<TopicSink> sink;
+    std::unique_ptr<core::SubscriberProtocol> sub;
+    std::unique_ptr<PubSubProtocol> ps;
+  };
+
+  Instance& instance(TopicId topic);
+  const Instance& instance(TopicId topic) const;
+
+  SupervisorResolver resolver_;
+  PubSubConfig config_;
+  std::map<TopicId, Instance> topics_;
+};
+
+/// A supervisor process serving any number of topics (one database each).
+/// The per-topic maintenance cost is what experiment E13 measures.
+class MultiTopicSupervisorNode final : public sim::Node {
+ public:
+  explicit MultiTopicSupervisorNode(const sim::FailureDetector** fd = nullptr)
+      : fd_(fd) {}
+
+  void handle(std::unique_ptr<sim::Message> msg) override;
+  void timeout() override;
+  void collect_refs(std::vector<sim::NodeId>& out) const override;
+
+  /// Instantiates (or returns) the per-topic supervisor protocol.
+  core::SupervisorProtocol& topic_supervisor(TopicId topic);
+  const core::SupervisorProtocol* find_topic(TopicId topic) const;
+
+  std::size_t topic_count() const { return topics_.size(); }
+
+ private:
+  struct Instance {
+    std::unique_ptr<TopicSink> sink;
+    std::unique_ptr<core::SupervisorProtocol> proto;
+  };
+
+  const sim::FailureDetector** fd_;
+  std::map<TopicId, Instance> topics_;
+};
+
+}  // namespace ssps::pubsub

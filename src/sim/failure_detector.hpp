@@ -1,0 +1,41 @@
+// Eventually-correct failure detector (paper §3.3).
+//
+// The paper equips only the supervisor with a failure detector and assumes
+// it is eventually correct: after a node crashes, the detector reports the
+// crash from some point in time on, and it never suspects alive nodes.
+// We realize this as a simulator-backed oracle with a configurable
+// detection delay measured in rounds — crashes become visible `delay`
+// rounds after they occur, which exercises the window during which the
+// supervisor's database still contains dead subscribers.
+#pragma once
+
+#include "sim/network.hpp"
+#include "sim/types.hpp"
+
+namespace ssps::sim {
+
+/// Supervisor-side failure detector.
+class FailureDetector {
+ public:
+  /// `delay_rounds` = 0 gives a perfect detector.
+  FailureDetector(const Network& net, Round delay_rounds)
+      : net_(&net), delay_(delay_rounds) {}
+
+  /// True once the crash of `id` is detectable. Never true for alive nodes
+  /// (no false suspicions), so the supervisor may evict on first report.
+  bool suspects(NodeId id) const {
+    if (net_->alive(id)) return false;
+    auto crashed = net_->crash_round(id);
+    if (!crashed) return true;  // never existed: safe to treat as gone
+    return net_->round() >= *crashed + delay_;
+  }
+
+  Round delay() const { return delay_; }
+  void set_delay(Round delay_rounds) { delay_ = delay_rounds; }
+
+ private:
+  const Network* net_;
+  Round delay_;
+};
+
+}  // namespace ssps::sim

@@ -1,0 +1,37 @@
+// Message base class: the ⟨label⟩(⟨parameters⟩) remote action calls of the
+// paper's model (§1.1). Concrete protocols subclass Message per action.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ssps::sim {
+
+/// Base of all protocol messages.
+///
+/// A message models a remote action invocation. The simulator treats
+/// messages as opaque apart from three introspection hooks used for
+/// metrics (name, wire_size) and for graph analyses that must count
+/// implicit edges, i.e. node references travelling inside channels
+/// (collect_refs).
+class Message {
+ public:
+  virtual ~Message() = default;
+
+  /// Stable action label, used as the metrics key (e.g. "SetData").
+  virtual std::string_view name() const = 0;
+
+  /// Estimated serialized size in bytes; used for byte accounting in the
+  /// anti-entropy cost experiments. The default approximates a header.
+  virtual std::size_t wire_size() const { return 16; }
+
+  /// Appends every node reference carried by this message to `out`.
+  /// These are the paper's *implicit edges* and take part in connectivity
+  /// checks (a reference inside a channel is an edge of G).
+  virtual void collect_refs(std::vector<NodeId>& out) const { (void)out; }
+};
+
+}  // namespace ssps::sim

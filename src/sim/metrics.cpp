@@ -1,0 +1,49 @@
+#include "sim/metrics.hpp"
+
+namespace ssps::sim {
+
+void Metrics::on_send(std::string_view name, std::size_t bytes, NodeId to) {
+  (void)to;
+  auto& counter = by_label_[std::string(name)];
+  counter.count += 1;
+  counter.bytes += bytes;
+  total_sent_ += 1;
+  total_bytes_ += bytes;
+}
+
+void Metrics::on_deliver(std::string_view name, NodeId at) {
+  received_[at] += 1;
+  received_labeled_[at][std::string(name)] += 1;
+}
+
+void Metrics::reset() {
+  by_label_.clear();
+  received_.clear();
+  received_labeled_.clear();
+  total_sent_ = 0;
+  total_bytes_ = 0;
+}
+
+std::uint64_t Metrics::sent(std::string_view name) const {
+  auto it = by_label_.find(std::string(name));
+  return it == by_label_.end() ? 0 : it->second.count;
+}
+
+std::uint64_t Metrics::sent_bytes(std::string_view name) const {
+  auto it = by_label_.find(std::string(name));
+  return it == by_label_.end() ? 0 : it->second.bytes;
+}
+
+std::uint64_t Metrics::received_by(NodeId id) const {
+  auto it = received_.find(id);
+  return it == received_.end() ? 0 : it->second;
+}
+
+std::uint64_t Metrics::received_by(NodeId id, std::string_view name) const {
+  auto it = received_labeled_.find(id);
+  if (it == received_labeled_.end()) return 0;
+  auto jt = it->second.find(std::string(name));
+  return jt == it->second.end() ? 0 : jt->second;
+}
+
+}  // namespace ssps::sim

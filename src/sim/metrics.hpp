@@ -1,0 +1,64 @@
+// Message accounting: per-action and per-node counters.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "sim/types.hpp"
+
+namespace ssps::sim {
+
+/// Count/byte pair for one message label.
+struct MessageCounter {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Aggregated traffic statistics, maintained by the Network on every send
+/// and delivery. Benches reset these around the measured window.
+class Metrics {
+ public:
+  /// Records a send of `bytes` bytes under action label `name`, addressed
+  /// to `to`.
+  void on_send(std::string_view name, std::size_t bytes, NodeId to);
+
+  /// Records a delivery (receipt) at node `at`.
+  void on_deliver(std::string_view name, NodeId at);
+
+  /// Clears all counters.
+  void reset();
+
+  /// Total messages sent since the last reset.
+  std::uint64_t total_sent() const { return total_sent_; }
+
+  /// Total bytes sent since the last reset.
+  std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Messages sent under one action label.
+  std::uint64_t sent(std::string_view name) const;
+
+  /// Bytes sent under one action label.
+  std::uint64_t sent_bytes(std::string_view name) const;
+
+  /// Messages received by one node (its in-load; used for congestion and
+  /// supervisor-overhead experiments).
+  std::uint64_t received_by(NodeId id) const;
+
+  /// Messages received by `id` under one action label.
+  std::uint64_t received_by(NodeId id, std::string_view name) const;
+
+  /// All per-label send counters (sorted by label for stable output).
+  const std::map<std::string, MessageCounter>& by_label() const { return by_label_; }
+
+ private:
+  std::map<std::string, MessageCounter> by_label_;
+  std::unordered_map<NodeId, std::uint64_t> received_;
+  std::unordered_map<NodeId, std::map<std::string, std::uint64_t>> received_labeled_;
+  std::uint64_t total_sent_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace ssps::sim

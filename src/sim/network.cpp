@@ -1,0 +1,244 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace ssps::sim {
+
+Network::Network(std::uint64_t seed) : rng_(seed) {}
+
+Network::~Network() = default;
+
+NodeId Network::register_node(std::unique_ptr<Node> node) {
+  SSPS_ASSERT(node != nullptr);
+  const NodeId id{next_id_++};
+  node->id_ = id;
+  node->net_ = this;
+  node->rng_ = rng_.split();
+  Slot slot;
+  slot.node = std::move(node);
+  slot.last_timeout = step_;
+  auto [it, inserted] = nodes_.emplace(id, std::move(slot));
+  SSPS_ASSERT(inserted);
+  it->second.node->on_register();
+  return id;
+}
+
+void Network::crash(NodeId id) {
+  auto it = nodes_.find(id);
+  SSPS_ASSERT_MSG(it != nodes_.end(), "crash: node unknown or already crashed");
+  pending_total_ -= it->second.channel.size();
+  nodes_.erase(it);
+  crashed_.emplace(id, round_);
+}
+
+bool Network::alive(NodeId id) const { return nodes_.contains(id); }
+
+std::optional<Round> Network::crash_round(NodeId id) const {
+  auto it = crashed_.find(id);
+  if (it == crashed_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<NodeId> Network::alive_ids() const {
+  std::vector<NodeId> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [id, slot] : nodes_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void Network::send(NodeId to, std::unique_ptr<Message> msg) {
+  SSPS_ASSERT(msg != nullptr);
+  metrics_.on_send(msg->name(), msg->wire_size(), to);
+  auto it = nodes_.find(to);
+  if (it == nodes_.end()) {
+    // Target crashed or never existed: the message invokes no action.
+    ++swallowed_to_dead_;
+    return;
+  }
+  it->second.channel.push_back(Envelope{std::move(msg), step_});
+  ++pending_total_;
+}
+
+void Network::inject(NodeId to, std::unique_ptr<Message> msg) {
+  SSPS_ASSERT(msg != nullptr);
+  auto it = nodes_.find(to);
+  SSPS_ASSERT_MSG(it != nodes_.end(), "inject: unknown node");
+  it->second.channel.push_back(Envelope{std::move(msg), step_});
+  ++pending_total_;
+}
+
+std::size_t Network::pending_for(NodeId id) const {
+  auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.channel.size();
+}
+
+void Network::deliver_one(Slot& slot, std::size_t index) {
+  SSPS_ASSERT(index < slot.channel.size());
+  std::unique_ptr<Message> msg = std::move(slot.channel[index].msg);
+  // Non-FIFO channel: order does not matter, so swap-remove.
+  slot.channel[index] = std::move(slot.channel.back());
+  slot.channel.pop_back();
+  --pending_total_;
+  metrics_.on_deliver(msg->name(), slot.node->id());
+  slot.node->handle(std::move(msg));
+}
+
+void Network::fire_timeout(Slot& slot) {
+  slot.last_timeout = step_;
+  slot.node->timeout();
+}
+
+std::size_t Network::run_round() {
+  ++step_;
+  // Snapshot the messages present at round start; deliveries may enqueue
+  // new messages, which belong to the next round.
+  struct Pending {
+    NodeId to;
+    std::unique_ptr<Message> msg;
+  };
+  std::vector<Pending> batch;
+  batch.reserve(pending_total_);
+  for (auto& [id, slot] : nodes_) {
+    for (auto& env : slot.channel) batch.push_back(Pending{id, std::move(env.msg)});
+    pending_total_ -= slot.channel.size();
+    slot.channel.clear();
+  }
+  rng_.shuffle(batch);
+  std::size_t delivered = 0;
+  for (auto& p : batch) {
+    auto it = nodes_.find(p.to);
+    if (it == nodes_.end()) continue;  // crashed mid-round
+    metrics_.on_deliver(p.msg->name(), p.to);
+    it->second.node->handle(std::move(p.msg));
+    ++delivered;
+  }
+
+  std::vector<NodeId> order = alive_ids();
+  rng_.shuffle(order);
+  for (NodeId id : order) {
+    auto it = nodes_.find(id);
+    if (it == nodes_.end()) continue;
+    fire_timeout(it->second);
+  }
+  ++round_;
+  return delivered;
+}
+
+void Network::run_rounds(std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) run_round();
+}
+
+std::optional<std::size_t> Network::run_until(const std::function<bool()>& pred,
+                                              std::size_t max_rounds) {
+  for (std::size_t i = 0; i < max_rounds; ++i) {
+    if (pred()) return i;
+    run_round();
+  }
+  return pred() ? std::optional<std::size_t>(max_rounds) : std::nullopt;
+}
+
+void Network::step() {
+  ++step_;
+
+  // Fairness enforcement must serve by AGE, not by hash-map iteration
+  // order: under overload (more overdue work than one action per step) a
+  // first-found policy would starve whatever sorts last — violating the
+  // model's fair receipt / weakly fair execution. Oldest-first guarantees
+  // every message and every Timeout is served within a bounded lag.
+  Slot* oldest_msg_slot = nullptr;
+  std::size_t oldest_msg_index = 0;
+  Step oldest_msg_age = 0;
+  Slot* staleest_timeout_slot = nullptr;
+  Step staleest_timeout_age = 0;
+  for (auto& [id, slot] : nodes_) {
+    for (std::size_t i = 0; i < slot.channel.size(); ++i) {
+      const Step age = step_ - slot.channel[i].sent_at;
+      if (age > oldest_msg_age) {
+        oldest_msg_age = age;
+        oldest_msg_slot = &slot;
+        oldest_msg_index = i;
+      }
+    }
+    const Step idle = step_ - slot.last_timeout;
+    if (idle > staleest_timeout_age) {
+      staleest_timeout_age = idle;
+      staleest_timeout_slot = &slot;
+    }
+  }
+  if (oldest_msg_slot != nullptr && oldest_msg_age > async_cfg_.max_message_age &&
+      oldest_msg_age >= staleest_timeout_age) {
+    deliver_one(*oldest_msg_slot, oldest_msg_index);
+    return;
+  }
+  if (staleest_timeout_slot != nullptr &&
+      staleest_timeout_age > async_cfg_.max_timeout_gap) {
+    fire_timeout(*staleest_timeout_slot);
+    return;
+  }
+  if (oldest_msg_slot != nullptr && oldest_msg_age > async_cfg_.max_message_age) {
+    deliver_one(*oldest_msg_slot, oldest_msg_index);
+    return;
+  }
+
+  const bool prefer_timeout =
+      pending_total_ == 0 || rng_.below(256) < async_cfg_.timeout_bias;
+  if (prefer_timeout && !nodes_.empty()) {
+    std::vector<NodeId> ids = alive_ids();
+    fire_timeout(nodes_.at(ids[rng_.pick_index(ids)]));
+    return;
+  }
+  if (pending_total_ == 0) return;
+
+  // Pick a uniformly random pending message across all channels.
+  std::uint64_t target = rng_.below(pending_total_);
+  for (auto& [id, slot] : nodes_) {
+    if (target < slot.channel.size()) {
+      deliver_one(slot, static_cast<std::size_t>(target));
+      return;
+    }
+    target -= slot.channel.size();
+  }
+  SSPS_ASSERT_MSG(false, "pending_total_ out of sync with channels");
+}
+
+void Network::run_steps(std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) step();
+}
+
+bool Network::weakly_connected(NodeId anchor) const {
+  if (nodes_.empty()) return true;
+  // Build the undirected adjacency implied by explicit + implicit edges.
+  std::unordered_map<NodeId, std::vector<NodeId>> adj;
+  std::vector<NodeId> refs;
+  for (const auto& [id, slot] : nodes_) {
+    refs.clear();
+    slot.node->collect_refs(refs);
+    for (const auto& env : slot.channel) env.msg->collect_refs(refs);
+    if (anchor && id != anchor) refs.push_back(anchor);
+    for (NodeId r : refs) {
+      if (!r || r == id || !nodes_.contains(r)) continue;
+      adj[id].push_back(r);
+      adj[r].push_back(id);
+    }
+    adj.try_emplace(id);
+  }
+  // BFS from an arbitrary node.
+  std::unordered_set<NodeId> seen;
+  std::deque<NodeId> queue;
+  queue.push_back(nodes_.begin()->first);
+  seen.insert(queue.front());
+  while (!queue.empty()) {
+    NodeId cur = queue.front();
+    queue.pop_front();
+    auto it = adj.find(cur);
+    if (it == adj.end()) continue;
+    for (NodeId nxt : it->second) {
+      if (seen.insert(nxt).second) queue.push_back(nxt);
+    }
+  }
+  return seen.size() == nodes_.size();
+}
+
+}  // namespace ssps::sim

@@ -1,0 +1,179 @@
+// The simulated distributed system: node registry, channels, schedulers.
+//
+// Implements the model of paper §1.1:
+//   - each node has a channel holding a finite multiset of messages;
+//   - messages are never lost or duplicated while their target is alive;
+//   - delivery is non-FIFO (the schedulers remove messages in randomized
+//     order) and fully asynchronous;
+//   - fair message receipt and weakly fair action execution are enforced
+//     by both schedulers (see run_round / step);
+//   - crashed nodes (§3.3) cease to exist: pending and future messages to
+//     them invoke no action.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "sim/metrics.hpp"
+#include "sim/node.hpp"
+#include "sim/types.hpp"
+
+namespace ssps::sim {
+
+/// Tuning knobs of the randomized asynchronous scheduler.
+struct AsyncConfig {
+  /// A message must be delivered at most this many steps after it was sent
+  /// (fair message receipt).
+  Step max_message_age = 64;
+  /// Every alive node executes Timeout at least once per this many steps
+  /// (weakly fair action execution).
+  Step max_timeout_gap = 64;
+  /// Probability (x / 256) that a step prefers a Timeout over a delivery
+  /// when both are possible.
+  std::uint32_t timeout_bias = 64;
+};
+
+/// The simulated network. Owns all nodes, channels, randomness and metrics.
+class Network {
+ public:
+  explicit Network(std::uint64_t seed);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+  ~Network();
+
+  // ---- Topology management -------------------------------------------
+
+  /// Constructs a node of type T (constructor receives the forwarded
+  /// arguments), registers it, assigns a fresh NodeId and returns the id.
+  template <typename T, typename... Args>
+  NodeId spawn(Args&&... args) {
+    auto node = std::make_unique<T>(std::forward<Args>(args)...);
+    return register_node(std::move(node));
+  }
+
+  /// Registers an externally constructed node.
+  NodeId register_node(std::unique_ptr<Node> node);
+
+  /// Fail-stop crash: the node ceases to exist. Its channel is dropped and
+  /// all future messages to it are swallowed (they invoke no action).
+  void crash(NodeId id);
+
+  /// True if the node exists and has not crashed.
+  bool alive(NodeId id) const;
+
+  /// Round number at which `id` crashed (for the failure detector).
+  std::optional<Round> crash_round(NodeId id) const;
+
+  /// Typed access to a node. Aborts if the node is dead or of wrong type.
+  template <typename T>
+  T& node_as(NodeId id) {
+    auto it = nodes_.find(id);
+    SSPS_ASSERT_MSG(it != nodes_.end(), "node_as: unknown or crashed node");
+    T* typed = dynamic_cast<T*>(it->second.node.get());
+    SSPS_ASSERT_MSG(typed != nullptr, "node_as: node has unexpected type");
+    return *typed;
+  }
+
+  /// Ids of all alive nodes, in id order (deterministic).
+  std::vector<NodeId> alive_ids() const;
+
+  /// Number of alive nodes.
+  std::size_t alive_count() const { return nodes_.size(); }
+
+  // ---- Communication --------------------------------------------------
+
+  /// Sends `msg` to `to` by placing it into to's channel. A send to a
+  /// crashed/unknown node is counted and swallowed (paper §3.3: the address
+  /// ceased to exist).
+  void send(NodeId to, std::unique_ptr<Message> msg);
+
+  /// Injects a message into a channel without attributing it to a sender;
+  /// used by adversarial initial-state generators (corrupted messages).
+  void inject(NodeId to, std::unique_ptr<Message> msg);
+
+  /// Total number of messages currently sitting in channels.
+  std::size_t pending_messages() const { return pending_total_; }
+
+  /// Number of messages pending for one node.
+  std::size_t pending_for(NodeId id) const;
+
+  // ---- Scheduling -----------------------------------------------------
+
+  /// Synchronous-round scheduler: delivers every message that was pending
+  /// at round start (randomized order), then fires every alive node's
+  /// Timeout (randomized order). One round is the paper's "timeout
+  /// interval". Returns the number of messages delivered.
+  std::size_t run_round();
+
+  /// Runs `k` rounds.
+  void run_rounds(std::size_t k);
+
+  /// Runs rounds until `pred()` holds (checked after each round) or
+  /// `max_rounds` elapse. Returns the number of rounds executed, or
+  /// nullopt if the predicate never held.
+  std::optional<std::size_t> run_until(const std::function<bool()>& pred,
+                                       std::size_t max_rounds);
+
+  /// One step of the randomized asynchronous scheduler: executes exactly
+  /// one enabled action (a delivery or a Timeout) subject to the fairness
+  /// bounds in AsyncConfig.
+  void step();
+
+  /// Runs `k` async steps.
+  void run_steps(std::size_t k);
+
+  /// Current round (advanced by run_round only).
+  Round round() const { return round_; }
+
+  /// Current async step (advanced by step only).
+  Step now() const { return step_; }
+
+  AsyncConfig& async_config() { return async_cfg_; }
+
+  // ---- Introspection ---------------------------------------------------
+
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  ssps::Rng& rng() { return rng_; }
+
+  /// True if the union graph of explicit edges (node variables) and
+  /// implicit edges (references inside channels) is weakly connected over
+  /// the alive nodes, treating `anchor` (if provided) as an always-known
+  /// reference (the paper's read-only supervisor star graph).
+  bool weakly_connected(NodeId anchor = NodeId::null()) const;
+
+ private:
+  struct Envelope {
+    std::unique_ptr<Message> msg;
+    Step sent_at = 0;
+  };
+  struct Slot {
+    std::unique_ptr<Node> node;
+    std::vector<Envelope> channel;
+    Step last_timeout = 0;
+  };
+
+  void deliver_one(Slot& slot, std::size_t index);
+  void fire_timeout(Slot& slot);
+
+  std::unordered_map<NodeId, Slot> nodes_;
+  std::unordered_map<NodeId, Round> crashed_;
+  std::uint64_t next_id_ = 1;
+  std::size_t pending_total_ = 0;
+  Round round_ = 0;
+  Step step_ = 0;
+  ssps::Rng rng_;
+  Metrics metrics_;
+  AsyncConfig async_cfg_;
+  std::uint64_t swallowed_to_dead_ = 0;
+};
+
+}  // namespace ssps::sim

@@ -1,0 +1,54 @@
+// Node base class: a peer of the overlay running actions (paper §1.1).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/message.hpp"
+#include "sim/types.hpp"
+
+namespace ssps::sim {
+
+class Network;
+
+/// A protocol participant.
+///
+/// Concrete nodes implement the two action entry points of the model:
+/// message-triggered actions (`handle`) and the periodically executed
+/// `timeout` action. Nodes send messages exclusively through the Network
+/// reference supplied at registration; they hold no pointers to peers,
+/// only NodeId references (compare-store-send discipline).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  NodeId id() const { return id_; }
+
+  /// Processes one incoming message (removed from this node's channel).
+  virtual void handle(std::unique_ptr<Message> msg) = 0;
+
+  /// The periodic Timeout action (weakly fair execution is guaranteed by
+  /// the schedulers).
+  virtual void timeout() = 0;
+
+  /// Appends all node references in this node's *local variables* to `out`
+  /// (the paper's explicit edges). Used for connectivity/legitimacy checks.
+  virtual void collect_refs(std::vector<NodeId>& out) const { (void)out; }
+
+  /// Called once by the Network after id/net/rng are assigned; nodes that
+  /// need their identity to finish construction hook in here.
+  virtual void on_register() {}
+
+ protected:
+  Network& net() const { return *net_; }
+  ssps::Rng& rng() { return rng_; }
+
+ private:
+  friend class Network;
+  NodeId id_ = NodeId::null();
+  Network* net_ = nullptr;
+  ssps::Rng rng_{0};
+};
+
+}  // namespace ssps::sim

@@ -1,0 +1,63 @@
+// Observability tooling: structured event log + Graphviz topology export.
+//
+// The simulator and harnesses stay silent by default; attaching a Trace
+// records message-level events with bounded memory, and `to_dot` renders
+// any overlay adjacency for inspection (`dot -Tsvg overlay.dot`).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ssps::sim {
+
+/// One recorded event.
+struct TraceEvent {
+  Round round = 0;
+  NodeId from;
+  NodeId to;
+  std::string label;  // action name or free-form note
+};
+
+/// Bounded in-memory event recorder.
+class Trace {
+ public:
+  explicit Trace(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  void record(Round round, NodeId from, NodeId to, std::string label);
+
+  const std::deque<TraceEvent>& events() const { return events_; }
+  std::size_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Events matching a label, newest last.
+  std::vector<TraceEvent> filter(const std::string& label) const;
+
+  /// Renders the recorded events as a text timeline.
+  std::string to_text() const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+  std::deque<TraceEvent> events_;
+};
+
+/// An overlay edge for rendering.
+struct DotEdge {
+  NodeId from;
+  NodeId to;
+  /// Rendering class; mapped to a color (e.g. "ring", "shortcut", "cyc").
+  std::string kind;
+};
+
+/// Renders nodes + edges as a Graphviz digraph. `node_label` supplies the
+/// display text per node (e.g. "id=5\nlabel=011").
+std::string to_dot(const std::vector<NodeId>& nodes,
+                   const std::vector<DotEdge>& edges,
+                   const std::function<std::string(NodeId)>& node_label);
+
+}  // namespace ssps::sim

@@ -1,0 +1,84 @@
+// Chord baseline sanity: routing terminates, hops are logarithmic,
+// degrees are logarithmic, uniform ids beat random ids on balance.
+#include "baseline/chord.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace ssps::baseline {
+namespace {
+
+TEST(Chord, RoutingReachesEveryTarget) {
+  ChordRing ring(64, 1);
+  for (std::size_t from = 0; from < 64; from += 7) {
+    for (std::size_t to = 0; to < 64; to += 5) {
+      if (from == to) continue;
+      EXPECT_GE(ring.route(from, to, nullptr), 1);
+    }
+  }
+}
+
+TEST(Chord, HopsAreLogarithmic) {
+  ssps::Rng rng(2);
+  for (std::size_t n : {64, 256, 1024}) {
+    ChordRing ring(n, n);
+    const int max_hops = ring.sample_max_hops(300, rng);
+    EXPECT_LE(max_hops, 2 * static_cast<int>(std::log2(n)) + 4) << "n=" << n;
+  }
+}
+
+TEST(Chord, DegreesAreLogarithmic) {
+  const std::size_t n = 512;
+  ChordRing ring(n, 3);
+  for (std::size_t i = 0; i < n; i += 17) {
+    EXPECT_LE(ring.degree(i), 70u);
+    EXPECT_GE(ring.degree(i), 1u);
+  }
+}
+
+TEST(Chord, SelfRouteIsZeroHops) {
+  ChordRing ring(16, 4);
+  EXPECT_EQ(ring.route(3, 3, nullptr), 0);
+}
+
+TEST(Chord, SingleNodeRing) {
+  ChordRing ring(1, 5);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.route(0, 0, nullptr), 0);
+}
+
+TEST(Chord, CongestionAccumulatesOnIntermediates) {
+  ChordRing ring(128, 6);
+  ssps::Rng rng(7);
+  const auto load = ring.sample_congestion(2000, rng);
+  std::uint64_t total = 0;
+  for (std::uint64_t l : load) total += l;
+  EXPECT_GT(total, 0u);
+}
+
+TEST(Chord, UniformIdsReduceWorstCaseLoad) {
+  // The supervised skip ring's labels correspond to the uniform-id case;
+  // this is the mechanism behind the §1.3 congestion claim.
+  const std::size_t n = 512;
+  const std::size_t samples = 8000;
+  ssps::Rng rng1(8);
+  ssps::Rng rng2(8);
+  ChordRing random_ids(n, 9, /*uniform_ids=*/false);
+  ChordRing uniform_ids(n, 9, /*uniform_ids=*/true);
+  const auto load_r = random_ids.sample_congestion(samples, rng1);
+  const auto load_u = uniform_ids.sample_congestion(samples, rng2);
+  const std::uint64_t max_r = *std::max_element(load_r.begin(), load_r.end());
+  const std::uint64_t max_u = *std::max_element(load_u.begin(), load_u.end());
+  EXPECT_LT(max_u, max_r);
+}
+
+TEST(Chord, DeterministicForSeed) {
+  ChordRing a(64, 11);
+  ChordRing b(64, 11);
+  for (std::size_t i = 0; i < 64; i += 5) EXPECT_EQ(a.degree(i), b.degree(i));
+}
+
+}  // namespace
+}  // namespace ssps::baseline

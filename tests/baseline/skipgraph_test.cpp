@@ -1,0 +1,77 @@
+// Skip-graph baseline sanity: list structure, logarithmic search, degree.
+#include "baseline/skipgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssps::baseline {
+namespace {
+
+TEST(SkipGraph, SearchReachesEveryTarget) {
+  SkipGraph g(64, 1);
+  for (std::size_t from = 0; from < 64; from += 7) {
+    for (std::size_t to = 0; to < 64; to += 5) {
+      if (from == to) continue;
+      EXPECT_GE(g.route(from, to, nullptr), 1);
+    }
+  }
+}
+
+TEST(SkipGraph, SearchIsLogarithmic) {
+  ssps::Rng rng(2);
+  for (std::size_t n : {64, 256, 1024}) {
+    SkipGraph g(n, n + 1);
+    const int max_hops = g.sample_max_hops(300, rng);
+    // Random membership vectors give O(log n) w.h.p. with a constant
+    // larger than Chord's; allow 4·log2(n).
+    EXPECT_LE(max_hops, 4 * static_cast<int>(std::log2(n)) + 6) << "n=" << n;
+  }
+}
+
+TEST(SkipGraph, DegreesAreLogarithmic) {
+  const std::size_t n = 512;
+  SkipGraph g(n, 3);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t d = g.degree(i);
+    EXPECT_LE(d, 2u * static_cast<std::size_t>(g.levels() + 1));
+    total += d;
+  }
+  const double avg = static_cast<double>(total) / n;
+  EXPECT_GT(avg, std::log2(n) * 0.8);
+  EXPECT_LT(avg, std::log2(n) * 4.0);
+}
+
+TEST(SkipGraph, Level0IsTheFullSortedList) {
+  SkipGraph g(32, 4);
+  // Walk the level-0 list left to right via routing one step at a time:
+  // neighbor search from i to i+1 must take exactly 1 hop.
+  for (std::size_t i = 0; i + 1 < 32; ++i) {
+    EXPECT_EQ(g.route(i, i + 1, nullptr), 1) << i;
+  }
+}
+
+TEST(SkipGraph, SingleNode) {
+  SkipGraph g(1, 5);
+  EXPECT_EQ(g.route(0, 0, nullptr), 0);
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(SkipGraph, DeterministicForSeed) {
+  SkipGraph a(64, 6);
+  SkipGraph b(64, 6);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(a.degree(i), b.degree(i));
+}
+
+TEST(SkipGraph, CongestionSamplesProduceLoad) {
+  SkipGraph g(128, 7);
+  ssps::Rng rng(8);
+  const auto load = g.sample_congestion(2000, rng);
+  std::uint64_t total = 0;
+  for (std::uint64_t l : load) total += l;
+  EXPECT_GT(total, 0u);
+}
+
+}  // namespace
+}  // namespace ssps::baseline

@@ -1,0 +1,160 @@
+// Tests for the adversarial-state generators themselves: the corruption
+// classes they claim to produce must actually be present, they must be
+// deterministic per seed, and they must respect the model's constraint
+// that references denote existing nodes (§1.1: no corrupted IDs).
+#include "core/chaos.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+
+namespace ssps::core {
+namespace {
+
+std::unique_ptr<SkipRingSystem> converged(std::size_t n, std::uint64_t seed) {
+  auto sys = std::make_unique<SkipRingSystem>(
+      SkipRingSystem::Options{.seed = seed, .fd_delay = 0});
+  sys->add_subscribers(n);
+  EXPECT_TRUE(sys->run_until_legit(2000).has_value());
+  return sys;
+}
+
+TEST(Chaos, ActuallyBreaksLegitimacy) {
+  auto sys_ptr = converged(16, 1);
+  SkipRingSystem& sys = *sys_ptr;
+  ChaosOptions chaos;
+  chaos.seed = 2;
+  corrupt_system(sys, chaos);
+  EXPECT_FALSE(sys.topology_legit());
+}
+
+TEST(Chaos, AllInjectedReferencesDenoteExistingNodes) {
+  auto sys_ptr = converged(20, 3);
+  SkipRingSystem& sys = *sys_ptr;
+  ChaosOptions chaos;
+  chaos.seed = 4;
+  chaos.junk_messages = 100;
+  corrupt_system(sys, chaos);
+  const std::set<std::uint64_t> alive = [&] {
+    std::set<std::uint64_t> out;
+    for (sim::NodeId id : sys.net().alive_ids()) out.insert(id.value);
+    return out;
+  }();
+  for (sim::NodeId id : sys.subscriber_ids()) {
+    std::vector<sim::NodeId> refs;
+    sys.subscriber(id).collect_refs(refs);
+    for (sim::NodeId r : refs) {
+      EXPECT_TRUE(alive.contains(r.value)) << "dangling reference " << r.value;
+    }
+  }
+}
+
+TEST(Chaos, DatabaseCorruptionClassesArePresent) {
+  auto sys_ptr = converged(12, 5);
+  SkipRingSystem& sys = *sys_ptr;
+  ChaosOptions chaos;
+  chaos.seed = 6;
+  chaos.null_tuples = 3;
+  chaos.duplicate_nodes = 2;
+  chaos.missing_labels = 2;
+  chaos.out_of_range_labels = 2;
+  chaos.junk_messages = 0;
+  chaos.clear_label_pct = 0;
+  chaos.random_label_pct = 0;
+  chaos.scramble_edges_pct = 0;
+  chaos.bogus_shortcut_pct = 0;
+  corrupt_system(sys, chaos);
+  EXPECT_FALSE(sys.supervisor().database_consistent());
+  // Null tuples present (case (i)).
+  bool has_null = false;
+  for (const auto& [label, node] : sys.supervisor().database()) {
+    if (!node) has_null = true;
+  }
+  EXPECT_TRUE(has_null);
+}
+
+TEST(Chaos, WipeEmptiesDatabase) {
+  auto sys_ptr = converged(10, 7);
+  SkipRingSystem& sys = *sys_ptr;
+  ChaosOptions chaos;
+  chaos.seed = 8;
+  chaos.wipe_database = true;
+  corrupt_system(sys, chaos);
+  EXPECT_EQ(sys.supervisor().size(), 0u);
+}
+
+TEST(Chaos, DeterministicPerSeed) {
+  auto run = [](std::uint64_t seed) {
+    auto sys_ptr = converged(16, 9);
+    SkipRingSystem& sys = *sys_ptr;
+    ChaosOptions chaos;
+    chaos.seed = seed;
+    corrupt_system(sys, chaos);
+    // Fingerprint the corrupted subscriber state.
+    std::string fp;
+    for (sim::NodeId id : sys.subscriber_ids()) {
+      const auto& sub = sys.subscriber(id);
+      fp += sub.label() ? sub.label()->to_string() : "_";
+      fp += sub.left() ? std::to_string(sub.left()->node.value) : "x";
+      fp += sub.right() ? std::to_string(sub.right()->node.value) : "x";
+      fp += ";";
+    }
+    return fp;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(Chaos, ZeroedOptionsLeaveSystemLegitimate) {
+  auto sys_ptr = converged(12, 11);
+  SkipRingSystem& sys = *sys_ptr;
+  ChaosOptions chaos;
+  chaos.seed = 12;
+  chaos.clear_label_pct = 0;
+  chaos.random_label_pct = 0;
+  chaos.scramble_edges_pct = 0;
+  chaos.bogus_shortcut_pct = 0;
+  chaos.corrupt_database = false;
+  chaos.junk_messages = 0;
+  corrupt_system(sys, chaos);
+  EXPECT_TRUE(sys.topology_legit()) << sys.legitimacy_violation();
+}
+
+TEST(SplitBrain, BothHalvesAreInternallyConsistentRings) {
+  auto sys_ptr = converged(16, 13);
+  SkipRingSystem& sys = *sys_ptr;
+  split_brain(sys, 14);
+  // The database knows exactly half.
+  EXPECT_EQ(sys.supervisor().size(), 8u);
+  // Every subscriber has a label, and labels within the database half are
+  // exactly l(0..7).
+  std::size_t labeled = 0;
+  for (sim::NodeId id : sys.subscriber_ids()) {
+    if (sys.subscriber(id).label()) ++labeled;
+  }
+  EXPECT_EQ(labeled, 16u);
+  EXPECT_FALSE(sys.topology_legit());
+}
+
+TEST(SplitBrain, LabelsCollideAcrossHalves) {
+  // The interesting difficulty: both halves use labels l(0..m−1), so the
+  // merge must resolve label conflicts through the supervisor.
+  auto sys_ptr = converged(12, 15);
+  SkipRingSystem& sys = *sys_ptr;
+  split_brain(sys, 16);
+  std::map<std::string, int> count;
+  for (sim::NodeId id : sys.subscriber_ids()) {
+    const auto& l = sys.subscriber(id).label();
+    if (l) count[l->to_string()] += 1;
+  }
+  int collisions = 0;
+  for (const auto& [label, c] : count) {
+    if (c > 1) ++collisions;
+  }
+  EXPECT_GT(collisions, 0);
+}
+
+}  // namespace
+}  // namespace ssps::core

@@ -1,0 +1,118 @@
+// Unit tests for exact dyadic-rational arithmetic (src/core/dyadic.hpp).
+#include "core/dyadic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace ssps::core {
+namespace {
+
+TEST(Dyadic, ZeroIsNormalized) {
+  const Dyadic z = Dyadic::zero();
+  EXPECT_EQ(z.num, 0u);
+  EXPECT_EQ(z.exp, 0);
+  EXPECT_TRUE(z.is_zero());
+}
+
+TEST(Dyadic, MakeNormalizesTrailingZeroBits) {
+  // 4/16 = 1/4.
+  const Dyadic d = Dyadic::make(4, 4);
+  EXPECT_EQ(d.num, 1u);
+  EXPECT_EQ(d.exp, 2);
+}
+
+TEST(Dyadic, MakeKeepsOddNumerators) {
+  const Dyadic d = Dyadic::make(5, 4);
+  EXPECT_EQ(d.num, 5u);
+  EXPECT_EQ(d.exp, 4);
+}
+
+TEST(Dyadic, EqualityIsStructuralAfterNormalization) {
+  EXPECT_EQ(Dyadic::make(2, 3), Dyadic::make(1, 2));
+  EXPECT_EQ(Dyadic::make(8, 4), Dyadic::make(1, 1));
+  EXPECT_NE(Dyadic::make(1, 2), Dyadic::make(1, 3));
+}
+
+TEST(Dyadic, OrderingMatchesRealValues) {
+  EXPECT_LT(Dyadic::make(1, 2), Dyadic::make(1, 1));   // 1/4 < 1/2
+  EXPECT_LT(Dyadic::make(3, 3), Dyadic::make(1, 1));   // 3/8 < 1/2
+  EXPECT_GT(Dyadic::make(5, 3), Dyadic::make(9, 4));   // 5/8 > 9/16
+  EXPECT_LT(Dyadic::zero(), Dyadic::make(1, 6));
+}
+
+TEST(Dyadic, OrderingAgreesWithDoubleOnRandomPairs) {
+  ssps::Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const int ea = static_cast<int>(rng.between(1, 40));
+    const int eb = static_cast<int>(rng.between(1, 40));
+    const Dyadic a = Dyadic::make(rng.below(1ULL << ea), ea);
+    const Dyadic b = Dyadic::make(rng.below(1ULL << eb), eb);
+    const double da = a.to_double();
+    const double db = b.to_double();
+    // exp <= 40 keeps doubles exact, so the comparison oracle is exact.
+    EXPECT_EQ(a < b, da < db);
+    EXPECT_EQ(a == b, da == db);
+  }
+}
+
+TEST(Dyadic, MirrorBasicExamplesFromPaper) {
+  // §3.2.2 worked example: v = 1/4, left neighbor 3/16.
+  const Dyadic v = Dyadic::make(1, 2);
+  const Dyadic s1 = mirror_mod1(Dyadic::make(3, 4), v);
+  EXPECT_EQ(s1, Dyadic::make(1, 3));  // 1/8
+  const Dyadic s2 = mirror_mod1(s1, v);
+  EXPECT_EQ(s2, Dyadic::zero());  // 0
+}
+
+TEST(Dyadic, MirrorWrapsAroundOne) {
+  // v = 0, neighbor 15/16: 2·15/16 − 0 = 15/8 ≡ 7/8 (mod 1).
+  const Dyadic m = mirror_mod1(Dyadic::make(15, 4), Dyadic::zero());
+  EXPECT_EQ(m, Dyadic::make(7, 3));
+}
+
+TEST(Dyadic, MirrorWrapsBelowZero) {
+  // v = 3/4, w = 1/4 (left, across 1/2): 2·1/4 − 3/4 = −1/4 ≡ 3/4... that
+  // lands on v itself; use w = 5/8: 2·5/8 − 3/4 = 1/2.
+  EXPECT_EQ(mirror_mod1(Dyadic::make(5, 3), Dyadic::make(3, 2)), Dyadic::make(1, 1));
+  // v = 1/8, w = 1/16 gives 2/16 − 1/8 = 0.
+  EXPECT_EQ(mirror_mod1(Dyadic::make(1, 4), Dyadic::make(1, 3)), Dyadic::zero());
+}
+
+TEST(Dyadic, MirrorIsAnInvolutionThroughTheMidpoint) {
+  // mirror(mirror(w, v), v) applied twice re-mirrors; going back through
+  // the same midpoint returns the start: mirror(s, v) with s = 2w − v, then
+  // the point with midpoint w between them... directly: (v + s)/2 = w.
+  ssps::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const int e = static_cast<int>(rng.between(2, 30));
+    const Dyadic v = Dyadic::make(rng.below(1ULL << e), e);
+    const Dyadic w = Dyadic::make(rng.below(1ULL << e), e);
+    const Dyadic s = mirror_mod1(w, v);
+    // 2w − v = s  ⇒  2w = v + s (mod 1) ⇒ mirror(w, s) = (2w − s) = v.
+    EXPECT_EQ(mirror_mod1(w, s), v);
+  }
+}
+
+TEST(Dyadic, LinearDistance) {
+  EXPECT_EQ(linear_distance(Dyadic::make(1, 2), Dyadic::make(3, 2)), Dyadic::make(1, 1));
+  EXPECT_EQ(linear_distance(Dyadic::make(3, 2), Dyadic::make(1, 2)), Dyadic::make(1, 1));
+  EXPECT_EQ(linear_distance(Dyadic::zero(), Dyadic::make(15, 4)), Dyadic::make(15, 4));
+  EXPECT_TRUE(linear_distance(Dyadic::make(5, 3), Dyadic::make(5, 3)).is_zero());
+}
+
+TEST(Dyadic, RingDistanceTakesTheShorterArc) {
+  // |0 − 15/16| linearly is 15/16, around the ring it is 1/16.
+  EXPECT_EQ(ring_distance(Dyadic::zero(), Dyadic::make(15, 4)), Dyadic::make(1, 4));
+  EXPECT_EQ(ring_distance(Dyadic::make(1, 2), Dyadic::make(1, 2)), Dyadic::zero());
+  // Exactly opposite points: both arcs are 1/2.
+  EXPECT_EQ(ring_distance(Dyadic::zero(), Dyadic::make(1, 1)), Dyadic::make(1, 1));
+}
+
+TEST(Dyadic, ToDoubleMatchesFraction) {
+  EXPECT_DOUBLE_EQ(Dyadic::make(3, 4).to_double(), 3.0 / 16.0);
+  EXPECT_DOUBLE_EQ(Dyadic::zero().to_double(), 0.0);
+}
+
+}  // namespace
+}  // namespace ssps::core

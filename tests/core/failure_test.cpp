@@ -1,0 +1,125 @@
+// §3.3: unannounced fail-stop crashes. The supervisor's (eventually
+// correct) failure detector evicts crashed subscribers; the database
+// repair relabels; the survivors re-stabilize to SR(n − f).
+#include <gtest/gtest.h>
+
+#include "core/system.hpp"
+
+namespace ssps::core {
+namespace {
+
+struct CrashCase {
+  std::size_t n;
+  std::size_t crashes;
+  sim::Round fd_delay;
+  std::uint64_t seed;
+};
+
+std::string crash_name(const ::testing::TestParamInfo<CrashCase>& info) {
+  return "n" + std::to_string(info.param.n) + "_f" + std::to_string(info.param.crashes) +
+         "_d" + std::to_string(info.param.fd_delay) + "_s" +
+         std::to_string(info.param.seed);
+}
+
+class CrashRecovery : public ::testing::TestWithParam<CrashCase> {};
+
+TEST_P(CrashRecovery, SurvivorsRestabilize) {
+  const auto [n, crashes, fd_delay, seed] = GetParam();
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = seed, .fd_delay = fd_delay});
+  const auto ids = sys.add_subscribers(n);
+  ASSERT_TRUE(sys.run_until_legit(3000).has_value());
+  for (std::size_t i = 0; i < crashes; ++i) {
+    sys.crash(ids[i * (n / crashes)]);
+  }
+  const auto rounds = sys.run_until_legit(3000 + 100 * n);
+  ASSERT_TRUE(rounds.has_value()) << sys.legitimacy_violation();
+  EXPECT_EQ(sys.supervisor().size(), n - crashes);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CrashRecovery,
+    ::testing::Values(CrashCase{8, 1, 0, 1}, CrashCase{8, 1, 10, 2},
+                      CrashCase{16, 4, 0, 3}, CrashCase{16, 4, 5, 4},
+                      CrashCase{24, 8, 3, 5}, CrashCase{32, 16, 0, 6},
+                      CrashCase{32, 1, 20, 7}),
+    crash_name);
+
+TEST(CrashRecovery, CrashDuringStabilizationStillConverges) {
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 9, .fd_delay = 5});
+  const auto ids = sys.add_subscribers(20);
+  sys.net().run_rounds(3);  // not yet converged
+  sys.crash(ids[2]);
+  sys.crash(ids[7]);
+  sys.crash(ids[13]);
+  const auto rounds = sys.run_until_legit(4000);
+  ASSERT_TRUE(rounds.has_value()) << sys.legitimacy_violation();
+  EXPECT_EQ(sys.supervisor().size(), 17u);
+}
+
+TEST(CrashRecovery, CrashOfMinimumNode) {
+  // The minimum holds the ring-closure edge and the most shortcuts; its
+  // crash exercises the full relabel path (the top-label node takes "0").
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 10, .fd_delay = 2});
+  const auto ids = sys.add_subscribers(12);
+  ASSERT_TRUE(sys.run_until_legit(800).has_value());
+  for (sim::NodeId id : ids) {
+    if (sys.subscriber(id).label() == Label::from_index(0)) {
+      sys.crash(id);
+      break;
+    }
+  }
+  const auto rounds = sys.run_until_legit(4000);
+  ASSERT_TRUE(rounds.has_value()) << sys.legitimacy_violation();
+  EXPECT_EQ(sys.supervisor().size(), 11u);
+}
+
+TEST(CrashRecovery, SequentialCrashesWhileHealing) {
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 11, .fd_delay = 4});
+  auto ids = sys.add_subscribers(24);
+  ASSERT_TRUE(sys.run_until_legit(1500).has_value());
+  for (int wave = 0; wave < 4; ++wave) {
+    sys.crash(ids[static_cast<std::size_t>(wave) * 5]);
+    sys.net().run_rounds(6);  // heal a little, crash again
+  }
+  const auto rounds = sys.run_until_legit(5000);
+  ASSERT_TRUE(rounds.has_value()) << sys.legitimacy_violation();
+  EXPECT_EQ(sys.supervisor().size(), 20u);
+}
+
+TEST(CrashRecovery, CrashAndChurnTogether) {
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 12, .fd_delay = 3});
+  auto ids = sys.add_subscribers(16);
+  ASSERT_TRUE(sys.run_until_legit(1000).has_value());
+  sys.crash(ids[0]);
+  sys.request_unsubscribe(ids[1]);
+  sys.add_subscribers(3);
+  const auto rounds = sys.run_until_legit(5000);
+  ASSERT_TRUE(rounds.has_value()) << sys.legitimacy_violation();
+  EXPECT_EQ(sys.supervisor().size(), 16u - 2u + 3u);
+}
+
+TEST(FailureDetector, NeverSuspectsAliveNodes) {
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 13, .fd_delay = 0});
+  const auto ids = sys.add_subscribers(6);
+  sim::FailureDetector fd(sys.net(), 5);
+  for (sim::NodeId id : ids) EXPECT_FALSE(fd.suspects(id));
+}
+
+TEST(FailureDetector, ReportsAfterConfiguredDelay) {
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 14, .fd_delay = 0});
+  const auto ids = sys.add_subscribers(4);
+  sim::FailureDetector fd(sys.net(), 5);
+  sys.crash(ids[0]);
+  EXPECT_FALSE(fd.suspects(ids[0]));  // within the blind window
+  sys.net().run_rounds(5);
+  EXPECT_TRUE(fd.suspects(ids[0]));
+}
+
+TEST(FailureDetector, UnknownNodesAreSuspect) {
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 15, .fd_delay = 0});
+  sim::FailureDetector fd(sys.net(), 5);
+  EXPECT_TRUE(fd.suspects(sim::NodeId{424242}));
+}
+
+}  // namespace
+}  // namespace ssps::core

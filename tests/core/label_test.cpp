@@ -1,0 +1,154 @@
+// Unit + property tests for the label mapping l(x) of §2.1.
+#include "core/label.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace ssps::core {
+namespace {
+
+TEST(Label, GenerationOrderMatchesPaper) {
+  // §2.1: "Labels are generated in the order: 0, 1, 01, 11, 001, 011,
+  // 101, 111, 0001 …".
+  const char* expected[] = {"0", "1", "01", "11", "001", "011", "101", "111", "0001"};
+  for (std::uint64_t x = 0; x < 9; ++x) {
+    EXPECT_EQ(Label::from_index(x).to_string(), expected[x]) << "x=" << x;
+  }
+}
+
+TEST(Label, LeadingBitRotation) {
+  // l(x) for x = (x_d … x_0)_2 is (x_{d−1} … x_0 x_d).
+  EXPECT_EQ(Label::from_index(0b110).to_string(), "101");
+  EXPECT_EQ(Label::from_index(0b100).to_string(), "001");
+  EXPECT_EQ(Label::from_index(0b1011).to_string(), "0111");
+}
+
+TEST(Label, RoundTripIndex) {
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    const Label l = Label::from_index(x);
+    EXPECT_TRUE(l.is_canonical());
+    EXPECT_EQ(l.to_index(), x);
+  }
+}
+
+TEST(Label, CanonicalIffEndsInOneOrLengthOne) {
+  EXPECT_TRUE(Label::parse("0")->is_canonical());
+  EXPECT_TRUE(Label::parse("1")->is_canonical());
+  EXPECT_TRUE(Label::parse("01")->is_canonical());
+  EXPECT_FALSE(Label::parse("10")->is_canonical());
+  EXPECT_FALSE(Label::parse("010")->is_canonical());
+  EXPECT_TRUE(Label::parse("0101")->is_canonical());
+}
+
+TEST(Label, LabelsAreUnique) {
+  std::set<std::string> seen;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    EXPECT_TRUE(seen.insert(Label::from_index(x).to_string()).second);
+  }
+}
+
+TEST(Label, RValuesAreUniqueAmongCanonicalLabels) {
+  std::set<std::uint64_t> keys;
+  for (std::uint64_t x = 0; x < 4096; ++x) {
+    EXPECT_TRUE(keys.insert(Label::from_index(x).r_key()).second);
+  }
+}
+
+TEST(Label, LengthIsFloorLog2PlusOne) {
+  EXPECT_EQ(Label::from_index(0).length(), 1);
+  EXPECT_EQ(Label::from_index(1).length(), 1);
+  EXPECT_EQ(Label::from_index(2).length(), 2);
+  EXPECT_EQ(Label::from_index(3).length(), 2);
+  EXPECT_EQ(Label::from_index(4).length(), 3);
+  EXPECT_EQ(Label::from_index(7).length(), 3);
+  EXPECT_EQ(Label::from_index(8).length(), 4);
+  EXPECT_EQ(Label::from_index(1024).length(), 11);
+}
+
+TEST(Label, CountPerLengthMatchesLemma3) {
+  // f(1) = 2 and f(k) = 2^{k−1} for k > 1 (Lemma 3's proof).
+  std::map<int, int> count;
+  for (std::uint64_t x = 0; x < 1024; ++x) count[Label::from_index(x).length()]++;
+  EXPECT_EQ(count[1], 2);
+  for (int k = 2; k <= 10; ++k) EXPECT_EQ(count[k], 1 << (k - 1)) << "k=" << k;
+}
+
+TEST(Label, NewGenerationInterleavesUniformly) {
+  // §2.1: for x ∈ {2^d, …, 2^{d+1}−1} the values r(l(x)) spread uniformly
+  // between older values: the new labels are exactly the odd multiples of
+  // 1/2^{d+1}.
+  for (int d = 1; d <= 8; ++d) {
+    std::set<Dyadic> fresh;
+    for (std::uint64_t x = 1ULL << d; x < (2ULL << d); ++x) {
+      fresh.insert(Label::from_index(x).r());
+    }
+    std::set<Dyadic> expected;
+    for (std::uint64_t odd = 1; odd < (2ULL << d); odd += 2) {
+      expected.insert(Dyadic::make(odd, d + 1));
+    }
+    EXPECT_EQ(fresh, expected) << "d=" << d;
+  }
+}
+
+TEST(Label, FigureOneTriples) {
+  // Figure 1 lists (x, l(x), r(l(x))) for x = 0..15; spot-check the ones
+  // annotated in the figure.
+  struct Row {
+    std::uint64_t x;
+    const char* label;
+    double r;
+  };
+  const Row rows[] = {
+      {0, "0", 0.0},          {1, "1", 0.5},         {2, "01", 0.25},
+      {3, "11", 0.75},        {4, "001", 0.125},     {5, "011", 0.375},
+      {6, "101", 0.625},      {7, "111", 0.875},     {8, "0001", 1.0 / 16},
+      {9, "0011", 3.0 / 16},  {10, "0101", 5.0 / 16}, {11, "0111", 7.0 / 16},
+      {12, "1001", 9.0 / 16}, {13, "1011", 11.0 / 16}, {14, "1101", 13.0 / 16},
+      {15, "1111", 15.0 / 16},
+  };
+  for (const Row& row : rows) {
+    const Label l = Label::from_index(row.x);
+    EXPECT_EQ(l.to_string(), row.label) << "x=" << row.x;
+    EXPECT_DOUBLE_EQ(l.r().to_double(), row.r) << "x=" << row.x;
+  }
+}
+
+TEST(Label, ParseRejectsGarbage) {
+  EXPECT_FALSE(Label::parse("").has_value());
+  EXPECT_FALSE(Label::parse("012").has_value());
+  EXPECT_FALSE(Label::parse("abc").has_value());
+  EXPECT_FALSE(Label::parse(std::string(100, '0')).has_value());
+  EXPECT_TRUE(Label::parse("010101").has_value());
+}
+
+TEST(Label, StructuralOrderSortsByRThenLength) {
+  const Label a = *Label::parse("1");    // r = 1/2
+  const Label b = *Label::parse("10");   // r = 1/2 (non-canonical), longer
+  const Label c = *Label::parse("01");   // r = 1/4
+  EXPECT_LT(c, a);
+  EXPECT_LT(a, b);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Label, OrderingByRKeyMatchesDyadicOrder) {
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    for (std::uint64_t y = 0; y < 256; ++y) {
+      const Label a = Label::from_index(x);
+      const Label b = Label::from_index(y);
+      EXPECT_EQ(a.r_key() < b.r_key(), a.r() < b.r());
+    }
+  }
+}
+
+TEST(LabeledRef, EqualityComparesLabelAndNode) {
+  const LabeledRef a{Label::from_index(3), sim::NodeId{7}};
+  const LabeledRef b{Label::from_index(3), sim::NodeId{7}};
+  const LabeledRef c{Label::from_index(3), sim::NodeId{8}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace ssps::core

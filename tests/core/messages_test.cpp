@@ -1,0 +1,120 @@
+// Wire-format coverage for every protocol message: collect_refs must
+// surface exactly the carried node references (the model's implicit
+// edges), and wire_size must scale with the payload (the E6 byte
+// accounting depends on it).
+#include "core/messages.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pubsub/pubsub_node.hpp"
+#include "pubsub/topics.hpp"
+
+namespace ssps::core {
+namespace {
+
+std::vector<sim::NodeId> refs_of(const sim::Message& m) {
+  std::vector<sim::NodeId> out;
+  m.collect_refs(out);
+  return out;
+}
+
+TEST(Messages, SubscribeCarriesTheJoiner) {
+  const msg::Subscribe m(sim::NodeId{5});
+  EXPECT_EQ(refs_of(m), std::vector<sim::NodeId>{sim::NodeId{5}});
+  EXPECT_EQ(m.name(), "Subscribe");
+  EXPECT_GT(m.wire_size(), 8u);
+}
+
+TEST(Messages, GetConfigurationCarriesSubjectAndRequester) {
+  const msg::GetConfiguration m(sim::NodeId{5}, sim::NodeId{6});
+  EXPECT_EQ(refs_of(m), (std::vector<sim::NodeId>{sim::NodeId{5}, sim::NodeId{6}}));
+  const msg::GetConfiguration self_only(sim::NodeId{5});
+  EXPECT_EQ(refs_of(self_only), std::vector<sim::NodeId>{sim::NodeId{5}});
+}
+
+TEST(Messages, SetDataCarriesBothProposals) {
+  const LabeledRef pred{*Label::parse("0"), sim::NodeId{2}};
+  const LabeledRef succ{*Label::parse("1"), sim::NodeId{3}};
+  const msg::SetData full(pred, *Label::parse("01"), succ);
+  EXPECT_EQ(refs_of(full), (std::vector<sim::NodeId>{sim::NodeId{2}, sim::NodeId{3}}));
+  const msg::SetData empty(std::nullopt, std::nullopt, std::nullopt);
+  EXPECT_TRUE(refs_of(empty).empty());
+}
+
+TEST(Messages, CheckCarriesSenderOnly) {
+  const msg::Check m(LabeledRef{*Label::parse("01"), sim::NodeId{4}},
+                     *Label::parse("011"), IntroFlag::kLinear);
+  EXPECT_EQ(refs_of(m), std::vector<sim::NodeId>{sim::NodeId{4}});
+}
+
+TEST(Messages, IntroduceAndShortcutCarryTheCandidate) {
+  const LabeledRef cand{*Label::parse("101"), sim::NodeId{9}};
+  EXPECT_EQ(refs_of(msg::Introduce(cand, IntroFlag::kCyclic)),
+            std::vector<sim::NodeId>{sim::NodeId{9}});
+  EXPECT_EQ(refs_of(msg::IntroduceShortcut(cand)),
+            std::vector<sim::NodeId>{sim::NodeId{9}});
+}
+
+TEST(Messages, PublishWireSizeScalesWithPayload) {
+  using pubsub::Publication;
+  std::vector<Publication> small{{sim::NodeId{1}, "x"}};
+  std::vector<Publication> big{{sim::NodeId{1}, std::string(1000, 'y')}};
+  const pubsub::msg::Publish a(small);
+  const pubsub::msg::Publish b(big);
+  EXPECT_GT(b.wire_size(), a.wire_size() + 900);
+}
+
+TEST(Messages, CheckTrieWireSizeScalesWithTuples) {
+  using pubsub::NodeSummary;
+  std::vector<NodeSummary> one{
+      NodeSummary{pubsub::BitString::from_string("0101"), pubsub::Digest{}}};
+  std::vector<NodeSummary> three(3, one[0]);
+  const pubsub::msg::CheckTrie a(sim::NodeId{1}, one);
+  const pubsub::msg::CheckTrie b(sim::NodeId{1}, three);
+  EXPECT_GT(b.wire_size(), a.wire_size());
+  EXPECT_EQ(refs_of(a), std::vector<sim::NodeId>{sim::NodeId{1}});
+}
+
+TEST(Messages, CheckAndPublishCarriesSenderAndSizes) {
+  const pubsub::msg::CheckAndPublish m(sim::NodeId{7}, {},
+                                       pubsub::BitString::from_string("101"));
+  EXPECT_EQ(refs_of(m), std::vector<sim::NodeId>{sim::NodeId{7}});
+  EXPECT_EQ(m.name(), "CheckAndPublish");
+}
+
+TEST(Messages, PublishNewCarriesOriginRef) {
+  const pubsub::msg::PublishNew m(pubsub::Publication{sim::NodeId{3}, "p"});
+  EXPECT_EQ(refs_of(m), std::vector<sim::NodeId>{sim::NodeId{3}});
+}
+
+TEST(Messages, TopicEnvelopeForwardsEverything) {
+  auto inner = std::make_unique<msg::Check>(
+      LabeledRef{*Label::parse("01"), sim::NodeId{4}}, *Label::parse("011"),
+      IntroFlag::kLinear);
+  const std::size_t inner_size = inner->wire_size();
+  const pubsub::TopicEnvelope env(9, std::move(inner));
+  EXPECT_EQ(env.name(), "Check");
+  EXPECT_EQ(env.wire_size(), inner_size + sizeof(pubsub::TopicId));
+  EXPECT_EQ(refs_of(env), std::vector<sim::NodeId>{sim::NodeId{4}});
+}
+
+TEST(Messages, AllCoreNamesAreDistinct) {
+  std::set<std::string_view> names;
+  names.insert(msg::Subscribe(sim::NodeId{1}).name());
+  names.insert(msg::Unsubscribe(sim::NodeId{1}).name());
+  names.insert(msg::GetConfiguration(sim::NodeId{1}).name());
+  names.insert(msg::SetData(std::nullopt, std::nullopt, std::nullopt).name());
+  names.insert(msg::Check(LabeledRef{*Label::parse("0"), sim::NodeId{1}},
+                          *Label::parse("0"), IntroFlag::kLinear)
+                   .name());
+  names.insert(
+      msg::Introduce(LabeledRef{*Label::parse("0"), sim::NodeId{1}}, IntroFlag::kLinear)
+          .name());
+  names.insert(msg::RemoveConnections(sim::NodeId{1}).name());
+  names.insert(
+      msg::IntroduceShortcut(LabeledRef{*Label::parse("0"), sim::NodeId{1}}).name());
+  EXPECT_EQ(names.size(), 8u);
+}
+
+}  // namespace
+}  // namespace ssps::core

@@ -1,0 +1,186 @@
+// Property tests for the local shortcut derivation (§3.2.2): the mirror
+// chains must coincide with Definition 2's K_i-ring adjacency.
+#include "core/shortcuts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ssps::core {
+namespace {
+
+/// Definition 2, computed directly: for each i, sort K_i = {w : |l_w| <= i}
+/// by r and link consecutive nodes (cyclically). Returns, for every label,
+/// the set of neighbors over all levels i = 1 … top−1 (the E_S edges) plus
+/// the level-top ring neighbors (E_R).
+struct GroundTruth {
+  std::map<std::string, std::set<std::string>> shortcut_neighbors;  // E_S
+  std::map<std::string, std::set<std::string>> ring_neighbors;      // E_R
+};
+
+GroundTruth definition2(std::size_t n) {
+  GroundTruth gt;
+  std::vector<Label> all;
+  for (std::uint64_t i = 0; i < n; ++i) all.push_back(Label::from_index(i));
+  int top = 0;
+  while ((1ULL << top) < n) ++top;
+
+  auto link_ring = [&](const std::vector<Label>& members,
+                       std::map<std::string, std::set<std::string>>& out) {
+    if (members.size() < 2) return;
+    for (std::size_t j = 0; j < members.size(); ++j) {
+      const Label& a = members[j];
+      const Label& b = members[(j + 1) % members.size()];
+      if (a == b) continue;
+      out[a.to_string()].insert(b.to_string());
+      out[b.to_string()].insert(a.to_string());
+    }
+  };
+
+  for (int i = 1; i <= top; ++i) {
+    std::vector<Label> ki;
+    for (const Label& l : all) {
+      if (l.length() <= i) ki.push_back(l);
+    }
+    std::sort(ki.begin(), ki.end());
+    link_ring(ki, i == top ? gt.ring_neighbors : gt.shortcut_neighbors);
+  }
+  return gt;
+}
+
+/// The subscriber-side derivation for one node, given the true ring.
+std::set<std::string> derived_shortcuts(const Label& me, std::size_t n) {
+  std::vector<Label> all;
+  for (std::uint64_t i = 0; i < n; ++i) all.push_back(Label::from_index(i));
+  std::sort(all.begin(), all.end());
+  const auto it = std::find(all.begin(), all.end(), me);
+  const std::size_t idx = static_cast<std::size_t>(it - all.begin());
+  std::optional<Label> left;
+  std::optional<Label> right;
+  if (n >= 2) {
+    left = all[(idx + n - 1) % n];
+    right = all[(idx + 1) % n];
+  }
+  std::set<std::string> out;
+  for (const Label& l : expected_shortcut_labels(me, left, right)) {
+    out.insert(l.to_string());
+  }
+  return out;
+}
+
+TEST(MirrorChain, PaperWorkedExample) {
+  // v = 1/4 ("01"), left ring neighbor 3/16 ("0011") in SR(16):
+  // chain = 1/8 ("001"), 0 ("0").
+  const auto chain = mirror_chain(*Label::parse("01"), *Label::parse("0011"));
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].to_string(), "001");
+  EXPECT_EQ(chain[1].to_string(), "0");
+}
+
+TEST(MirrorChain, RightSideOfWorkedExample) {
+  // v = 1/4, right ring neighbor 5/16 ("0101"): chain = 3/8 ("011"),
+  // 1/2 ("1").
+  const auto chain = mirror_chain(*Label::parse("01"), *Label::parse("0101"));
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].to_string(), "011");
+  EXPECT_EQ(chain[1].to_string(), "1");
+}
+
+TEST(MirrorChain, EmptyWhenNeighborNotLonger) {
+  EXPECT_TRUE(mirror_chain(*Label::parse("01"), *Label::parse("1")).empty());
+  EXPECT_TRUE(mirror_chain(*Label::parse("01"), *Label::parse("11")).empty());
+}
+
+TEST(MirrorChain, StopsOnCorruptedEqualPosition) {
+  // Neighbor at our own position: nothing derivable, no infinite loop.
+  EXPECT_TRUE(mirror_chain(*Label::parse("01"), *Label::parse("01")).empty());
+  EXPECT_TRUE(mirror_chain(*Label::parse("1"), *Label::parse("10")).empty());
+}
+
+TEST(MirrorChain, TerminatesOnArbitraryLabels) {
+  // Corrupted geometry must never loop (guard in the implementation).
+  for (std::uint64_t b = 0; b < 64; ++b) {
+    for (int len = 1; len <= 6; ++len) {
+      if (b >= (1ULL << len)) continue;
+      const Label nbr(b, len);
+      const auto chain = mirror_chain(*Label::parse("011"), nbr);
+      EXPECT_LE(chain.size(), static_cast<std::size_t>(Label::kMaxLen + 2));
+    }
+  }
+}
+
+TEST(LevelKPartner, RingNeighborWhenChainEmpty) {
+  EXPECT_EQ(level_k_partner(*Label::parse("01"), *Label::parse("1")).to_string(), "1");
+}
+
+TEST(LevelKPartner, ChainEndOtherwise) {
+  EXPECT_EQ(level_k_partner(*Label::parse("01"), *Label::parse("0011")).to_string(),
+            "0");
+}
+
+class ShortcutDerivationMatchesDefinition2 : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ShortcutDerivationMatchesDefinition2, AllNodes) {
+  // Soundness: every chain-derived shortcut label is a genuine E_S
+  // neighbor per Definition 2. Completeness: the derived shortcuts
+  // together with the direct ring neighbors cover ALL Definition-2 edges.
+  // (The two sets overlap where E_R and E_S share an edge — e.g. n = 3,
+  // where (0, 1/2) is both the wrap edge and the K_1 edge.)
+  const std::size_t n = GetParam();
+  const GroundTruth gt = definition2(n);
+  for (std::uint64_t x = 0; x < n; ++x) {
+    const Label me = Label::from_index(x);
+    const std::set<std::string> derived = derived_shortcuts(me, n);
+    std::set<std::string> es;
+    if (auto it = gt.shortcut_neighbors.find(me.to_string());
+        it != gt.shortcut_neighbors.end()) {
+      es = it->second;
+    }
+    std::set<std::string> ring;
+    if (auto it = gt.ring_neighbors.find(me.to_string());
+        it != gt.ring_neighbors.end()) {
+      ring = it->second;
+    }
+    // Soundness.
+    for (const std::string& d : derived) {
+      EXPECT_TRUE(es.contains(d))
+          << "n=" << n << " label=" << me.to_string() << " derived non-edge " << d;
+    }
+    // Completeness: E_S ⊆ derived ∪ E_R.
+    for (const std::string& e : es) {
+      EXPECT_TRUE(derived.contains(e) || ring.contains(e))
+          << "n=" << n << " label=" << me.to_string() << " missing shortcut " << e;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShortcutDerivationMatchesDefinition2,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 12, 16, 17, 24,
+                                           31, 32, 33, 48, 64, 65, 100, 128, 200, 256,
+                                           333, 512));
+
+TEST(ShortcutDerivation, SymmetricAcrossAllNodes) {
+  // If a derives b as a shortcut, then b derives a (or holds it as a ring
+  // neighbor) — otherwise the level-k introductions could not fill both
+  // tables.
+  for (std::size_t n : {5, 16, 37, 64}) {
+    const GroundTruth gt = definition2(n);
+    for (std::uint64_t x = 0; x < n; ++x) {
+      const Label a = Label::from_index(x);
+      for (const std::string& b : derived_shortcuts(a, n)) {
+        const Label lb = *Label::parse(b);
+        const auto back = derived_shortcuts(lb, n);
+        const auto rn = gt.ring_neighbors.find(b);
+        const bool is_ring_nbr =
+            rn != gt.ring_neighbors.end() && rn->second.contains(a.to_string());
+        EXPECT_TRUE(back.contains(a.to_string()) || is_ring_nbr)
+            << "n=" << n << " a=" << a.to_string() << " b=" << b;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ssps::core

@@ -1,0 +1,181 @@
+// Tests for the SR(n) topology spec: Definition 2, Lemma 3 (degree and
+// edge count), Figure 1, and the logarithmic-diameter claim (§1.2, §4.3).
+#include "core/skip_ring_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ssps::core {
+namespace {
+
+TEST(SkipRingSpec, SingleNodeHasNoEdges) {
+  const SkipRingSpec spec(1);
+  const NodeSpec& s = spec.expected(Label::from_index(0));
+  EXPECT_FALSE(s.left.has_value());
+  EXPECT_FALSE(s.right.has_value());
+  EXPECT_FALSE(s.ring.has_value());
+  EXPECT_TRUE(s.shortcuts.empty());
+  EXPECT_EQ(spec.edge_count(), 0u);
+}
+
+TEST(SkipRingSpec, TwoNodesFormOneRingPair) {
+  const SkipRingSpec spec(2);
+  const NodeSpec& zero = spec.expected(*Label::parse("0"));
+  const NodeSpec& one = spec.expected(*Label::parse("1"));
+  // Min keeps pred (= max) in ring; max keeps succ (= min) in ring.
+  EXPECT_FALSE(zero.left.has_value());
+  EXPECT_EQ(zero.right->to_string(), "1");
+  EXPECT_EQ(zero.ring->to_string(), "1");
+  EXPECT_EQ(one.left->to_string(), "0");
+  EXPECT_FALSE(one.right.has_value());
+  EXPECT_EQ(one.ring->to_string(), "0");
+}
+
+TEST(SkipRingSpec, RingOrderIsSortedByR) {
+  const SkipRingSpec spec(16);
+  const auto& order = spec.ring_order();
+  ASSERT_EQ(order.size(), 16u);
+  EXPECT_EQ(order.front().to_string(), "0");
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_LT(order[i - 1].r(), order[i].r());
+  }
+}
+
+TEST(SkipRingSpec, FigureOneEdges) {
+  // Figure 1: SR(16). Check the annotated structure for node 1/4 ("01"):
+  // ring edges to 3/16 and 5/16, green (level-3) shortcuts to 1/8 and 3/8,
+  // red (level-2) shortcuts to 0 and 1/2.
+  const SkipRingSpec spec(16);
+  const NodeSpec& s = spec.expected(*Label::parse("01"));
+  EXPECT_EQ(s.left->to_string(), "0011");   // 3/16
+  EXPECT_EQ(s.right->to_string(), "0101");  // 5/16
+  EXPECT_FALSE(s.ring.has_value());
+  std::vector<std::string> sc;
+  for (const Label& l : s.shortcuts) sc.push_back(l.to_string());
+  EXPECT_EQ(sc, (std::vector<std::string>{"0", "001", "011", "1"}));
+}
+
+TEST(SkipRingSpec, FigureOneBlueEdgeIsLevelOne) {
+  // The single blue edge of Figure 1 connects 0 and 1/2 at level 1.
+  const SkipRingSpec spec(16);
+  const NodeSpec& zero = spec.expected(*Label::parse("0"));
+  bool has_level1 = false;
+  for (const Label& l : zero.shortcuts) {
+    if (SkipRingSpec::edge_level(*Label::parse("0"), l) == 1) {
+      has_level1 = true;
+      EXPECT_EQ(l.to_string(), "1");
+    }
+  }
+  EXPECT_TRUE(has_level1);
+}
+
+TEST(SkipRingSpec, EdgeLevelIsMaxLabelLength) {
+  EXPECT_EQ(SkipRingSpec::edge_level(*Label::parse("0"), *Label::parse("1")), 1);
+  EXPECT_EQ(SkipRingSpec::edge_level(*Label::parse("01"), *Label::parse("1")), 2);
+  EXPECT_EQ(SkipRingSpec::edge_level(*Label::parse("0011"), *Label::parse("01")), 4);
+}
+
+class SpecSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SpecSweep, DegreeBoundLemma3) {
+  // Worst case: a node with label length k has at most 2(top − k + 1)
+  // distinct neighbors.
+  const std::size_t n = GetParam();
+  const SkipRingSpec spec(n);
+  const int top = spec.top_level();
+  for (const Label& l : spec.ring_order()) {
+    const std::size_t deg = spec.degree(l);
+    EXPECT_LE(deg, 2u * static_cast<std::size_t>(top - l.length() + 1))
+        << "n=" << n << " label=" << l.to_string();
+  }
+}
+
+TEST_P(SpecSweep, AverageDegreeBelowFourLemma3) {
+  const std::size_t n = GetParam();
+  if (n < 2) return;
+  const SkipRingSpec spec(n);
+  std::size_t total = 0;
+  for (const Label& l : spec.ring_order()) total += spec.degree(l);
+  const double average = static_cast<double>(total) / static_cast<double>(n);
+  EXPECT_LE(average, 4.0) << "n=" << n;
+}
+
+TEST_P(SpecSweep, EdgeCountFormulaForPowersOfTwo) {
+  // Lemma 3 computes Σ_v deg(v) = 4n − 4 neighbor slots for n a power of
+  // two. In distinct-neighbor terms that is (4n − 4 − 2)/2 = 2n − 3
+  // undirected edges: the two K_1 slots per endpoint of the (0, 1/2) edge
+  // collapse into one edge.
+  const std::size_t n = GetParam();
+  if (n < 4 || (n & (n - 1)) != 0) return;
+  const SkipRingSpec spec(n);
+  EXPECT_EQ(spec.edge_count(), 2 * n - 3) << "n=" << n;
+}
+
+TEST_P(SpecSweep, DegreeSlotSumFormulaLemma3) {
+  // The raw Lemma 3 slot count: Σ_k f(k)·2(top − k + 1) = 4n − 4 for n a
+  // power of two (f(1) = 2, f(k) = 2^{k−1}).
+  const std::size_t n = GetParam();
+  if (n < 4 || (n & (n - 1)) != 0) return;
+  const SkipRingSpec spec(n);
+  std::size_t slots = 0;
+  for (const Label& l : spec.ring_order()) {
+    slots += 2u * static_cast<std::size_t>(spec.top_level() - l.length() + 1);
+  }
+  EXPECT_EQ(slots, 4 * n - 4) << "n=" << n;
+}
+
+TEST_P(SpecSweep, DiameterIsLogarithmic) {
+  const std::size_t n = GetParam();
+  if (n < 2 || n > 2048) return;
+  const SkipRingSpec spec(n);
+  const int d = spec.diameter();
+  const double log2n = std::log2(static_cast<double>(n));
+  EXPECT_LE(d, static_cast<int>(2.0 * log2n) + 2) << "n=" << n;
+  EXPECT_GE(d, static_cast<int>(log2n) / 2) << "n=" << n;
+}
+
+TEST_P(SpecSweep, GraphIsConnected) {
+  const std::size_t n = GetParam();
+  const SkipRingSpec spec(n);
+  const auto dist = spec.hops_from(Label::from_index(0));
+  EXPECT_EQ(dist.size(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SpecSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32,
+                                           64, 100, 128, 256, 511, 512, 1000, 1024,
+                                           2048, 4096));
+
+TEST(SkipRingSpec, ShortcutSetsAreMutuallyConsistentWithRingEdges) {
+  // Every shortcut edge (a, b) appears on both endpoints, counting direct
+  // ring adjacency as presence.
+  for (std::size_t n : {8, 16, 48, 128}) {
+    const SkipRingSpec spec(n);
+    for (const Label& a : spec.ring_order()) {
+      const NodeSpec& sa = spec.expected(a);
+      for (const Label& b : sa.shortcuts) {
+        const NodeSpec& sb = spec.expected(b);
+        const bool in_shortcuts =
+            std::find(sb.shortcuts.begin(), sb.shortcuts.end(), a) != sb.shortcuts.end();
+        const bool as_ring = (sb.left && *sb.left == a) || (sb.right && *sb.right == a) ||
+                             (sb.ring && *sb.ring == a);
+        EXPECT_TRUE(in_shortcuts || as_ring)
+            << "n=" << n << " a=" << a.to_string() << " b=" << b.to_string();
+      }
+    }
+  }
+}
+
+TEST(SkipRingSpec, HopsFromMinCoverLevels) {
+  // From label "0" every node is reachable within top+1 hops in a complete
+  // ring (descend one level per hop).
+  const SkipRingSpec spec(1024);
+  const auto dist = spec.hops_from(*Label::parse("0"));
+  for (const auto& [key, d] : dist) {
+    EXPECT_LE(d, spec.top_level() + 1);
+  }
+}
+
+}  // namespace
+}  // namespace ssps::core

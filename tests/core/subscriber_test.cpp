@@ -1,0 +1,412 @@
+// Unit tests for the subscriber protocol (Algorithms 1, 2, 4): candidate
+// linearization, label correction, ring-closure routing, configuration
+// merging (action (iii)), shortcut table maintenance, and the departed
+// behavior of Lemma 6.
+#include "core/subscriber.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "test_support.hpp"
+
+namespace ssps::core {
+namespace {
+
+using testing::CapturingSink;
+
+constexpr sim::NodeId kSelf{1};
+constexpr sim::NodeId kSup{99};
+
+sim::NodeId node(std::uint64_t v) { return sim::NodeId{v}; }
+
+LabeledRef ref(const char* label, std::uint64_t id) {
+  return LabeledRef{*Label::parse(label), node(id)};
+}
+
+class SubscriberTest : public ::testing::Test {
+ protected:
+  CapturingSink sink;
+  ssps::Rng rng{7};
+  SubscriberProtocol sub{kSelf, kSup, sink, rng};
+
+  void give_label(const char* l) { sub.chaos_set_label(*Label::parse(l)); }
+};
+
+// ---- Subscription / labels ------------------------------------------
+
+TEST_F(SubscriberTest, TimeoutWithoutLabelSubscribes) {
+  sub.timeout();  // action (i)
+  const auto subs = sink.of_type<msg::Subscribe>(kSup);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0]->who, kSelf);
+}
+
+TEST_F(SubscriberTest, ConfigurationAssignsLabelAndNeighbors) {
+  sub.handle(msg::SetData(ref("0", 2), *Label::parse("01"), ref("1", 3)));
+  ASSERT_TRUE(sub.label().has_value());
+  EXPECT_EQ(sub.label()->to_string(), "01");
+  ASSERT_TRUE(sub.left().has_value());
+  EXPECT_EQ(sub.left()->node, node(2));
+  ASSERT_TRUE(sub.right().has_value());
+  EXPECT_EQ(sub.right()->node, node(3));
+  EXPECT_FALSE(sub.ring().has_value());
+}
+
+TEST_F(SubscriberTest, MinimumStoresPredecessorInRing) {
+  // The minimum's pred is the maximum (r greater than ours): ring slot.
+  sub.handle(msg::SetData(ref("11", 2), *Label::parse("0"), ref("01", 3)));
+  EXPECT_FALSE(sub.left().has_value());
+  EXPECT_EQ(sub.right()->node, node(3));
+  ASSERT_TRUE(sub.ring().has_value());
+  EXPECT_EQ(sub.ring()->node, node(2));
+}
+
+TEST_F(SubscriberTest, MaximumStoresSuccessorInRing) {
+  sub.handle(msg::SetData(ref("01", 2), *Label::parse("11"), ref("0", 3)));
+  EXPECT_EQ(sub.left()->node, node(2));
+  EXPECT_FALSE(sub.right().has_value());
+  ASSERT_TRUE(sub.ring().has_value());
+  EXPECT_EQ(sub.ring()->node, node(3));
+}
+
+TEST_F(SubscriberTest, EvictionClearsEverything) {
+  sub.handle(msg::SetData(ref("0", 2), *Label::parse("01"), ref("1", 3)));
+  sub.handle(msg::SetData(std::nullopt, std::nullopt, std::nullopt));
+  EXPECT_FALSE(sub.label().has_value());
+  EXPECT_FALSE(sub.left().has_value());
+  EXPECT_FALSE(sub.right().has_value());
+  EXPECT_TRUE(sub.shortcuts().empty());
+  EXPECT_EQ(sub.phase(), SubscriberPhase::kActive);  // not leaving: re-subscribes
+}
+
+// ---- Linearization (Algorithm 1 semantics) ----------------------------
+
+TEST_F(SubscriberTest, AdoptsFirstNeighborPerSide) {
+  give_label("011");  // r = 3/8
+  sub.handle(msg::Introduce(ref("01", 2), IntroFlag::kLinear));   // 1/4: left
+  sub.handle(msg::Introduce(ref("1", 3), IntroFlag::kLinear));    // 1/2: right
+  EXPECT_EQ(sub.left()->node, node(2));
+  EXPECT_EQ(sub.right()->node, node(3));
+  EXPECT_TRUE(sink.sent.empty());
+}
+
+TEST_F(SubscriberTest, CloserCandidateDisplacesAndDelegatesOld) {
+  give_label("011");
+  sub.handle(msg::Introduce(ref("001", 2), IntroFlag::kLinear));  // left = 1/8
+  sub.handle(msg::Introduce(ref("01", 3), IntroFlag::kLinear));   // closer left 1/4
+  EXPECT_EQ(sub.left()->node, node(3));
+  // Old left was delegated to the new left (it lies between them and us).
+  const auto fwd = sink.of_type<msg::Introduce>(node(3));
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0]->cand.node, node(2));
+}
+
+TEST_F(SubscriberTest, FartherCandidateIsDelegatedTowardsItsSide) {
+  give_label("011");
+  sub.handle(msg::Introduce(ref("01", 2), IntroFlag::kLinear));   // left 1/4
+  sub.handle(msg::Introduce(ref("001", 3), IntroFlag::kLinear));  // farther 1/8
+  EXPECT_EQ(sub.left()->node, node(2));  // unchanged
+  const auto fwd = sink.of_type<msg::Introduce>(node(2));
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0]->cand.node, node(3));
+}
+
+TEST_F(SubscriberTest, SelfReferenceIsIgnored) {
+  give_label("011");
+  sub.handle(msg::Introduce(LabeledRef{*Label::parse("01"), kSelf}, IntroFlag::kLinear));
+  EXPECT_FALSE(sub.left().has_value());
+  EXPECT_TRUE(sink.sent.empty());
+}
+
+TEST_F(SubscriberTest, LabellessNodeAsksIntroducersToDropIt) {
+  sub.handle(msg::Introduce(ref("01", 2), IntroFlag::kLinear));
+  const auto rm = sink.of_type<msg::RemoveConnections>(node(2));
+  ASSERT_EQ(rm.size(), 1u);
+  EXPECT_EQ(rm[0]->who, kSelf);
+}
+
+TEST_F(SubscriberTest, StaleNeighborLabelIsCorrectedInPlace) {
+  give_label("011");
+  sub.handle(msg::Introduce(ref("01", 2), IntroFlag::kLinear));
+  // Node 2 reintroduces itself with an updated (still-left) label.
+  sub.handle(msg::Introduce(ref("001", 2), IntroFlag::kLinear));
+  EXPECT_EQ(sub.left()->node, node(2));
+  EXPECT_EQ(sub.left()->label.to_string(), "001");
+}
+
+TEST_F(SubscriberTest, NeighborMovingToOtherSideIsRehomed) {
+  give_label("011");
+  sub.handle(msg::Introduce(ref("01", 2), IntroFlag::kLinear));  // left
+  // Node 2's corrected label now places it right of us.
+  sub.handle(msg::Introduce(ref("1", 2), IntroFlag::kLinear));
+  EXPECT_FALSE(sub.left().has_value());
+  ASSERT_TRUE(sub.right().has_value());
+  EXPECT_EQ(sub.right()->node, node(2));
+}
+
+TEST_F(SubscriberTest, EqualPositionConflictAsksSupervisor) {
+  give_label("011");
+  sub.handle(msg::Introduce(ref("011", 2), IntroFlag::kLinear));
+  const auto asks = sink.of_type<msg::GetConfiguration>(kSup);
+  ASSERT_EQ(asks.size(), 2u);  // for the impostor and for ourselves
+  EXPECT_EQ(asks[0]->subject, node(2));
+  EXPECT_EQ(asks[1]->subject, kSelf);
+}
+
+// ---- Check / label correction (extended BuildRing, Lemma 4) -----------
+
+TEST_F(SubscriberTest, CheckWithCorrectBelievedLabelIntegratesSender) {
+  give_label("011");
+  sub.handle(msg::Check(ref("01", 2), *Label::parse("011"), IntroFlag::kLinear));
+  EXPECT_EQ(sub.left()->node, node(2));
+  EXPECT_TRUE(sink.sent.empty());
+}
+
+TEST_F(SubscriberTest, CheckWithStaleBelievedLabelRepliesCorrection) {
+  give_label("011");
+  sub.handle(msg::Check(ref("01", 2), *Label::parse("111"), IntroFlag::kLinear));
+  // We do not adopt the sender; we send our true label back.
+  EXPECT_FALSE(sub.left().has_value());
+  const auto reply = sink.of_type<msg::Introduce>(node(2));
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_EQ(reply[0]->cand.node, kSelf);
+  EXPECT_EQ(reply[0]->cand.label.to_string(), "011");
+}
+
+// ---- Ring closure (Algorithm 2 semantics) ------------------------------
+
+TEST_F(SubscriberTest, BelievedMinimumFloatsItsReferenceRight) {
+  give_label("0");
+  sub.handle(msg::Introduce(ref("01", 2), IntroFlag::kLinear));  // right
+  sink.clear();
+  sub.timeout();
+  // No left, no ring: the believed minimum floats itself rightwards (CYC).
+  const auto cycs = sink.of_type<msg::Introduce>(node(2));
+  bool found = false;
+  for (const auto* m : cycs) {
+    if (m->flag == IntroFlag::kCyclic && m->cand.node == kSelf) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SubscriberTest, InteriorRoutesCyclicCandidateTowardsMax) {
+  give_label("01");
+  sub.handle(msg::Introduce(ref("001", 2), IntroFlag::kLinear));  // left
+  sub.handle(msg::Introduce(ref("011", 3), IntroFlag::kLinear));  // right
+  sink.clear();
+  sub.handle(msg::Introduce(ref("0", 4), IntroFlag::kCyclic));  // min candidate
+  const auto fwd = sink.of_type<msg::Introduce>(node(3));
+  ASSERT_EQ(fwd.size(), 1u);
+  EXPECT_EQ(fwd[0]->cand.node, node(4));
+  EXPECT_EQ(fwd[0]->flag, IntroFlag::kCyclic);
+}
+
+TEST_F(SubscriberTest, BelievedMaxAdoptsMinCandidateAsRing) {
+  give_label("11");
+  sub.handle(msg::Introduce(ref("01", 2), IntroFlag::kLinear));  // left
+  sub.handle(msg::Introduce(ref("0", 3), IntroFlag::kCyclic));   // min candidate
+  ASSERT_TRUE(sub.ring().has_value());
+  EXPECT_EQ(sub.ring()->node, node(3));
+}
+
+TEST_F(SubscriberTest, BetterMinCandidateReplacesRingAndRelinearizesLoser) {
+  give_label("11");
+  sub.handle(msg::Introduce(ref("01", 2), IntroFlag::kCyclic));  // provisional ring
+  ASSERT_TRUE(sub.ring().has_value());
+  sub.handle(msg::Introduce(ref("0", 3), IntroFlag::kCyclic));  // the true min
+  EXPECT_EQ(sub.ring()->node, node(3));
+  // The displaced candidate re-enters linear sorting as our left.
+  ASSERT_TRUE(sub.left().has_value());
+  EXPECT_EQ(sub.left()->node, node(2));
+}
+
+TEST_F(SubscriberTest, InteriorNodeShedsItsRingEdgeOnTimeout) {
+  give_label("01");
+  sub.handle(msg::Introduce(ref("001", 2), IntroFlag::kLinear));
+  sub.handle(msg::Introduce(ref("011", 3), IntroFlag::kLinear));
+  sub.chaos_set_ring(ref("1", 4));  // corrupted: interior with a ring edge
+  sub.timeout();
+  EXPECT_FALSE(sub.ring().has_value());
+  // The stray reference was not dropped: it went back into linearization
+  // (to the right neighbor, since 1/2 > 3/8 > us at 1/4... it became our
+  // right's problem or our new right).
+  const bool kept_locally = sub.right() && sub.right()->node == node(4);
+  const bool delegated = !sink.of_type<msg::Introduce>(node(3)).empty();
+  EXPECT_TRUE(kept_locally || delegated);
+}
+
+// ---- Configuration merge (action (iii)) --------------------------------
+
+TEST_F(SubscriberTest, CloserStoredNeighborTriggersConfigRequest) {
+  give_label("01");
+  sub.chaos_set_left(ref("00101", 7));  // very close on the left (5/32)
+  // Supervisor proposes a farther-left pred (1/8 = "001").
+  sub.handle(msg::SetData(ref("001", 2), *Label::parse("01"), ref("1", 3)));
+  // Action (iii): ask the supervisor to configure the unknown closer node.
+  const auto asks = sink.of_type<msg::GetConfiguration>(kSup);
+  ASSERT_GE(asks.size(), 1u);
+  EXPECT_EQ(asks[0]->subject, node(7));
+  // The closer neighbor is kept; the proposal is delegated, not adopted.
+  EXPECT_EQ(sub.left()->node, node(7));
+}
+
+TEST_F(SubscriberTest, MatchingProposalCausesNoRequests) {
+  give_label("01");
+  sub.chaos_set_left(ref("001", 2));
+  sub.chaos_set_right(ref("1", 3));
+  sub.handle(msg::SetData(ref("001", 2), *Label::parse("01"), ref("1", 3)));
+  EXPECT_TRUE(sink.sent.empty());  // closure: nothing to fix, nothing sent
+}
+
+TEST_F(SubscriberTest, TrustedProposalDisplacesEqualLabelIncumbent) {
+  // §3.3: a crashed node can hold our neighbor label forever; the
+  // supervisor's configuration must win.
+  give_label("01");
+  sub.chaos_set_right(ref("1", 66));  // dead impostor
+  sub.handle(msg::SetData(ref("001", 2), *Label::parse("01"), ref("1", 3)));
+  EXPECT_EQ(sub.right()->node, node(3));
+  // The incumbent is reported to the supervisor rather than dropped
+  // silently.
+  const auto asks = sink.of_type<msg::GetConfiguration>(kSup);
+  bool asked_for_incumbent = false;
+  for (const auto* a : asks) asked_for_incumbent |= (a->subject == node(66));
+  EXPECT_TRUE(asked_for_incumbent);
+}
+
+// ---- Shortcut maintenance (§3.2.2) -------------------------------------
+
+TEST_F(SubscriberTest, ShortcutTableTracksExpectedLabels) {
+  // SR(16) geometry: v = "01" with ring neighbors 3/16 and 5/16 expects
+  // shortcut labels {0, 001, 011, 1}.
+  give_label("01");
+  sub.chaos_set_left(ref("0011", 2));
+  sub.chaos_set_right(ref("0101", 3));
+  sub.timeout();
+  std::vector<std::string> labels;
+  for (const auto& [l, n] : sub.shortcuts()) labels.push_back(l.to_string());
+  EXPECT_EQ(labels, (std::vector<std::string>{"0", "001", "011", "1"}));
+}
+
+TEST_F(SubscriberTest, UnexpectedShortcutEntriesAreRelinearizedNotDropped) {
+  give_label("01");
+  sub.chaos_set_left(ref("0011", 2));
+  sub.chaos_set_right(ref("0101", 3));
+  sub.chaos_put_shortcut(*Label::parse("0111"), node(9));  // junk entry
+  sub.timeout();
+  EXPECT_FALSE(sub.shortcuts().contains(*Label::parse("0111")));
+  // 7/16 lies right of 1/4: the evicted reference went towards the right.
+  const auto fwd = sink.of_type<msg::Introduce>(node(3));
+  bool delegated = false;
+  for (const auto* m : fwd) delegated |= (m->cand.node == node(9));
+  EXPECT_TRUE(delegated);
+}
+
+TEST_F(SubscriberTest, IntroduceShortcutFillsExpectedSlot) {
+  give_label("01");
+  sub.chaos_set_left(ref("0011", 2));
+  sub.chaos_set_right(ref("0101", 3));
+  sub.timeout();
+  sub.handle(msg::IntroduceShortcut(ref("001", 5)));
+  EXPECT_EQ(sub.shortcuts().at(*Label::parse("001")), node(5));
+}
+
+TEST_F(SubscriberTest, IntroduceShortcutReplacesAndRelinearizesOldRef) {
+  give_label("01");
+  sub.chaos_set_left(ref("0011", 2));
+  sub.chaos_set_right(ref("0101", 3));
+  sub.timeout();
+  sub.handle(msg::IntroduceShortcut(ref("001", 5)));
+  sink.clear();
+  sub.handle(msg::IntroduceShortcut(ref("001", 6)));
+  EXPECT_EQ(sub.shortcuts().at(*Label::parse("001")), node(6));
+  // Node 5 re-entered the ring: delegated leftwards (1/8 < 1/4).
+  const auto fwd = sink.of_type<msg::Introduce>(node(2));
+  bool delegated = false;
+  for (const auto* m : fwd) delegated |= (m->cand.node == node(5));
+  EXPECT_TRUE(delegated);
+}
+
+TEST_F(SubscriberTest, LevelPartnersAreIntroducedToEachOther) {
+  // v = "01" (k = 2): level-2 partners are "0" (left chain end) and "1"
+  // (right chain end). Once both refs are known, each Timeout introduces
+  // them to each other.
+  give_label("01");
+  sub.chaos_set_left(ref("0011", 2));
+  sub.chaos_set_right(ref("0101", 3));
+  sub.timeout();
+  sub.handle(msg::IntroduceShortcut(ref("0", 10)));
+  sub.handle(msg::IntroduceShortcut(ref("1", 11)));
+  sink.clear();
+  sub.timeout();
+  const auto to_zero = sink.of_type<msg::IntroduceShortcut>(node(10));
+  const auto to_one = sink.of_type<msg::IntroduceShortcut>(node(11));
+  ASSERT_EQ(to_zero.size(), 1u);
+  ASSERT_EQ(to_one.size(), 1u);
+  EXPECT_EQ(to_zero[0]->cand.node, node(11));
+  EXPECT_EQ(to_one[0]->cand.node, node(10));
+}
+
+// ---- Unsubscribe / departed (Lemma 6) ----------------------------------
+
+TEST_F(SubscriberTest, RequestUnsubscribeSendsAndRetries) {
+  give_label("01");
+  sub.request_unsubscribe();
+  EXPECT_EQ(sub.phase(), SubscriberPhase::kLeaving);
+  EXPECT_EQ(sink.of_type<msg::Unsubscribe>(kSup).size(), 1u);
+  sub.timeout();  // retry until granted
+  EXPECT_EQ(sink.of_type<msg::Unsubscribe>(kSup).size(), 2u);
+}
+
+TEST_F(SubscriberTest, PermissionCompletesDeparture) {
+  give_label("01");
+  sub.request_unsubscribe();
+  sub.handle(msg::SetData(std::nullopt, std::nullopt, std::nullopt));
+  EXPECT_TRUE(sub.departed());
+  EXPECT_FALSE(sub.label().has_value());
+}
+
+TEST_F(SubscriberTest, DepartedAnswersIntroductionsWithRemoveConnections) {
+  give_label("01");
+  sub.request_unsubscribe();
+  sub.handle(msg::SetData(std::nullopt, std::nullopt, std::nullopt));
+  sink.clear();
+  sub.handle(msg::Check(ref("001", 2), *Label::parse("01"), IntroFlag::kLinear));
+  const auto rm = sink.of_type<msg::RemoveConnections>(node(2));
+  ASSERT_EQ(rm.size(), 1u);
+  EXPECT_EQ(rm[0]->who, kSelf);
+}
+
+TEST_F(SubscriberTest, DepartedTimeoutIsSilent) {
+  give_label("01");
+  sub.request_unsubscribe();
+  sub.handle(msg::SetData(std::nullopt, std::nullopt, std::nullopt));
+  sink.clear();
+  sub.timeout();
+  EXPECT_TRUE(sink.sent.empty());
+}
+
+TEST_F(SubscriberTest, RemoveConnectionsPurgesAllSlots) {
+  give_label("01");
+  sub.chaos_set_left(ref("001", 2));
+  sub.chaos_set_right(ref("0101", 2));
+  sub.chaos_put_shortcut(*Label::parse("1"), node(2));
+  sub.handle(msg::RemoveConnections(node(2)));
+  EXPECT_FALSE(sub.left().has_value());
+  EXPECT_FALSE(sub.right().has_value());
+  EXPECT_TRUE(sub.shortcuts().at(*Label::parse("1")).is_null());
+}
+
+// ---- Introspection ------------------------------------------------------
+
+TEST_F(SubscriberTest, NeighborSetsAreDistinctAndNonNull) {
+  give_label("01");
+  sub.chaos_set_left(ref("001", 2));
+  sub.chaos_set_right(ref("0101", 3));
+  sub.chaos_put_shortcut(*Label::parse("1"), node(3));       // duplicate of right
+  sub.chaos_put_shortcut(*Label::parse("0"), sim::NodeId{});  // unknown slot
+  EXPECT_EQ(sub.ring_neighbors().size(), 2u);
+  EXPECT_EQ(sub.overlay_neighbors().size(), 2u);  // dedup + null skipped
+}
+
+}  // namespace
+}  // namespace ssps::core

@@ -1,0 +1,112 @@
+// Property sweep for the supervisor's database repair: arbitrary random
+// combinations of the §3.1 corruption classes must repair to a consistent
+// database that (a) keeps every originally recorded live node and (b)
+// assigns exactly the labels l(0..n−1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/supervisor.hpp"
+#include "test_support.hpp"
+
+namespace ssps::core {
+namespace {
+
+using testing::CapturingSink;
+
+class SupervisorRepairProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SupervisorRepairProperty, RandomCorruptionAlwaysRepairs) {
+  ssps::Rng rng(GetParam());
+  CapturingSink sink;
+  SupervisorProtocol sup(sim::NodeId{1000}, sink);
+
+  // A base population.
+  const std::size_t n = rng.between(1, 24);
+  std::set<std::uint64_t> population;
+  for (std::size_t i = 0; i < n; ++i) {
+    sup.handle(msg::Subscribe(sim::NodeId{i + 1}));
+    population.insert(i + 1);
+  }
+
+  // Random corruption mix.
+  const int ops = static_cast<int>(rng.between(1, 20));
+  for (int op = 0; op < ops; ++op) {
+    const Label junk(rng.below(1ULL << 6), 6);
+    switch (rng.below(4)) {
+      case 0:  // (i) null tuple
+        sup.chaos_insert_null(junk);
+        break;
+      case 1:  // (ii) duplicate an existing node under another label
+        sup.chaos_insert(junk, sim::NodeId{rng.between(1, n)});
+        break;
+      case 2:  // (iii) punch a hole
+        if (sup.size() > 0) {
+          sup.chaos_insert_null(Label::from_index(rng.below(sup.size())));
+        }
+        break;
+      default:  // (iv) out-of-range label for a fresh node
+        sup.chaos_insert(Label::from_index(n + rng.below(40)),
+                         sim::NodeId{100 + rng.below(10)});
+        break;
+    }
+  }
+
+  // Repair: one Timeout runs CheckLabels; per-node duplicate sweeps happen
+  // on contact — contact everyone once, then sweep again.
+  sup.timeout();
+  for (std::uint64_t id = 1; id <= n + 110; ++id) {
+    if (sup.label_of(sim::NodeId{id})) {
+      sup.handle(msg::GetConfiguration(sim::NodeId{id}));
+    }
+  }
+  sup.timeout();
+
+  EXPECT_TRUE(sup.database_consistent()) << "seed " << GetParam();
+  // Hole-punching may have evicted nodes, but every surviving value must
+  // be a real node id, each recorded once, labels exactly l(0..size−1).
+  std::set<std::uint64_t> seen;
+  std::size_t index = 0;
+  for (const auto& [label, node] : sup.database()) {
+    EXPECT_TRUE(node) << "null tuple survived";
+    EXPECT_TRUE(seen.insert(node.value).second) << "duplicate node survived";
+    EXPECT_TRUE(label.is_canonical());
+    ++index;
+  }
+  for (std::uint64_t i = 0; i < sup.size(); ++i) {
+    EXPECT_TRUE(sup.database().contains(Label::from_index(i)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SupervisorRepairProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+TEST(SupervisorRepairProperty, RepairIsIdempotent) {
+  CapturingSink sink;
+  SupervisorProtocol sup(sim::NodeId{1000}, sink);
+  for (std::uint64_t i = 1; i <= 8; ++i) sup.handle(msg::Subscribe(sim::NodeId{i}));
+  sup.chaos_insert(Label::from_index(20), sim::NodeId{50});
+  sup.timeout();
+  const auto after_first = sup.database();
+  sup.timeout();
+  sup.timeout();
+  EXPECT_EQ(sup.database(), after_first);
+}
+
+TEST(SupervisorRepairProperty, RepairGeneratesNoMessagesItself) {
+  // §3.1: "all of these actions are performed locally by the supervisor,
+  // i.e., they generate no messages" — apart from the one round-robin
+  // configuration each Timeout always sends.
+  CapturingSink sink;
+  SupervisorProtocol sup(sim::NodeId{1000}, sink);
+  for (std::uint64_t i = 1; i <= 6; ++i) sup.handle(msg::Subscribe(sim::NodeId{i}));
+  sup.chaos_insert_null(*Label::parse("01010"));
+  sup.chaos_insert(Label::from_index(30), sim::NodeId{40});
+  sink.clear();
+  sup.timeout();
+  EXPECT_LE(sink.sent.size(), 1u);  // just the round-robin SetData
+}
+
+}  // namespace
+}  // namespace ssps::core

@@ -1,0 +1,249 @@
+// Unit tests for the supervisor protocol (Algorithm 3, §3.1, §4.1):
+// database corruption repair cases (i)–(iv), round-robin dissemination,
+// subscribe/unsubscribe semantics and their O(1) message cost (Theorem 7).
+#include "core/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace ssps::core {
+namespace {
+
+using testing::CapturingSink;
+
+constexpr sim::NodeId kSup{100};
+
+sim::NodeId node(std::uint64_t v) { return sim::NodeId{v}; }
+
+class SupervisorTest : public ::testing::Test {
+ protected:
+  CapturingSink sink;
+  SupervisorProtocol sup{kSup, sink};
+
+  void subscribe_n(std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      sup.handle(msg::Subscribe(node(i + 1)));
+    }
+    sink.clear();
+  }
+};
+
+TEST_F(SupervisorTest, SubscribeAssignsLabelsInGenerationOrder) {
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    sup.handle(msg::Subscribe(node(i + 1)));
+    EXPECT_EQ(sup.label_of(node(i + 1)), Label::from_index(i));
+  }
+  EXPECT_TRUE(sup.database_consistent());
+}
+
+TEST_F(SupervisorTest, SubscribeSendsExactlyOneMessage) {
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    sink.clear();
+    sup.handle(msg::Subscribe(node(i + 1)));
+    EXPECT_EQ(sink.sent.size(), 1u) << "join #" << i;  // Theorem 7
+    EXPECT_EQ(sink.sent[0].to, node(i + 1));
+  }
+}
+
+TEST_F(SupervisorTest, SubscribeConfigurationContainsCorrectNeighbors) {
+  subscribe_n(4);  // labels: 0, 1, 01, 11 at r = 0, 1/2, 1/4, 3/4
+  sink.clear();
+  sup.handle(msg::Subscribe(node(5)));  // gets l(4) = "001", r = 1/8
+  const auto cfgs = sink.of_type<msg::SetData>(node(5));
+  ASSERT_EQ(cfgs.size(), 1u);
+  EXPECT_EQ(cfgs[0]->label->to_string(), "001");
+  // Ring neighbors of 1/8 among {0, 1/4, 1/2, 3/4, 1/8}: pred 0, succ 1/4.
+  EXPECT_EQ(cfgs[0]->pred->label.to_string(), "0");
+  EXPECT_EQ(cfgs[0]->pred->node, node(1));
+  EXPECT_EQ(cfgs[0]->succ->label.to_string(), "01");
+  EXPECT_EQ(cfgs[0]->succ->node, node(3));
+}
+
+TEST_F(SupervisorTest, DuplicateSubscribeIsIdempotent) {
+  subscribe_n(4);
+  sup.handle(msg::Subscribe(node(2)));
+  EXPECT_EQ(sup.size(), 4u);
+  EXPECT_EQ(sup.label_of(node(2)), Label::from_index(1));
+  // It still answers with the existing configuration (one message).
+  EXPECT_EQ(sink.sent.size(), 1u);
+}
+
+TEST_F(SupervisorTest, FirstSubscriberGetsNoNeighbors) {
+  sup.handle(msg::Subscribe(node(1)));
+  const auto cfgs = sink.of_type<msg::SetData>(node(1));
+  ASSERT_EQ(cfgs.size(), 1u);
+  EXPECT_FALSE(cfgs[0]->pred.has_value());
+  EXPECT_FALSE(cfgs[0]->succ.has_value());
+  EXPECT_EQ(cfgs[0]->label->to_string(), "0");
+}
+
+TEST_F(SupervisorTest, UnsubscribeLastLabeledJustRemoves) {
+  subscribe_n(4);
+  sup.handle(msg::Unsubscribe(node(4)));  // node 4 holds l(3), the max index
+  EXPECT_EQ(sup.size(), 3u);
+  EXPECT_TRUE(sup.database_consistent());
+  // Only the permission message (Theorem 7).
+  EXPECT_EQ(sink.sent.size(), 1u);
+  const auto perm = sink.of_type<msg::SetData>(node(4));
+  ASSERT_EQ(perm.size(), 1u);
+  EXPECT_FALSE(perm[0]->label.has_value());
+}
+
+TEST_F(SupervisorTest, UnsubscribeInteriorMovesLastLabelIntoHole) {
+  subscribe_n(5);
+  // node 2 holds l(1) = "1". The last label l(4) = "001" (node 5) must
+  // move into the hole.
+  sup.handle(msg::Unsubscribe(node(2)));
+  EXPECT_EQ(sup.size(), 4u);
+  EXPECT_TRUE(sup.database_consistent());
+  EXPECT_EQ(sup.label_of(node(5)), Label::from_index(1));
+  // Two messages: the relabel config for node 5 + the permission (Thm 7).
+  EXPECT_EQ(sink.sent.size(), 2u);
+  const auto relabel = sink.of_type<msg::SetData>(node(5));
+  ASSERT_EQ(relabel.size(), 1u);
+  EXPECT_EQ(relabel[0]->label->to_string(), "1");
+}
+
+TEST_F(SupervisorTest, UnsubscribeUnknownStillGrantsPermission) {
+  subscribe_n(3);
+  sup.handle(msg::Unsubscribe(node(9)));
+  ASSERT_EQ(sink.sent.size(), 1u);
+  const auto perm = sink.of_type<msg::SetData>(node(9));
+  ASSERT_EQ(perm.size(), 1u);
+  EXPECT_FALSE(perm[0]->label.has_value());
+  EXPECT_EQ(sup.size(), 3u);
+}
+
+TEST_F(SupervisorTest, GetConfigurationForUnknownEvicts) {
+  subscribe_n(2);
+  sup.handle(msg::GetConfiguration(node(7)));
+  const auto replies = sink.of_type<msg::SetData>(node(7));
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_FALSE(replies[0]->label.has_value());
+}
+
+TEST_F(SupervisorTest, TimeoutSendsOneRoundRobinConfiguration) {
+  subscribe_n(4);
+  for (int round = 0; round < 8; ++round) {
+    sink.clear();
+    sup.timeout();
+    EXPECT_EQ(sink.sent.size(), 1u) << "round " << round;
+    EXPECT_EQ(sink.of_type<msg::SetData>().size(), 1u);
+  }
+}
+
+TEST_F(SupervisorTest, TimeoutCyclesThroughAllSubscribers) {
+  subscribe_n(5);
+  std::set<std::uint64_t> recipients;
+  for (int round = 0; round < 5; ++round) {
+    sink.clear();
+    sup.timeout();
+    ASSERT_EQ(sink.sent.size(), 1u);
+    recipients.insert(sink.sent[0].to.value);
+  }
+  EXPECT_EQ(recipients.size(), 5u);
+}
+
+TEST_F(SupervisorTest, EmptyDatabaseTimeoutIsSilent) {
+  sup.timeout();
+  EXPECT_TRUE(sink.sent.empty());
+}
+
+// ---- §3.1 corruption cases -------------------------------------------
+
+TEST_F(SupervisorTest, RepairsNullTuples) {  // case (i)
+  subscribe_n(4);
+  sup.chaos_insert_null(*Label::parse("0101"));
+  sup.chaos_insert_null(*Label::parse("00011"));
+  EXPECT_FALSE(sup.database_consistent());
+  sup.timeout();
+  EXPECT_TRUE(sup.database_consistent());
+  EXPECT_EQ(sup.size(), 4u);
+}
+
+TEST_F(SupervisorTest, RepairsDuplicateNodesKeepingLowestLabel) {  // case (ii)
+  subscribe_n(4);
+  // node 3 already holds l(2) = "01" (r = 1/4); duplicate it at "11".
+  sup.chaos_insert(*Label::parse("11"), node(3));
+  EXPECT_FALSE(sup.database_consistent());
+  // The sweep alone does not fix duplicates; contact with the node does
+  // (Algorithm 3 routes GetConfiguration through CheckMultipleCopies).
+  sup.handle(msg::GetConfiguration(node(3)));
+  EXPECT_TRUE(sup.database_consistent());
+  EXPECT_EQ(sup.label_of(node(3)), *Label::parse("01"));
+}
+
+TEST_F(SupervisorTest, RepairsMissingLabels) {  // case (iii)
+  subscribe_n(5);
+  // Erase l(1) by nulling it; repair must pull the max label l(4) down.
+  sup.chaos_insert_null(Label::from_index(1));
+  sup.timeout();
+  EXPECT_TRUE(sup.database_consistent());
+  EXPECT_EQ(sup.size(), 4u);
+  EXPECT_EQ(sup.label_of(node(5)), Label::from_index(1));
+}
+
+TEST_F(SupervisorTest, RepairsOutOfRangeLabels) {  // case (iv)
+  subscribe_n(3);
+  sup.chaos_insert(Label::from_index(17), node(4));
+  EXPECT_FALSE(sup.database_consistent());
+  sup.timeout();
+  EXPECT_TRUE(sup.database_consistent());
+  EXPECT_EQ(sup.size(), 4u);
+  // The wrongly-labeled node filled the first missing index, l(3).
+  EXPECT_EQ(sup.label_of(node(4)), Label::from_index(3));
+}
+
+TEST_F(SupervisorTest, RepairsNonCanonicalLabels) {
+  subscribe_n(3);
+  sup.chaos_insert(*Label::parse("010"), node(4));  // non-canonical junk
+  sup.timeout();
+  EXPECT_TRUE(sup.database_consistent());
+  EXPECT_EQ(sup.label_of(node(4)), Label::from_index(3));
+}
+
+TEST_F(SupervisorTest, RepairsCombinedCorruption) {
+  subscribe_n(6);
+  sup.chaos_insert_null(Label::from_index(2));
+  sup.chaos_insert(Label::from_index(40), node(9));
+  sup.chaos_insert(*Label::parse("1110"), node(10));
+  sup.timeout();
+  EXPECT_TRUE(sup.database_consistent());
+  // 6 originals − 1 nulled + 2 new = 7.
+  EXPECT_EQ(sup.size(), 7u);
+}
+
+TEST_F(SupervisorTest, RepairAssignsLargestIndexToSmallestHole) {
+  // Algorithm 3 CheckLabels: the tuple with maximum j > i fills hole i.
+  subscribe_n(6);
+  sup.chaos_insert_null(Label::from_index(0));
+  sup.chaos_insert_null(Label::from_index(2));
+  sup.timeout();
+  EXPECT_TRUE(sup.database_consistent());
+  EXPECT_EQ(sup.size(), 4u);
+  // Holes {0, 2} and movable labels {l(5) (node 6), l(4) (node 5)}:
+  // max index l(5) -> hole 0, next l(4) -> hole 2.
+  EXPECT_EQ(sup.label_of(node(6)), Label::from_index(0));
+  EXPECT_EQ(sup.label_of(node(5)), Label::from_index(2));
+}
+
+TEST_F(SupervisorTest, WipedDatabaseStaysEmptyUntilSubscribes) {
+  subscribe_n(4);
+  sup.chaos_clear();
+  sup.timeout();
+  EXPECT_EQ(sup.size(), 0u);
+  sup.handle(msg::Subscribe(node(1)));
+  EXPECT_EQ(sup.size(), 1u);
+  EXPECT_TRUE(sup.database_consistent());
+}
+
+TEST_F(SupervisorTest, CollectRefsListsAllRecordedNodes) {
+  subscribe_n(3);
+  std::vector<sim::NodeId> refs;
+  sup.collect_refs(refs);
+  EXPECT_EQ(refs.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ssps::core

@@ -1,0 +1,48 @@
+// Shared helpers for protocol unit tests: a capturing MessageSink so that
+// SupervisorProtocol/SubscriberProtocol can be driven without a network.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/messages.hpp"
+
+namespace ssps::core::testing {
+
+/// Records every send; tests inspect and/or replay the captured traffic.
+class CapturingSink final : public MessageSink {
+ public:
+  struct Sent {
+    sim::NodeId to;
+    std::unique_ptr<sim::Message> msg;
+  };
+
+  void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+    sent.push_back(Sent{to, std::move(msg)});
+  }
+
+  void clear() { sent.clear(); }
+
+  /// Messages of a concrete type addressed to `to` (or to anyone if null).
+  template <typename T>
+  std::vector<const T*> of_type(sim::NodeId to = sim::NodeId::null()) const {
+    std::vector<const T*> out;
+    for (const Sent& s : sent) {
+      if (to && s.to != to) continue;
+      if (const auto* typed = dynamic_cast<const T*>(s.msg.get())) out.push_back(typed);
+    }
+    return out;
+  }
+
+  std::size_t count_to(sim::NodeId to) const {
+    std::size_t c = 0;
+    for (const Sent& s : sent) {
+      if (s.to == to) ++c;
+    }
+    return c;
+  }
+
+  std::vector<Sent> sent;
+};
+
+}  // namespace ssps::core::testing

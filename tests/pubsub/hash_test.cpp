@@ -1,0 +1,112 @@
+// SHA-256 against FIPS 180-4 / RFC test vectors, plus the publication
+// keying and Merkle combination helpers.
+#include "pubsub/hash.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ssps::pubsub {
+namespace {
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::digest(std::string_view{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::digest("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::digest("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 56 bytes forces the length into a second padding block.
+  const std::string s(56, 'x');
+  const Digest a = Sha256::digest(s);
+  // Incremental in odd chunks must agree.
+  Sha256 h;
+  h.update(s.substr(0, 13));
+  h.update(s.substr(13, 29));
+  h.update(s.substr(42));
+  EXPECT_EQ(to_hex(h.finish()), to_hex(a));
+}
+
+TEST(Sha256, SixtyFourByteMessage) {
+  const std::string s(64, 'y');
+  const Digest once = Sha256::digest(s);
+  Sha256 h;
+  for (char c : s) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.finish(), once);
+}
+
+TEST(Fnv1a64, KnownValues) {
+  // FNV-1a reference: fnv1a64("") = offset basis.
+  EXPECT_EQ(fnv1a64(std::string_view{}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashLabel, DistinguishesPaddingEquivalentLabels) {
+  // "0" and "00" pack to the same byte; the length prefix must split them.
+  EXPECT_NE(hash_label(BitString::from_string("0")),
+            hash_label(BitString::from_string("00")));
+  EXPECT_NE(hash_label(BitString::from_string("1")),
+            hash_label(BitString::from_string("10")));
+  EXPECT_EQ(hash_label(BitString::from_string("0110")),
+            hash_label(BitString::from_string("0110")));
+}
+
+TEST(HashChildren, OrderMatters) {
+  const Digest a = Sha256::digest("left");
+  const Digest b = Sha256::digest("right");
+  EXPECT_NE(hash_children(a, b), hash_children(b, a));
+}
+
+TEST(PublicationKey, FixedLength) {
+  for (std::size_t m : {1u, 8u, 64u, 130u, 256u}) {
+    EXPECT_EQ(publication_key(sim::NodeId{7}, "hello", m).size(), m);
+  }
+}
+
+TEST(PublicationKey, DependsOnOriginAndPayload) {
+  const auto k1 = publication_key(sim::NodeId{1}, "x", 64);
+  const auto k2 = publication_key(sim::NodeId{2}, "x", 64);
+  const auto k3 = publication_key(sim::NodeId{1}, "y", 64);
+  EXPECT_NE(k1, k2);  // same payload, different publisher (§4.2: pairs)
+  EXPECT_NE(k1, k3);
+}
+
+TEST(PublicationKey, PrefixConsistentAcrossLengths) {
+  const auto k64 = publication_key(sim::NodeId{5}, "stable", 64);
+  const auto k32 = publication_key(sim::NodeId{5}, "stable", 32);
+  EXPECT_TRUE(k32.is_prefix_of(k64));
+}
+
+TEST(PublicationKey, Deterministic) {
+  EXPECT_EQ(publication_key(sim::NodeId{9}, "abc", 64),
+            publication_key(sim::NodeId{9}, "abc", 64));
+}
+
+TEST(ToHex, FormatsAllBytes) {
+  Digest d{};
+  d[0] = 0xAB;
+  d[31] = 0x01;
+  const std::string hex = to_hex(d);
+  EXPECT_EQ(hex.size(), 64u);
+  EXPECT_EQ(hex.substr(0, 2), "ab");
+  EXPECT_EQ(hex.substr(62, 2), "01");
+}
+
+}  // namespace
+}  // namespace ssps::pubsub

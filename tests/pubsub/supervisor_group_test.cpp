@@ -1,0 +1,110 @@
+// Consistent-hashing supervisor group (§1.3): determinism, balance, and
+// the bounded-reassignment locality property.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "pubsub/supervisor_group.hpp"
+
+namespace ssps::pubsub {
+namespace {
+
+std::vector<sim::NodeId> supervisors(std::size_t count) {
+  std::vector<sim::NodeId> out;
+  for (std::size_t i = 0; i < count; ++i) out.push_back(sim::NodeId{100 + i});
+  return out;
+}
+
+TEST(SupervisorGroup, DeterministicAssignment) {
+  SupervisorGroup a(supervisors(4));
+  SupervisorGroup b(supervisors(4));
+  for (TopicId t = 0; t < 200; ++t) {
+    EXPECT_EQ(a.supervisor_for(t), b.supervisor_for(t));
+  }
+}
+
+TEST(SupervisorGroup, SingleSupervisorOwnsEverything) {
+  SupervisorGroup g({sim::NodeId{1}});
+  for (TopicId t = 0; t < 50; ++t) EXPECT_EQ(g.supervisor_for(t), sim::NodeId{1});
+  EXPECT_DOUBLE_EQ(g.arc_share(sim::NodeId{1}), 1.0);
+}
+
+TEST(SupervisorGroup, LoadIsRoughlyBalanced) {
+  const auto sups = supervisors(8);
+  SupervisorGroup g(sups, /*virtual_nodes=*/64);
+  std::map<std::uint64_t, int> counts;
+  const int topics = 8000;
+  for (TopicId t = 0; t < topics; ++t) counts[g.supervisor_for(t).value] += 1;
+  for (sim::NodeId s : sups) {
+    const double share = static_cast<double>(counts[s.value]) / topics;
+    EXPECT_GT(share, 0.04) << "supervisor " << s.value;  // ideal 0.125
+    EXPECT_LT(share, 0.30) << "supervisor " << s.value;
+  }
+}
+
+TEST(SupervisorGroup, ArcSharesSumToOne) {
+  const auto sups = supervisors(5);
+  SupervisorGroup g(sups);
+  double total = 0;
+  for (sim::NodeId s : sups) total += g.arc_share(s);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(SupervisorGroup, AddingASupervisorMovesOnlyItsShare) {
+  // Consistent-hashing locality: topics not claimed by the newcomer keep
+  // their old owner.
+  const auto sups = supervisors(6);
+  SupervisorGroup before(sups);
+  std::map<TopicId, sim::NodeId> old_owner;
+  const int topics = 3000;
+  for (TopicId t = 0; t < topics; ++t) old_owner[t] = before.supervisor_for(t);
+
+  SupervisorGroup after(sups);
+  const sim::NodeId fresh{999};
+  after.add_supervisor(fresh);
+  int moved = 0;
+  for (TopicId t = 0; t < topics; ++t) {
+    const sim::NodeId now = after.supervisor_for(t);
+    if (now != old_owner[t]) {
+      EXPECT_EQ(now, fresh) << "topic " << t << " moved between old supervisors";
+      ++moved;
+    }
+  }
+  // The newcomer takes about 1/7 of the topics, nothing else moves.
+  EXPECT_GT(moved, topics / 20);
+  EXPECT_LT(moved, topics / 3);
+}
+
+TEST(SupervisorGroup, RemovingASupervisorRedistributesOnlyItsTopics) {
+  const auto sups = supervisors(6);
+  SupervisorGroup g(sups);
+  std::map<TopicId, sim::NodeId> old_owner;
+  const int topics = 3000;
+  for (TopicId t = 0; t < topics; ++t) old_owner[t] = g.supervisor_for(t);
+  const sim::NodeId victim = sups[2];
+  g.remove_supervisor(victim);
+  EXPECT_EQ(g.size(), 5u);
+  for (TopicId t = 0; t < topics; ++t) {
+    if (old_owner[t] == victim) {
+      EXPECT_NE(g.supervisor_for(t), victim);
+    } else {
+      EXPECT_EQ(g.supervisor_for(t), old_owner[t]) << "topic " << t;
+    }
+  }
+}
+
+TEST(SupervisorGroup, MoreVirtualNodesSmoothTheBalance) {
+  const auto sups = supervisors(4);
+  auto spread = [&](int vnodes) {
+    SupervisorGroup g(sups, vnodes);
+    double worst = 0;
+    for (sim::NodeId s : sups) {
+      worst = std::max(worst, std::abs(g.arc_share(s) - 0.25));
+    }
+    return worst;
+  };
+  EXPECT_LT(spread(256), spread(1));
+}
+
+}  // namespace
+}  // namespace ssps::pubsub

@@ -1,0 +1,205 @@
+// Adversarial and randomized property tests for the Algorithm 5 sync:
+// random divergence patterns between many nodes, hostile message tuples,
+// and invariant preservation under every input.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "common/rng.hpp"
+#include "pubsub/pubsub_node.hpp"
+
+namespace ssps::pubsub {
+namespace {
+
+/// A fully-connected clique of k PubSubProtocols with loopback queues —
+/// isolates Algorithm 5 from overlay dynamics so the property under test
+/// is purely the trie synchronization.
+class Clique {
+ public:
+  explicit Clique(std::size_t k, std::uint64_t seed) : rng_(seed) {
+    for (std::size_t i = 0; i < k; ++i) {
+      ids_.push_back(sim::NodeId{i + 1});
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      auto rng = std::make_unique<ssps::Rng>(seed + i + 1);
+      auto overlay = std::make_unique<core::SubscriberProtocol>(
+          ids_[i], sim::NodeId{999}, sink_, *rng);
+      overlay->chaos_set_label(core::Label::from_index(i));
+      // Ring: predecessor and successor in index order (enough for the
+      // random-neighbor choice; correctness never depends on which).
+      const std::size_t prev = (i + k - 1) % k;
+      const std::size_t next = (i + 1) % k;
+      if (k > 1) {
+        overlay->chaos_set_left(
+            core::LabeledRef{core::Label::from_index(prev), ids_[prev]});
+        overlay->chaos_set_right(
+            core::LabeledRef{core::Label::from_index(next), ids_[next]});
+      }
+      auto ps = std::make_unique<PubSubProtocol>(
+          *overlay, sink_, *rng, PubSubConfig{.key_bits = 64, .flooding = false,
+                                              .anti_entropy = true});
+      rngs_.push_back(std::move(rng));
+      overlays_.push_back(std::move(overlay));
+      nodes_.push_back(std::move(ps));
+    }
+  }
+
+  PubSubProtocol& node(std::size_t i) { return *nodes_[i]; }
+  std::size_t size() const { return nodes_.size(); }
+
+  void pump(std::size_t limit = 100000) {
+    while (!sink_.queue.empty() && limit-- > 0) {
+      auto [to, msg] = std::move(sink_.queue.front());
+      sink_.queue.pop_front();
+      for (std::size_t i = 0; i < ids_.size(); ++i) {
+        if (ids_[i] == to) {
+          nodes_[i]->handle(*msg);
+          break;
+        }
+      }
+    }
+    EXPECT_GT(limit, 0u) << "sync did not quiesce";
+  }
+
+  bool converged() {
+    for (std::size_t i = 1; i < nodes_.size(); ++i) {
+      if (!nodes_[0]->trie().equal_contents(nodes_[i]->trie())) return false;
+    }
+    return true;
+  }
+
+  /// One "round": every node initiates anti-entropy once, then drain.
+  void round() {
+    for (auto& n : nodes_) n->timeout();
+    pump();
+  }
+
+  ssps::Rng rng_;
+
+ private:
+  struct QueueSink final : core::MessageSink {
+    void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+      queue.emplace_back(to, std::move(msg));
+    }
+    std::deque<std::pair<sim::NodeId, std::unique_ptr<sim::Message>>> queue;
+  };
+
+  QueueSink sink_;
+  std::vector<sim::NodeId> ids_;
+  std::vector<std::unique_ptr<ssps::Rng>> rngs_;
+  std::vector<std::unique_ptr<core::SubscriberProtocol>> overlays_;
+  std::vector<std::unique_ptr<PubSubProtocol>> nodes_;
+};
+
+class RandomDivergence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomDivergence, AnyScatterPatternConverges) {
+  Clique clique(6, GetParam());
+  ssps::Rng& rng = clique.rng_;
+  // 50 publications, each placed at a random nonempty subset of nodes.
+  for (int p = 0; p < 50; ++p) {
+    const Publication pub{sim::NodeId{rng.between(1, 6)}, "p" + std::to_string(p)};
+    bool placed = false;
+    for (std::size_t i = 0; i < clique.size(); ++i) {
+      if (rng.chance(1, 3)) {
+        clique.node(i).add_local(pub);
+        placed = true;
+      }
+    }
+    if (!placed) clique.node(rng.below(clique.size())).add_local(pub);
+  }
+  int rounds = 0;
+  while (!clique.converged() && rounds < 200) {
+    clique.round();
+    ++rounds;
+  }
+  EXPECT_TRUE(clique.converged()) << "after " << rounds << " rounds";
+  for (std::size_t i = 0; i < clique.size(); ++i) {
+    EXPECT_EQ(clique.node(i).trie().check_invariants(), "");
+    EXPECT_EQ(clique.node(i).trie().size(), 50u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDivergence,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(SyncAdversarial, HostileTuplesNeverCorruptTries) {
+  Clique clique(2, 77);
+  for (int i = 0; i < 10; ++i) {
+    clique.node(0).add_local(Publication{sim::NodeId{1}, "x" + std::to_string(i)});
+  }
+  ssps::Rng rng(5);
+  // Throw 200 random CheckTrie/CheckAndPublish messages with random labels
+  // and hashes at node 0.
+  for (int i = 0; i < 200; ++i) {
+    std::vector<NodeSummary> tuples;
+    const int count = static_cast<int>(rng.between(0, 3));
+    for (int t = 0; t < count; ++t) {
+      const std::size_t len = rng.between(0, 70);
+      BitString label;
+      for (std::size_t b = 0; b < len; ++b) label.push_back(rng.chance(1, 2));
+      Digest h{};
+      for (auto& byte : h) byte = static_cast<std::uint8_t>(rng.below(256));
+      tuples.push_back(NodeSummary{label, h});
+    }
+    if (rng.chance(1, 2)) {
+      clique.node(0).handle(msg::CheckTrie(sim::NodeId{2}, tuples));
+    } else {
+      BitString prefix;
+      const std::size_t plen = rng.between(0, 65);
+      for (std::size_t b = 0; b < plen; ++b) prefix.push_back(rng.chance(1, 2));
+      clique.node(0).handle(msg::CheckAndPublish(sim::NodeId{2}, tuples, prefix));
+    }
+    clique.pump();
+  }
+  EXPECT_EQ(clique.node(0).trie().size(), 10u);
+  EXPECT_EQ(clique.node(0).trie().check_invariants(), "");
+}
+
+TEST(SyncAdversarial, HostilePublishMessagesOnlyAddValidPublications) {
+  Clique clique(2, 88);
+  std::vector<Publication> pubs;
+  for (int i = 0; i < 5; ++i) pubs.push_back(Publication{sim::NodeId{3}, std::to_string(i)});
+  clique.node(0).handle(msg::Publish(pubs));
+  clique.node(0).handle(msg::Publish(pubs));  // duplicates ignored
+  EXPECT_EQ(clique.node(0).trie().size(), 5u);
+  EXPECT_EQ(clique.node(0).trie().check_invariants(), "");
+}
+
+TEST(SyncAdversarial, LargeCorpusPairwiseSyncStaysSubLinear) {
+  // With 1000 shared keys and 5 missing ones, the number of exchanged
+  // sync messages must track the divergence (·trie depth), not the corpus.
+  Clique clique(2, 99);
+  for (int i = 0; i < 1000; ++i) {
+    const Publication p{sim::NodeId{1}, "bulk" + std::to_string(i)};
+    clique.node(0).add_local(p);
+    clique.node(1).add_local(p);
+  }
+  for (int i = 0; i < 5; ++i) {
+    clique.node(0).add_local(Publication{sim::NodeId{2}, "miss" + std::to_string(i)});
+  }
+  int rounds = 0;
+  while (!clique.converged() && rounds < 50) {
+    clique.round();
+    ++rounds;
+  }
+  EXPECT_TRUE(clique.converged());
+  EXPECT_LE(rounds, 20);
+}
+
+TEST(SyncAdversarial, TwoNodeCliqueWithEmptyAndFullTrie) {
+  Clique clique(2, 111);
+  for (int i = 0; i < 64; ++i) {
+    clique.node(0).add_local(Publication{sim::NodeId{1}, std::to_string(i)});
+  }
+  int rounds = 0;
+  while (!clique.converged() && rounds < 50) {
+    clique.round();
+    ++rounds;
+  }
+  EXPECT_TRUE(clique.converged());
+  EXPECT_EQ(clique.node(1).trie().size(), 64u);
+}
+
+}  // namespace
+}  // namespace ssps::pubsub

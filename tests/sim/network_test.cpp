@@ -1,0 +1,217 @@
+// Tests for the simulation substrate: channels, schedulers, fairness,
+// crash semantics, determinism, connectivity analysis (§1.1 model).
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace ssps::sim {
+namespace {
+
+struct Ping final : Message {
+  int payload = 0;
+  NodeId ref = NodeId::null();
+  explicit Ping(int p, NodeId r = NodeId::null()) : payload(p), ref(r) {}
+  std::string_view name() const override { return "Ping"; }
+  void collect_refs(std::vector<NodeId>& out) const override {
+    if (ref) out.push_back(ref);
+  }
+};
+
+/// Records deliveries and timeouts; optionally echoes to a peer.
+class Probe final : public Node {
+ public:
+  void handle(std::unique_ptr<Message> msg) override {
+    auto* ping = dynamic_cast<Ping*>(msg.get());
+    ASSERT_NE(ping, nullptr);
+    received.push_back(ping->payload);
+    if (echo_to) net().send(echo_to, std::make_unique<Ping>(ping->payload + 1000));
+  }
+  void timeout() override { ++timeouts; }
+  void collect_refs(std::vector<NodeId>& out) const override {
+    if (neighbor) out.push_back(neighbor);
+  }
+
+  std::vector<int> received;
+  int timeouts = 0;
+  NodeId echo_to = NodeId::null();
+  NodeId neighbor = NodeId::null();
+};
+
+TEST(Network, SpawnAssignsDistinctIds) {
+  Network net(1);
+  const NodeId a = net.spawn<Probe>();
+  const NodeId b = net.spawn<Probe>();
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(net.alive(a));
+  EXPECT_TRUE(net.alive(b));
+  EXPECT_EQ(net.alive_count(), 2u);
+}
+
+TEST(Network, RoundDeliversAllPendingMessages) {
+  Network net(2);
+  const NodeId a = net.spawn<Probe>();
+  for (int i = 0; i < 5; ++i) net.send(a, std::make_unique<Ping>(i));
+  EXPECT_EQ(net.pending_for(a), 5u);
+  net.run_round();
+  EXPECT_EQ(net.pending_for(a), 0u);
+  EXPECT_EQ(net.node_as<Probe>(a).received.size(), 5u);
+}
+
+TEST(Network, MessagesSentDuringARoundArriveNextRound) {
+  Network net(3);
+  const NodeId a = net.spawn<Probe>();
+  const NodeId b = net.spawn<Probe>();
+  net.node_as<Probe>(a).echo_to = b;
+  net.send(a, std::make_unique<Ping>(1));
+  net.run_round();
+  EXPECT_TRUE(net.node_as<Probe>(b).received.empty());  // echo still queued
+  net.run_round();
+  ASSERT_EQ(net.node_as<Probe>(b).received.size(), 1u);
+  EXPECT_EQ(net.node_as<Probe>(b).received[0], 1001);
+}
+
+TEST(Network, EveryNodeTimesOutOncePerRound) {
+  Network net(4);
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 7; ++i) nodes.push_back(net.spawn<Probe>());
+  net.run_rounds(3);
+  for (NodeId id : nodes) EXPECT_EQ(net.node_as<Probe>(id).timeouts, 3);
+}
+
+TEST(Network, DeliveryOrderIsNotFifo) {
+  // Non-FIFO channels: across many seeds, a 10-message batch must arrive
+  // in a non-monotone order at least once (probability of failure
+  // ~ (1/10!)^10 ≈ 0).
+  bool reordered = false;
+  for (std::uint64_t seed = 0; seed < 10 && !reordered; ++seed) {
+    Network net(seed);
+    const NodeId a = net.spawn<Probe>();
+    for (int i = 0; i < 10; ++i) net.send(a, std::make_unique<Ping>(i));
+    net.run_round();
+    const auto& got = net.node_as<Probe>(a).received;
+    reordered = !std::is_sorted(got.begin(), got.end());
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Network, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    Network net(seed);
+    const NodeId a = net.spawn<Probe>();
+    const NodeId b = net.spawn<Probe>();
+    net.node_as<Probe>(a).echo_to = b;
+    for (int i = 0; i < 20; ++i) net.send(a, std::make_unique<Ping>(i));
+    net.run_rounds(3);
+    return net.node_as<Probe>(b).received;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+TEST(Network, CrashSwallowsPendingAndFutureMessages) {
+  Network net(5);
+  const NodeId a = net.spawn<Probe>();
+  net.send(a, std::make_unique<Ping>(1));
+  net.crash(a);
+  EXPECT_FALSE(net.alive(a));
+  EXPECT_EQ(net.pending_messages(), 0u);
+  net.send(a, std::make_unique<Ping>(2));  // must not throw, must vanish
+  EXPECT_EQ(net.pending_messages(), 0u);
+  net.run_round();  // and rounds still work
+}
+
+TEST(Network, CrashRoundIsRecorded) {
+  Network net(6);
+  const NodeId a = net.spawn<Probe>();
+  net.run_rounds(4);
+  net.crash(a);
+  ASSERT_TRUE(net.crash_round(a).has_value());
+  EXPECT_EQ(*net.crash_round(a), 4u);
+  EXPECT_FALSE(net.crash_round(NodeId{999}).has_value());
+}
+
+TEST(Network, AsyncStepsDeliverEverythingEventually) {
+  Network net(7);
+  const NodeId a = net.spawn<Probe>();
+  for (int i = 0; i < 50; ++i) net.send(a, std::make_unique<Ping>(i));
+  net.run_steps(5000);
+  EXPECT_EQ(net.node_as<Probe>(a).received.size(), 50u);
+}
+
+TEST(Network, AsyncFairnessBoundsMessageAge) {
+  Network net(8);
+  net.async_config().max_message_age = 16;
+  const NodeId a = net.spawn<Probe>();
+  const NodeId b = net.spawn<Probe>();
+  (void)b;
+  net.send(a, std::make_unique<Ping>(1));
+  // Within max_message_age + a few steps the message must arrive, no
+  // matter how the scheduler dices.
+  net.run_steps(20);
+  EXPECT_EQ(net.node_as<Probe>(a).received.size(), 1u);
+}
+
+TEST(Network, AsyncFairnessBoundsTimeoutGap) {
+  Network net(9);
+  net.async_config().max_timeout_gap = 8;
+  const NodeId a = net.spawn<Probe>();
+  // Keep the scheduler busy with messages to tempt it away from timeouts.
+  const NodeId sinkhole = net.spawn<Probe>();
+  for (int i = 0; i < 100; ++i) net.send(sinkhole, std::make_unique<Ping>(i));
+  net.run_steps(100);
+  EXPECT_GE(net.node_as<Probe>(a).timeouts, 5);
+}
+
+TEST(Network, RunUntilStopsEarly) {
+  Network net(10);
+  const NodeId a = net.spawn<Probe>();
+  const auto rounds =
+      net.run_until([&] { return net.node_as<Probe>(a).timeouts >= 3; }, 100);
+  ASSERT_TRUE(rounds.has_value());
+  EXPECT_EQ(*rounds, 3u);
+}
+
+TEST(Network, RunUntilReportsFailure) {
+  Network net(11);
+  net.spawn<Probe>();
+  EXPECT_FALSE(net.run_until([] { return false; }, 5).has_value());
+}
+
+TEST(Network, WeaklyConnectedViaExplicitEdges) {
+  Network net(12);
+  const NodeId a = net.spawn<Probe>();
+  const NodeId b = net.spawn<Probe>();
+  EXPECT_FALSE(net.weakly_connected());
+  net.node_as<Probe>(a).neighbor = b;  // a -> b suffices for weak connectivity
+  EXPECT_TRUE(net.weakly_connected());
+}
+
+TEST(Network, WeaklyConnectedViaImplicitEdges) {
+  Network net(13);
+  const NodeId a = net.spawn<Probe>();
+  const NodeId b = net.spawn<Probe>();
+  net.inject(a, std::make_unique<Ping>(0, b));  // reference in channel
+  EXPECT_TRUE(net.weakly_connected());
+}
+
+TEST(Network, WeaklyConnectedViaAnchor) {
+  Network net(14);
+  net.spawn<Probe>();
+  net.spawn<Probe>();
+  const NodeId sup = net.spawn<Probe>();
+  // The supervisor star (read-only knowledge) connects everything.
+  EXPECT_TRUE(net.weakly_connected(sup));
+}
+
+TEST(Network, InjectBypassesMetrics) {
+  Network net(15);
+  const NodeId a = net.spawn<Probe>();
+  net.inject(a, std::make_unique<Ping>(1));
+  EXPECT_EQ(net.metrics().total_sent(), 0u);
+  EXPECT_EQ(net.pending_for(a), 1u);
+}
+
+}  // namespace
+}  // namespace ssps::sim

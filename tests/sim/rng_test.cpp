@@ -1,0 +1,119 @@
+// Tests for the deterministic RNG (src/common/rng.hpp).
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace ssps {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, BetweenIsInclusive) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.between(3, 5));
+  EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, ChanceZeroAndCertain) {
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0, 5));
+    EXPECT_TRUE(rng.chance(5, 5));
+    EXPECT_TRUE(rng.chance(9, 5));
+  }
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    if (rng.chance(1, 4)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.02);
+}
+
+TEST(Rng, Uniform01Range) {
+  Rng rng(12);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto sorted = v;
+  rng.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng rng(14);
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto orig = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(15);
+  Rng child = a.split();
+  // The child must not replay the parent's stream.
+  Rng b(15);
+  b.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsDeterministically) {
+  Rng a(16);
+  const auto x1 = a.next();
+  a.reseed(16);
+  EXPECT_EQ(a.next(), x1);
+}
+
+}  // namespace
+}  // namespace ssps
