@@ -107,4 +107,4 @@ BENCHMARK(BM_BrokerPublish)->Arg(256)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("broker", print_experiment)

@@ -1,25 +1,54 @@
 // Shared scaffolding for the bench binaries: every binary first prints its
 // paper-style experiment table (the reproduction artifact recorded in
-// bench_output.txt), then runs its google-benchmark micro timings.
+// bench_output.txt), then runs its google-benchmark micro timings, and
+// finally writes one BENCH_<name>.json result object through the scenario
+// engine's report writer so the performance trajectory accumulates in a
+// uniform machine-readable format.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
 #include "common/table.hpp"
+#include "scenario/report.hpp"
 
-/// Defines main(): prints the experiment via `print_fn`, then runs the
-/// registered google-benchmark timings.
-#define SSPS_BENCH_MAIN(print_fn)                                  \
-  int main(int argc, char** argv) {                                \
-    print_fn();                                                    \
-    std::fflush(stdout);                                           \
-    ::benchmark::Initialize(&argc, argv);                          \
-    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {    \
-      return 1;                                                    \
-    }                                                              \
-    ::benchmark::RunSpecifiedBenchmarks();                         \
-    ::benchmark::Shutdown();                                       \
-    return 0;                                                      \
+namespace ssps::bench {
+
+/// The JSON object written to BENCH_<name>.json. Experiment printers add
+/// their result series here; the harness stamps the name and wall time.
+inline scenario::Json& result_json() {
+  static scenario::Json doc = scenario::Json::object();
+  return doc;
+}
+
+inline int run_bench_main(const char* name, void (*print_fn)(), int argc,
+                          char** argv) {
+  const auto start = std::chrono::steady_clock::now();
+  print_fn();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  std::fflush(stdout);
+  result_json()["experiment_seconds"] = elapsed.count();
+  if (!scenario::write_bench_json(name, result_json())) {
+    std::fprintf(stderr, "warning: could not write %s\n",
+                 scenario::bench_json_path(name).c_str());
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ssps::bench
+
+/// Defines main(): prints the experiment via `print_fn`, writes
+/// BENCH_<name>.json, then runs the registered google-benchmark timings.
+#define SSPS_BENCH_MAIN(name, print_fn)                          \
+  int main(int argc, char** argv) {                              \
+    return ::ssps::bench::run_bench_main(name, print_fn, argc, argv); \
   }

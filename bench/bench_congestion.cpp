@@ -181,4 +181,4 @@ BENCHMARK(BM_ChordRoute)->Arg(1024)->Arg(4096);
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("congestion", print_experiment)

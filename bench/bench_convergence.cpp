@@ -1,9 +1,15 @@
 // Experiments E4/E5/E12 — Theorems 8 & 13: convergence from adversarial
 // initial states, the closure window after legitimacy, and the
 // label-correction ablation (Lemma 4's extension of BuildRing).
+//
+// The E4 and E12 series run through the scenario engine: each initial-state
+// class is a two-phase ScenarioSpec (bootstrap to legitimacy, corrupt +
+// re-converge) and the numbers are read off the phase reports, which also
+// land in BENCH_convergence.json via the engine's report writer.
 #include "bench_common.hpp"
 #include "core/chaos.hpp"
 #include "core/system.hpp"
+#include "scenario/runner.hpp"
 
 namespace {
 
@@ -16,61 +22,86 @@ struct Run {
   bool ok = false;
 };
 
-Run run_class(const char* klass, std::size_t n, std::uint64_t seed) {
-  SkipRingSystem sys(SkipRingSystem::Options{.seed = seed, .fd_delay = 0});
-  sys.add_subscribers(n);
-  const std::string k(klass);
-  if (k != "cold") {
-    if (!sys.run_until_legit(5000)) return {};
-    if (k == "chaos") {
-      ChaosOptions chaos;
-      chaos.seed = seed * 3 + 1;
-      corrupt_system(sys, chaos);
-    } else if (k == "wipe") {
-      ChaosOptions chaos;
-      chaos.seed = seed * 3 + 1;
-      chaos.wipe_database = true;
-      corrupt_system(sys, chaos);
-    } else if (k == "splitbrain") {
-      split_brain(sys, seed * 3 + 1);
-    } else if (k == "labels-only") {
-      // E12 ablation input: correct edges, corrupted labels everywhere —
-      // isolates the extended BuildRing label-correction machinery.
-      ChaosOptions chaos;
-      chaos.seed = seed * 3 + 1;
-      chaos.clear_label_pct = 0;
-      chaos.random_label_pct = 100;
-      chaos.scramble_edges_pct = 0;
-      chaos.bogus_shortcut_pct = 0;
-      chaos.corrupt_database = false;
-      chaos.junk_messages = 0;
-      corrupt_system(sys, chaos);
-    } else if (k == "edges-only") {
-      ChaosOptions chaos;
-      chaos.seed = seed * 3 + 1;
-      chaos.clear_label_pct = 0;
-      chaos.random_label_pct = 0;
-      chaos.scramble_edges_pct = 100;
-      chaos.bogus_shortcut_pct = 0;
-      chaos.corrupt_database = false;
-      chaos.junk_messages = 0;
-      corrupt_system(sys, chaos);
-    }
+/// Chaos knobs for one named initial-state class ("chaos", "wipe",
+/// "labels-only", "edges-only"); nullopt for classes that are not
+/// ChaosOptions-shaped ("cold", "splitbrain").
+std::optional<ChaosOptions> chaos_for(const std::string& klass, std::uint64_t seed) {
+  ChaosOptions chaos;
+  chaos.seed = seed * 3 + 1;
+  if (klass == "chaos") return chaos;
+  if (klass == "wipe") {
+    chaos.wipe_database = true;
+    return chaos;
   }
-  sys.net().metrics().reset();
-  const auto rounds = sys.run_until_legit(20000);
-  if (!rounds) return {};
+  if (klass == "labels-only") {
+    // E12 ablation input: correct edges, corrupted labels everywhere —
+    // isolates the extended BuildRing label-correction machinery.
+    chaos.clear_label_pct = 0;
+    chaos.random_label_pct = 100;
+    chaos.scramble_edges_pct = 0;
+    chaos.bogus_shortcut_pct = 0;
+    chaos.corrupt_database = false;
+    chaos.junk_messages = 0;
+    return chaos;
+  }
+  if (klass == "edges-only") {
+    chaos.clear_label_pct = 0;
+    chaos.random_label_pct = 0;
+    chaos.scramble_edges_pct = 100;
+    chaos.bogus_shortcut_pct = 0;
+    chaos.corrupt_database = false;
+    chaos.junk_messages = 0;
+    return chaos;
+  }
+  return std::nullopt;
+}
+
+/// The scenario for one (class, n, seed) cell: a cold start measures its
+/// bootstrap phase; every other class bootstraps to legitimacy first and
+/// measures the corrupt-and-recover phase.
+scenario::ScenarioSpec class_scenario(const std::string& klass, std::size_t n,
+                                      std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "convergence-" + klass;
+  spec.seed = seed;
+  spec.nodes = n;
+  spec.mode = scenario::Mode::kSingleTopic;
+
+  scenario::Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = n;
+  bootstrap.converge = true;
+  bootstrap.max_rounds = klass == "cold" ? 20000 : 5000;
+  spec.phases.push_back(bootstrap);
+  if (klass == "cold") return spec;
+
+  scenario::Phase corrupt;
+  corrupt.name = "corrupt-and-recover";
+  corrupt.chaos = chaos_for(klass, seed);
+  corrupt.split_brain = klass == "splitbrain";
+  corrupt.converge = true;
+  corrupt.max_rounds = 20000;
+  spec.phases.push_back(corrupt);
+  return spec;
+}
+
+Run run_class(const std::string& klass, std::size_t n, std::uint64_t seed) {
+  scenario::ScenarioRunner runner(class_scenario(klass, n, seed));
+  const scenario::ScenarioReport& report = runner.run();
+  if (!report.ok) return {};
+  const scenario::PhaseReport& measured = report.phases.back();
   Run out;
   out.ok = true;
-  out.rounds = *rounds;
+  out.rounds = measured.convergence_rounds.value_or(0);
   out.msgs_per_node_round =
-      *rounds == 0 ? 0.0
-                   : static_cast<double>(sys.net().metrics().total_sent()) /
-                         static_cast<double>(*rounds) / static_cast<double>(n + 1);
+      out.rounds == 0 ? 0.0
+                      : static_cast<double>(measured.messages) /
+                            static_cast<double>(out.rounds) / static_cast<double>(n + 1);
   return out;
 }
 
 void print_experiment() {
+  scenario::Json series = scenario::Json::array();
   {
     Table table({"class", "n", "rounds to legit", "msgs/node/round"});
     for (const char* klass : {"cold", "chaos", "wipe", "splitbrain"}) {
@@ -85,6 +116,13 @@ void print_experiment() {
                        mid.ok ? Table::num(static_cast<std::uint64_t>(mid.rounds))
                               : std::string("DNF"),
                        Table::num(mid.msgs_per_node_round, 2)});
+        scenario::Json row = scenario::Json::object();
+        row["class"] = klass;
+        row["n"] = static_cast<std::uint64_t>(n);
+        row["ok"] = mid.ok;
+        row["rounds"] = static_cast<std::uint64_t>(mid.rounds);
+        row["msgs_per_node_round"] = mid.msgs_per_node_round;
+        series.push_back(std::move(row));
       }
     }
     table.print(
@@ -92,7 +130,8 @@ void print_experiment() {
         "(expect: cold ~log n; corrupted classes grow mildly with n)");
   }
   {
-    // E5 / Theorem 13: closure — observe a converged system.
+    // E5 / Theorem 13: closure — observe a converged system. (Stays
+    // hand-rolled: the engine has no per-round legitimacy probe.)
     Table table({"n", "closure rounds observed", "legit throughout", "msgs/node/round"});
     for (std::size_t n : {16u, 64u, 256u}) {
       SkipRingSystem sys(SkipRingSystem::Options{.seed = 5 + n, .fd_delay = 0});
@@ -127,12 +166,19 @@ void print_experiment() {
         table.add_row({klass, Table::num(static_cast<std::uint64_t>(n)),
                        r.ok ? Table::num(static_cast<std::uint64_t>(r.rounds))
                             : std::string("DNF")});
+        scenario::Json row = scenario::Json::object();
+        row["class"] = klass;
+        row["n"] = static_cast<std::uint64_t>(n);
+        row["ok"] = r.ok;
+        row["rounds"] = static_cast<std::uint64_t>(r.rounds);
+        series.push_back(std::move(row));
       }
     }
     table.print(
         "E12 / Lemma 4 ablation — corrupted labels alone vs corrupted edges "
         "alone (expect: both converge; labels repair via Check corrections)");
   }
+  ssps::bench::result_json()["convergence"] = std::move(series);
 }
 
 void BM_ConvergenceColdStart(benchmark::State& state) {
@@ -148,4 +194,4 @@ BENCHMARK(BM_ConvergenceColdStart)->Arg(64)->Arg(256)->Unit(benchmark::kMillisec
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("convergence", print_experiment)

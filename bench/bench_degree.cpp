@@ -88,4 +88,4 @@ BENCHMARK(BM_ShortcutDerivation);
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("degree", print_experiment)

@@ -2,36 +2,66 @@
 // (sole failure-detector holder) evicts crashed subscribers; relabeling
 // pulls the highest labels into the holes; survivors re-stabilize to
 // SR(n − f).
+//
+// The experiment runs through the scenario engine: one spec per (crashes,
+// fd delay) cell — bootstrap phase, then a crash wave with a convergence
+// wait — and the recovery numbers come off the phase reports, which also
+// land in BENCH_failure_recovery.json via the engine's report writer.
 #include "bench_common.hpp"
 #include "core/system.hpp"
+#include "scenario/runner.hpp"
 
 namespace {
 
 using namespace ssps;
-using namespace ssps::core;
 
 struct Recovery {
   std::size_t rounds = 0;
   bool ok = false;
   std::size_t survivors = 0;
+  std::uint64_t recovery_messages = 0;
 };
+
+scenario::ScenarioSpec crash_scenario(std::size_t n, std::size_t crashes,
+                                      sim::Round fd_delay, std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "crash-recovery";
+  spec.seed = seed;
+  spec.nodes = n;
+  spec.mode = scenario::Mode::kSingleTopic;
+  spec.fd_delay = fd_delay;
+
+  scenario::Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = n;
+  bootstrap.converge = true;
+  bootstrap.max_rounds = 8000;
+  spec.phases.push_back(bootstrap);
+
+  scenario::Phase wave;
+  wave.name = "crash-wave";
+  wave.churn.crashes = crashes;
+  wave.converge = true;
+  wave.max_rounds = 30000;
+  spec.phases.push_back(wave);
+  return spec;
+}
 
 Recovery run(std::size_t n, std::size_t crashes, sim::Round fd_delay,
              std::uint64_t seed) {
-  SkipRingSystem sys(SkipRingSystem::Options{.seed = seed, .fd_delay = fd_delay});
-  const auto ids = sys.add_subscribers(n);
-  if (!sys.run_until_legit(8000)) return {};
-  const std::size_t stride = n / crashes;
-  for (std::size_t i = 0; i < crashes; ++i) sys.crash(ids[i * stride]);
-  const auto rounds = sys.run_until_legit(30000);
+  scenario::ScenarioRunner runner(crash_scenario(n, crashes, fd_delay, seed));
+  const scenario::ScenarioReport& report = runner.run();
+  const scenario::PhaseReport& wave = report.phases.back();
   Recovery out;
-  out.ok = rounds.has_value();
-  out.rounds = rounds.value_or(0);
-  out.survivors = sys.supervisor().size();
+  out.ok = report.ok;
+  out.rounds = wave.converged ? wave.convergence_rounds.value_or(0) : 0;
+  out.survivors = runner.single().supervisor().size();
+  out.recovery_messages = wave.messages;
   return out;
 }
 
 void print_experiment() {
+  scenario::Json series = scenario::Json::array();
   Table table({"n", "crashes", "fd delay", "recovery rounds", "survivors"});
   const std::size_t n = 64;
   for (std::size_t crashes : {1u, 4u, 16u, 32u}) {
@@ -43,11 +73,21 @@ void print_experiment() {
                      r.ok ? Table::num(static_cast<std::uint64_t>(r.rounds))
                           : std::string("DNF"),
                      Table::num(static_cast<std::uint64_t>(r.survivors))});
+      scenario::Json row = scenario::Json::object();
+      row["n"] = static_cast<std::uint64_t>(n);
+      row["crashes"] = static_cast<std::uint64_t>(crashes);
+      row["fd_delay"] = static_cast<std::uint64_t>(delay);
+      row["ok"] = r.ok;
+      row["recovery_rounds"] = static_cast<std::uint64_t>(r.rounds);
+      row["survivors"] = static_cast<std::uint64_t>(r.survivors);
+      row["recovery_messages"] = r.recovery_messages;
+      series.push_back(std::move(row));
     }
   }
   table.print(
       "E11 / §3.3 — crash recovery to SR(n-f) "
       "(expect: recovery rounds grow with f and fd delay; survivors = n-f)");
+  ssps::bench::result_json()["failure_recovery"] = std::move(series);
 }
 
 void BM_CrashRecovery(benchmark::State& state) {
@@ -62,4 +102,4 @@ BENCHMARK(BM_CrashRecovery)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("failure_recovery", print_experiment)

@@ -61,4 +61,4 @@ BENCHMARK(BM_FloodOneRound)->Arg(256)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("flooding", print_experiment)

@@ -142,4 +142,4 @@ BENCHMARK(BM_SubscribeOp)->Arg(64)->Arg(512)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("join_leave", print_experiment)

@@ -121,4 +121,4 @@ BENCHMARK(BM_TrieCopy)->Arg(1024)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("patricia", print_experiment)

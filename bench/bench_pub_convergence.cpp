@@ -142,4 +142,4 @@ BENCHMARK(BM_TwoPartySync)->Arg(64)->Arg(1024)->Arg(8192)->Unit(benchmark::kMicr
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("pub_convergence", print_experiment)

@@ -76,4 +76,4 @@ BENCHMARK(BM_SteadyStateRound)->Arg(64)->Arg(512)->Arg(2048)->Unit(benchmark::kM
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("supervisor_load", print_experiment)

@@ -111,4 +111,4 @@ BENCHMARK(BM_MultiTopicRound)->Arg(4)->Arg(32)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-SSPS_BENCH_MAIN(print_experiment)
+SSPS_BENCH_MAIN("topics", print_experiment)

@@ -3,57 +3,78 @@
 // detector + database repair shrink the ring to SR(n − f) while the
 // publication history survives on the living.
 //
+// The drill is a three-phase ScenarioSpec executed through the scenario
+// engine (src/scenario) — the same spec shape `ssps_run` exercises — with
+// the narration reading its per-phase metric reports.
+//
 //   $ ./examples/failure_drill
 #include <cstdio>
 
-#include "pubsub/pubsub_node.hpp"
+#include "scenario/runner.hpp"
 
 using namespace ssps;
-using namespace ssps::core;
-using namespace ssps::pubsub;
 
 int main() {
   std::printf("== Failure drill: unannounced crashes ==\n\n");
 
-  PubSubSystem sys(SkipRingSystem::Options{.seed = 31, .fd_delay = 6}, PubSubConfig{});
-  const auto peers = sys.add_pubsub_subscribers(18);
-  sys.run_until_legit(1500);
-  std::printf("18 subscribers converged (failure detector delay: 6 rounds).\n");
+  scenario::ScenarioSpec spec;
+  spec.name = "failure-drill";
+  spec.seed = 31;
+  spec.nodes = 18;
+  spec.mode = scenario::Mode::kSingleTopic;
+  spec.fd_delay = 6;
 
-  for (int i = 0; i < 9; ++i) {
-    sys.pubsub(peers[static_cast<std::size_t>(i)]).publish("entry #" + std::to_string(i));
-  }
-  sys.net().run_until([&] { return sys.publications_converged(); }, 300);
-  std::printf("9 publications replicated to every subscriber.\n\n");
+  scenario::Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = 18;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  scenario::Phase publish;
+  publish.name = "publish";
+  publish.publish.count = 9;
+  publish.publish.gap = 1;
+  publish.converge = true;
+  spec.phases.push_back(publish);
 
   // Crash six nodes, deliberately including the label-"0" holder (the
-  // most connected node) and a publisher.
-  std::size_t crashed = 0;
-  for (sim::NodeId id : peers) {
-    const auto& label = sys.subscriber(id).label();
-    if (label && (label->to_string() == "0" || crashed < 5)) {
-      std::printf("crashing subscriber %llu (label %s)\n",
-                  static_cast<unsigned long long>(id.value),
-                  label->to_string().c_str());
-      sys.crash(id);
-      ++crashed;
-      if (crashed == 6) break;
-    }
+  // most connected node).
+  scenario::Phase crash;
+  crash.name = "crash-wave";
+  crash.churn.crashes = 6;
+  crash.churn.crash_min_label = true;
+  crash.converge = true;
+  crash.max_rounds = 5000;
+  spec.phases.push_back(crash);
+
+  scenario::ScenarioRunner runner(spec);
+
+  const auto& boot = runner.run_phase(0);
+  std::printf("18 subscribers converged after %zu rounds "
+              "(failure detector delay: 6 rounds).\n",
+              *boot.convergence_rounds);
+
+  const auto& pubs = runner.run_phase(1);
+  std::printf("%zu publications replicated to every subscriber "
+              "(%llu messages).\n\n",
+              pubs.publications, static_cast<unsigned long long>(pubs.messages));
+
+  const auto& heal = runner.run_phase(2);
+  std::printf("crashed 6 subscribers (label \"0\" holder included).\n");
+  if (heal.converged) {
+    std::printf("re-stabilized to SR(%zu) after %zu rounds.\n",
+                runner.single().supervisor().size(), *heal.convergence_rounds);
+    std::printf("publication history intact on all survivors (%zu entries).\n",
+                heal.publications);
+  } else {
+    std::printf("did NOT re-stabilize within the budget! (%zu publications seen)\n",
+                heal.publications);
   }
 
-  const auto heal = sys.run_until_legit(5000);
-  std::printf("\nre-stabilized to SR(%zu) after %zu rounds.\n",
-              sys.supervisor().size(), *heal);
-
-  const auto pubs_ok =
-      sys.net().run_until([&] { return sys.publications_converged(); }, 500);
-  std::printf("publication history intact on all survivors after %zu more rounds "
-              "(%zu entries).\n",
-              *pubs_ok, sys.distinct_publications());
-
+  const bool legit = runner.single().topology_legit();
   std::printf("\nsupervisor database consistent: %s; survivors: %zu; every edge\n"
               "matches SR(n−f): %s\n",
-              sys.supervisor().database_consistent() ? "yes" : "no",
-              sys.supervisor().size(), sys.topology_legit() ? "yes" : "no");
-  return sys.topology_legit() ? 0 : 1;
+              runner.single().supervisor().database_consistent() ? "yes" : "no",
+              runner.single().supervisor().size(), legit ? "yes" : "no");
+  return legit && heal.converged ? 0 : 1;
 }

@@ -1,10 +1,13 @@
 // Quickstart: build one supervised skip ring, publish, watch everyone
-// receive — the 60-second tour of the library.
+// receive — the 60-second tour of the library, driven by the scenario
+// engine (src/scenario): the whole run is one declarative ScenarioSpec
+// executed phase by phase through a ScenarioRunner, and every number
+// printed below comes off its JSON-serializable phase reports.
 //
 //   $ ./examples/quickstart
 #include <cstdio>
 
-#include "pubsub/pubsub_node.hpp"
+#include "scenario/runner.hpp"
 
 using namespace ssps;
 
@@ -13,22 +16,49 @@ int main() {
 
   // A system = one supervisor process + any number of subscribers,
   // connected by an asynchronous message-passing network (the paper's
-  // model, simulated deterministically from a seed).
-  pubsub::PubSubSystem system(core::SkipRingSystem::Options{.seed = 2026, .fd_delay = 0},
-                              pubsub::PubSubConfig{});
+  // model, simulated deterministically from a seed). The scenario spec
+  // says WHAT happens; the runner drives the simulation and samples
+  // metrics around each phase.
+  scenario::ScenarioSpec spec;
+  spec.name = "quickstart";
+  spec.seed = 2026;
+  spec.nodes = 8;
+  spec.mode = scenario::Mode::kSingleTopic;
+
+  scenario::Phase subscribe;
+  subscribe.name = "subscribe";
+  subscribe.churn.joins = 8;
+  subscribe.converge = true;
+  spec.phases.push_back(subscribe);
+
+  scenario::Phase publish;
+  publish.name = "publish";
+  publish.publish.count = 1;
+  publish.publish.payload_bytes = 15;  // "hello, overlay!"
+  publish.converge = true;
+  spec.phases.push_back(publish);
+
+  scenario::Phase late;
+  late.name = "late-joiner";
+  late.churn.joins = 1;
+  late.converge = true;
+  spec.phases.push_back(late);
+
+  scenario::ScenarioRunner runner(spec);
 
   // Eight peers subscribe. Nobody knows anybody — each only knows the
   // supervisor (the commonly known gateway of §1).
-  const auto peers = system.add_pubsub_subscribers(8);
-  std::printf("subscribed %zu peers; stabilizing the skip ring ...\n", peers.size());
-
-  const auto rounds = system.run_until_legit(1000);
-  std::printf("topology legitimate after %zu rounds.\n\n", *rounds);
+  const auto& boot = runner.run_phase(0);
+  std::printf("subscribed %zu peers; topology legitimate after %zu rounds\n"
+              "(%llu messages, %llu wire bytes).\n\n",
+              boot.alive_nodes, *boot.convergence_rounds,
+              static_cast<unsigned long long>(boot.messages),
+              static_cast<unsigned long long>(boot.bytes));
 
   // Show the converged ring: every subscriber got a label from the
   // supervisor; ring edges + shortcuts follow Definition 2.
-  for (sim::NodeId id : peers) {
-    const auto& sub = system.subscriber(id);
+  for (sim::NodeId id : runner.single().subscriber_ids()) {
+    const auto& sub = runner.single().subscriber(id);
     std::printf("  peer %llu: label %-4s  r=%-6.4f  degree=%zu\n",
                 static_cast<unsigned long long>(id.value),
                 sub.label()->to_string().c_str(), sub.label()->r().to_double(),
@@ -37,24 +67,17 @@ int main() {
 
   // Publish: flooding spreads it in O(log n) rounds; the Patricia-trie
   // anti-entropy would deliver it even if flooding failed.
-  std::printf("\npeer %llu publishes \"hello, overlay!\" ...\n",
-              static_cast<unsigned long long>(peers[0].value));
-  system.pubsub(peers[0]).publish("hello, overlay!");
-  const auto spread =
-      system.net().run_until([&] { return system.publications_converged(); }, 100);
+  std::printf("\na random peer publishes ...\n");
+  const auto& spread = runner.run_phase(1);
   std::printf("all %zu subscribers hold the publication after %zu rounds.\n",
-              peers.size(), *spread);
+              spread.alive_nodes, *spread.convergence_rounds);
 
   // A latecomer subscribes and receives the full history automatically.
-  const sim::NodeId late = system.add_pubsub_subscriber();
-  system.net().run_until(
-      [&] { return system.topology_legit() && system.pubsub(late).trie().size() == 1; },
-      1000);
-  std::printf("late joiner %llu caught up on history (%zu publication).\n",
-              static_cast<unsigned long long>(late.value),
-              system.pubsub(late).trie().size());
+  const auto& caught_up = runner.run_phase(2);
+  std::printf("late joiner caught up on history (%zu publication) after %zu rounds.\n",
+              caught_up.publications, *caught_up.convergence_rounds);
 
-  std::printf("\nDone. See examples/news_service.cpp and examples/chat_groups.cpp\n"
-              "for multi-topic and fault-recovery scenarios.\n");
+  std::printf("\nDone. The same engine powers ./ssps_run --scenario steady|churn-wave|...\n"
+              "for JSON metrics reports; see examples/failure_drill.cpp for crashes.\n");
   return 0;
 }

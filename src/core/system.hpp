@@ -94,6 +94,11 @@ class SkipRingSystem {
   SupervisorProtocol& supervisor();
   const SupervisorProtocol& supervisor() const;
 
+  /// The supervisor's failure detector; scenarios retune its delay mid-run
+  /// to model degrading/improving crash detection.
+  sim::FailureDetector& failure_detector() { return *fd_; }
+  const sim::FailureDetector& failure_detector() const { return *fd_; }
+
   /// Spawns a fresh subscriber node; it subscribes on its first Timeout.
   sim::NodeId add_subscriber();
 

@@ -34,6 +34,8 @@ void MultiTopicNode::unsubscribe(TopicId topic) {
   it->second.sub->request_unsubscribe();
 }
 
+void MultiTopicNode::drop_topic(TopicId topic) { topics_.erase(topic); }
+
 void MultiTopicNode::publish(TopicId topic, std::string payload) {
   instance(topic).ps->publish(std::move(payload));
 }

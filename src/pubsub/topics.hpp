@@ -67,6 +67,13 @@ class MultiTopicNode final : public sim::Node {
   /// Requests departure; the instance is deleted once permission arrives
   /// ("the subscriber may remove the respective BuildSR protocol", §4).
   void unsubscribe(TopicId topic);
+
+  /// Forcibly discards the per-topic instance without the departure
+  /// handshake. Used when the topic's supervisor crashed (no one can grant
+  /// permission) and the topic is being rehomed onto another supervisor;
+  /// stale traffic for the dropped topic is answered with RemoveConnections
+  /// by the departed-topic path in handle().
+  void drop_topic(TopicId topic);
   void publish(TopicId topic, std::string payload);
 
   bool subscribed(TopicId topic) const { return topics_.contains(topic); }

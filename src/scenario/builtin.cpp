@@ -1,0 +1,250 @@
+#include "scenario/builtin.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ssps::scenario {
+
+namespace {
+
+std::size_t at_least(std::size_t v, std::size_t floor_) { return std::max(v, floor_); }
+
+/// One supervised ring living its whole life: bootstrap, a steady-state
+/// maintenance window, then a publish burst. The baseline every other
+/// scenario is compared against.
+ScenarioSpec steady(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "steady";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kSingleTopic;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase steady_window;
+  steady_window.name = "steady";
+  steady_window.run = 50;
+  steady_window.converge = true;
+  spec.phases.push_back(steady_window);
+
+  Phase burst;
+  burst.name = "publish-burst";
+  burst.publish.count = at_least(nodes / 4, 4);
+  burst.publish.gap = 1;
+  burst.converge = true;
+  spec.phases.push_back(burst);
+  return spec;
+}
+
+/// Waves of join/leave/crash churn over a sharded multi-topic deployment,
+/// including one supervisor crash and one supervisor join — the PSVR-style
+/// stabilization-under-churn evaluation plus consistent-hashing arc
+/// rebalancing.
+ScenarioSpec churn_wave(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "churn-wave";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kMultiTopic;
+  spec.supervisors = 3;
+  spec.topics = at_least(nodes / 4, 4);
+  spec.topics_per_client = 2;
+  spec.fd_delay = 2;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase seed_pubs;
+  seed_pubs.name = "seed-publications";
+  seed_pubs.publish.count = at_least(nodes / 2, 4);
+  seed_pubs.converge = true;
+  spec.phases.push_back(seed_pubs);
+
+  Phase wave1;
+  wave1.name = "wave-1";
+  wave1.churn.joins = at_least(nodes / 4, 2);
+  wave1.churn.leaves = at_least(nodes / 8, 1);
+  wave1.churn.crashes = at_least(nodes / 8, 1);
+  wave1.converge = true;
+  spec.phases.push_back(wave1);
+
+  Phase sup_crash;
+  sup_crash.name = "supervisor-crash";
+  sup_crash.crash_supervisors = 1;
+  sup_crash.converge = true;
+  spec.phases.push_back(sup_crash);
+
+  Phase sup_join;
+  sup_join.name = "supervisor-join";
+  sup_join.add_supervisors = 1;
+  sup_join.converge = true;
+  spec.phases.push_back(sup_join);
+
+  Phase wave2;
+  wave2.name = "wave-2";
+  wave2.set_fd_delay = 6;  // degraded detector during the second wave
+  wave2.churn.joins = at_least(nodes / 8, 1);
+  wave2.churn.crashes = at_least(nodes / 8, 1);
+  wave2.converge = true;
+  spec.phases.push_back(wave2);
+  return spec;
+}
+
+/// Flash crowd: a sharded deployment at rest, then every client subscribes
+/// to one hot topic at once and a publish burst hits it.
+ScenarioSpec flash_crowd(std::uint64_t seed, std::size_t nodes) {
+  constexpr TopicId kHotTopic = 1;
+  ScenarioSpec spec;
+  spec.name = "flash-crowd";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kMultiTopic;
+  spec.supervisors = 2;
+  spec.topics = at_least(nodes / 2, 8);
+  spec.topics_per_client = 1;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase flash;
+  flash.name = "flash";
+  flash.flash_crowd_topic = kHotTopic;
+  flash.converge = true;
+  spec.phases.push_back(flash);
+
+  Phase burst;
+  burst.name = "hot-burst";
+  burst.publish.count = at_least(nodes / 2, 8);
+  burst.publish.topic = kHotTopic;
+  burst.publish.gap = 1;
+  burst.converge = true;
+  spec.phases.push_back(burst);
+  return spec;
+}
+
+/// Zipf-skewed topic publication workload (the VCube-PS evaluation shape):
+/// most publications hit a few hot topics; per-supervisor load and
+/// per-topic fan-out are the quantities of interest.
+ScenarioSpec zipf_topics(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "zipf-topics";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kMultiTopic;
+  spec.supervisors = 3;
+  spec.topics = at_least(nodes, 8);
+  spec.topics_per_client = 3;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase workload;
+  workload.name = "zipf-workload";
+  workload.publish.count = at_least(2 * nodes, 16);
+  workload.publish.zipf_s = 1.2;
+  workload.publish.gap = 1;
+  workload.converge = true;
+  spec.phases.push_back(workload);
+  return spec;
+}
+
+/// Split-brain partition plus adversarial corruption: the hardest recovery
+/// drill the chaos layer offers, measured phase by phase.
+ScenarioSpec partition_drill(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "partition-drill";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kSingleTopic;
+  spec.fd_delay = 4;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase pubs;
+  pubs.name = "seed-publications";
+  pubs.publish.count = at_least(nodes / 4, 3);
+  pubs.converge = true;
+  spec.phases.push_back(pubs);
+
+  Phase partition;
+  partition.name = "split-brain";
+  partition.split_brain = true;
+  partition.converge = true;
+  spec.phases.push_back(partition);
+
+  Phase aftershock;
+  aftershock.name = "chaos-aftershock";
+  core::ChaosOptions chaos;
+  chaos.seed = seed * 31 + 7;
+  aftershock.chaos = chaos;
+  aftershock.converge = true;
+  spec.phases.push_back(aftershock);
+
+  Phase crashes;
+  crashes.name = "crash-minimum";
+  crashes.set_fd_delay = 2;
+  crashes.churn.crashes = at_least(nodes / 6, 1);
+  crashes.churn.crash_min_label = true;
+  crashes.converge = true;
+  spec.phases.push_back(crashes);
+  return spec;
+}
+
+/// Single registry: name -> factory. --list, is_builtin and
+/// builtin_scenario all read this table, so a new scenario is one entry.
+struct BuiltinEntry {
+  const char* name;
+  ScenarioSpec (*make)(std::uint64_t seed, std::size_t nodes);
+};
+
+constexpr BuiltinEntry kBuiltins[] = {
+    {"steady", steady},
+    {"churn-wave", churn_wave},
+    {"flash-crowd", flash_crowd},
+    {"zipf-topics", zipf_topics},
+    {"partition-drill", partition_drill},
+};
+
+}  // namespace
+
+std::vector<std::string> builtin_names() {
+  std::vector<std::string> names;
+  for (const BuiltinEntry& entry : kBuiltins) names.emplace_back(entry.name);
+  return names;
+}
+
+bool is_builtin(const std::string& name) {
+  for (const BuiltinEntry& entry : kBuiltins) {
+    if (name == entry.name) return true;
+  }
+  return false;
+}
+
+ScenarioSpec builtin_scenario(const std::string& name, std::uint64_t seed,
+                              std::size_t nodes) {
+  for (const BuiltinEntry& entry : kBuiltins) {
+    if (name == entry.name) return entry.make(seed, nodes);
+  }
+  SSPS_ASSERT_MSG(false, "unknown built-in scenario name");
+  return {};
+}
+
+}  // namespace ssps::scenario

@@ -1,0 +1,30 @@
+// The named scenario library behind `ssps_run --scenario <name>`.
+//
+//   steady          one ring: bootstrap, steady maintenance, publish burst
+//   churn-wave      supervisor group + topics under waves of client churn,
+//                   one supervisor crash and one supervisor join (arc
+//                   rebalancing), and a failure-detector retune
+//   flash-crowd     everyone piles into one hot topic, then a publish burst
+//   zipf-topics     Zipf-skewed publication workload over many topics
+//   partition-drill split-brain + adversarial corruption recovery drill
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace ssps::scenario {
+
+/// Names of all built-in scenarios, in presentation order.
+std::vector<std::string> builtin_names();
+
+/// True if `name` names a built-in scenario.
+bool is_builtin(const std::string& name);
+
+/// Builds the named scenario for `nodes` clients under `seed`. Aborts on
+/// an unknown name (check is_builtin first when handling user input).
+ScenarioSpec builtin_scenario(const std::string& name, std::uint64_t seed,
+                              std::size_t nodes);
+
+}  // namespace ssps::scenario

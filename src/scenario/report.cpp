@@ -1,0 +1,97 @@
+#include "scenario/report.hpp"
+
+#include <cstdio>
+
+namespace ssps::scenario {
+
+namespace {
+
+const char* mode_name(Mode mode) {
+  return mode == Mode::kSingleTopic ? "single-topic" : "multi-topic";
+}
+
+Json phase_to_json(const PhaseReport& p) {
+  Json j = Json::object();
+  j["name"] = p.name;
+  j["rounds"] = static_cast<std::uint64_t>(p.rounds);
+  j["converged"] = p.converged;
+  if (p.convergence_rounds) {
+    j["convergence_rounds"] = static_cast<std::uint64_t>(*p.convergence_rounds);
+  }
+  j["messages"] = p.messages;
+  j["delivered"] = p.delivered;
+  j["bytes"] = p.bytes;
+  Json labels = Json::object();
+  for (const auto& [name, cb] : p.by_label) {
+    Json entry = Json::object();
+    entry["count"] = cb.first;
+    entry["bytes"] = cb.second;
+    labels[name] = std::move(entry);
+  }
+  j["by_label"] = std::move(labels);
+  j["alive_nodes"] = static_cast<std::uint64_t>(p.alive_nodes);
+  j["publications"] = static_cast<std::uint64_t>(p.publications);
+  j["moved_topics"] = static_cast<std::uint64_t>(p.moved_topics);
+  Json load = Json::array();
+  for (const SupervisorLoad& s : p.supervisor_load) {
+    Json entry = Json::object();
+    entry["node"] = s.node.value;
+    entry["received"] = s.received;
+    entry["topics"] = static_cast<std::uint64_t>(s.topics);
+    entry["database"] = static_cast<std::uint64_t>(s.database);
+    entry["arc_share"] = s.arc_share;
+    load.push_back(std::move(entry));
+  }
+  j["supervisor_load"] = std::move(load);
+  if (!p.topic_fanout.empty()) {
+    Json fanout = Json::object();
+    for (const auto& [topic, subs] : p.topic_fanout) {
+      fanout[std::to_string(topic)] = static_cast<std::uint64_t>(subs);
+    }
+    j["topic_fanout"] = std::move(fanout);
+  }
+  return j;
+}
+
+}  // namespace
+
+Json ScenarioReport::to_json() const {
+  Json j = Json::object();
+  j["scenario"] = scenario;
+  j["seed"] = seed;
+  j["nodes"] = static_cast<std::uint64_t>(nodes);
+  j["mode"] = mode_name(mode);
+  j["supervisors"] = static_cast<std::uint64_t>(supervisors);
+  j["topics"] = static_cast<std::uint64_t>(topics);
+  j["ok"] = ok;
+  Json totals = Json::object();
+  totals["rounds"] = static_cast<std::uint64_t>(total_rounds);
+  totals["messages"] = total_messages;
+  totals["bytes"] = total_bytes;
+  j["totals"] = std::move(totals);
+  Json phase_arr = Json::array();
+  for (const PhaseReport& p : phases) phase_arr.push_back(phase_to_json(p));
+  j["phases"] = std::move(phase_arr);
+  return j;
+}
+
+bool write_json_file(const std::string& path, const Json& doc) {
+  const std::string text = doc.dump(2);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fclose(f) == 0 && ok;  // fclose flushes; a full disk surfaces here
+  if (!ok) std::remove(path.c_str());
+  return ok;
+}
+
+std::string bench_json_path(const std::string& bench_name) {
+  return "BENCH_" + bench_name + ".json";
+}
+
+bool write_bench_json(const std::string& bench_name, Json fields) {
+  fields["bench"] = bench_name;
+  return write_json_file(bench_json_path(bench_name), fields);
+}
+
+}  // namespace ssps::scenario

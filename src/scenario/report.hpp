@@ -1,0 +1,85 @@
+// Machine-readable scenario results.
+//
+// A ScenarioReport is the engine's only output: per-phase traffic,
+// convergence and load samples plus scenario-level totals, serializable to
+// deterministic JSON (json.hpp). The same writer backs the bench binaries'
+// BENCH_<name>.json artifacts so the performance trajectory accumulates in
+// one uniform format.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/json.hpp"
+#include "scenario/spec.hpp"
+#include "sim/types.hpp"
+
+namespace ssps::scenario {
+
+/// Load sample for one supervisor process.
+struct SupervisorLoad {
+  sim::NodeId node;
+  std::uint64_t received = 0;   ///< messages delivered to it this phase
+  std::size_t topics = 0;       ///< topics it currently serves (multi mode)
+  std::size_t database = 0;     ///< total database tuples across its topics
+  double arc_share = 0.0;       ///< fraction of the hash ring it owns
+};
+
+/// Everything measured over one phase. Under Scheduler::kAsync the two
+/// duration fields count async steps instead of rounds.
+struct PhaseReport {
+  std::string name;
+  std::size_t rounds = 0;          ///< scheduler budget consumed (incl. wait)
+  bool converged = false;          ///< meaningful when the phase waited
+  std::optional<std::size_t> convergence_rounds;
+
+  std::uint64_t messages = 0;      ///< sends during the phase
+  std::uint64_t delivered = 0;     ///< deliveries during the phase
+  std::uint64_t bytes = 0;         ///< wire bytes sent during the phase
+  /// Per-action-label (count, bytes) send counters.
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_label;
+
+  std::size_t alive_nodes = 0;     ///< alive client nodes at phase end
+  std::size_t publications = 0;    ///< distinct publications in the system
+  std::size_t moved_topics = 0;    ///< topics rehomed by group changes
+
+  std::vector<SupervisorLoad> supervisor_load;
+  /// topic -> subscriber count at phase end (multi-topic mode).
+  std::map<TopicId, std::size_t> topic_fanout;
+};
+
+/// The full result of one ScenarioRunner::run().
+struct ScenarioReport {
+  std::string scenario;
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  Mode mode = Mode::kSingleTopic;
+  std::size_t supervisors = 0;
+  std::size_t topics = 0;
+
+  std::vector<PhaseReport> phases;
+
+  bool ok = false;                 ///< every convergence wait succeeded
+  std::size_t total_rounds = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+
+  Json to_json() const;
+};
+
+/// Writes `doc` to `path` (pretty-printed, trailing newline). Returns
+/// false and leaves no partial file behind on I/O failure.
+bool write_json_file(const std::string& path, const Json& doc);
+
+/// Canonical artifact name for a bench result: "BENCH_<name>.json".
+std::string bench_json_path(const std::string& bench_name);
+
+/// Wraps a bench result object ({"bench": name, ...fields}) and writes it
+/// to BENCH_<name>.json in the working directory. The bench harness calls
+/// this once per binary run.
+bool write_bench_json(const std::string& bench_name, Json fields);
+
+}  // namespace ssps::scenario

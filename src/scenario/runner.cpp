@@ -1,0 +1,505 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "core/label.hpp"
+
+namespace ssps::scenario {
+
+namespace {
+
+/// Decorrelates the runner's decision stream from the network's scheduler
+/// stream (both derive from the one spec seed).
+constexpr std::uint64_t kRunnerSeedSalt = 0x5c3ec0de5c3ec0deULL;
+
+}  // namespace
+
+ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed ^ kRunnerSeedSalt) {
+  // run_phase() hands out references into this vector which callers hold
+  // across subsequent run_phase() calls (see examples/); never reallocate.
+  report_.phases.reserve(spec_.phases.size());
+  report_.scenario = spec_.name;
+  report_.seed = spec_.seed;
+  report_.nodes = spec_.nodes;
+  report_.mode = spec_.mode;
+  report_.supervisors = spec_.supervisors;
+  report_.topics = spec_.topics;
+
+  if (spec_.mode == Mode::kSingleTopic) {
+    single_ = std::make_unique<pubsub::PubSubSystem>(
+        core::SkipRingSystem::Options{.seed = spec_.seed, .fd_delay = spec_.fd_delay},
+        spec_.pubsub);
+  } else {
+    SSPS_ASSERT_MSG(spec_.supervisors >= 1, "multi-topic scenario needs a supervisor");
+    SSPS_ASSERT_MSG(spec_.topics >= 1, "multi-topic scenario needs topics");
+    multi_net_ = std::make_unique<sim::Network>(spec_.seed);
+    fd_ = std::make_unique<sim::FailureDetector>(*multi_net_, spec_.fd_delay);
+    fd_slot_ = fd_.get();
+    std::vector<sim::NodeId> initial;
+    for (std::size_t i = 0; i < spec_.supervisors; ++i) initial.push_back(spawn_supervisor());
+    group_ = std::make_unique<pubsub::SupervisorGroup>(initial, spec_.virtual_nodes);
+  }
+}
+
+sim::Network& ScenarioRunner::net() {
+  return spec_.mode == Mode::kSingleTopic ? single_->net() : *multi_net_;
+}
+
+pubsub::PubSubSystem& ScenarioRunner::single() {
+  SSPS_ASSERT_MSG(single_ != nullptr, "single(): scenario is multi-topic");
+  return *single_;
+}
+
+const pubsub::PubSubSystem& ScenarioRunner::single() const {
+  SSPS_ASSERT_MSG(single_ != nullptr, "single(): scenario is multi-topic");
+  return *single_;
+}
+
+const pubsub::SupervisorGroup& ScenarioRunner::group() const {
+  SSPS_ASSERT_MSG(group_ != nullptr, "group(): scenario is single-topic");
+  return *group_;
+}
+
+std::vector<sim::NodeId> ScenarioRunner::topic_members(TopicId topic) const {
+  auto it = members_.find(topic);
+  return it == members_.end() ? std::vector<sim::NodeId>{} : it->second;
+}
+
+const ScenarioReport& ScenarioRunner::run() {
+  while (next_phase_ < spec_.phases.size()) run_phase(next_phase_);
+  report_.ok = true;
+  report_.total_rounds = 0;
+  report_.total_messages = 0;
+  report_.total_bytes = 0;
+  for (std::size_t i = 0; i < report_.phases.size(); ++i) {
+    const PhaseReport& p = report_.phases[i];
+    if (spec_.phases[i].converge && !p.converged) report_.ok = false;
+    report_.total_rounds += p.rounds;
+    report_.total_messages += p.messages;
+    report_.total_bytes += p.bytes;
+  }
+  return report_;
+}
+
+const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
+  SSPS_ASSERT_MSG(index == next_phase_ && index < spec_.phases.size(),
+                  "run_phase: phases must execute in declaration order");
+  const Phase& phase = spec_.phases[index];
+  next_phase_ += 1;
+
+  PhaseReport out;
+  out.name = phase.name;
+
+  sim::Network& network = net();
+  network.metrics().reset();
+  const sim::Round round_start = network.round();
+  const sim::Step step_start = network.now();
+
+  if (phase.set_fd_delay) apply_fd_delay(*phase.set_fd_delay);
+  if (spec_.mode == Mode::kMultiTopic) apply_supervisor_changes(phase, out);
+  apply_churn(phase.churn);
+  if (phase.flash_crowd_topic) apply_flash_crowd(*phase.flash_crowd_topic);
+  apply_chaos(phase);
+  apply_publish(phase.publish);
+
+  run_budget(phase.run);
+  if (phase.converge) {
+    out.convergence_rounds = wait_converged(phase.max_rounds, out.converged);
+  }
+
+  out.rounds = spec_.scheduler == Scheduler::kRounds
+                   ? static_cast<std::size_t>(network.round() - round_start)
+                   : static_cast<std::size_t>(network.now() - step_start);
+
+  sample(phase, out);
+  report_.phases.push_back(std::move(out));
+  return report_.phases.back();
+}
+
+void ScenarioRunner::apply_fd_delay(sim::Round delay) {
+  if (spec_.mode == Mode::kSingleTopic) {
+    single_->failure_detector().set_delay(delay);
+  } else {
+    fd_->set_delay(delay);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Churn
+// ---------------------------------------------------------------------------
+
+sim::NodeId ScenarioRunner::pick_active_single() {
+  const auto active = single_->active_ids();
+  SSPS_ASSERT_MSG(!active.empty(), "churn: no active subscriber left to pick");
+  return active[rng_.pick_index(active)];
+}
+
+void ScenarioRunner::apply_churn(const ChurnWave& churn) {
+  if (spec_.mode == Mode::kSingleTopic) {
+    std::size_t crashes = churn.crashes;
+    if (churn.crash_min_label && crashes > 0) {
+      // The label-"0" holder is the hub of every shortcut table — the
+      // worst-case crash the drill scenarios aim at.
+      for (sim::NodeId id : single_->active_ids()) {
+        const auto& label = single_->subscriber(id).label();
+        if (label && *label == core::Label::from_index(0)) {
+          single_->crash(id);
+          crashes -= 1;
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < crashes; ++i) single_->crash(pick_active_single());
+    for (std::size_t i = 0; i < churn.leaves; ++i) {
+      single_->request_unsubscribe(pick_active_single());
+    }
+    for (std::size_t i = 0; i < churn.joins; ++i) single_->add_pubsub_subscriber();
+    return;
+  }
+
+  // Multi-topic: a crash removes one client everywhere; a leave is one
+  // graceful (client, topic) unsubscribe; a join spawns a client that
+  // subscribes to `topics_per_client` random topics.
+  for (std::size_t i = 0; i < churn.crashes && !clients_.empty(); ++i) {
+    const std::size_t at = rng_.pick_index(clients_);
+    const sim::NodeId victim = clients_[at];
+    multi_net_->crash(victim);
+    clients_.erase(clients_.begin() + static_cast<std::ptrdiff_t>(at));
+    for (auto& [topic, members] : members_) {
+      std::erase(members, victim);
+      if (members.empty()) pubs_per_topic_[topic] = 0;  // history died with them
+    }
+  }
+  for (std::size_t i = 0; i < churn.leaves; ++i) {
+    std::vector<TopicId> candidates;
+    for (const auto& [topic, members] : members_) {
+      if (!members.empty()) candidates.push_back(topic);
+    }
+    if (candidates.empty()) break;
+    const TopicId topic = candidates[rng_.pick_index(candidates)];
+    auto& members = members_[topic];
+    const std::size_t at = rng_.pick_index(members);
+    const sim::NodeId leaver = members[at];
+    multi_net_->node_as<pubsub::MultiTopicNode>(leaver).unsubscribe(topic);
+    members.erase(members.begin() + static_cast<std::ptrdiff_t>(at));
+    if (members.empty()) pubs_per_topic_[topic] = 0;
+  }
+  for (std::size_t i = 0; i < churn.joins; ++i) spawn_client();
+}
+
+void ScenarioRunner::spawn_client() {
+  const sim::NodeId id = multi_net_->spawn<pubsub::MultiTopicNode>(
+      [this](TopicId t) { return group_->supervisor_for(t); }, spec_.pubsub);
+  clients_.push_back(id);
+  // Subscribe to `topics_per_client` distinct topics, chosen uniformly.
+  const std::size_t want = std::min(spec_.topics_per_client, spec_.topics);
+  std::vector<TopicId> universe;
+  universe.reserve(spec_.topics);
+  for (std::size_t t = 1; t <= spec_.topics; ++t) {
+    universe.push_back(static_cast<TopicId>(t));
+  }
+  for (std::size_t i = 0; i < want; ++i) {
+    const std::size_t at = rng_.between(i, universe.size() - 1);
+    std::swap(universe[i], universe[at]);
+    subscribe_client(id, universe[i]);
+  }
+}
+
+void ScenarioRunner::subscribe_client(sim::NodeId client, TopicId topic) {
+  auto& members = members_[topic];
+  if (std::find(members.begin(), members.end(), client) != members.end()) return;
+  multi_net_->node_as<pubsub::MultiTopicNode>(client).subscribe(topic);
+  members.push_back(client);
+}
+
+void ScenarioRunner::apply_flash_crowd(TopicId topic) {
+  SSPS_ASSERT_MSG(spec_.mode == Mode::kMultiTopic,
+                  "flash_crowd_topic requires a multi-topic scenario");
+  for (sim::NodeId client : clients_) subscribe_client(client, topic);
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial state
+// ---------------------------------------------------------------------------
+
+void ScenarioRunner::apply_chaos(const Phase& phase) {
+  if (!phase.chaos && !phase.split_brain) return;
+  SSPS_ASSERT_MSG(spec_.mode == Mode::kSingleTopic,
+                  "chaos/split_brain require a single-topic scenario");
+  if (phase.chaos) core::corrupt_system(*single_, *phase.chaos);
+  if (phase.split_brain) core::split_brain(*single_, rng_.next());
+}
+
+// ---------------------------------------------------------------------------
+// Publishing
+// ---------------------------------------------------------------------------
+
+std::string ScenarioRunner::make_payload(std::size_t payload_bytes) {
+  std::string payload = "p" + std::to_string(payload_seq_++);
+  if (payload.size() < payload_bytes) payload.resize(payload_bytes, 'x');
+  return payload;
+}
+
+TopicId ScenarioRunner::pick_topic(const PublishLoad& load) {
+  if (load.topic) return *load.topic;
+  std::vector<TopicId> candidates;
+  for (const auto& [topic, members] : members_) {
+    if (!members.empty()) candidates.push_back(topic);
+  }
+  SSPS_ASSERT_MSG(!candidates.empty(), "publish: no topic has any subscriber");
+  if (load.zipf_s <= 0.0) return candidates[rng_.pick_index(candidates)];
+  // Zipf over the candidate ranks: rank r (0-based) has weight (r+1)^-s.
+  double total = 0.0;
+  std::vector<double> cumulative(candidates.size());
+  for (std::size_t r = 0; r < candidates.size(); ++r) {
+    total += std::pow(static_cast<double>(r + 1), -load.zipf_s);
+    cumulative[r] = total;
+  }
+  const double u = rng_.uniform01() * total;
+  const auto it = std::lower_bound(cumulative.begin(), cumulative.end(), u);
+  const std::size_t r = std::min(
+      static_cast<std::size_t>(it - cumulative.begin()), candidates.size() - 1);
+  return candidates[r];
+}
+
+void ScenarioRunner::apply_publish(const PublishLoad& load) {
+  for (std::size_t i = 0; i < load.count; ++i) {
+    if (spec_.mode == Mode::kSingleTopic) {
+      single_->pubsub(pick_active_single()).publish(make_payload(load.payload_bytes));
+    } else {
+      const TopicId topic = pick_topic(load);
+      auto& members = members_[topic];
+      if (members.empty()) continue;  // pinned topic may be empty
+      const sim::NodeId publisher = members[rng_.pick_index(members)];
+      multi_net_->node_as<pubsub::MultiTopicNode>(publisher).publish(
+          topic, make_payload(load.payload_bytes));
+      pubs_per_topic_[topic] += 1;
+    }
+    if (load.gap > 0 && i + 1 < load.count) run_budget(load.gap);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor-group membership (multi-topic mode)
+// ---------------------------------------------------------------------------
+
+sim::NodeId ScenarioRunner::spawn_supervisor() {
+  const sim::NodeId id = multi_net_->spawn<pubsub::MultiTopicSupervisorNode>(&fd_slot_);
+  sup_ids_.push_back(id);
+  return id;
+}
+
+void ScenarioRunner::rehome_topic(TopicId topic, sim::NodeId old_owner,
+                                  bool graceful) {
+  auto it = members_.find(topic);
+  if (it == members_.end() || it->second.empty()) return;
+  const std::vector<sim::NodeId> members = it->second;
+
+  // Every member's local store survives the handoff: clients re-add their
+  // publications into the fresh per-topic instance at the new owner, and
+  // anti-entropy re-spreads anything a member was missing.
+  std::map<sim::NodeId, std::vector<pubsub::Publication>> saved;
+  for (sim::NodeId m : members) {
+    auto& node = multi_net_->node_as<pubsub::MultiTopicNode>(m);
+    if (!node.subscribed(topic)) continue;
+    saved[m] = node.pubsub(topic).trie().all();
+    if (graceful) {
+      node.unsubscribe(topic);
+    } else {
+      node.drop_topic(topic);
+    }
+  }
+  if (graceful) {
+    // Let the departure handshake with the (still alive) old owner finish.
+    const auto done = multi_net_->run_until(
+        [&] {
+          for (sim::NodeId m : members) {
+            if (multi_net_->node_as<pubsub::MultiTopicNode>(m).subscribed(topic)) {
+              return false;
+            }
+          }
+          return true;
+        },
+        1000);
+    if (!done) {
+      // Handshake timed out (e.g. an extreme fd_delay): fall back to a
+      // forced drop so the member still moves — subscribe() below would
+      // otherwise no-op on the lingering instance. Inject an Unsubscribe
+      // tombstone at the old owner for each dropped member so its (still
+      // alive) database does not keep managing clients the new owner now
+      // serves.
+      for (sim::NodeId m : members) {
+        auto& node = multi_net_->node_as<pubsub::MultiTopicNode>(m);
+        if (!node.subscribed(topic)) continue;
+        node.drop_topic(topic);
+        if (old_owner) {
+          multi_net_->inject(old_owner,
+                             std::make_unique<pubsub::TopicEnvelope>(
+                                 topic, std::make_unique<core::msg::Unsubscribe>(m)));
+        }
+      }
+    }
+  }
+  for (sim::NodeId m : members) {
+    auto& node = multi_net_->node_as<pubsub::MultiTopicNode>(m);
+    node.subscribe(topic);
+    for (const pubsub::Publication& p : saved[m]) node.pubsub(topic).add_local(p);
+  }
+}
+
+void ScenarioRunner::apply_supervisor_changes(const Phase& phase, PhaseReport& out) {
+  auto owners_before = [&] {
+    std::map<TopicId, sim::NodeId> owners;
+    for (const auto& [topic, members] : members_) {
+      if (!members.empty()) owners[topic] = group_->supervisor_for(topic);
+    }
+    return owners;
+  };
+  auto rebalance = [&](const std::map<TopicId, sim::NodeId>& before, bool graceful) {
+    for (const auto& [topic, old_owner] : before) {
+      if (group_->supervisor_for(topic) != old_owner) {
+        rehome_topic(topic, graceful ? old_owner : sim::NodeId::null(), graceful);
+        out.moved_topics += 1;
+      }
+    }
+  };
+
+  for (std::size_t i = 0; i < phase.add_supervisors; ++i) {
+    const auto before = owners_before();
+    group_->add_supervisor(spawn_supervisor());
+    rebalance(before, /*graceful=*/true);
+  }
+  for (std::size_t i = 0; i < phase.remove_supervisors && sup_ids_.size() > 1; ++i) {
+    const auto before = owners_before();
+    const std::size_t at = rng_.pick_index(sup_ids_);
+    group_->remove_supervisor(sup_ids_[at]);
+    // The drained supervisor stays alive, so rehoming can use the
+    // unsubscribe handshake; its per-topic databases empty out.
+    sup_ids_.erase(sup_ids_.begin() + static_cast<std::ptrdiff_t>(at));
+    rebalance(before, /*graceful=*/true);
+  }
+  for (std::size_t i = 0; i < phase.crash_supervisors && sup_ids_.size() > 1; ++i) {
+    const auto before = owners_before();
+    const std::size_t at = rng_.pick_index(sup_ids_);
+    const sim::NodeId victim = sup_ids_[at];
+    group_->remove_supervisor(victim);
+    multi_net_->crash(victim);
+    sup_ids_.erase(sup_ids_.begin() + static_cast<std::ptrdiff_t>(at));
+    rebalance(before, /*graceful=*/false);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling and convergence
+// ---------------------------------------------------------------------------
+
+void ScenarioRunner::run_budget(std::size_t budget) {
+  if (budget == 0) return;
+  if (spec_.scheduler == Scheduler::kRounds) {
+    net().run_rounds(budget);
+  } else {
+    net().run_steps(budget);
+  }
+}
+
+bool ScenarioRunner::converged() const {
+  if (spec_.mode == Mode::kSingleTopic) {
+    return single_->topology_legit() && single_->publications_converged();
+  }
+  auto* self = const_cast<ScenarioRunner*>(this);
+  for (const auto& [topic, members] : members_) {
+    if (members.empty()) continue;
+    const sim::NodeId owner = group_->supervisor_for(topic);
+    auto& sup = self->multi_net_->node_as<pubsub::MultiTopicSupervisorNode>(owner);
+    const core::SupervisorProtocol* proto = sup.find_topic(topic);
+    if (proto == nullptr) return false;
+    if (proto->size() != members.size() || !proto->database_consistent()) return false;
+    const std::size_t want_pubs = [&] {
+      auto it = pubs_per_topic_.find(topic);
+      return it == pubs_per_topic_.end() ? std::size_t{0} : it->second;
+    }();
+    for (sim::NodeId m : members) {
+      auto& node = self->multi_net_->node_as<pubsub::MultiTopicNode>(m);
+      if (!node.subscribed(topic)) return false;
+      const auto& overlay = node.overlay(topic);
+      if (!overlay.label() || proto->label_of(m) != overlay.label()) return false;
+      if (node.pubsub(topic).trie().size() != want_pubs) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t ScenarioRunner::wait_converged(std::size_t max_rounds, bool& converged_out) {
+  if (spec_.scheduler == Scheduler::kRounds) {
+    const auto used = net().run_until([this] { return converged(); }, max_rounds);
+    converged_out = used.has_value();
+    return used.value_or(max_rounds);
+  }
+  // Async: check between chunks of ~one action per alive node. The return
+  // value counts steps, matching PhaseReport::rounds' units in this mode.
+  const sim::Step start = net().now();
+  const std::size_t chunk = std::max<std::size_t>(net().alive_count(), 1);
+  for (std::size_t i = 0; i < max_rounds; ++i) {
+    if (converged()) {
+      converged_out = true;
+      return static_cast<std::size_t>(net().now() - start);
+    }
+    net().run_steps(chunk);
+  }
+  converged_out = converged();
+  return static_cast<std::size_t>(net().now() - start);
+}
+
+// ---------------------------------------------------------------------------
+// Sampling
+// ---------------------------------------------------------------------------
+
+void ScenarioRunner::sample(const Phase& phase, PhaseReport& out) {
+  (void)phase;
+  const sim::Metrics metrics = net().metrics().snapshot();
+  out.messages = metrics.total_sent();
+  out.delivered = metrics.total_delivered();
+  out.bytes = metrics.total_bytes();
+  for (const auto& [label, counter] : metrics.by_label()) {
+    out.by_label[label] = {counter.count, counter.bytes};
+  }
+
+  if (spec_.mode == Mode::kSingleTopic) {
+    out.alive_nodes = single_->subscriber_ids().size();
+    out.publications = single_->distinct_publications();
+    SupervisorLoad load;
+    load.node = single_->supervisor_id();
+    load.received = metrics.received_by(load.node);
+    load.topics = 1;
+    load.database = single_->supervisor().size();
+    load.arc_share = 1.0;
+    out.supervisor_load.push_back(load);
+    return;
+  }
+
+  out.alive_nodes = clients_.size();
+  for (const auto& [topic, count] : pubs_per_topic_) out.publications += count;
+  for (sim::NodeId id : sup_ids_) {
+    auto& sup = multi_net_->node_as<pubsub::MultiTopicSupervisorNode>(id);
+    SupervisorLoad load;
+    load.node = id;
+    load.received = metrics.received_by(id);
+    load.topics = sup.topic_count();
+    for (const auto& [topic, members] : members_) {
+      const auto* proto = sup.find_topic(topic);
+      if (proto != nullptr && group_->supervisor_for(topic) == id) {
+        load.database += proto->size();
+      }
+    }
+    load.arc_share = group_->arc_share(id);
+    out.supervisor_load.push_back(load);
+  }
+  for (const auto& [topic, members] : members_) {
+    if (!members.empty()) out.topic_fanout[topic] = members.size();
+  }
+}
+
+}  // namespace ssps::scenario

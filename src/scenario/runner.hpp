@@ -1,0 +1,110 @@
+// ScenarioRunner: executes a ScenarioSpec against the simulator.
+//
+// The runner owns the deployment named by the spec — either one
+// pubsub::PubSubSystem (single supervised skip ring with Algorithm 5 on
+// every subscriber) or a sim::Network holding a consistent-hashing
+// SupervisorGroup of MultiTopicSupervisorNodes plus MultiTopicNode
+// clients — and drives it phase by phase, sampling metrics around each
+// phase into a ScenarioReport. All scenario-level randomness (which node
+// crashes, which topic a publication hits) comes from one Rng derived from
+// the spec seed, and the simulator's randomness comes from the same seed,
+// so a (spec, seed) pair reproduces its report bit-for-bit.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pubsub/topics.hpp"
+#include "scenario/report.hpp"
+#include "scenario/spec.hpp"
+#include "sim/failure_detector.hpp"
+
+namespace ssps::scenario {
+
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec);
+  ScenarioRunner(const ScenarioRunner&) = delete;
+  ScenarioRunner& operator=(const ScenarioRunner&) = delete;
+
+  /// Executes every phase and returns the report (also kept in report()).
+  const ScenarioReport& run();
+
+  /// Executes one phase (phases must be run in order; run() is the normal
+  /// entry point — this exists for examples that narrate between phases).
+  const PhaseReport& run_phase(std::size_t index);
+
+  const ScenarioSpec& spec() const { return spec_; }
+  const ScenarioReport& report() const { return report_; }
+
+  /// The underlying network (either mode).
+  sim::Network& net();
+
+  // ---- single-topic-mode access (aborts in multi-topic mode) -----------
+  pubsub::PubSubSystem& single();
+  const pubsub::PubSubSystem& single() const;
+
+  // ---- multi-topic-mode access (aborts in single-topic mode) -----------
+  const pubsub::SupervisorGroup& group() const;
+  /// Supervisors currently in the group, in join order.
+  const std::vector<sim::NodeId>& supervisor_ids() const { return sup_ids_; }
+  /// Alive clients, in join order.
+  const std::vector<sim::NodeId>& client_ids() const { return clients_; }
+  /// Current member set of one topic (join order).
+  std::vector<sim::NodeId> topic_members(TopicId topic) const;
+
+ private:
+  // Phase machinery.
+  void apply_fd_delay(sim::Round delay);
+  void apply_supervisor_changes(const Phase& phase, PhaseReport& out);
+  void apply_churn(const ChurnWave& churn);
+  void apply_flash_crowd(TopicId topic);
+  void apply_chaos(const Phase& phase);
+  void apply_publish(const PublishLoad& load);
+  void run_budget(std::size_t budget);
+  bool converged() const;
+  std::size_t wait_converged(std::size_t max_rounds, bool& converged_out);
+  void sample(const Phase& phase, PhaseReport& out);
+
+  // Single-topic helpers.
+  sim::NodeId pick_active_single();
+
+  // Multi-topic helpers.
+  sim::NodeId spawn_supervisor();
+  void spawn_client();
+  void subscribe_client(sim::NodeId client, TopicId topic);
+  /// Moves every member of `topic` from `old_owner` to the group's current
+  /// owner. Graceful rehoming runs the unsubscribe handshake with the
+  /// (alive) old owner; forced rehoming (crashed owner: old_owner is null)
+  /// drops the instance outright. Local publication stores survive either
+  /// way.
+  void rehome_topic(TopicId topic, sim::NodeId old_owner, bool graceful);
+  TopicId pick_topic(const PublishLoad& load);
+  std::string make_payload(std::size_t payload_bytes);
+
+  ScenarioSpec spec_;
+  ScenarioReport report_;
+  ssps::Rng rng_;
+  std::size_t next_phase_ = 0;
+  std::size_t payload_seq_ = 0;
+
+  // Single-topic deployment.
+  std::unique_ptr<pubsub::PubSubSystem> single_;
+
+  // Multi-topic deployment.
+  std::unique_ptr<sim::Network> multi_net_;
+  std::unique_ptr<sim::FailureDetector> fd_;
+  /// Slot handed (by address) to every MultiTopicSupervisorNode.
+  const sim::FailureDetector* fd_slot_ = nullptr;
+  std::unique_ptr<pubsub::SupervisorGroup> group_;
+  std::vector<sim::NodeId> sup_ids_;
+  std::vector<sim::NodeId> clients_;
+  /// topic -> members in join order (the expected converged fan-out).
+  std::map<TopicId, std::vector<sim::NodeId>> members_;
+  /// topic -> publications issued so far (the expected trie size).
+  std::map<TopicId, std::size_t> pubs_per_topic_;
+};
+
+}  // namespace ssps::scenario

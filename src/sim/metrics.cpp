@@ -14,6 +14,7 @@ void Metrics::on_send(std::string_view name, std::size_t bytes, NodeId to) {
 void Metrics::on_deliver(std::string_view name, NodeId at) {
   received_[at] += 1;
   received_labeled_[at][std::string(name)] += 1;
+  total_delivered_ += 1;
 }
 
 void Metrics::reset() {
@@ -21,6 +22,7 @@ void Metrics::reset() {
   received_.clear();
   received_labeled_.clear();
   total_sent_ = 0;
+  total_delivered_ = 0;
   total_bytes_ = 0;
 }
 

@@ -31,8 +31,16 @@ class Metrics {
   /// Clears all counters.
   void reset();
 
+  /// Copy of the current counters. The scenario engine snapshots around
+  /// each phase so a report can carry per-phase traffic without disturbing
+  /// counters a caller may still be accumulating.
+  Metrics snapshot() const { return *this; }
+
   /// Total messages sent since the last reset.
   std::uint64_t total_sent() const { return total_sent_; }
+
+  /// Total messages delivered (received) since the last reset.
+  std::uint64_t total_delivered() const { return total_delivered_; }
 
   /// Total bytes sent since the last reset.
   std::uint64_t total_bytes() const { return total_bytes_; }
@@ -58,6 +66,7 @@ class Metrics {
   std::unordered_map<NodeId, std::uint64_t> received_;
   std::unordered_map<NodeId, std::map<std::string, std::uint64_t>> received_labeled_;
   std::uint64_t total_sent_ = 0;
+  std::uint64_t total_delivered_ = 0;
   std::uint64_t total_bytes_ = 0;
 };
 

@@ -1,0 +1,244 @@
+// Scenario engine: deterministic replay, built-in scenario health, and
+// supervisor-group arc rebalancing under churn.
+#include <gtest/gtest.h>
+
+#include "scenario/builtin.hpp"
+#include "scenario/runner.hpp"
+
+namespace ssps::scenario {
+namespace {
+
+// ---------------------------------------------------------------------------
+// JSON writer
+// ---------------------------------------------------------------------------
+
+TEST(Json, ObjectKeysAreSorted) {
+  Json j = Json::object();
+  j["zeta"] = 1;
+  j["alpha"] = 2;
+  j["mid"] = 3;
+  EXPECT_EQ(j.dump(0), R"({"alpha":2,"mid":3,"zeta":1})");
+}
+
+TEST(Json, EscapesStringsAndFormatsNumbers) {
+  Json j = Json::object();
+  j["s"] = "a\"b\\c\nd";
+  j["neg"] = std::int64_t{-5};
+  j["big"] = std::uint64_t{18446744073709551615ULL};
+  j["f"] = 0.25;
+  EXPECT_EQ(j.dump(0),
+            "{\"big\":18446744073709551615,\"f\":0.250000,"
+            "\"neg\":-5,\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(Json, ArraysAndNesting) {
+  Json j = Json::array();
+  j.push_back(1);
+  Json inner = Json::object();
+  inner["k"] = true;
+  j.push_back(inner);
+  j.push_back(Json());
+  EXPECT_EQ(j.dump(0), R"([1,{"k":true},null])");
+  EXPECT_EQ(j.size(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic replay: same spec + seed => identical metrics JSON
+// ---------------------------------------------------------------------------
+
+std::string run_builtin(const std::string& name, std::uint64_t seed,
+                        std::size_t nodes, bool* ok = nullptr) {
+  ScenarioRunner runner(builtin_scenario(name, seed, nodes));
+  const ScenarioReport& report = runner.run();
+  if (ok != nullptr) *ok = report.ok;
+  return report.to_json().dump(2);
+}
+
+TEST(ScenarioReplay, EveryBuiltinIsBitDeterministic) {
+  for (const std::string& name : builtin_names()) {
+    bool ok_first = false;
+    const std::string first = run_builtin(name, 11, 12, &ok_first);
+    const std::string second = run_builtin(name, 11, 12);
+    EXPECT_EQ(first, second) << "scenario " << name << " not deterministic";
+    EXPECT_TRUE(ok_first) << "scenario " << name << " did not converge";
+  }
+}
+
+TEST(ScenarioReplay, DifferentSeedsProduceDifferentTraffic) {
+  const std::string a = run_builtin("steady", 1, 16);
+  const std::string b = run_builtin("steady", 2, 16);
+  EXPECT_NE(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Built-in scenario health
+// ---------------------------------------------------------------------------
+
+TEST(Builtins, NamesRoundTrip) {
+  EXPECT_EQ(builtin_names().size(), 5u);
+  for (const std::string& name : builtin_names()) {
+    EXPECT_TRUE(is_builtin(name));
+    const ScenarioSpec spec = builtin_scenario(name, 3, 10);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.phases.empty());
+  }
+  EXPECT_FALSE(is_builtin("no-such-scenario"));
+}
+
+TEST(Builtins, SteadyReportCoversTheContract) {
+  ScenarioRunner runner(builtin_scenario("steady", 5, 12));
+  const ScenarioReport& report = runner.run();
+  ASSERT_TRUE(report.ok);
+  ASSERT_EQ(report.phases.size(), 3u);
+  const PhaseReport& bootstrap = report.phases[0];
+  EXPECT_TRUE(bootstrap.converged);
+  ASSERT_TRUE(bootstrap.convergence_rounds.has_value());
+  EXPECT_GT(*bootstrap.convergence_rounds, 0u);
+  EXPECT_GT(bootstrap.messages, 0u);
+  EXPECT_GT(bootstrap.bytes, 0u);
+  ASSERT_EQ(bootstrap.supervisor_load.size(), 1u);
+  EXPECT_GT(bootstrap.supervisor_load[0].received, 0u);
+  EXPECT_EQ(bootstrap.supervisor_load[0].database, 12u);
+  // The publish burst delivered everything everywhere.
+  const PhaseReport& burst = report.phases[2];
+  EXPECT_TRUE(burst.converged);
+  EXPECT_GT(burst.publications, 0u);
+  EXPECT_EQ(runner.single().distinct_publications(), burst.publications);
+  EXPECT_TRUE(runner.single().topology_legit());
+}
+
+TEST(Builtins, ZipfWorkloadSkewsTowardHotTopics) {
+  ScenarioRunner runner(builtin_scenario("zipf-topics", 9, 16));
+  const ScenarioReport& report = runner.run();
+  ASSERT_TRUE(report.ok);
+  // Publication mass concentrates: with s = 1.2 the hottest topic must
+  // clearly beat the per-topic average.
+  std::size_t hottest = 0;
+  std::size_t total = 0;
+  std::size_t populated = 0;
+  for (TopicId t = 1; t <= static_cast<TopicId>(runner.spec().topics); ++t) {
+    std::size_t count = 0;
+    for (sim::NodeId m : runner.topic_members(t)) {
+      auto& node = runner.net().node_as<pubsub::MultiTopicNode>(m);
+      count = std::max<std::size_t>(count, node.pubsub(t).trie().size());
+    }
+    hottest = std::max(hottest, count);
+    total += count;
+    populated += runner.topic_members(t).empty() ? 0 : 1;
+  }
+  ASSERT_GT(populated, 0u);
+  EXPECT_GE(hottest * populated, 2 * total) << "no Zipf skew visible";
+}
+
+// ---------------------------------------------------------------------------
+// SupervisorGroup arc rebalancing under churn-wave
+// ---------------------------------------------------------------------------
+
+TEST(ChurnWave, SupervisorArcsRebalanceAndSystemRecovers) {
+  ScenarioRunner runner(builtin_scenario("churn-wave", 21, 16));
+  const ScenarioReport& report = runner.run();
+  ASSERT_TRUE(report.ok) << report.to_json().dump(2);
+  ASSERT_EQ(report.phases.size(), 6u);
+
+  const PhaseReport& bootstrap = report.phases[0];
+  const PhaseReport& sup_crash = report.phases[3];
+  const PhaseReport& sup_join = report.phases[4];
+
+  // Group size: 3 supervisors -> 2 after the crash -> 3 after the join.
+  EXPECT_EQ(bootstrap.supervisor_load.size(), 3u);
+  EXPECT_EQ(sup_crash.supervisor_load.size(), 2u);
+  EXPECT_EQ(sup_join.supervisor_load.size(), 3u);
+
+  // Arc shares always cover the full hash ring, so losing a member grows
+  // the survivors' arcs (consistent-hashing rebalancing).
+  auto share_sum = [](const PhaseReport& p) {
+    double sum = 0.0;
+    for (const SupervisorLoad& s : p.supervisor_load) sum += s.arc_share;
+    return sum;
+  };
+  EXPECT_NEAR(share_sum(bootstrap), 1.0, 1e-9);
+  EXPECT_NEAR(share_sum(sup_crash), 1.0, 1e-9);
+  EXPECT_NEAR(share_sum(sup_join), 1.0, 1e-9);
+  for (const SupervisorLoad& survivor : sup_crash.supervisor_load) {
+    for (const SupervisorLoad& before : bootstrap.supervisor_load) {
+      if (before.node == survivor.node) {
+        EXPECT_GT(survivor.arc_share, before.arc_share - 1e-9);
+      }
+    }
+  }
+
+  // The crashed supervisor's topics were rehomed; the joining supervisor
+  // stole arcs back.
+  EXPECT_GT(sup_crash.moved_topics, 0u);
+  EXPECT_GT(sup_join.moved_topics, 0u);
+
+  // Every phase converged: databases complete and consistent, labels
+  // agreed, publications intact after every wave.
+  for (const PhaseReport& p : report.phases) {
+    EXPECT_TRUE(p.converged) << "phase " << p.name;
+  }
+  // Rehomed topics kept their publication history (clients re-add their
+  // local stores at the new owner).
+  EXPECT_GE(report.phases.back().publications, report.phases[1].publications);
+}
+
+// ---------------------------------------------------------------------------
+// Custom specs: the engine is not limited to the builtins
+// ---------------------------------------------------------------------------
+
+TEST(CustomSpec, SingleTopicChurnConverges) {
+  ScenarioSpec spec;
+  spec.name = "custom-churn";
+  spec.seed = 3;
+  spec.nodes = 10;
+  spec.mode = Mode::kSingleTopic;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = 10;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase wave;
+  wave.name = "wave";
+  wave.churn.joins = 3;
+  wave.churn.leaves = 2;
+  wave.churn.crashes = 2;
+  wave.converge = true;
+  spec.phases.push_back(wave);
+
+  ScenarioRunner runner(spec);
+  const ScenarioReport& report = runner.run();
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(runner.single().active_ids().size(), 9u);  // 10 + 3 - 2 - 2
+  EXPECT_TRUE(runner.single().topology_legit());
+}
+
+TEST(CustomSpec, AsyncSchedulerPhasesAreDeterministic) {
+  ScenarioSpec spec;
+  spec.name = "custom-async";
+  spec.seed = 13;
+  spec.nodes = 6;
+  spec.mode = Mode::kSingleTopic;
+  spec.scheduler = Scheduler::kAsync;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = 6;
+  bootstrap.converge = true;
+  bootstrap.max_rounds = 5000;
+  spec.phases.push_back(bootstrap);
+
+  auto run_once = [&] {
+    ScenarioRunner runner(spec);
+    return runner.run().to_json().dump(0);
+  };
+  const std::string a = run_once();
+  const std::string b = run_once();
+  EXPECT_EQ(a, b);
+  ScenarioRunner runner(spec);
+  EXPECT_TRUE(runner.run().ok);
+}
+
+}  // namespace
+}  // namespace ssps::scenario

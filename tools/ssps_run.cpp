@@ -1,0 +1,126 @@
+// ssps_run — scenario engine CLI.
+//
+// Runs one named scenario against the simulator and emits the JSON metrics
+// report (convergence rounds, message/byte counts, per-supervisor load,
+// per-topic fan-out) on stdout. Reports are bit-deterministic per
+// (scenario, seed, nodes).
+//
+//   $ ssps_run --scenario churn-wave --seed 7 --nodes 64
+//   $ ssps_run --scenario zipf-topics --nodes 128 --out report.json
+//   $ ssps_run --list
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "scenario/builtin.hpp"
+#include "scenario/runner.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: ssps_run --scenario <name> [--seed <u64>] [--nodes <n>]\n"
+               "                [--out <file>] [--quiet]\n"
+               "       ssps_run --list\n"
+               "\n"
+               "Runs a built-in scenario and prints its JSON metrics report.\n"
+               "Reports are bit-deterministic per (scenario, seed, nodes).\n"
+               "\n"
+               "options:\n"
+               "  --scenario <name>  scenario to run (see --list)\n"
+               "  --seed <u64>       simulation seed (default 1)\n"
+               "  --nodes <n>        client population size (default 32)\n"
+               "  --out <file>       additionally write the report to <file>\n"
+               "  --quiet            suppress stdout report (use with --out)\n"
+               "  --list             list built-in scenarios and exit\n");
+}
+
+bool parse_u64(const char* text, std::uint64_t& out) {
+  // strtoull silently wraps negative input ("-1" -> 2^64-1) and clamps
+  // overflow to ULLONG_MAX, so insist on digits and check ERANGE.
+  if (text == nullptr || *text < '0' || *text > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(text, &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string scenario;
+  std::uint64_t seed = 1;
+  std::uint64_t nodes = 32;
+  std::string out_path;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--list") {
+      for (const std::string& name : ssps::scenario::builtin_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      return 0;
+    }
+    if (arg == "--scenario") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      scenario = v;
+    } else if (arg == "--seed") {
+      if (!parse_u64(value(), seed)) {
+        std::fprintf(stderr, "ssps_run: --seed expects an unsigned integer\n");
+        return 2;
+      }
+    } else if (arg == "--nodes") {
+      if (!parse_u64(value(), nodes) || nodes == 0) {
+        std::fprintf(stderr, "ssps_run: --nodes expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      out_path = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "ssps_run: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+
+  if (scenario.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  if (!ssps::scenario::is_builtin(scenario)) {
+    std::fprintf(stderr, "ssps_run: unknown scenario '%s'; try --list\n",
+                 scenario.c_str());
+    return 2;
+  }
+
+  ssps::scenario::ScenarioRunner runner(ssps::scenario::builtin_scenario(
+      scenario, seed, static_cast<std::size_t>(nodes)));
+  const ssps::scenario::ScenarioReport& report = runner.run();
+  const ssps::scenario::Json doc = report.to_json();
+
+  if (!quiet) std::fputs(doc.dump(2).c_str(), stdout);
+  if (!out_path.empty() && !ssps::scenario::write_json_file(out_path, doc)) {
+    std::fprintf(stderr, "ssps_run: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  return report.ok ? 0 : 1;
+}
