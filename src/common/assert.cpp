@@ -3,6 +3,10 @@
 #include <cstdio>
 #include <cstdlib>
 
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
 namespace ssps {
 
 void assert_fail(std::string_view condition, std::string_view message,
@@ -13,6 +17,13 @@ void assert_fail(std::string_view condition, std::string_view message,
   if (!message.empty()) {
     std::fprintf(stderr, "  %.*s\n", static_cast<int>(message.size()), message.data());
   }
+#if defined(__GLIBC__)
+  // Raw return addresses (resolve with addr2line); a violated invariant is
+  // a bug, so spend the effort to say where it was hit from.
+  void* frames[32];
+  const int depth = backtrace(frames, 32);
+  backtrace_symbols_fd(frames, depth, 2);
+#endif
   std::abort();
 }
 

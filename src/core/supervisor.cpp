@@ -227,15 +227,25 @@ void SupervisorProtocol::on_subscribe(sim::NodeId who) {
 void SupervisorProtocol::on_unsubscribe(sim::NodeId who) {
   if (!who) return;
   check_multiple_copies(who);
-  auto idx = index_.find(who);
-  if (idx == index_.end()) {
+  if (!index_.contains(who)) {
     // Not recorded (repeat request after removal): grant permission anyway
     // so the subscriber can shut down (idempotence).
     sink_->send(who,
                 std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
     return;
   }
+  // check_labels() may relabel `who` while repairing a corrupted database,
+  // rewriting its index entry — or evict it outright when the failure
+  // detector already suspects it (a crashed node whose Unsubscribe was
+  // still queued). Look the labels up only afterwards; an evicted node
+  // gets the idempotent permission reply.
   check_labels();
+  auto idx = index_.find(who);
+  if (idx == index_.end()) {
+    sink_->send(who,
+                std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+    return;
+  }
   const Label leaving_label = idx->second.front();
   const std::size_t n = db_.size();
   const Label last = Label::from_index(n - 1);

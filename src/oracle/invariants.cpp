@@ -1,0 +1,385 @@
+#include "oracle/invariants.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/skip_ring_spec.hpp"
+
+namespace ssps::oracle {
+
+namespace {
+
+using core::Label;
+using core::LabeledRef;
+using core::SubscriberProtocol;
+
+std::string label_str(const Label& l) { return l.to_string(); }
+
+std::string opt_ref_str(const std::optional<LabeledRef>& r) {
+  if (!r) return "(none)";
+  return label_str(r->label) + "@" + std::to_string(r->node.value);
+}
+
+void emit(std::vector<Violation>& out, Invariant inv, sim::NodeId node,
+          std::optional<pubsub::TopicId> topic, std::string detail) {
+  out.push_back(Violation{inv, node, topic, std::move(detail)});
+}
+
+// ---------------------------------------------------------------------------
+// Layer 1: supervisor view (§3.1 database legality + §3.3/§4.1 coverage)
+// ---------------------------------------------------------------------------
+
+void check_supervisor_view(const RingView& view, std::vector<Violation>& out) {
+  const auto& db = view.supervisor->database();
+  const auto topic = view.topic;
+  const sim::NodeId sup_node = view.supervisor->self();
+
+  // §3.1 corruption classes, tuple by tuple.
+  std::unordered_map<sim::NodeId, std::size_t> copies;
+  for (const auto& [label, node] : db) {
+    if (!node) {
+      emit(out, Invariant::kSupervisorView, sup_node, topic,
+           "(i) null tuple at label " + label_str(label));
+      continue;
+    }
+    copies[node] += 1;
+    if (!label.is_canonical()) {
+      emit(out, Invariant::kSupervisorView, sup_node, topic,
+           "(iv) non-canonical label " + label_str(label) + " for node " +
+               std::to_string(node.value));
+    }
+  }
+  for (const auto& [node, count] : copies) {
+    if (count > 1) {
+      emit(out, Invariant::kSupervisorView, sup_node, topic,
+           "(ii) node " + std::to_string(node.value) + " recorded " +
+               std::to_string(count) + " times");
+    }
+  }
+  for (std::uint64_t i = 0; i < db.size(); ++i) {
+    const Label want = Label::from_index(i);
+    if (!db.contains(want)) {
+      emit(out, Invariant::kSupervisorView, sup_node, topic,
+           "(iii)/(iv) label " + label_str(want) + " = l(" + std::to_string(i) +
+               ") missing from a database of size " + std::to_string(db.size()));
+    }
+  }
+
+  // Coverage: database tuples <-> active members, labels agreed.
+  std::unordered_map<sim::NodeId, const SubscriberProtocol*> member_of;
+  for (const auto& [id, sub] : view.members) member_of.emplace(id, sub);
+  for (const auto& [label, node] : db) {
+    if (node && !member_of.contains(node)) {
+      emit(out, Invariant::kSupervisorView, node, topic,
+           "database records node " + std::to_string(node.value) + " at label " +
+               label_str(label) + " but it is not an active member");
+    }
+  }
+  for (const auto& [id, sub] : view.members) {
+    const auto assigned = view.supervisor->label_of(id);
+    if (!assigned) {
+      emit(out, Invariant::kSupervisorView, id, topic,
+           "active member missing from the database");
+      continue;
+    }
+    if (!sub->label() || !(*sub->label() == *assigned)) {
+      emit(out, Invariant::kSupervisorView, id, topic,
+           "member label " + (sub->label() ? label_str(*sub->label()) : "(none)") +
+               " disagrees with database label " + label_str(*assigned));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: ring order (Definition 2) — from subscriber-local state alone
+// ---------------------------------------------------------------------------
+
+struct Sorted {
+  /// (label, node, state) of every labeled member, ascending by r.
+  std::vector<std::tuple<Label, sim::NodeId, const SubscriberProtocol*>> order;
+  bool labels_unique = true;
+  bool all_labeled = true;
+};
+
+Sorted sort_members(const RingView& view, std::vector<Violation>& out) {
+  Sorted s;
+  for (const auto& [id, sub] : view.members) {
+    if (!sub->label()) {
+      emit(out, Invariant::kRingOrder, id, view.topic, "member holds no label");
+      s.all_labeled = false;
+      continue;
+    }
+    s.order.emplace_back(*sub->label(), id, sub);
+  }
+  std::sort(s.order.begin(), s.order.end(), [](const auto& a, const auto& b) {
+    if (std::get<0>(a) != std::get<0>(b)) return std::get<0>(a) < std::get<0>(b);
+    return std::get<1>(a) < std::get<1>(b);
+  });
+  for (std::size_t i = 1; i < s.order.size(); ++i) {
+    if (std::get<0>(s.order[i]) == std::get<0>(s.order[i - 1])) {
+      s.labels_unique = false;
+      emit(out, Invariant::kRingOrder, std::get<1>(s.order[i]), view.topic,
+           "label " + label_str(std::get<0>(s.order[i])) + " also held by node " +
+               std::to_string(std::get<1>(s.order[i - 1]).value));
+    }
+  }
+  return s;
+}
+
+void check_ring_order(const RingView& view, const Sorted& s,
+                      std::vector<Violation>& out) {
+  const std::size_t n = s.order.size();
+  auto expect_slot = [&](sim::NodeId who, const char* what,
+                         const std::optional<LabeledRef>& got,
+                         std::optional<std::size_t> want_pos) {
+    std::optional<LabeledRef> want;
+    if (want_pos) {
+      want = LabeledRef{std::get<0>(s.order[*want_pos]), std::get<1>(s.order[*want_pos])};
+    }
+    const bool match = want.has_value() == got.has_value() &&
+                       (!want || (got->node == want->node && got->label == want->label));
+    if (!match) {
+      emit(out, Invariant::kRingOrder, who, view.topic,
+           std::string(what) + " is " + opt_ref_str(got) + ", ring order wants " +
+               opt_ref_str(want));
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& [label, id, sub] = s.order[i];
+    std::optional<std::size_t> left_pos, right_pos, ring_pos;
+    if (n > 1) {
+      if (i > 0) left_pos = i - 1;
+      if (i + 1 < n) right_pos = i + 1;
+      if (i == 0) ring_pos = n - 1;
+      if (i == n - 1) ring_pos = 0;
+    }
+    expect_slot(id, "left", sub->left(), left_pos);
+    expect_slot(id, "right", sub->right(), right_pos);
+    expect_slot(id, "ring", sub->ring(), ring_pos);
+  }
+}
+
+void check_ring_connectivity(const RingView& view, std::vector<Violation>& out) {
+  if (view.members.size() < 2) return;
+  std::unordered_map<sim::NodeId, std::vector<sim::NodeId>> adj;
+  std::unordered_set<sim::NodeId> ids;
+  for (const auto& [id, sub] : view.members) ids.insert(id);
+  auto link = [&](sim::NodeId a, const std::optional<LabeledRef>& slot) {
+    // Edges leaving the member set are an order-layer problem; connectivity
+    // judges the graph induced on the members.
+    if (slot && slot->node && ids.contains(slot->node)) {
+      adj[a].push_back(slot->node);
+      adj[slot->node].push_back(a);
+    }
+  };
+  for (const auto& [id, sub] : view.members) {
+    link(id, sub->left());
+    link(id, sub->right());
+    link(id, sub->ring());
+  }
+  std::unordered_set<sim::NodeId> seen;
+  std::vector<sim::NodeId> queue{view.members.front().first};
+  seen.insert(queue.front());
+  while (!queue.empty()) {
+    const sim::NodeId at = queue.back();
+    queue.pop_back();
+    for (sim::NodeId next : adj[at]) {
+      if (seen.insert(next).second) queue.push_back(next);
+    }
+  }
+  if (seen.size() != ids.size()) {
+    std::ostringstream why;
+    why << "ring edges split the members: " << (ids.size() - seen.size()) << " of "
+        << ids.size() << " unreachable from node "
+        << view.members.front().first.value;
+    emit(out, Invariant::kRingConnectivity, sim::NodeId::null(), view.topic,
+         why.str());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layer 3: dyadic shortcut closure (Theorem 5)
+// ---------------------------------------------------------------------------
+
+void check_shortcut_closure(const RingView& view, const Sorted& s,
+                            std::vector<Violation>& out) {
+  const std::size_t n = s.order.size();
+  if (n == 0 || !s.all_labeled || !s.labels_unique) return;
+  // The closure characterization is defined relative to SR(n); if the label
+  // set is not exactly {l(0) … l(n−1)} the lower layers have already fired
+  // and per-label expectations would only cascade noise. Exact matching
+  // (bits and length) — a non-canonical label can share its r-value with a
+  // canonical one, and spec.expected() aborts on labels outside SR(n).
+  std::map<Label, sim::NodeId> holder;
+  for (const auto& [label, id, sub] : s.order) holder.emplace(label, id);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!holder.contains(Label::from_index(i))) {
+      return;  // label set != SR(n); reported elsewhere
+    }
+  }
+
+  const core::SkipRingSpec spec(n);
+  for (const auto& [label, id, sub] : s.order) {
+    const core::NodeSpec& ns = spec.expected(label);
+    const auto& sc = sub->shortcuts();
+    for (const Label& want : ns.shortcuts) {
+      auto jt = sc.find(want);
+      if (jt == sc.end()) {
+        emit(out, Invariant::kShortcutClosure, id, view.topic,
+             "missing shortcut label " + label_str(want));
+        continue;
+      }
+      const sim::NodeId want_node = holder.at(want);
+      if (!jt->second) {
+        emit(out, Invariant::kShortcutClosure, id, view.topic,
+             "shortcut " + label_str(want) + " unresolved (null reference)");
+      } else if (jt->second != want_node) {
+        emit(out, Invariant::kShortcutClosure, id, view.topic,
+             "shortcut " + label_str(want) + " points to node " +
+                 std::to_string(jt->second.value) + ", holder is " +
+                 std::to_string(want_node.value));
+      }
+    }
+    for (const auto& [have, node] : sc) {
+      if (std::find(ns.shortcuts.begin(), ns.shortcuts.end(), have) ==
+          ns.shortcuts.end()) {
+        emit(out, Invariant::kShortcutClosure, id, view.topic,
+             "spurious shortcut label " + label_str(have));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+void check_ring(const RingView& view, std::vector<Violation>& out) {
+  check_supervisor_view(view, out);
+  const Sorted s = sort_members(view, out);
+  check_ring_order(view, s, out);
+  check_ring_connectivity(view, out);
+  check_shortcut_closure(view, s, out);
+}
+
+void check_tries(
+    const std::vector<std::pair<sim::NodeId, const pubsub::PatriciaTrie*>>& tries,
+    std::optional<pubsub::TopicId> topic, std::vector<Violation>& out) {
+  for (const auto& [id, trie] : tries) {
+    const std::string why = trie->check_invariants();
+    if (!why.empty()) {
+      emit(out, Invariant::kTrieShape, id, topic, why);
+    }
+  }
+  if (tries.size() < 2) return;
+  const auto& [ref_id, ref_trie] = tries.front();
+  const auto ref_root = ref_trie->root();
+  for (std::size_t i = 1; i < tries.size(); ++i) {
+    const auto& [id, trie] = tries[i];
+    const auto root = trie->root();
+    const bool equal = ref_root.has_value() == root.has_value() &&
+                       (!ref_root || ref_root->hash == root->hash);
+    if (!equal) {
+      emit(out, Invariant::kTrieAgreement, id, topic,
+           "publication set (" + std::to_string(trie->size()) +
+               " entries) differs from node " + std::to_string(ref_id.value) +
+               "'s (" + std::to_string(ref_trie->size()) + " entries)");
+    }
+  }
+}
+
+OracleReport check_system(const core::SkipRingSystem& system) {
+  OracleReport report;
+  RingView view;
+  view.supervisor = &system.supervisor();
+  for (sim::NodeId id : system.active_ids()) {
+    view.members.emplace_back(id, &system.subscriber(id));
+  }
+  report.checked_nodes = view.members.size();
+  check_ring(view, report.violations);
+  return report;
+}
+
+OracleReport check_system(const pubsub::PubSubSystem& system) {
+  OracleReport report = check_system(static_cast<const core::SkipRingSystem&>(system));
+  std::vector<std::pair<sim::NodeId, const pubsub::PatriciaTrie*>> tries;
+  for (sim::NodeId id : system.active_ids()) {
+    tries.emplace_back(id, &system.pubsub(id).trie());
+  }
+  check_tries(tries, std::nullopt, report.violations);
+  return report;
+}
+
+OracleReport check_deployment(const MultiTopicView& view) {
+  OracleReport report;
+  auto& net = *view.net;
+  for (const auto& [topic, member_ids] : view.members) {
+    if (member_ids.empty()) continue;
+    report.checked_topics += 1;
+
+    const sim::NodeId owner = view.group->supervisor_for(topic);
+    const core::SupervisorProtocol* proto = nullptr;
+    if (!net.alive(owner)) {
+      emit(report.violations, Invariant::kTopicPlacement, owner, topic,
+           "hash-arc owner is crashed");
+    } else {
+      proto = net.node_as<pubsub::MultiTopicSupervisorNode>(owner).find_topic(topic);
+      if (proto == nullptr) {
+        emit(report.violations, Invariant::kTopicPlacement, owner, topic,
+             "hash-arc owner serves no instance for this topic");
+      }
+    }
+
+    RingView ring;
+    ring.supervisor = proto;
+    ring.topic = topic;
+    std::vector<std::pair<sim::NodeId, const pubsub::PatriciaTrie*>> tries;
+    for (sim::NodeId m : member_ids) {
+      if (!net.alive(m)) {
+        emit(report.violations, Invariant::kTopicPlacement, m, topic,
+             "recorded member is crashed");
+        continue;
+      }
+      auto& node = net.node_as<pubsub::MultiTopicNode>(m);
+      if (!node.subscribed(topic)) {
+        emit(report.violations, Invariant::kTopicPlacement, m, topic,
+             "recorded member runs no instance for this topic");
+        continue;
+      }
+      if (node.overlay(topic).phase() != core::SubscriberPhase::kActive) {
+        emit(report.violations, Invariant::kTopicPlacement, m, topic,
+             "recorded member is leaving/departed");
+        continue;
+      }
+      ring.members.emplace_back(m, &node.overlay(topic));
+      tries.emplace_back(m, &node.pubsub(topic).trie());
+      report.checked_nodes += 1;
+    }
+    if (proto != nullptr) check_ring(ring, report.violations);
+    check_tries(tries, topic, report.violations);
+  }
+
+  // No group member other than the arc owner may keep serving a topic.
+  for (sim::NodeId sup_id : view.supervisors) {
+    if (!net.alive(sup_id)) continue;
+    auto& sup = net.node_as<pubsub::MultiTopicSupervisorNode>(sup_id);
+    for (const auto& [topic, member_ids] : view.members) {
+      if (member_ids.empty() || view.group->supervisor_for(topic) == sup_id) continue;
+      const core::SupervisorProtocol* stale = sup.find_topic(topic);
+      if (stale != nullptr && stale->size() > 0) {
+        emit(report.violations, Invariant::kTopicPlacement, sup_id, topic,
+             "non-owner still holds " + std::to_string(stale->size()) +
+                 " database tuple(s) for this topic");
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ssps::oracle

@@ -1,0 +1,76 @@
+// Executable legal-state predicates for the supervised skip ring and the
+// topic-sharded pub-sub deployment.
+//
+// The checkers are layered along the protocol stack and each layer scans
+// exhaustively (no first-failure bailout, unlike
+// SkipRingSystem::legitimacy_violation):
+//
+//   supervisor-view    database legality + live coverage     (§3.1/§3.3/§4.1)
+//   ring-order         sorted ring edges, closure at extremes (Definition 2)
+//   ring-connectivity  the ring graph is one component        (Lemma 4)
+//   shortcut-closure   dyadic mirror-chain shortcut tables    (Theorem 5)
+//   trie-shape         Merkle Patricia well-formedness        (§4.2)
+//   trie-agreement     identical publication sets             (Theorem 17)
+//   topic-placement    consistent-hashing ownership           (§1.3/§4)
+//
+// A converged system reports zero violations; every class of illegal state
+// fires the invariant named for it (tests/oracle pins both directions).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/system.hpp"
+#include "oracle/violation.hpp"
+#include "pubsub/pubsub_node.hpp"
+#include "pubsub/supervisor_group.hpp"
+#include "pubsub/topics.hpp"
+#include "sim/network.hpp"
+
+namespace ssps::oracle {
+
+/// One supervised ring instance, deployment-agnostic: the single-topic
+/// system and every per-topic slice of a multi-topic deployment both
+/// project onto this shape.
+struct RingView {
+  const core::SupervisorProtocol* supervisor = nullptr;
+  /// Active members: (node, overlay state), any order.
+  std::vector<std::pair<sim::NodeId, const core::SubscriberProtocol*>> members;
+  /// Stamped into emitted violations (multi-topic mode).
+  std::optional<pubsub::TopicId> topic;
+};
+
+/// Overlay-layer invariants (supervisor view, ring order/connectivity,
+/// shortcut closure) of one ring instance. Appends to `out`.
+void check_ring(const RingView& view, std::vector<Violation>& out);
+
+/// Publication-layer invariants of one ring instance: per-trie shape and
+/// cross-member agreement. Appends to `out`.
+void check_tries(
+    const std::vector<std::pair<sim::NodeId, const pubsub::PatriciaTrie*>>& tries,
+    std::optional<pubsub::TopicId> topic, std::vector<Violation>& out);
+
+/// Full sweep of a single supervised skip ring (overlay only).
+OracleReport check_system(const core::SkipRingSystem& system);
+
+/// Full sweep of a single-ring pub-sub system (overlay + tries).
+OracleReport check_system(const pubsub::PubSubSystem& system);
+
+/// A consistent-hashing multi-topic deployment, as the scenario engine
+/// assembles it: the network, the supervisor group with its current member
+/// ids, and the expected member set of every topic (ground truth the
+/// databases must converge to).
+struct MultiTopicView {
+  sim::Network* net = nullptr;
+  const pubsub::SupervisorGroup* group = nullptr;
+  std::vector<sim::NodeId> supervisors;
+  std::map<pubsub::TopicId, std::vector<sim::NodeId>> members;
+};
+
+/// Full sweep of a multi-topic deployment: placement per hash arc, then
+/// per-topic ring and trie invariants.
+OracleReport check_deployment(const MultiTopicView& view);
+
+}  // namespace ssps::oracle

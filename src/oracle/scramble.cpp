@@ -1,0 +1,327 @@
+#include "oracle/scramble.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "pubsub/hash.hpp"
+#include "pubsub/topics.hpp"
+
+namespace ssps::oracle {
+
+using core::Label;
+using core::LabeledRef;
+
+ArbitraryStateInjector::ArbitraryStateInjector(const ScrambleOptions& options)
+    : opt_(options), rng_(options.seed) {}
+
+// ---------------------------------------------------------------------------
+// Random state primitives
+// ---------------------------------------------------------------------------
+
+Label ArbitraryStateInjector::random_label() {
+  // Clamp: Label::kMaxLen bounds what Label can represent, and the shift
+  // below needs len < 64.
+  const int cap = std::clamp(opt_.max_label_len, 1, Label::kMaxLen);
+  const int len = static_cast<int>(rng_.between(1, static_cast<std::uint64_t>(cap)));
+  return Label(rng_.below(1ULL << len), len);
+}
+
+sim::NodeId ArbitraryStateInjector::random_peer(const std::vector<sim::NodeId>& peers) {
+  return peers[rng_.pick_index(peers)];
+}
+
+std::optional<LabeledRef> ArbitraryStateInjector::random_slot(
+    const std::vector<sim::NodeId>& peers) {
+  if (static_cast<int>(rng_.below(100)) < opt_.edge_null_pct) return std::nullopt;
+  return LabeledRef{random_label(), random_peer(peers)};
+}
+
+// ---------------------------------------------------------------------------
+// Per-variable scrambling
+// ---------------------------------------------------------------------------
+
+void ArbitraryStateInjector::scramble_overlay(core::SubscriberProtocol& sub,
+                                              const std::vector<sim::NodeId>& peers) {
+  const int fate = static_cast<int>(rng_.below(100));
+  if (fate < opt_.label_null_pct) {
+    sub.chaos_set_label(std::nullopt);
+  } else if (fate < opt_.label_null_pct + opt_.label_random_pct) {
+    sub.chaos_set_label(random_label());
+  }
+  sub.chaos_set_left(random_slot(peers));
+  sub.chaos_set_right(random_slot(peers));
+  sub.chaos_set_ring(random_slot(peers));
+  sub.chaos_clear_shortcuts();
+  const std::uint64_t entries =
+      rng_.below(static_cast<std::uint64_t>(opt_.max_shortcuts) + 1);
+  for (std::uint64_t i = 0; i < entries; ++i) {
+    sub.chaos_put_shortcut(random_label(), random_peer(peers));
+  }
+}
+
+void ArbitraryStateInjector::scramble_database(core::SupervisorProtocol& sup,
+                                               const std::vector<sim::NodeId>& values) {
+  sup.chaos_clear();
+  if (values.empty()) return;
+  // A tuple soup: canonical labels (in and out of range), raw bit strings,
+  // null values, duplicated nodes, missing nodes — all §3.1 classes at once.
+  const std::uint64_t count = rng_.below(2 * values.size() + 2);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Label label = rng_.chance(1, 2)
+                            ? Label::from_index(rng_.below(2 * values.size() + 1))
+                            : random_label();
+    if (rng_.chance(1, 8)) {
+      sup.chaos_insert_null(label);
+    } else {
+      sup.chaos_insert(label, random_peer(values));
+    }
+  }
+  sup.chaos_set_next(rng_.next());
+}
+
+void ArbitraryStateInjector::scramble_trie(pubsub::PubSubProtocol& ps,
+                                           const std::vector<sim::NodeId>& peers,
+                                           bool keep_all, bool allow_extra) {
+  const std::size_t key_bits = ps.trie().key_bits();
+  if (!keep_all) {
+    switch (rng_.below(3)) {
+      case 0:
+        break;  // keep the store as-is
+      case 1:
+        ps.chaos_trie() = pubsub::PatriciaTrie(key_bits);  // wipe
+        break;
+      case 2: {  // drop to a random subset
+        pubsub::PatriciaTrie fresh(key_bits);
+        for (const pubsub::Publication& p : ps.trie().all()) {
+          if (rng_.chance(1, 2)) fresh.insert(p);
+        }
+        ps.chaos_trie() = std::move(fresh);
+        break;
+      }
+    }
+  }
+  if (allow_extra && rng_.chance(1, 3)) {
+    // Pre-existing content the rest of the system has never seen; legal on
+    // a single ring, where the converged state is the union.
+    ps.add_local(pubsub::Publication{random_peer(peers),
+                                     "scramble-" + std::to_string(junk_seq_++)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel garbage
+// ---------------------------------------------------------------------------
+
+std::unique_ptr<sim::Message> ArbitraryStateInjector::junk_core(
+    const std::vector<sim::NodeId>& peers) {
+  const LabeledRef ref{random_label(), random_peer(peers)};
+  switch (rng_.below(6)) {
+    case 0:
+      return std::make_unique<core::msg::Check>(
+          ref, random_label(),
+          rng_.chance(1, 2) ? core::IntroFlag::kLinear : core::IntroFlag::kCyclic);
+    case 1:
+      return std::make_unique<core::msg::Introduce>(
+          ref, rng_.chance(1, 2) ? core::IntroFlag::kLinear : core::IntroFlag::kCyclic);
+    case 2:
+      return std::make_unique<core::msg::IntroduceShortcut>(ref);
+    case 3:
+      return std::make_unique<core::msg::RemoveConnections>(random_peer(peers));
+    case 4: {
+      const LabeledRef a{random_label(), random_peer(peers)};
+      const LabeledRef b{random_label(), random_peer(peers)};
+      return std::make_unique<core::msg::SetData>(a, random_label(), b);
+    }
+    default:
+      return std::make_unique<core::msg::SetData>(std::nullopt, std::nullopt,
+                                                  std::nullopt);
+  }
+}
+
+std::unique_ptr<sim::Message> ArbitraryStateInjector::junk_pubsub(
+    const std::vector<sim::NodeId>& peers, std::size_t key_bits, bool allow_extra) {
+  auto random_summary = [&] {
+    const std::size_t bits = rng_.below(std::min<std::size_t>(key_bits, 64) + 1);
+    pubsub::Digest digest;
+    for (auto& byte : digest) byte = static_cast<std::uint8_t>(rng_.next());
+    return pubsub::NodeSummary{pubsub::BitString::from_uint(rng_.next(), bits), digest};
+  };
+  auto random_summaries = [&] {
+    std::vector<pubsub::NodeSummary> tuples;
+    const std::uint64_t count = rng_.between(1, 3);
+    for (std::uint64_t i = 0; i < count; ++i) tuples.push_back(random_summary());
+    return tuples;
+  };
+  switch (rng_.below(allow_extra ? 4 : 2)) {
+    case 0:
+      return std::make_unique<pubsub::msg::CheckTrie>(random_peer(peers),
+                                                      random_summaries());
+    case 1:
+      return std::make_unique<pubsub::msg::CheckAndPublish>(
+          random_peer(peers), random_summaries(), random_summary().label);
+    case 2: {
+      std::vector<pubsub::Publication> pubs;
+      pubs.push_back(pubsub::Publication{
+          random_peer(peers), "junkpub-" + std::to_string(junk_seq_++)});
+      return std::make_unique<pubsub::msg::Publish>(std::move(pubs));
+    }
+    default:
+      return std::make_unique<pubsub::msg::PublishNew>(pubsub::Publication{
+          random_peer(peers), "junkpub-" + std::to_string(junk_seq_++)});
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deployment entry points
+// ---------------------------------------------------------------------------
+
+void ArbitraryStateInjector::scramble(core::SkipRingSystem& system) {
+  const auto subs = system.subscriber_ids();
+  if (subs.empty()) return;
+  for (sim::NodeId id : subs) {
+    if (system.subscriber(id).phase() == core::SubscriberPhase::kDeparted) continue;
+    scramble_overlay(system.subscriber(id), subs);
+  }
+  if (opt_.databases) scramble_database(system.supervisor(), system.active_ids());
+  for (int i = 0; i < opt_.junk_messages; ++i) {
+    if (rng_.chance(1, 6)) {
+      // Garbage requests into the supervisor's own channel.
+      switch (rng_.below(3)) {
+        case 0:
+          system.net().inject(system.supervisor_id(),
+                              std::make_unique<core::msg::Subscribe>(random_peer(subs)));
+          break;
+        case 1:
+          system.net().inject(
+              system.supervisor_id(),
+              std::make_unique<core::msg::Unsubscribe>(random_peer(subs)));
+          break;
+        default:
+          system.net().inject(system.supervisor_id(),
+                              std::make_unique<core::msg::GetConfiguration>(
+                                  random_peer(subs), random_peer(subs)));
+      }
+    } else {
+      system.net().inject(random_peer(subs), junk_core(subs));
+    }
+  }
+}
+
+void ArbitraryStateInjector::scramble(pubsub::PubSubSystem& system) {
+  scramble(static_cast<core::SkipRingSystem&>(system));
+  const auto subs = system.subscriber_ids();
+  if (subs.empty()) return;
+  if (opt_.tries) {
+    for (sim::NodeId id : system.active_ids()) {
+      scramble_trie(system.pubsub(id), subs, /*keep_all=*/false, /*allow_extra=*/true);
+    }
+  }
+  const std::size_t key_bits = system.pubsub(subs.front()).trie().key_bits();
+  for (int i = 0; i < opt_.junk_messages / 2; ++i) {
+    system.net().inject(random_peer(subs),
+                        junk_pubsub(subs, key_bits, /*allow_extra=*/true));
+  }
+}
+
+void ArbitraryStateInjector::scramble(const MultiTopicView& view) {
+  auto& net = *view.net;
+
+  // All alive clients, any topic — the model allows a reference to any
+  // existing node, so overlay slots may point across topic boundaries
+  // (stale traffic is answered by the departed-topic path).
+  std::set<sim::NodeId> client_set;
+  for (const auto& [topic, members] : view.members) {
+    for (sim::NodeId m : members) {
+      if (net.alive(m)) client_set.insert(m);
+    }
+  }
+  const std::vector<sim::NodeId> clients(client_set.begin(), client_set.end());
+  if (clients.empty()) return;
+
+  std::vector<pubsub::TopicId> topics;
+  for (const auto& [topic, members] : view.members) {
+    if (members.empty()) continue;
+    topics.push_back(topic);
+
+    std::vector<sim::NodeId> live_members;
+    for (sim::NodeId m : members) {
+      if (net.alive(m) &&
+          net.node_as<pubsub::MultiTopicNode>(m).subscribed(topic)) {
+        live_members.push_back(m);
+      }
+    }
+    if (live_members.empty()) continue;
+
+    // Per-(client, topic) overlay instances.
+    bool first = true;
+    for (sim::NodeId m : live_members) {
+      auto& node = net.node_as<pubsub::MultiTopicNode>(m);
+      if (node.overlay(topic).phase() == core::SubscriberPhase::kDeparted) continue;
+      scramble_overlay(node.overlay(topic), clients);
+      if (opt_.tries) {
+        // Union-preserving: the first member archives the full store so no
+        // publication vanishes from the topic system-wide (the multi-topic
+        // convergence target counts publications per topic).
+        scramble_trie(node.pubsub(topic), clients, /*keep_all=*/first,
+                      /*allow_extra=*/false);
+      }
+      first = false;
+    }
+
+    // The arc owner's per-topic database, values drawn from the topic's own
+    // members (a tuple for a never-subscribed client could linger forever —
+    // nothing in the departure handshake would evict it).
+    const sim::NodeId owner = view.group->supervisor_for(topic);
+    if (opt_.databases && net.alive(owner)) {
+      auto& sup = net.node_as<pubsub::MultiTopicSupervisorNode>(owner);
+      scramble_database(sup.topic_supervisor(topic), live_members);
+    }
+  }
+  if (topics.empty()) return;
+
+  const std::size_t key_bits = [&] {
+    for (pubsub::TopicId topic : topics) {
+      for (sim::NodeId m : view.members.at(topic)) {
+        if (!net.alive(m)) continue;
+        auto& node = net.node_as<pubsub::MultiTopicNode>(m);
+        if (node.subscribed(topic)) return node.pubsub(topic).trie().key_bits();
+      }
+    }
+    return std::size_t{64};
+  }();
+
+  for (int i = 0; i < opt_.junk_messages; ++i) {
+    const pubsub::TopicId topic = topics[rng_.pick_index(topics)];
+    const auto& members = view.members.at(topic);
+    const sim::NodeId owner = view.group->supervisor_for(topic);
+    if (rng_.chance(1, 6) && net.alive(owner) && !members.empty()) {
+      // Garbage requests at the owning supervisor. Subscribe junk stays
+      // scoped to the topic's own members: the group realization has no
+      // mechanism for a non-owner to disown a subscriber, so cross-topic
+      // Subscribe forgeries are outside the recoverable state space.
+      std::unique_ptr<sim::Message> inner;
+      switch (rng_.below(3)) {
+        case 0:
+          inner = std::make_unique<core::msg::Subscribe>(random_peer(members));
+          break;
+        case 1:
+          inner = std::make_unique<core::msg::Unsubscribe>(random_peer(members));
+          break;
+        default:
+          inner = std::make_unique<core::msg::GetConfiguration>(random_peer(members),
+                                                                random_peer(members));
+      }
+      net.inject(owner, std::make_unique<pubsub::TopicEnvelope>(topic, std::move(inner)));
+      continue;
+    }
+    // Enveloped garbage at a random client — possibly for a topic it never
+    // joined, exercising the departed-topic reply path.
+    std::unique_ptr<sim::Message> inner =
+        rng_.chance(1, 3) ? junk_pubsub(clients, key_bits, /*allow_extra=*/false)
+                          : junk_core(clients);
+    net.inject(random_peer(clients),
+               std::make_unique<pubsub::TopicEnvelope>(topic, std::move(inner)));
+  }
+}
+
+}  // namespace ssps::oracle

@@ -1,0 +1,99 @@
+// Arbitrary-state injection — the adversary of the stabilization theorems.
+//
+// Self-stabilization (Definition 1) quantifies over *arbitrary* initial
+// states. core/chaos perturbs a converged system along tunable percentages;
+// this injector goes further and REBUILDS every protocol variable from
+// scratch, uniformly at random within the type invariants of the model
+// (§1.1: node references denote existing nodes; everything else — labels,
+// neighbor slots, shortcut tables, supervisor databases, publication
+// stores, channel contents — may hold any value). A converged system is
+// not assumed; the result is a genuinely arbitrary configuration from
+// which the protocols must re-converge, which the invariant oracle
+// (invariants.hpp) then certifies.
+//
+// Determinism: one ScrambleOptions::seed reproduces the same injected
+// state on the same deployment, so scrambled scenario runs stay
+// bit-deterministic.
+#pragma once
+
+#include <cstdint>
+
+#include "oracle/invariants.hpp"
+#include "pubsub/pubsub_node.hpp"
+
+namespace ssps::oracle {
+
+/// Knobs of one arbitrary-state injection.
+struct ScrambleOptions {
+  std::uint64_t seed = 1;
+
+  /// Per-subscriber label fate, in percent: ⊥ / uniform random bit string
+  /// (possibly non-canonical, possibly duplicate); the rest keep theirs.
+  int label_null_pct = 15;
+  int label_random_pct = 65;
+
+  /// Per neighbor slot (left/right/ring): percent chance of ⊥; otherwise
+  /// the slot holds a uniformly random (label, peer) reference.
+  int edge_null_pct = 25;
+
+  /// Shortcut tables are cleared and refilled with up to this many
+  /// arbitrary (label, peer) entries.
+  int max_shortcuts = 4;
+
+  /// Rebuild every supervisor database as an arbitrary tuple soup: random
+  /// labels (canonical and not), null values, duplicates, holes.
+  bool databases = true;
+
+  /// Publication stores: wipe or drop to random subsets; on single-ring
+  /// deployments additionally seed junk publications (the union is the
+  /// target state there, so extra content is legal).
+  bool tries = true;
+
+  /// Garbage protocol messages injected into random channels.
+  int junk_messages = 64;
+
+  /// Length cap for generated labels (bits).
+  int max_label_len = 10;
+};
+
+/// Scrambles live deployments into arbitrary-but-type-correct states.
+class ArbitraryStateInjector {
+ public:
+  explicit ArbitraryStateInjector(const ScrambleOptions& options);
+
+  /// Overlay + database + channels of one supervised skip ring.
+  void scramble(core::SkipRingSystem& system);
+
+  /// Same, plus publication stores and publication-layer channel garbage.
+  void scramble(pubsub::PubSubSystem& system);
+
+  /// Every per-topic instance of a multi-topic deployment: each (client,
+  /// topic) overlay, each owner's per-topic database, per-topic
+  /// publication stores (union-preserving: one member per topic keeps the
+  /// full store so no publication is lost system-wide), and enveloped
+  /// channel garbage — including traffic for topics the receiver never
+  /// joined (the departed-topic path).
+  void scramble(const MultiTopicView& view);
+
+ private:
+  core::Label random_label();
+  sim::NodeId random_peer(const std::vector<sim::NodeId>& peers);
+  std::optional<core::LabeledRef> random_slot(const std::vector<sim::NodeId>& peers);
+  void scramble_overlay(core::SubscriberProtocol& sub,
+                        const std::vector<sim::NodeId>& peers);
+  void scramble_database(core::SupervisorProtocol& sup,
+                         const std::vector<sim::NodeId>& values);
+  /// `allow_extra` permits junk insertions (single-ring semantics).
+  void scramble_trie(pubsub::PubSubProtocol& ps,
+                     const std::vector<sim::NodeId>& peers, bool keep_all,
+                     bool allow_extra);
+  std::unique_ptr<sim::Message> junk_core(const std::vector<sim::NodeId>& peers);
+  std::unique_ptr<sim::Message> junk_pubsub(const std::vector<sim::NodeId>& peers,
+                                            std::size_t key_bits, bool allow_extra);
+
+  ScrambleOptions opt_;
+  ssps::Rng rng_;
+  std::uint64_t junk_seq_ = 0;
+};
+
+}  // namespace ssps::oracle

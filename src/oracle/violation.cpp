@@ -1,0 +1,83 @@
+#include "oracle/violation.hpp"
+
+#include <sstream>
+
+namespace ssps::oracle {
+
+const char* invariant_name(Invariant inv) {
+  switch (inv) {
+    case Invariant::kRingOrder:
+      return "ring-order";
+    case Invariant::kRingConnectivity:
+      return "ring-connectivity";
+    case Invariant::kShortcutClosure:
+      return "shortcut-closure";
+    case Invariant::kSupervisorView:
+      return "supervisor-view";
+    case Invariant::kTrieShape:
+      return "trie-shape";
+    case Invariant::kTrieAgreement:
+      return "trie-agreement";
+    case Invariant::kTopicPlacement:
+      return "topic-placement";
+  }
+  return "unknown";
+}
+
+const char* invariant_reference(Invariant inv) {
+  switch (inv) {
+    case Invariant::kRingOrder:
+      return "Definition 2 / §2.2 (sorted ring with cyclic closure)";
+    case Invariant::kRingConnectivity:
+      return "Lemma 4 (one ring, not several)";
+    case Invariant::kShortcutClosure:
+      return "Theorem 5 / §3.2.2 (dyadic mirror-chain shortcuts)";
+    case Invariant::kSupervisorView:
+      return "§3.1, §3.3, §4.1 (database legality and live coverage)";
+    case Invariant::kTrieShape:
+      return "§4.2 / Figure 2 (Merkle-hashed Patricia trie)";
+    case Invariant::kTrieAgreement:
+      return "Theorem 17 (all tries hold the publication union)";
+    case Invariant::kTopicPlacement:
+      return "§1.3 / §4 (consistent-hashing topic ownership)";
+  }
+  return "";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream out;
+  out << "[" << invariant_name(invariant) << "]";
+  if (topic) out << " topic " << *topic;
+  if (node) out << " node " << node.value;
+  out << ": " << detail;
+  return out.str();
+}
+
+std::map<std::string, std::size_t> OracleReport::count_by_invariant() const {
+  std::map<std::string, std::size_t> counts;
+  for (const Violation& v : violations) counts[invariant_name(v.invariant)] += 1;
+  return counts;
+}
+
+std::string OracleReport::summary(std::size_t max_details) const {
+  std::ostringstream out;
+  out << violations.size() << " violation(s) over " << checked_nodes
+      << " node state(s)";
+  if (checked_topics > 0) out << ", " << checked_topics << " topic(s)";
+  if (!violations.empty()) {
+    out << ":";
+    for (const auto& [name, count] : count_by_invariant()) {
+      out << " " << name << "=" << count;
+    }
+    const std::size_t shown = std::min(max_details, violations.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      out << "\n  " << violations[i].to_string();
+    }
+    if (shown < violations.size()) {
+      out << "\n  ... " << (violations.size() - shown) << " more";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ssps::oracle

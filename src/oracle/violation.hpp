@@ -1,0 +1,82 @@
+// Structured invariant-violation records — the oracle's output format.
+//
+// The paper proves convergence into a *legal state*; this module gives
+// that predicate an explicit, machine-checkable shape. Checkers
+// (invariants.hpp) never assert: they emit one Violation per offending
+// (invariant, node[, topic]) so that a single sweep reports the complete
+// damage picture, which scenario reports serialize and tests match on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pubsub/supervisor_group.hpp"
+#include "sim/types.hpp"
+
+namespace ssps::oracle {
+
+/// The legal-state predicates, one per protocol layer.
+enum class Invariant : std::uint8_t {
+  /// Direct ring edges sorted by label with the cyclic closure edge at the
+  /// extremes, labels unique and present (Definition 2, E_R; §2.2).
+  kRingOrder,
+  /// The graph of direct ring edges connects all active subscribers
+  /// (Lemma 4's target: one sorted ring, not several).
+  kRingConnectivity,
+  /// Every shortcut table holds exactly the dyadic mirror-chain labels and
+  /// each resolves to the holder of that label (Theorem 5's stable-state
+  /// characterization; §3.2.2).
+  kShortcutClosure,
+  /// The supervisor database satisfies none of the §3.1 corruption classes,
+  /// covers exactly the live active subscribers, and every subscriber holds
+  /// the label the database assigns it (§3.1, §3.3, §4.1).
+  kSupervisorView,
+  /// Every publication store is a well-formed Merkle-hashed Patricia trie
+  /// (§4.2, Figure 2).
+  kTrieShape,
+  /// All subscribers of one topic hold identical publication sets
+  /// (Theorem 17's goal state).
+  kTrieAgreement,
+  /// Every topic is served by the supervisor owning its hash arc and by no
+  /// other group member; every recorded member participates (§1.3, §4).
+  kTopicPlacement,
+};
+
+/// Stable kebab-case identifier (JSON keys, test matching).
+const char* invariant_name(Invariant inv);
+
+/// The paper reference backing the predicate (documentation strings).
+const char* invariant_reference(Invariant inv);
+
+/// One observed breach of one invariant.
+struct Violation {
+  Invariant invariant;
+  /// The node whose state breaches the predicate (null for system-level
+  /// breaches such as a database/member-set size mismatch).
+  sim::NodeId node;
+  /// Topic the breach belongs to (multi-topic deployments only).
+  std::optional<pubsub::TopicId> topic;
+  std::string detail;
+
+  std::string to_string() const;
+};
+
+/// The result of one full oracle sweep.
+struct OracleReport {
+  std::vector<Violation> violations;
+  std::size_t checked_nodes = 0;   ///< subscriber states examined
+  std::size_t checked_topics = 0;  ///< topics examined (multi-topic mode)
+
+  bool ok() const { return violations.empty(); }
+
+  /// Violation count per invariant name (sorted, JSON-ready).
+  std::map<std::string, std::size_t> count_by_invariant() const;
+
+  /// Human-readable digest: totals plus the first `max_details` entries.
+  std::string summary(std::size_t max_details = 8) const;
+};
+
+}  // namespace ssps::oracle

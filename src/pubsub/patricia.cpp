@@ -196,6 +196,23 @@ bool PatriciaTrie::equal_contents(const PatriciaTrie& other) const {
   return root_->hash == other.root_->hash;
 }
 
+bool PatriciaTrie::chaos_corrupt_digest(std::uint64_t seed) {
+  if (!root_) return false;
+  // Preorder walk to the (seed mod node-count)-th node, then flip one bit
+  // of its digest. Deterministic per (trie, seed).
+  std::vector<Node*> nodes;
+  auto walk = [&](auto&& self, Node& node) -> void {
+    nodes.push_back(&node);
+    if (node.child0) self(self, *node.child0);
+    if (node.child1) self(self, *node.child1);
+  };
+  walk(walk, *root_);
+  Node& victim = *nodes[seed % nodes.size()];
+  victim.hash[(seed >> 8) % victim.hash.size()] ^=
+      static_cast<std::uint8_t>(1u << ((seed >> 16) % 8));
+  return true;
+}
+
 std::string PatriciaTrie::check_invariants() const {
   std::ostringstream why;
   std::size_t leaves = 0;

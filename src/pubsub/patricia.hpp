@@ -97,6 +97,12 @@ class PatriciaTrie {
   /// leaves at depth m. Returns "" or a description of the violation.
   std::string check_invariants() const;
 
+  /// Adversarial corruption (tests/oracle only): flips one bit in a
+  /// pseudo-randomly chosen node's digest, breaking the Merkle / leaf-hash
+  /// condition that check_invariants() reports. Returns false (and does
+  /// nothing) on an empty trie.
+  bool chaos_corrupt_digest(std::uint64_t seed);
+
  private:
   struct Node {
     BitString label;

@@ -247,4 +247,21 @@ ScenarioSpec builtin_scenario(const std::string& name, std::uint64_t seed,
   return {};
 }
 
+ScenarioSpec scrambled_variant(ScenarioSpec spec) {
+  SSPS_ASSERT_MSG(!spec.phases.empty(), "scrambled_variant: spec has no phases");
+  spec.name += "-scrambled";
+  spec.oracle = true;
+
+  Phase scramble;
+  scramble.name = "scramble";
+  oracle::ScrambleOptions options;
+  // Decorrelate from the scheduler/runner streams, which consume the raw
+  // spec seed.
+  options.seed = spec.seed * 0x9e3779b97f4a7c15ULL + 0x5ca91b1e5ca91b1eULL;
+  scramble.scramble = options;
+  scramble.converge = true;
+  spec.phases.insert(spec.phases.begin() + 1, std::move(scramble));
+  return spec;
+}
+
 }  // namespace ssps::scenario

@@ -27,4 +27,13 @@ bool is_builtin(const std::string& name);
 ScenarioSpec builtin_scenario(const std::string& name, std::uint64_t seed,
                               std::size_t nodes);
 
+/// The scrambled-start variant of any scenario: right after the first
+/// phase (the bootstrap in every builtin) an InjectArbitraryState phase
+/// rebuilds all protocol state arbitrarily (seeded from spec.seed) and
+/// waits for re-convergence; the invariant oracle runs every phase. This
+/// is the paper's stabilization experiment shape — convergence from
+/// adversarially scrambled states certified against the explicit
+/// legal-state predicate.
+ScenarioSpec scrambled_variant(ScenarioSpec spec);
+
 }  // namespace ssps::scenario

@@ -21,6 +21,10 @@ Json phase_to_json(const PhaseReport& p) {
   j["messages"] = p.messages;
   j["delivered"] = p.delivered;
   j["bytes"] = p.bytes;
+  if (p.injected > 0) {
+    j["injected"] = p.injected;
+    j["injected_bytes"] = p.injected_bytes;
+  }
   Json labels = Json::object();
   for (const auto& [name, cb] : p.by_label) {
     Json entry = Json::object();
@@ -50,6 +54,21 @@ Json phase_to_json(const PhaseReport& p) {
     }
     j["topic_fanout"] = std::move(fanout);
   }
+  if (p.oracle) {
+    Json oracle = Json::object();
+    oracle["violations"] = static_cast<std::uint64_t>(p.oracle->violations);
+    oracle["checked_nodes"] = static_cast<std::uint64_t>(p.oracle->checked_nodes);
+    oracle["checked_topics"] = static_cast<std::uint64_t>(p.oracle->checked_topics);
+    Json by_invariant = Json::object();
+    for (const auto& [name, count] : p.oracle->by_invariant) {
+      by_invariant[name] = static_cast<std::uint64_t>(count);
+    }
+    oracle["by_invariant"] = std::move(by_invariant);
+    Json details = Json::array();
+    for (const std::string& d : p.oracle->details) details.push_back(d);
+    oracle["details"] = std::move(details);
+    j["oracle"] = std::move(oracle);
+  }
   return j;
 }
 
@@ -64,6 +83,7 @@ Json ScenarioReport::to_json() const {
   j["supervisors"] = static_cast<std::uint64_t>(supervisors);
   j["topics"] = static_cast<std::uint64_t>(topics);
   j["ok"] = ok;
+  j["oracle_ok"] = oracle_ok;
   Json totals = Json::object();
   totals["rounds"] = static_cast<std::uint64_t>(total_rounds);
   totals["messages"] = total_messages;

@@ -28,6 +28,17 @@ struct SupervisorLoad {
   double arc_share = 0.0;       ///< fraction of the hash ring it owns
 };
 
+/// Result of one invariant-oracle sweep at phase end (src/oracle).
+struct OracleSummary {
+  std::size_t violations = 0;
+  std::size_t checked_nodes = 0;
+  std::size_t checked_topics = 0;
+  /// Violation count per invariant name (kebab-case, sorted).
+  std::map<std::string, std::size_t> by_invariant;
+  /// First few violation descriptions (diagnostics; capped).
+  std::vector<std::string> details;
+};
+
 /// Everything measured over one phase. Under Scheduler::kAsync the two
 /// duration fields count async steps instead of rounds.
 struct PhaseReport {
@@ -39,6 +50,9 @@ struct PhaseReport {
   std::uint64_t messages = 0;      ///< sends during the phase
   std::uint64_t delivered = 0;     ///< deliveries during the phase
   std::uint64_t bytes = 0;         ///< wire bytes sent during the phase
+  /// Adversarially injected messages/bytes (chaos junk, scramble garbage).
+  std::uint64_t injected = 0;
+  std::uint64_t injected_bytes = 0;
   /// Per-action-label (count, bytes) send counters.
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_label;
 
@@ -49,6 +63,9 @@ struct PhaseReport {
   std::vector<SupervisorLoad> supervisor_load;
   /// topic -> subscriber count at phase end (multi-topic mode).
   std::map<TopicId, std::size_t> topic_fanout;
+
+  /// Oracle sweep at phase end (present when the oracle ran this phase).
+  std::optional<OracleSummary> oracle;
 };
 
 /// The full result of one ScenarioRunner::run().
@@ -63,6 +80,11 @@ struct ScenarioReport {
   std::vector<PhaseReport> phases;
 
   bool ok = false;                 ///< every convergence wait succeeded
+  /// Every oracle-checked convergence wait ended in a legal state
+  /// (vacuously true when the oracle never ran). False means a wait timed
+  /// out with invariants still violated — the phase's OracleSummary names
+  /// them.
+  bool oracle_ok = true;
   std::size_t total_rounds = 0;
   std::uint64_t total_messages = 0;
   std::uint64_t total_bytes = 0;

@@ -71,12 +71,22 @@ std::vector<sim::NodeId> ScenarioRunner::topic_members(TopicId topic) const {
 const ScenarioReport& ScenarioRunner::run() {
   while (next_phase_ < spec_.phases.size()) run_phase(next_phase_);
   report_.ok = true;
+  report_.oracle_ok = true;
   report_.total_rounds = 0;
   report_.total_messages = 0;
   report_.total_bytes = 0;
   for (std::size_t i = 0; i < report_.phases.size(); ++i) {
     const PhaseReport& p = report_.phases[i];
     if (spec_.phases[i].converge && !p.converged) report_.ok = false;
+    // An oracle-checked convergence wait must end in a legal state: when
+    // the oracle is enabled the wait predicate itself requires legality,
+    // so nonzero violations here mean the wait timed out with the system
+    // still illegal — the sweep's details name the failing invariants.
+    // Violations in phases that deliberately left the system mid-churn
+    // (no convergence wait) stay informational.
+    if (p.oracle && spec_.phases[i].converge && p.oracle->violations > 0) {
+      report_.oracle_ok = false;
+    }
     report_.total_rounds += p.rounds;
     report_.total_messages += p.messages;
     report_.total_bytes += p.bytes;
@@ -103,11 +113,13 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
   apply_churn(phase.churn);
   if (phase.flash_crowd_topic) apply_flash_crowd(*phase.flash_crowd_topic);
   apply_chaos(phase);
+  apply_scramble(phase);
   apply_publish(phase.publish);
 
   run_budget(phase.run);
   if (phase.converge) {
-    out.convergence_rounds = wait_converged(phase.max_rounds, out.converged);
+    out.convergence_rounds =
+        wait_converged(phase.max_rounds, oracle_enabled(phase), out.converged);
   }
 
   out.rounds = spec_.scheduler == Scheduler::kRounds
@@ -115,8 +127,41 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
                    : static_cast<std::size_t>(network.now() - step_start);
 
   sample(phase, out);
+  if (oracle_enabled(phase)) {
+    constexpr std::size_t kMaxDetails = 8;
+    const oracle::OracleReport sweep = check_oracle();
+    OracleSummary summary;
+    summary.violations = sweep.violations.size();
+    summary.checked_nodes = sweep.checked_nodes;
+    summary.checked_topics = sweep.checked_topics;
+    summary.by_invariant = sweep.count_by_invariant();
+    for (std::size_t i = 0; i < std::min(kMaxDetails, sweep.violations.size()); ++i) {
+      summary.details.push_back(sweep.violations[i].to_string());
+    }
+    out.oracle = std::move(summary);
+  }
   report_.phases.push_back(std::move(out));
   return report_.phases.back();
+}
+
+bool ScenarioRunner::oracle_enabled(const Phase& phase) const {
+  return spec_.oracle || phase.check_invariants;
+}
+
+oracle::MultiTopicView ScenarioRunner::multi_view() {
+  SSPS_ASSERT_MSG(spec_.mode == Mode::kMultiTopic,
+                  "multi_view: scenario is single-topic");
+  oracle::MultiTopicView view;
+  view.net = multi_net_.get();
+  view.group = group_.get();
+  view.supervisors = sup_ids_;
+  view.members = members_;
+  return view;
+}
+
+oracle::OracleReport ScenarioRunner::check_oracle() {
+  if (spec_.mode == Mode::kSingleTopic) return oracle::check_system(*single_);
+  return oracle::check_deployment(multi_view());
 }
 
 void ScenarioRunner::apply_fd_delay(sim::Round delay) {
@@ -233,6 +278,16 @@ void ScenarioRunner::apply_chaos(const Phase& phase) {
   if (phase.split_brain) core::split_brain(*single_, rng_.next());
 }
 
+void ScenarioRunner::apply_scramble(const Phase& phase) {
+  if (!phase.scramble) return;
+  oracle::ArbitraryStateInjector injector(*phase.scramble);
+  if (spec_.mode == Mode::kSingleTopic) {
+    injector.scramble(*single_);
+  } else {
+    injector.scramble(multi_view());
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Publishing
 // ---------------------------------------------------------------------------
@@ -327,18 +382,20 @@ void ScenarioRunner::rehome_topic(TopicId topic, sim::NodeId old_owner,
     if (!done) {
       // Handshake timed out (e.g. an extreme fd_delay): fall back to a
       // forced drop so the member still moves — subscribe() below would
-      // otherwise no-op on the lingering instance. Inject an Unsubscribe
-      // tombstone at the old owner for each dropped member so its (still
+      // otherwise no-op on the lingering instance. Send an Unsubscribe
+      // tombstone to the old owner for each dropped member so its (still
       // alive) database does not keep managing clients the new owner now
-      // serves.
+      // serves. send(), not inject(): this is engine-orchestrated protocol
+      // traffic, and the inject counters are reserved for adversarial
+      // content.
       for (sim::NodeId m : members) {
         auto& node = multi_net_->node_as<pubsub::MultiTopicNode>(m);
         if (!node.subscribed(topic)) continue;
         node.drop_topic(topic);
         if (old_owner) {
-          multi_net_->inject(old_owner,
-                             std::make_unique<pubsub::TopicEnvelope>(
-                                 topic, std::make_unique<core::msg::Unsubscribe>(m)));
+          multi_net_->send(old_owner,
+                           std::make_unique<pubsub::TopicEnvelope>(
+                               topic, std::make_unique<core::msg::Unsubscribe>(m)));
         }
       }
     }
@@ -432,9 +489,18 @@ bool ScenarioRunner::converged() const {
   return true;
 }
 
-std::size_t ScenarioRunner::wait_converged(std::size_t max_rounds, bool& converged_out) {
+std::size_t ScenarioRunner::wait_converged(std::size_t max_rounds, bool oracle_too,
+                                           bool& converged_out) {
+  // With the oracle enabled the target state is the *full* legal-state
+  // predicate, which is strictly stronger than the engine's convergence
+  // probes (e.g. the multi-topic probe never looks at shortcut tables).
+  // The cheap probe runs first so the oracle sweep only prices rounds that
+  // already look converged.
+  auto settled = [this, oracle_too] {
+    return converged() && (!oracle_too || check_oracle().ok());
+  };
   if (spec_.scheduler == Scheduler::kRounds) {
-    const auto used = net().run_until([this] { return converged(); }, max_rounds);
+    const auto used = net().run_until(settled, max_rounds);
     converged_out = used.has_value();
     return used.value_or(max_rounds);
   }
@@ -443,13 +509,13 @@ std::size_t ScenarioRunner::wait_converged(std::size_t max_rounds, bool& converg
   const sim::Step start = net().now();
   const std::size_t chunk = std::max<std::size_t>(net().alive_count(), 1);
   for (std::size_t i = 0; i < max_rounds; ++i) {
-    if (converged()) {
+    if (settled()) {
       converged_out = true;
       return static_cast<std::size_t>(net().now() - start);
     }
     net().run_steps(chunk);
   }
-  converged_out = converged();
+  converged_out = settled();
   return static_cast<std::size_t>(net().now() - start);
 }
 
@@ -463,6 +529,8 @@ void ScenarioRunner::sample(const Phase& phase, PhaseReport& out) {
   out.messages = metrics.total_sent();
   out.delivered = metrics.total_delivered();
   out.bytes = metrics.total_bytes();
+  out.injected = metrics.total_injected();
+  out.injected_bytes = metrics.injected_bytes();
   for (const auto& [label, counter] : metrics.by_label()) {
     out.by_label[label] = {counter.count, counter.bytes};
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "oracle/invariants.hpp"
 #include "pubsub/topics.hpp"
 #include "scenario/report.hpp"
 #include "scenario/spec.hpp"
@@ -38,6 +39,11 @@ class ScenarioRunner {
 
   const ScenarioSpec& spec() const { return spec_; }
   const ScenarioReport& report() const { return report_; }
+
+  /// One full invariant-oracle sweep over the current deployment state
+  /// (either mode). The runner calls this at phase end when the spec asks
+  /// for it; exposed so tests and tools can interrogate any moment.
+  oracle::OracleReport check_oracle();
 
   /// The underlying network (either mode).
   sim::Network& net();
@@ -62,11 +68,17 @@ class ScenarioRunner {
   void apply_churn(const ChurnWave& churn);
   void apply_flash_crowd(TopicId topic);
   void apply_chaos(const Phase& phase);
+  void apply_scramble(const Phase& phase);
   void apply_publish(const PublishLoad& load);
   void run_budget(std::size_t budget);
   bool converged() const;
-  std::size_t wait_converged(std::size_t max_rounds, bool& converged_out);
+  /// Whether the oracle runs at the end of `phase`.
+  bool oracle_enabled(const Phase& phase) const;
+  std::size_t wait_converged(std::size_t max_rounds, bool oracle_too,
+                             bool& converged_out);
   void sample(const Phase& phase, PhaseReport& out);
+  /// The multi-topic deployment as the oracle/injector see it.
+  oracle::MultiTopicView multi_view();
 
   // Single-topic helpers.
   sim::NodeId pick_active_single();

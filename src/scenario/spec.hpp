@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/chaos.hpp"
+#include "oracle/scramble.hpp"
 #include "pubsub/pubsub_node.hpp"
 #include "pubsub/supervisor_group.hpp"
 #include "sim/types.hpp"
@@ -100,6 +101,17 @@ struct Phase {
   /// Single-topic only: split-brain relabeling (core/chaos split_brain).
   bool split_brain = false;
 
+  /// Both modes: InjectArbitraryState — rebuild every protocol variable
+  /// from scratch via oracle/scramble (the arbitrary initial states the
+  /// stabilization theorems quantify over).
+  std::optional<oracle::ScrambleOptions> scramble;
+
+  /// CheckInvariants — run the legal-state oracle at phase end and record
+  /// its summary in the report (implied for every phase by
+  /// ScenarioSpec::oracle). When the phase also waits for convergence, the
+  /// wait predicate additionally requires zero oracle violations.
+  bool check_invariants = false;
+
   PublishLoad publish;
 
   /// Scheduler budget executed after the actions (rounds, or async steps
@@ -133,6 +145,9 @@ struct ScenarioSpec {
 
   /// Failure-detector delay in rounds at scenario start.
   sim::Round fd_delay = 0;
+
+  /// Run the invariant oracle after every phase (see Phase::check_invariants).
+  bool oracle = false;
 
   pubsub::PubSubConfig pubsub;
 

@@ -17,6 +17,11 @@ void Metrics::on_deliver(std::string_view name, NodeId at) {
   total_delivered_ += 1;
 }
 
+void Metrics::on_inject(std::size_t bytes) {
+  total_injected_ += 1;
+  injected_bytes_ += bytes;
+}
+
 void Metrics::reset() {
   by_label_.clear();
   received_.clear();
@@ -24,6 +29,8 @@ void Metrics::reset() {
   total_sent_ = 0;
   total_delivered_ = 0;
   total_bytes_ = 0;
+  total_injected_ = 0;
+  injected_bytes_ = 0;
 }
 
 std::uint64_t Metrics::sent(std::string_view name) const {

@@ -28,6 +28,11 @@ class Metrics {
   /// Records a delivery (receipt) at node `at`.
   void on_deliver(std::string_view name, NodeId at);
 
+  /// Records an adversarially injected message (Network::inject). Kept
+  /// separate from sends: injected garbage is initial-state content, not
+  /// protocol traffic, but stabilization reports want its volume.
+  void on_inject(std::size_t bytes);
+
   /// Clears all counters.
   void reset();
 
@@ -44,6 +49,12 @@ class Metrics {
 
   /// Total bytes sent since the last reset.
   std::uint64_t total_bytes() const { return total_bytes_; }
+
+  /// Messages injected adversarially since the last reset.
+  std::uint64_t total_injected() const { return total_injected_; }
+
+  /// Bytes injected adversarially since the last reset.
+  std::uint64_t injected_bytes() const { return injected_bytes_; }
 
   /// Messages sent under one action label.
   std::uint64_t sent(std::string_view name) const;
@@ -68,6 +79,8 @@ class Metrics {
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_delivered_ = 0;
   std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_injected_ = 0;
+  std::uint64_t injected_bytes_ = 0;
 };
 
 }  // namespace ssps::sim

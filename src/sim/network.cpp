@@ -65,6 +65,7 @@ void Network::inject(NodeId to, std::unique_ptr<Message> msg) {
   SSPS_ASSERT(msg != nullptr);
   auto it = nodes_.find(to);
   SSPS_ASSERT_MSG(it != nodes_.end(), "inject: unknown node");
+  metrics_.on_inject(msg->wire_size());
   it->second.channel.push_back(Envelope{std::move(msg), step_});
   ++pending_total_;
 }

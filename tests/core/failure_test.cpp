@@ -98,6 +98,23 @@ TEST(CrashRecovery, CrashAndChurnTogether) {
   EXPECT_EQ(sys.supervisor().size(), 16u - 2u + 3u);
 }
 
+TEST(CrashRecovery, QueuedUnsubscribeFromCrashedNodeIsHarmless) {
+  // Regression: an Unsubscribe sitting in the supervisor's channel while
+  // its sender crashes. With a perfect detector, check_labels() evicts the
+  // sender during the unsubscribe itself — the lookup must observe the
+  // eviction and fall back to the idempotent permission reply rather than
+  // dereferencing a stale index entry.
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 5, .fd_delay = 0});
+  const auto ids = sys.add_subscribers(6);
+  ASSERT_TRUE(sys.run_until_legit(3000).has_value());
+  const sim::NodeId victim = ids[2];
+  sys.net().inject(sys.supervisor_id(), std::make_unique<msg::Unsubscribe>(victim));
+  sys.crash(victim);
+  const auto rounds = sys.run_until_legit(3000);
+  ASSERT_TRUE(rounds.has_value()) << sys.legitimacy_violation();
+  EXPECT_EQ(sys.supervisor().size(), 5u);
+}
+
 TEST(FailureDetector, NeverSuspectsAliveNodes) {
   SkipRingSystem sys(SkipRingSystem::Options{.seed = 13, .fd_delay = 0});
   const auto ids = sys.add_subscribers(6);

@@ -1,0 +1,263 @@
+// Invariant oracle: a converged system reports zero violations, and every
+// class of known-illegal state fires the invariant named for it.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/chaos.hpp"
+#include "oracle/invariants.hpp"
+#include "pubsub/pubsub_node.hpp"
+#include "scenario/builtin.hpp"
+#include "scenario/runner.hpp"
+
+namespace ssps::oracle {
+namespace {
+
+using core::Label;
+using core::LabeledRef;
+
+/// Bootstraps `n` pub-sub subscribers, publishes a few entries and runs
+/// until both the topology and the publication layer are converged.
+void converge(pubsub::PubSubSystem& system, std::size_t n) {
+  system.add_pubsub_subscribers(n);
+  ASSERT_TRUE(system.run_until_legit(4000).has_value())
+      << system.legitimacy_violation();
+  const auto ids = system.active_ids();
+  system.pubsub(ids[0]).publish("alpha");
+  system.pubsub(ids[ids.size() / 2]).publish("beta");
+  ASSERT_TRUE(system.net()
+                  .run_until([&] { return system.publications_converged(); }, 2000)
+                  .has_value());
+}
+
+bool fires(const OracleReport& report, Invariant inv) {
+  return std::any_of(report.violations.begin(), report.violations.end(),
+                     [&](const Violation& v) { return v.invariant == inv; });
+}
+
+TEST(Oracle, ConvergedSystemReportsZeroViolations) {
+  pubsub::PubSubSystem system({.seed = 11});
+  converge(system, 12);
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(report.checked_nodes, 12u);
+  EXPECT_TRUE(report.count_by_invariant().empty());
+}
+
+TEST(Oracle, BrokenRingOrderFires) {
+  pubsub::PubSubSystem system({.seed = 12});
+  converge(system, 8);
+  // Point one node's left edge at itself under a bogus label: the sorted
+  // ring is broken at exactly that slot.
+  const sim::NodeId victim = system.active_ids()[3];
+  system.subscriber(victim).chaos_set_left(LabeledRef{Label(0b101, 3), victim});
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kRingOrder)) << report.summary();
+  EXPECT_FALSE(fires(report, Invariant::kSupervisorView));
+  EXPECT_FALSE(fires(report, Invariant::kShortcutClosure));
+}
+
+TEST(Oracle, UnlabeledMemberFires) {
+  pubsub::PubSubSystem system({.seed = 13});
+  converge(system, 8);
+  const sim::NodeId victim = system.active_ids()[0];
+  system.subscriber(victim).chaos_set_label(std::nullopt);
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kRingOrder)) << report.summary();
+  // The database still records the old label: the views disagree.
+  EXPECT_TRUE(fires(report, Invariant::kSupervisorView));
+}
+
+TEST(Oracle, MissingDyadicShortcutFires) {
+  pubsub::PubSubSystem system({.seed = 14});
+  converge(system, 16);
+  // Find a member that must hold shortcuts and wipe its table.
+  bool wiped = false;
+  for (sim::NodeId id : system.active_ids()) {
+    if (!system.subscriber(id).shortcuts().empty()) {
+      system.subscriber(id).chaos_clear_shortcuts();
+      wiped = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(wiped) << "no member held any shortcut at n=16";
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kShortcutClosure)) << report.summary();
+  EXPECT_FALSE(fires(report, Invariant::kRingOrder));
+}
+
+TEST(Oracle, SpuriousShortcutFires) {
+  pubsub::PubSubSystem system({.seed = 15});
+  converge(system, 8);
+  const auto ids = system.active_ids();
+  system.subscriber(ids[1]).chaos_put_shortcut(Label(0b0110101, 7), ids[5]);
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kShortcutClosure)) << report.summary();
+}
+
+TEST(Oracle, StaleSupervisorEntryFires) {
+  pubsub::PubSubSystem system({.seed = 16});
+  converge(system, 8);
+  // Case (i): a (label, ⊥) tuple. Also punches a hole in {l(0)…l(n−1)}.
+  system.supervisor().chaos_insert_null(Label::from_index(3));
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kSupervisorView)) << report.summary();
+}
+
+TEST(Oracle, DuplicateDatabaseNodeFires) {
+  pubsub::PubSubSystem system({.seed = 17});
+  converge(system, 8);
+  // Case (ii): one subscriber recorded under a second label.
+  const sim::NodeId dup = system.active_ids()[2];
+  system.supervisor().chaos_insert(Label::from_index(9), dup);
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kSupervisorView)) << report.summary();
+}
+
+TEST(Oracle, SplitBrainBreaksConnectivity) {
+  pubsub::PubSubSystem system({.seed = 18});
+  converge(system, 12);
+  core::split_brain(system, 99);
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kRingConnectivity)) << report.summary();
+}
+
+TEST(Oracle, CorruptTrieEdgeFires) {
+  pubsub::PubSubSystem system({.seed = 19});
+  converge(system, 8);
+  const sim::NodeId victim = system.active_ids()[4];
+  ASSERT_TRUE(system.pubsub(victim).chaos_trie().chaos_corrupt_digest(7));
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kTrieShape)) << report.summary();
+}
+
+TEST(Oracle, TrieDivergenceFires) {
+  pubsub::PubSubSystem system({.seed = 20});
+  converge(system, 8);
+  const sim::NodeId victim = system.active_ids()[1];
+  system.pubsub(victim).add_local(pubsub::Publication{victim, "private-extra"});
+  const OracleReport report = check_system(system);
+  EXPECT_TRUE(fires(report, Invariant::kTrieAgreement)) << report.summary();
+  EXPECT_FALSE(fires(report, Invariant::kTrieShape));
+}
+
+TEST(Oracle, ViolationRenderingIsInformative) {
+  pubsub::PubSubSystem system({.seed = 21});
+  converge(system, 8);
+  system.supervisor().chaos_insert_null(Label::from_index(2));
+  const OracleReport report = check_system(system);
+  ASSERT_FALSE(report.ok());
+  const std::string text = report.violations.front().to_string();
+  EXPECT_NE(text.find("supervisor-view"), std::string::npos) << text;
+  EXPECT_FALSE(report.summary().empty());
+  for (Invariant inv :
+       {Invariant::kRingOrder, Invariant::kRingConnectivity,
+        Invariant::kShortcutClosure, Invariant::kSupervisorView,
+        Invariant::kTrieShape, Invariant::kTrieAgreement,
+        Invariant::kTopicPlacement}) {
+    EXPECT_GT(std::string(invariant_name(inv)).size(), 0u);
+    EXPECT_GT(std::string(invariant_reference(inv)).size(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-topic deployment
+// ---------------------------------------------------------------------------
+
+/// A small converged multi-topic deployment driven through the runner.
+scenario::ScenarioSpec small_multi(std::uint64_t seed) {
+  scenario::ScenarioSpec spec;
+  spec.name = "oracle-multi";
+  spec.seed = seed;
+  spec.nodes = 10;
+  spec.mode = scenario::Mode::kMultiTopic;
+  spec.supervisors = 2;
+  spec.topics = 4;
+  spec.topics_per_client = 2;
+  scenario::Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = 10;
+  bootstrap.converge = true;
+  // The engine's convergence probe is weaker than the full legal-state
+  // predicate (it never inspects shortcut tables); folding the oracle into
+  // the wait is what makes "converged" mean "legal".
+  bootstrap.check_invariants = true;
+  spec.phases.push_back(bootstrap);
+  return spec;
+}
+
+/// First topic with at least one member (the oracle skips empty topics).
+pubsub::TopicId populated_topic(const scenario::ScenarioRunner& runner) {
+  for (pubsub::TopicId t = 1; t <= 4; ++t) {
+    if (!runner.topic_members(t).empty()) return t;
+  }
+  ADD_FAILURE() << "no topic has any member";
+  return 1;
+}
+
+TEST(OracleMulti, ConvergedDeploymentReportsZeroViolations) {
+  scenario::ScenarioRunner runner(small_multi(31));
+  ASSERT_TRUE(runner.run().ok);
+  const OracleReport report = runner.check_oracle();
+  EXPECT_TRUE(report.ok()) << report.summary();
+  std::size_t want_topics = 0;
+  std::size_t want_nodes = 0;
+  for (pubsub::TopicId t = 1; t <= 4; ++t) {
+    const auto members = runner.topic_members(t);
+    want_topics += members.empty() ? 0 : 1;
+    want_nodes += members.size();
+  }
+  EXPECT_EQ(report.checked_topics, want_topics);
+  EXPECT_EQ(report.checked_nodes, want_nodes);  // one state per (client, topic)
+}
+
+TEST(OracleMulti, CorruptPerTopicDatabaseFires) {
+  scenario::ScenarioRunner runner(small_multi(32));
+  ASSERT_TRUE(runner.run().ok);
+  const pubsub::TopicId topic = populated_topic(runner);
+  const sim::NodeId owner = runner.group().supervisor_for(topic);
+  auto& sup = runner.net().node_as<pubsub::MultiTopicSupervisorNode>(owner);
+  sup.topic_supervisor(topic).chaos_insert_null(Label::from_index(0));
+  const OracleReport report = runner.check_oracle();
+  EXPECT_TRUE(fires(report, Invariant::kSupervisorView)) << report.summary();
+  // The violation is attributed to the right topic.
+  bool attributed = false;
+  for (const Violation& v : report.violations) {
+    if (v.invariant == Invariant::kSupervisorView && v.topic == topic) {
+      attributed = true;
+    }
+  }
+  EXPECT_TRUE(attributed);
+}
+
+TEST(OracleMulti, StaleInstanceAtNonOwnerFires) {
+  scenario::ScenarioRunner runner(small_multi(33));
+  ASSERT_TRUE(runner.run().ok);
+  const pubsub::TopicId topic = populated_topic(runner);
+  const sim::NodeId owner = runner.group().supervisor_for(topic);
+  sim::NodeId other;
+  for (sim::NodeId id : runner.supervisor_ids()) {
+    if (id != owner) other = id;
+  }
+  ASSERT_TRUE(other);
+  const std::vector<sim::NodeId> members = runner.topic_members(topic);
+  ASSERT_FALSE(members.empty());
+  auto& sup = runner.net().node_as<pubsub::MultiTopicSupervisorNode>(other);
+  sup.topic_supervisor(topic).chaos_insert(Label::from_index(0), members.front());
+  const OracleReport report = runner.check_oracle();
+  EXPECT_TRUE(fires(report, Invariant::kTopicPlacement)) << report.summary();
+}
+
+TEST(OracleMulti, DroppedMemberInstanceFires) {
+  scenario::ScenarioRunner runner(small_multi(34));
+  ASSERT_TRUE(runner.run().ok);
+  const pubsub::TopicId topic = populated_topic(runner);
+  const std::vector<sim::NodeId> members = runner.topic_members(topic);
+  ASSERT_FALSE(members.empty());
+  runner.net().node_as<pubsub::MultiTopicNode>(members.front()).drop_topic(topic);
+  const OracleReport report = runner.check_oracle();
+  EXPECT_TRUE(fires(report, Invariant::kTopicPlacement)) << report.summary();
+}
+
+}  // namespace
+}  // namespace ssps::oracle

@@ -183,6 +183,37 @@ TEST(ChurnWave, SupervisorArcsRebalanceAndSystemRecovers) {
 }
 
 // ---------------------------------------------------------------------------
+// Oracle integration: summaries in the report, scrambled-start variants
+// ---------------------------------------------------------------------------
+
+TEST(OracleIntegration, SummariesAppearInTheJsonReport) {
+  ScenarioSpec spec = builtin_scenario("steady", 3, 10);
+  spec.oracle = true;
+  ScenarioRunner runner(std::move(spec));
+  const ScenarioReport& report = runner.run();
+  ASSERT_TRUE(report.ok);
+  EXPECT_TRUE(report.oracle_ok);
+  for (const PhaseReport& p : report.phases) {
+    ASSERT_TRUE(p.oracle.has_value()) << p.name;
+    EXPECT_EQ(p.oracle->violations, 0u) << p.name;
+    EXPECT_GT(p.oracle->checked_nodes, 0u) << p.name;
+  }
+  const std::string json = report.to_json().dump(0);
+  EXPECT_NE(json.find("\"oracle\""), std::string::npos);
+  EXPECT_NE(json.find("\"oracle_ok\":true"), std::string::npos);
+}
+
+TEST(OracleIntegration, ScrambledVariantIsBitDeterministic) {
+  auto run_once = [] {
+    ScenarioRunner runner(scrambled_variant(builtin_scenario("partition-drill", 11, 10)));
+    return runner.run().to_json().dump(2);
+  };
+  const std::string first = run_once();
+  EXPECT_EQ(first, run_once());
+  EXPECT_NE(first.find("\"name\": \"scramble\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
 // Custom specs: the engine is not limited to the builtins
 // ---------------------------------------------------------------------------
 

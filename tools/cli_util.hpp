@@ -1,0 +1,37 @@
+// Shared argument-parsing helpers for the ssps_* command-line tools.
+#pragma once
+
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace ssps::cli {
+
+/// Parses a decimal unsigned integer. strtoull silently wraps negative
+/// input ("-1" -> 2^64-1) and clamps overflow to ULLONG_MAX, so insist on
+/// digits and check ERANGE.
+inline bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text < '0' || *text > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoull(text, &end, 10);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
+/// Splits "a,b,c" into {"a","b","c"}, dropping empty segments.
+inline std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::size_t end = comma == std::string::npos ? csv.size() : comma;
+    if (end > start) out.push_back(csv.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace ssps::cli

@@ -7,13 +7,13 @@
 //
 //   $ ssps_run --scenario churn-wave --seed 7 --nodes 64
 //   $ ssps_run --scenario zipf-topics --nodes 128 --out report.json
+//   $ ssps_run --scenario steady --scramble --oracle   # stabilization drill
 //   $ ssps_run --list
-#include <cerrno>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
+#include <utility>
 
+#include "cli_util.hpp"
 #include "scenario/builtin.hpp"
 #include "scenario/runner.hpp"
 
@@ -22,30 +22,28 @@ namespace {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ssps_run --scenario <name> [--seed <u64>] [--nodes <n>]\n"
-               "                [--out <file>] [--quiet]\n"
+               "                [--scramble] [--oracle] [--out <file>] [--quiet]\n"
                "       ssps_run --list\n"
                "\n"
                "Runs a built-in scenario and prints its JSON metrics report.\n"
-               "Reports are bit-deterministic per (scenario, seed, nodes).\n"
+               "Reports are bit-deterministic per (scenario, seed, nodes, flags).\n"
                "\n"
                "options:\n"
                "  --scenario <name>  scenario to run (see --list)\n"
                "  --seed <u64>       simulation seed (default 1)\n"
                "  --nodes <n>        client population size (default 32)\n"
+               "  --scramble         scrambled-start variant: inject an arbitrary\n"
+               "                     state after bootstrap and re-converge\n"
+               "                     (implies --oracle)\n"
+               "  --oracle           run the legal-state invariant oracle at every\n"
+               "                     phase end; exit 1 on post-convergence\n"
+               "                     violations\n"
                "  --out <file>       additionally write the report to <file>\n"
                "  --quiet            suppress stdout report (use with --out)\n"
                "  --list             list built-in scenarios and exit\n");
 }
 
-bool parse_u64(const char* text, std::uint64_t& out) {
-  // strtoull silently wraps negative input ("-1" -> 2^64-1) and clamps
-  // overflow to ULLONG_MAX, so insist on digits and check ERANGE.
-  if (text == nullptr || *text < '0' || *text > '9') return false;
-  char* end = nullptr;
-  errno = 0;
-  out = std::strtoull(text, &end, 10);
-  return errno == 0 && end != nullptr && *end == '\0';
-}
+using ssps::cli::parse_u64;
 
 }  // namespace
 
@@ -55,6 +53,8 @@ int main(int argc, char** argv) {
   std::uint64_t nodes = 32;
   std::string out_path;
   bool quiet = false;
+  bool scramble = false;
+  bool oracle = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -95,6 +95,11 @@ int main(int argc, char** argv) {
       out_path = v;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--scramble") {
+      scramble = true;
+      oracle = true;
+    } else if (arg == "--oracle") {
+      oracle = true;
     } else {
       std::fprintf(stderr, "ssps_run: unknown option '%s'\n", arg.c_str());
       usage(stderr);
@@ -112,8 +117,12 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  ssps::scenario::ScenarioRunner runner(ssps::scenario::builtin_scenario(
-      scenario, seed, static_cast<std::size_t>(nodes)));
+  ssps::scenario::ScenarioSpec spec = ssps::scenario::builtin_scenario(
+      scenario, seed, static_cast<std::size_t>(nodes));
+  if (scramble) spec = ssps::scenario::scrambled_variant(std::move(spec));
+  if (oracle) spec.oracle = true;
+
+  ssps::scenario::ScenarioRunner runner(std::move(spec));
   const ssps::scenario::ScenarioReport& report = runner.run();
   const ssps::scenario::Json doc = report.to_json();
 
@@ -122,5 +131,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ssps_run: cannot write '%s'\n", out_path.c_str());
     return 1;
   }
-  return report.ok ? 0 : 1;
+  return report.ok && report.oracle_ok ? 0 : 1;
 }

@@ -1,0 +1,223 @@
+// ssps_sweep — multi-seed stabilization sweep.
+//
+// Runs the oracle-checked builtin scenarios (scrambled-start variants by
+// default) across many seeds and reports every seed whose run fails to
+// converge or leaves post-convergence oracle violations. Flaky
+// stabilization bugs show up as a deterministic (scenario, seed) pair to
+// replay under ssps_run.
+//
+//   $ ssps_sweep                                   # 5 builtins x 32 seeds
+//   $ ssps_sweep --seeds 8 --nodes 16              # CI smoke shape
+//   $ ssps_sweep --scenarios steady,churn-wave --no-scramble
+//   $ ssps_sweep --out sweep.json
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "scenario/builtin.hpp"
+#include "scenario/runner.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: ssps_sweep [--scenarios <a,b,...>] [--seeds <n>]\n"
+               "                  [--base-seed <u64>] [--nodes <n>]\n"
+               "                  [--no-scramble] [--no-oracle] [--out <file>]\n"
+               "                  [--verbose]\n"
+               "\n"
+               "Runs every selected scenario across `seeds` consecutive seeds and\n"
+               "fails (exit 1) if any run does not converge or reports oracle\n"
+               "violations after convergence.\n"
+               "\n"
+               "options:\n"
+               "  --scenarios <csv>  comma-separated builtin names (default: all)\n"
+               "  --seeds <n>        seeds per scenario (default 32)\n"
+               "  --base-seed <u64>  first seed (default 1)\n"
+               "  --nodes <n>        client population size (default 12)\n"
+               "  --no-scramble      run the plain variants (default: scrambled)\n"
+               "  --no-oracle        skip the invariant oracle (convergence only)\n"
+               "  --out <file>       write the sweep matrix as JSON to <file>\n"
+               "  --verbose          one line per run instead of per scenario\n");
+}
+
+using ssps::cli::parse_u64;
+using ssps::cli::split_csv;
+
+struct RunResult {
+  std::uint64_t seed = 0;
+  /// Every convergence wait succeeded, oracle-certified when enabled.
+  bool converged = true;
+  /// Violations observed by any oracle sweep (diagnostic: names the
+  /// invariant a diverged run was stuck on).
+  std::size_t oracle_violations = 0;
+  std::size_t rounds = 0;
+  std::string first_detail;
+
+  bool failed() const { return !converged; }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> scenarios = ssps::scenario::builtin_names();
+  std::uint64_t seeds = 32;
+  std::uint64_t base_seed = 1;
+  std::uint64_t nodes = 12;
+  bool scramble = true;
+  bool oracle = true;
+  bool verbose = false;
+  std::string out_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--scenarios") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      scenarios = split_csv(v);
+      for (const std::string& name : scenarios) {
+        if (!ssps::scenario::is_builtin(name)) {
+          std::fprintf(stderr, "ssps_sweep: unknown scenario '%s'\n", name.c_str());
+          return 2;
+        }
+      }
+    } else if (arg == "--seeds") {
+      if (!parse_u64(value(), seeds) || seeds == 0) {
+        std::fprintf(stderr, "ssps_sweep: --seeds expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--base-seed") {
+      if (!parse_u64(value(), base_seed)) {
+        std::fprintf(stderr, "ssps_sweep: --base-seed expects an unsigned integer\n");
+        return 2;
+      }
+    } else if (arg == "--nodes") {
+      if (!parse_u64(value(), nodes) || nodes == 0) {
+        std::fprintf(stderr, "ssps_sweep: --nodes expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--no-scramble") {
+      scramble = false;
+    } else if (arg == "--no-oracle") {
+      oracle = false;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      out_path = v;
+    } else {
+      std::fprintf(stderr, "ssps_sweep: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (scenarios.empty()) {
+    std::fprintf(stderr, "ssps_sweep: no scenarios selected\n");
+    return 2;
+  }
+
+  ssps::scenario::Json matrix = ssps::scenario::Json::object();
+  std::size_t failures = 0;
+
+  for (const std::string& name : scenarios) {
+    std::vector<RunResult> results;
+    std::size_t worst_rounds = 0;
+    std::uint64_t worst_seed = base_seed;
+
+    for (std::uint64_t s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = base_seed + s;
+      ssps::scenario::ScenarioSpec spec = ssps::scenario::builtin_scenario(
+          name, seed, static_cast<std::size_t>(nodes));
+      if (scramble) spec = ssps::scenario::scrambled_variant(std::move(spec));
+      // Override the variant's default: --no-oracle means convergence only,
+      // even for scrambled runs.
+      spec.oracle = oracle;
+
+      ssps::scenario::ScenarioRunner runner(std::move(spec));
+      const ssps::scenario::ScenarioReport& report = runner.run();
+
+      RunResult result;
+      result.seed = seed;
+      result.converged = report.ok && report.oracle_ok;
+      result.rounds = report.total_rounds;
+      // Harvest which invariants were still violated, from every oracle
+      // sweep — on a diverged run the end-of-phase summary is exactly the
+      // diagnostic naming the failing invariant.
+      for (const ssps::scenario::PhaseReport& p : report.phases) {
+        if (p.oracle && p.oracle->violations > 0) {
+          result.oracle_violations += p.oracle->violations;
+          if (result.first_detail.empty() && !p.oracle->details.empty()) {
+            result.first_detail = p.oracle->details.front();
+          }
+        }
+      }
+      if (result.rounds >= worst_rounds) {
+        worst_rounds = result.rounds;
+        worst_seed = seed;
+      }
+      if (result.failed()) failures += 1;
+      if (verbose || result.failed()) {
+        std::printf("%-18s seed %-5llu %s rounds %-6zu oracle violations %zu%s%s\n",
+                    name.c_str(), static_cast<unsigned long long>(result.seed),
+                    result.converged ? "converged " : "DIVERGED  ", result.rounds,
+                    result.oracle_violations,
+                    result.first_detail.empty() ? "" : "  first: ",
+                    result.first_detail.c_str());
+      }
+      results.push_back(std::move(result));
+    }
+
+    std::size_t ok_count = 0;
+    for (const RunResult& r : results) ok_count += r.failed() ? 0 : 1;
+    std::printf("%-18s %zu/%zu seeds clean, worst total rounds %zu (seed %llu)\n",
+                name.c_str(), ok_count, results.size(), worst_rounds,
+                static_cast<unsigned long long>(worst_seed));
+
+    ssps::scenario::Json runs = ssps::scenario::Json::array();
+    for (const RunResult& r : results) {
+      ssps::scenario::Json entry = ssps::scenario::Json::object();
+      entry["seed"] = r.seed;
+      entry["converged"] = r.converged;
+      entry["oracle_violations"] = static_cast<std::uint64_t>(r.oracle_violations);
+      entry["rounds"] = static_cast<std::uint64_t>(r.rounds);
+      if (!r.first_detail.empty()) entry["first_detail"] = r.first_detail;
+      runs.push_back(std::move(entry));
+    }
+    matrix[name] = std::move(runs);
+  }
+
+  if (!out_path.empty()) {
+    ssps::scenario::Json doc = ssps::scenario::Json::object();
+    doc["nodes"] = nodes;
+    doc["seeds"] = seeds;
+    doc["base_seed"] = base_seed;
+    doc["scramble"] = scramble;
+    doc["oracle"] = oracle;
+    doc["failures"] = static_cast<std::uint64_t>(failures);
+    doc["scenarios"] = std::move(matrix);
+    if (!ssps::scenario::write_json_file(out_path, doc)) {
+      std::fprintf(stderr, "ssps_sweep: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "ssps_sweep: %zu run(s) failed\n", failures);
+    return 1;
+  }
+  return 0;
+}
