@@ -6,6 +6,8 @@
 // class is a two-phase ScenarioSpec (bootstrap to legitimacy, corrupt +
 // re-converge) and the numbers are read off the phase reports, which also
 // land in BENCH_convergence.json via the engine's report writer.
+#include <cmath>
+
 #include "bench_common.hpp"
 #include "core/chaos.hpp"
 #include "core/system.hpp"
@@ -128,6 +130,39 @@ void print_experiment() {
     table.print(
         "E4 / Theorem 8 — convergence rounds by initial-state class "
         "(expect: cold ~log n; corrupted classes grow mildly with n)");
+  }
+  {
+    // Scale curve: cold-start convergence rounds vs log2 n, up to
+    // n = 4096 — the O(log n) claim of Theorem 8 measured at the
+    // populations the large-n sim core opens up (VCube-PS-style scale).
+    Table table({"n", "log2 n", "rounds to legit", "rounds / log2 n"});
+    scenario::Json curve = scenario::Json::array();
+    for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+      std::vector<Run> runs;
+      for (std::uint64_t s = 1; s <= 3; ++s) {
+        runs.push_back(run_class("cold", n, s * 29 + n));
+      }
+      std::sort(runs.begin(), runs.end(),
+                [](const Run& a, const Run& b) { return a.rounds < b.rounds; });
+      const Run& mid = runs[1];
+      const double log2n = std::log2(static_cast<double>(n));
+      table.add_row({Table::num(static_cast<std::uint64_t>(n)), Table::num(log2n, 1),
+                     mid.ok ? Table::num(static_cast<std::uint64_t>(mid.rounds))
+                            : std::string("DNF"),
+                     mid.ok ? Table::num(static_cast<double>(mid.rounds) / log2n, 2)
+                            : std::string("-")});
+      scenario::Json row = scenario::Json::object();
+      row["n"] = static_cast<std::uint64_t>(n);
+      row["ok"] = mid.ok;
+      row["rounds"] = static_cast<std::uint64_t>(mid.rounds);
+      row["rounds_per_log2n"] =
+          mid.ok ? static_cast<double>(mid.rounds) / log2n : 0.0;
+      curve.push_back(std::move(row));
+    }
+    table.print(
+        "Scale curve / Theorem 8 — cold-start convergence up to n = 4096 "
+        "(expect: rounds / log2 n roughly flat)");
+    ssps::bench::result_json()["convergence_scale_curve"] = std::move(curve);
   }
   {
     // E5 / Theorem 13: closure — observe a converged system. (Stays

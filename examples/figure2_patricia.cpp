@@ -20,12 +20,14 @@ constexpr sim::NodeId kU{1};
 constexpr sim::NodeId kV{2};
 
 struct LoggingSink final : MessageSink {
-  std::deque<std::pair<sim::NodeId, std::unique_ptr<sim::Message>>> queue;
-  void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+  sim::MessagePool msg_pool;  // declared before the queue that drains into it
+  std::deque<std::pair<sim::NodeId, sim::PooledMsg>> queue;
+  void send(sim::NodeId to, sim::PooledMsg msg) override {
     std::printf("    %s -> subscriber %s\n", std::string(msg->name()).c_str(),
                 to == kU ? "u" : "v");
     queue.emplace_back(to, std::move(msg));
   }
+  sim::MessagePool& pool() override { return msg_pool; }
 };
 
 void print_trie(const char* who, const PatriciaTrie& t) {

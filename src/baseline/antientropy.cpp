@@ -7,11 +7,11 @@ void NaiveSyncProtocol::timeout() {
   const auto neighbors = overlay_->ring_neighbors();
   if (neighbors.empty()) return;
   const sim::NodeId target = neighbors[rng_->pick_index(neighbors)];
-  sink_->send(target, std::make_unique<msg::FullState>(order_));
+  sink_->emit<msg::FullState>(target, order_);
 }
 
 bool NaiveSyncProtocol::handle(const sim::Message& m) {
-  if (const auto* fs = dynamic_cast<const msg::FullState*>(&m)) {
+  if (const auto* fs = sim::msg_cast<msg::FullState>(m)) {
     for (const auto& p : fs->pubs) add_local(p);
     return true;
   }

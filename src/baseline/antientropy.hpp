@@ -20,7 +20,7 @@ namespace ssps::baseline {
 namespace msg {
 
 /// The whole publication set of the sender.
-struct FullState final : sim::Message {
+struct FullState final : sim::MsgBase<FullState> {
   std::vector<pubsub::Publication> pubs;
 
   explicit FullState(std::vector<pubsub::Publication> p) : pubs(std::move(p)) {}
@@ -63,14 +63,17 @@ class NaiveSyncProtocol {
 /// Overlay subscriber + naive sync, mirroring PubSubNode's shape.
 class NaiveSyncNode final : public core::SubscriberNode {
  public:
-  explicit NaiveSyncNode(sim::NodeId supervisor) : core::SubscriberNode(supervisor) {}
+  explicit NaiveSyncNode(sim::NodeId supervisor)
+      : core::SubscriberNode(supervisor, sim::NodeKind::kGossipPeer) {}
+
+  static bool classof(sim::NodeKind k) { return k == sim::NodeKind::kGossipPeer; }
 
   void on_register() override {
     core::SubscriberNode::on_register();
     sink_ = std::make_unique<core::DirectSink>(net());
     sync_ = std::make_unique<NaiveSyncProtocol>(protocol(), *sink_, rng());
   }
-  void handle(std::unique_ptr<sim::Message> msg) override {
+  void handle(sim::PooledMsg msg) override {
     if (sync_->handle(*msg)) return;
     core::SubscriberNode::handle(std::move(msg));
   }

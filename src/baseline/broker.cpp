@@ -2,38 +2,38 @@
 
 namespace ssps::baseline {
 
-void BrokerNode::handle(std::unique_ptr<sim::Message> m) {
-  if (const auto* s = dynamic_cast<const msg::BrokerSubscribe*>(m.get())) {
+void BrokerNode::handle(sim::PooledMsg m) {
+  if (const auto* s = sim::msg_cast<msg::BrokerSubscribe>(*m)) {
     subscribers_.insert(s->who);
     return;
   }
-  if (const auto* u = dynamic_cast<const msg::BrokerUnsubscribe*>(m.get())) {
+  if (const auto* u = sim::msg_cast<msg::BrokerUnsubscribe>(*m)) {
     subscribers_.erase(u->who);
     return;
   }
-  if (const auto* p = dynamic_cast<const msg::BrokerPublish*>(m.get())) {
+  if (const auto* p = sim::msg_cast<msg::BrokerPublish>(*m)) {
     for (sim::NodeId sub : subscribers_) {
       if (sub == p->from) continue;  // publishers already have their message
-      net().send(sub, std::make_unique<msg::BrokerDeliver>(p->payload));
+      net().emit<msg::BrokerDeliver>(sub, p->payload);
       ++deliveries_;
     }
     return;
   }
 }
 
-void BrokerClientNode::handle(std::unique_ptr<sim::Message> m) {
-  if (const auto* d = dynamic_cast<const msg::BrokerDeliver*>(m.get())) {
+void BrokerClientNode::handle(sim::PooledMsg m) {
+  if (const auto* d = sim::msg_cast<msg::BrokerDeliver>(*m)) {
     received_.push_back(d->payload);
   }
 }
 
 void BrokerClientNode::subscribe() {
-  net().send(broker_, std::make_unique<msg::BrokerSubscribe>(id()));
+  net().emit<msg::BrokerSubscribe>(broker_, id());
 }
 
 void BrokerClientNode::publish(std::string payload) {
   received_.push_back(payload);  // local copy, as in the supervised system
-  net().send(broker_, std::make_unique<msg::BrokerPublish>(id(), std::move(payload)));
+  net().emit<msg::BrokerPublish>(broker_, id(), std::move(payload));
 }
 
 }  // namespace ssps::baseline

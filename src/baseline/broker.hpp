@@ -19,7 +19,7 @@ namespace ssps::baseline {
 
 namespace msg {
 
-struct BrokerSubscribe final : sim::Message {
+struct BrokerSubscribe final : sim::MsgBase<BrokerSubscribe> {
   sim::NodeId who;
   explicit BrokerSubscribe(sim::NodeId w) : who(w) {}
   std::string_view name() const override { return "BrokerSubscribe"; }
@@ -27,7 +27,7 @@ struct BrokerSubscribe final : sim::Message {
   void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
 };
 
-struct BrokerUnsubscribe final : sim::Message {
+struct BrokerUnsubscribe final : sim::MsgBase<BrokerUnsubscribe> {
   sim::NodeId who;
   explicit BrokerUnsubscribe(sim::NodeId w) : who(w) {}
   std::string_view name() const override { return "BrokerUnsubscribe"; }
@@ -35,7 +35,7 @@ struct BrokerUnsubscribe final : sim::Message {
   void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
 };
 
-struct BrokerPublish final : sim::Message {
+struct BrokerPublish final : sim::MsgBase<BrokerPublish> {
   sim::NodeId from;
   std::string payload;
   BrokerPublish(sim::NodeId f, std::string p) : from(f), payload(std::move(p)) {}
@@ -46,7 +46,7 @@ struct BrokerPublish final : sim::Message {
   }
 };
 
-struct BrokerDeliver final : sim::Message {
+struct BrokerDeliver final : sim::MsgBase<BrokerDeliver> {
   std::string payload;
   explicit BrokerDeliver(std::string p) : payload(std::move(p)) {}
   std::string_view name() const override { return "BrokerDeliver"; }
@@ -58,7 +58,11 @@ struct BrokerDeliver final : sim::Message {
 /// The broker server: fans every publication out to all subscribers.
 class BrokerNode final : public sim::Node {
  public:
-  void handle(std::unique_ptr<sim::Message> m) override;
+  BrokerNode() : sim::Node(sim::NodeKind::kBrokerHub) {}
+
+  static bool classof(sim::NodeKind k) { return k == sim::NodeKind::kBrokerHub; }
+
+  void handle(sim::PooledMsg m) override;
   void timeout() override {}
 
   std::size_t subscriber_count() const { return subscribers_.size(); }
@@ -72,9 +76,12 @@ class BrokerNode final : public sim::Node {
 /// A broker client: counts what it receives.
 class BrokerClientNode final : public sim::Node {
  public:
-  explicit BrokerClientNode(sim::NodeId broker) : broker_(broker) {}
+  explicit BrokerClientNode(sim::NodeId broker)
+      : sim::Node(sim::NodeKind::kBrokerClient), broker_(broker) {}
 
-  void handle(std::unique_ptr<sim::Message> m) override;
+  static bool classof(sim::NodeKind k) { return k == sim::NodeKind::kBrokerClient; }
+
+  void handle(sim::PooledMsg m) override;
   void timeout() override {}
 
   void subscribe();

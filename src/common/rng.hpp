@@ -9,6 +9,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/assert.hpp"
+
 namespace ssps {
 
 /// SplitMix64-seeded xoshiro256** generator.
@@ -22,11 +24,38 @@ class Rng {
   /// Re-initializes the state from a 64-bit seed via SplitMix64.
   void reseed(std::uint64_t seed);
 
-  /// Uniform 64-bit value.
-  std::uint64_t next();
+  /// Uniform 64-bit value. Inline: the schedulers draw once or twice per
+  /// delivered message.
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
-  /// Uniform value in [0, bound). bound must be > 0.
-  std::uint64_t below(std::uint64_t bound);
+  /// Uniform value in [0, bound). bound must be > 0. Lemire's
+  /// nearly-divisionless method: one 64x64->128 multiply in the common
+  /// case, no modulo on the fast path.
+  std::uint64_t below(std::uint64_t bound) {
+    SSPS_ASSERT(bound > 0);
+    std::uint64_t x = next();
+    unsigned __int128 m = static_cast<unsigned __int128>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) [[unlikely]] {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = next();
+        m = static_cast<unsigned __int128>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
   std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
@@ -57,6 +86,10 @@ class Rng {
   }
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4] = {};
 };
 

@@ -18,31 +18,30 @@ sim::NodeId random_peer(ssps::Rng& rng, const std::vector<sim::NodeId>& peers) {
   return peers[rng.pick_index(peers)];
 }
 
-std::unique_ptr<sim::Message> random_junk(ssps::Rng& rng,
-                                          const std::vector<sim::NodeId>& peers) {
+sim::PooledMsg random_junk(ssps::Rng& rng, sim::MessagePool& pool,
+                           const std::vector<sim::NodeId>& peers) {
   const LabeledRef ref{random_label(rng), random_peer(rng, peers)};
   switch (rng.below(6)) {
     case 0:
-      return std::make_unique<msg::Check>(ref, random_label(rng),
-                                          rng.chance(1, 2) ? IntroFlag::kLinear
-                                                           : IntroFlag::kCyclic);
+      return pool.make<msg::Check>(ref, random_label(rng),
+                                   rng.chance(1, 2) ? IntroFlag::kLinear
+                                                    : IntroFlag::kCyclic);
     case 1:
-      return std::make_unique<msg::Introduce>(ref, rng.chance(1, 2)
-                                                       ? IntroFlag::kLinear
-                                                       : IntroFlag::kCyclic);
+      return pool.make<msg::Introduce>(
+          ref, rng.chance(1, 2) ? IntroFlag::kLinear : IntroFlag::kCyclic);
     case 2:
-      return std::make_unique<msg::IntroduceShortcut>(ref);
+      return pool.make<msg::IntroduceShortcut>(ref);
     case 3:
-      return std::make_unique<msg::RemoveConnections>(random_peer(rng, peers));
+      return pool.make<msg::RemoveConnections>(random_peer(rng, peers));
     case 4: {
       // A stale configuration: exactly the kind of corrupted message an
       // outdated supervisor reply would be.
       const LabeledRef a{random_label(rng), random_peer(rng, peers)};
       const LabeledRef b{random_label(rng), random_peer(rng, peers)};
-      return std::make_unique<msg::SetData>(a, random_label(rng), b);
+      return pool.make<msg::SetData>(a, random_label(rng), b);
     }
     default:
-      return std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt);
+      return pool.make<msg::SetData>(std::nullopt, std::nullopt, std::nullopt);
   }
 }
 
@@ -118,7 +117,8 @@ void corrupt_system(SkipRingSystem& system, const ChaosOptions& options) {
   }
 
   for (int i = 0; i < options.junk_messages; ++i) {
-    system.net().inject(random_peer(rng, subs), random_junk(rng, subs));
+    system.net().inject(random_peer(rng, subs),
+                        random_junk(rng, system.net().pool(), subs));
   }
 }
 

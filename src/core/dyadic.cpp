@@ -2,26 +2,6 @@
 
 namespace ssps::core {
 
-namespace {
-
-Dyadic normalized(std::uint64_t num, int exp) {
-  if (num == 0) return Dyadic{0, 0};
-  while ((num & 1) == 0) {
-    num >>= 1;
-    --exp;
-  }
-  SSPS_ASSERT(exp >= 1);
-  return Dyadic{num, exp};
-}
-
-}  // namespace
-
-Dyadic Dyadic::make(std::uint64_t num, int exp) {
-  SSPS_ASSERT(exp >= 0 && exp <= kMaxExp);
-  SSPS_ASSERT_MSG(exp == 64 || num < (1ULL << exp), "Dyadic::make: value must be < 1");
-  return normalized(num, exp);
-}
-
 Dyadic mirror_mod1(const Dyadic& w, const Dyadic& v) {
   // Common exponent big enough for 2w and v.
   const int e = (w.exp > v.exp ? w.exp : v.exp) + 1;
@@ -31,7 +11,7 @@ Dyadic mirror_mod1(const Dyadic& w, const Dyadic& v) {
   const __int128 mod = static_cast<__int128>(1) << e;
   __int128 m = (two_w - vv) % mod;
   if (m < 0) m += mod;
-  return normalized(static_cast<std::uint64_t>(m), e);
+  return Dyadic::normalized(static_cast<std::uint64_t>(m), e);
 }
 
 Dyadic linear_distance(const Dyadic& a, const Dyadic& b) {
@@ -40,14 +20,14 @@ Dyadic linear_distance(const Dyadic& a, const Dyadic& b) {
   const int e = (hi.exp > lo.exp ? hi.exp : lo.exp);
   const std::uint64_t h = hi.num << (e - hi.exp);
   const std::uint64_t l = lo.num << (e - lo.exp);
-  return normalized(h - l, e);
+  return Dyadic::normalized(h - l, e);
 }
 
 Dyadic ring_distance(const Dyadic& a, const Dyadic& b) {
   const Dyadic lin = linear_distance(a, b);
   // 1 - lin, computed as (2^e - num) / 2^e.
   if (lin.is_zero()) return lin;
-  const Dyadic wrap = normalized((1ULL << lin.exp) - lin.num, lin.exp);
+  const Dyadic wrap = Dyadic::normalized((1ULL << lin.exp) - lin.num, lin.exp);
   return (wrap < lin) ? wrap : lin;
 }
 

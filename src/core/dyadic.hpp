@@ -6,6 +6,7 @@
 // them exactly as num / 2^exp and never touch floating point.
 #pragma once
 
+#include <bit>
 #include <compare>
 #include <cstdint>
 
@@ -28,9 +29,21 @@ struct Dyadic {
   /// The value 0.
   static constexpr Dyadic zero() { return Dyadic{}; }
 
+  /// num / 2^exp brought to normal form (trailing zeros stripped). The
+  /// hot path of every Label::r() call, hence branch-light and inline.
+  static constexpr Dyadic normalized(std::uint64_t num, int exp) {
+    if (num == 0) return Dyadic{0, 0};
+    const int tz = std::countr_zero(num);
+    return Dyadic{num >> tz, exp - tz};
+  }
+
   /// Builds num / 2^exp and normalizes. Requires num < 2^exp (value < 1)
   /// and exp <= kMaxExp.
-  static Dyadic make(std::uint64_t num, int exp);
+  static Dyadic make(std::uint64_t num, int exp) {
+    SSPS_ASSERT(exp >= 0 && exp <= kMaxExp);
+    SSPS_ASSERT_MSG(num < (1ULL << exp) || num == 0, "Dyadic::make: value must be < 1");
+    return normalized(num, exp);
+  }
 
   bool operator==(const Dyadic&) const = default;
 

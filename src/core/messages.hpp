@@ -24,7 +24,7 @@ constexpr std::size_t kLabelBytes = 9;  // length + packed bits
 constexpr std::size_t kHeaderBytes = 8;
 
 /// Subscribe(v): v asks the supervisor to integrate it (action (i)).
-struct Subscribe final : sim::Message {
+struct Subscribe final : sim::MsgBase<Subscribe> {
   sim::NodeId who;
 
   explicit Subscribe(sim::NodeId w) : who(w) {}
@@ -34,7 +34,7 @@ struct Subscribe final : sim::Message {
 };
 
 /// Unsubscribe(v): v asks to leave (§4.1).
-struct Unsubscribe final : sim::Message {
+struct Unsubscribe final : sim::MsgBase<Unsubscribe> {
   sim::NodeId who;
 
   explicit Unsubscribe(sim::NodeId w) : who(w) {}
@@ -53,7 +53,7 @@ struct Unsubscribe final : sim::Message {
 /// dead neighbor whose stale label looks closer than every live proposal
 /// could be referenced forever (messages to it invoke no action). The
 /// supervisor remains the only failure detector in the system.
-struct GetConfiguration final : sim::Message {
+struct GetConfiguration final : sim::MsgBase<GetConfiguration> {
   sim::NodeId subject;
   sim::NodeId requester;
 
@@ -70,7 +70,7 @@ struct GetConfiguration final : sim::Message {
 /// SetData(pred, label, succ): the supervisor's configuration reply. All
 /// fields empty (⊥,⊥,⊥) evicts the receiver (unknown node / unsubscribe
 /// permission, Lemma 6).
-struct SetData final : sim::Message {
+struct SetData final : sim::MsgBase<SetData> {
   std::optional<LabeledRef> pred;
   std::optional<Label> label;
   std::optional<LabeledRef> succ;
@@ -90,7 +90,7 @@ struct SetData final : sim::Message {
 /// Check(sender, label, flag): sender introduces itself and names the
 /// label it believes the receiver has; the receiver replies with a
 /// correction when the believed label is stale (extended BuildRing, §2.2).
-struct Check final : sim::Message {
+struct Check final : sim::MsgBase<Check> {
   LabeledRef sender;
   Label believed;
   IntroFlag flag;
@@ -107,7 +107,7 @@ struct Check final : sim::Message {
 
 /// Introduce(candidate, flag): hands the receiver a node reference to be
 /// linearized (LIN) or routed to the ring extremes (CYC).
-struct Introduce final : sim::Message {
+struct Introduce final : sim::MsgBase<Introduce> {
   LabeledRef cand;
   IntroFlag flag;
 
@@ -121,7 +121,7 @@ struct Introduce final : sim::Message {
 
 /// RemoveConnections(who): ask the receiver to purge its references to
 /// `who` (used by departed/label-less nodes, Lemma 6).
-struct RemoveConnections final : sim::Message {
+struct RemoveConnections final : sim::MsgBase<RemoveConnections> {
   sim::NodeId who;
 
   explicit RemoveConnections(sim::NodeId w) : who(w) {}
@@ -132,7 +132,7 @@ struct RemoveConnections final : sim::Message {
 
 /// IntroduceShortcut(candidate): level-k introduction (§3.2.2): the sender
 /// vouches that `cand` is the receiver's neighbor in some ring K_i.
-struct IntroduceShortcut final : sim::Message {
+struct IntroduceShortcut final : sim::MsgBase<IntroduceShortcut> {
   LabeledRef cand;
 
   explicit IntroduceShortcut(LabeledRef c) : cand(c) {}
@@ -148,10 +148,20 @@ struct IntroduceShortcut final : sim::Message {
 /// Abstraction over "put message m into v.Ch" so that protocol objects can
 /// be embedded either directly in a sim::Node (single topic) or behind a
 /// topic-multiplexing envelope (multi-topic pub-sub, §4).
+///
+/// Sinks expose the network's MessagePool so protocol code allocates
+/// messages arena-side in one step: sink->emit<msg::Check>(to, ...).
 class MessageSink {
  public:
   virtual ~MessageSink() = default;
-  virtual void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) = 0;
+  virtual void send(sim::NodeId to, sim::PooledMsg msg) = 0;
+  virtual sim::MessagePool& pool() = 0;
+
+  /// Pool-allocates a T and sends it to `to`.
+  template <typename T, typename... Args>
+  void emit(sim::NodeId to, Args&&... args) {
+    send(to, pool().make<T>(std::forward<Args>(args)...));
+  }
 };
 
 }  // namespace ssps::core

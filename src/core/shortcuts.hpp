@@ -8,12 +8,88 @@
 // v's neighbor in every K_i for i = |v.label| … ⌈log n⌉ − 1.
 #pragma once
 
+#include <algorithm>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/label.hpp"
 
 namespace ssps::core {
+
+/// A subscriber's shortcut table: expected label -> node reference (null
+/// until known). Backed by one sorted vector — the table holds O(log n)
+/// entries and is scanned every Timeout, where a node-per-entry std::map
+/// was pure allocator churn. The interface mirrors the std::map surface
+/// the rest of the code (legitimacy checks, oracle, tests) consumes:
+/// find/end/contains/size and sorted pair iteration.
+class ShortcutTable {
+ public:
+  using value_type = std::pair<Label, sim::NodeId>;
+  using const_iterator = std::vector<value_type>::const_iterator;
+  using iterator = std::vector<value_type>::iterator;
+
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  const_iterator find(const Label& label) const {
+    auto it = lower_bound(label);
+    return it != entries_.end() && it->first == label ? it : entries_.end();
+  }
+  bool contains(const Label& label) const { return find(label) != end(); }
+
+  /// Entry by sorted position (bounds-checked by the vector).
+  const value_type& entry(std::size_t index) const { return entries_[index]; }
+
+  /// Value for `label`; the entry must exist.
+  const sim::NodeId& at(const Label& label) const {
+    auto it = find(label);
+    SSPS_ASSERT_MSG(it != end(), "ShortcutTable::at: unknown label");
+    return it->second;
+  }
+
+  /// Mutable value cell for `label`, or nullptr when absent.
+  sim::NodeId* slot(const Label& label) {
+    auto it = lower_bound(label);
+    return it != entries_.end() && it->first == label ? &it->second : nullptr;
+  }
+
+  /// Inserts or overwrites one entry (chaos/test injection path).
+  void put(const Label& label, sim::NodeId node) {
+    auto it = lower_bound(label);
+    if (it != entries_.end() && it->first == label) {
+      it->second = node;
+    } else {
+      entries_.insert(it, value_type{label, node});
+    }
+  }
+
+  void clear() { entries_.clear(); }
+
+  /// Replaces the whole table; `entries` must be sorted by label.
+  void assign_sorted(std::vector<value_type>&& entries) {
+    entries_ = std::move(entries);
+  }
+
+ private:
+  std::vector<value_type>::iterator lower_bound(const Label& label) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), label,
+        [](const value_type& e, const Label& l) { return e.first < l; });
+  }
+  std::vector<value_type>::const_iterator lower_bound(const Label& label) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), label,
+        [](const value_type& e, const Label& l) { return e.first < l; });
+  }
+
+  std::vector<value_type> entries_;
+};
 
 /// The mirror chain of v towards one side, starting from the direct ring
 /// neighbor's label on that side. Returns the derived shortcut labels in

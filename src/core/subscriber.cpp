@@ -41,19 +41,19 @@ void SubscriberProtocol::timeout() {
   // Supervisor contact (§3.2.1 / §4.1).
   if (phase_ == SubscriberPhase::kLeaving) {
     // Keep asking until the supervisor grants permission (SetData ⊥⊥⊥).
-    sink_->send(supervisor_, std::make_unique<msg::Unsubscribe>(self_));
+    sink_->emit<msg::Unsubscribe>(supervisor_, self_);
   } else if (!label_) {
     // Action (i): not yet labeled — subscribe.
-    sink_->send(supervisor_, std::make_unique<msg::Subscribe>(self_));
+    sink_->emit<msg::Subscribe>(supervisor_, self_);
   } else if (!left_) {
     // Action (iv): local information says our label may be minimal.
     if (rng_->chance(1, 2)) {
-      sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(self_));
+      sink_->emit<msg::GetConfiguration>(supervisor_, self_);
     }
   } else {
     // Action (ii): probabilistic refresh, rarer for longer labels.
     if (rng_->chance(1, action2_denominator(label_->length()))) {
-      sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(self_));
+      sink_->emit<msg::GetConfiguration>(supervisor_, self_);
     }
   }
 
@@ -61,8 +61,13 @@ void SubscriberProtocol::timeout() {
   revalidate_sides();
 
   // BuildList self-introduction with label correction (Algorithm 1).
-  if (left_) send_check(*left_, IntroFlag::kLinear);
-  if (right_) send_check(*right_, IntroFlag::kLinear);
+  const LabeledRef self = self_ref();
+  if (left_) {
+    sink_->emit<msg::Check>(left_->node, self, left_->label, IntroFlag::kLinear);
+  }
+  if (right_) {
+    sink_->emit<msg::Check>(right_->node, self, right_->label, IntroFlag::kLinear);
+  }
 
   // Ring-closure maintenance (Algorithm 2).
   if (left_ && right_ && ring_) {
@@ -77,12 +82,10 @@ void SubscriberProtocol::timeout() {
   if (!left_ && !ring_ && right_) {
     // We believe we are the minimum but know no maximum: float our
     // reference towards the maximum along the right chain.
-    sink_->send(right_->node,
-                std::make_unique<msg::Introduce>(self_ref(), IntroFlag::kCyclic));
+    sink_->emit<msg::Introduce>(right_->node, self_ref(), IntroFlag::kCyclic);
   }
   if (!right_ && !ring_ && left_) {
-    sink_->send(left_->node,
-                std::make_unique<msg::Introduce>(self_ref(), IntroFlag::kCyclic));
+    sink_->emit<msg::Introduce>(left_->node, self_ref(), IntroFlag::kCyclic);
   }
 
   // Shortcut maintenance (§3.2.2).
@@ -91,7 +94,7 @@ void SubscriberProtocol::timeout() {
 }
 
 void SubscriberProtocol::send_check(const LabeledRef& to, IntroFlag flag) {
-  sink_->send(to.node, std::make_unique<msg::Check>(self_ref(), to.label, flag));
+  sink_->emit<msg::Check>(to.node, self_ref(), to.label, flag);
 }
 
 // ---------------------------------------------------------------------------
@@ -99,23 +102,25 @@ void SubscriberProtocol::send_check(const LabeledRef& to, IntroFlag flag) {
 // ---------------------------------------------------------------------------
 
 bool SubscriberProtocol::handle(const sim::Message& m) {
-  if (const auto* c = dynamic_cast<const msg::Check*>(&m)) {
+  // Ordered by steady-state traffic mix: the periodic maintenance load is
+  // almost entirely Check + IntroduceShortcut pairs.
+  if (const auto* c = sim::msg_cast<msg::Check>(m)) {
     on_check(*c);
     return true;
   }
-  if (const auto* i = dynamic_cast<const msg::Introduce*>(&m)) {
-    on_introduce(*i);
-    return true;
-  }
-  if (const auto* s = dynamic_cast<const msg::SetData*>(&m)) {
-    on_set_data(*s);
-    return true;
-  }
-  if (const auto* is = dynamic_cast<const msg::IntroduceShortcut*>(&m)) {
+  if (const auto* is = sim::msg_cast<msg::IntroduceShortcut>(m)) {
     on_introduce_shortcut(*is);
     return true;
   }
-  if (const auto* rc = dynamic_cast<const msg::RemoveConnections*>(&m)) {
+  if (const auto* i = sim::msg_cast<msg::Introduce>(m)) {
+    on_introduce(*i);
+    return true;
+  }
+  if (const auto* s = sim::msg_cast<msg::SetData>(m)) {
+    on_set_data(*s);
+    return true;
+  }
+  if (const auto* rc = sim::msg_cast<msg::RemoveConnections>(m)) {
     purge(rc->who);
     return true;
   }
@@ -125,7 +130,7 @@ bool SubscriberProtocol::handle(const sim::Message& m) {
 void SubscriberProtocol::request_unsubscribe() {
   if (phase_ != SubscriberPhase::kActive) return;
   phase_ = SubscriberPhase::kLeaving;
-  sink_->send(supervisor_, std::make_unique<msg::Unsubscribe>(self_));
+  sink_->emit<msg::Unsubscribe>(supervisor_, self_);
 }
 
 // ---------------------------------------------------------------------------
@@ -136,14 +141,13 @@ void SubscriberProtocol::on_check(const msg::Check& m) {
   if (m.sender.node == self_) return;
   if (phase_ == SubscriberPhase::kDeparted || !label_) {
     // Lemma 6: a label-less node asks introducers to drop it.
-    sink_->send(m.sender.node, std::make_unique<msg::RemoveConnections>(self_));
+    sink_->emit<msg::RemoveConnections>(m.sender.node, self_);
     return;
   }
   if (m.believed != *label_) {
     // Label correction (extended BuildRing, Lemma 4): tell the sender our
     // true label. The sender keeps its reference to us, so no edge is lost.
-    sink_->send(m.sender.node,
-                std::make_unique<msg::Introduce>(self_ref(), m.flag));
+    sink_->emit<msg::Introduce>(m.sender.node, self_ref(), m.flag);
     return;
   }
   consider(m.sender, m.flag);
@@ -156,15 +160,14 @@ void SubscriberProtocol::on_introduce(const msg::Introduce& m) {
 void SubscriberProtocol::on_introduce_shortcut(const msg::IntroduceShortcut& m) {
   if (m.cand.node == self_) return;
   if (phase_ == SubscriberPhase::kDeparted || !label_) {
-    sink_->send(m.cand.node, std::make_unique<msg::RemoveConnections>(self_));
+    sink_->emit<msg::RemoveConnections>(m.cand.node, self_);
     return;
   }
-  auto it = shortcuts_.find(m.cand.label);
-  if (it != shortcuts_.end()) {
+  if (sim::NodeId* slot = shortcuts_.slot(m.cand.label)) {
     // Expected label: adopt, re-linearizing any displaced reference
     // (Algorithm 4, IntroduceShortcut).
-    const sim::NodeId old = it->second;
-    it->second = m.cand.node;
+    const sim::NodeId old = *slot;
+    *slot = m.cand.node;
     if (old && old != m.cand.node) consider_linear(LabeledRef{m.cand.label, old});
     return;
   }
@@ -181,6 +184,7 @@ void SubscriberProtocol::on_set_data(const msg::SetData& m) {
     right_.reset();
     ring_.reset();
     shortcuts_.clear();
+    derived_.valid = false;
     return;
   }
   if (phase_ == SubscriberPhase::kDeparted) {
@@ -188,7 +192,7 @@ void SubscriberProtocol::on_set_data(const msg::SetData& m) {
     // processed after our departure, re-inserting us into the database.
     // Answer every re-integration attempt with a fresh Unsubscribe so the
     // supervisor forgets us again (the departed counterpart of Lemma 6).
-    sink_->send(supervisor_, std::make_unique<msg::Unsubscribe>(self_));
+    sink_->emit<msg::Unsubscribe>(supervisor_, self_);
     return;
   }
 
@@ -202,21 +206,22 @@ void SubscriberProtocol::on_set_data(const msg::SetData& m) {
     if (proposed && proposed->node == stored->node) return;
     if (!proposed ||
         !(ring_distance(proposed->label.r(), me) < ring_distance(stored->label.r(), me))) {
-      sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(stored->node, self_));
+      sink_->emit<msg::GetConfiguration>(supervisor_, stored->node, self_);
     }
   };
   // Match each local slot with the proposal on its side of the new label.
   // pred normally sits left of us; if it sits right, we are the minimum
   // and pred is the wraparound partner (the maximum) — symmetrically for
   // succ.
+  const std::uint64_t me_key = m.label->r_key();
   std::optional<LabeledRef> prop_left;
   std::optional<LabeledRef> prop_right;
   std::optional<LabeledRef> prop_ring;
-  if (m.pred && m.pred->label.r() != me) {
-    (m.pred->label.r() < me ? prop_left : prop_ring) = m.pred;
+  if (m.pred && m.pred->label.r_key() != me_key) {
+    (m.pred->label.r_key() < me_key ? prop_left : prop_ring) = m.pred;
   }
-  if (m.succ && m.succ->label.r() != me) {
-    (m.succ->label.r() > me ? prop_right : prop_ring) = m.succ;
+  if (m.succ && m.succ->label.r_key() != me_key) {
+    (m.succ->label.r_key() > me_key ? prop_right : prop_ring) = m.succ;
   }
   closer_unknown(left_, prop_left);
   closer_unknown(right_, prop_right);
@@ -240,23 +245,30 @@ void SubscriberProtocol::on_set_data(const msg::SetData& m) {
 void SubscriberProtocol::consider(const LabeledRef& c, IntroFlag flag) {
   if (!c.node || c.node == self_) return;
   if (phase_ == SubscriberPhase::kDeparted || !label_) {
-    sink_->send(c.node, std::make_unique<msg::RemoveConnections>(self_));
+    sink_->emit<msg::RemoveConnections>(c.node, self_);
     return;
   }
   // Stale-label update for already-stored direct neighbors (Algorithm 1,
   // the labelv ≠ u.left case): correct the label, then re-home the entry.
+  // The steady-state common case — candidate already stored under its
+  // current label — changes nothing, so the side revalidation (a pure
+  // recheck) only runs when a label was actually corrected.
   bool matched = false;
+  bool corrected = false;
   for (auto* slot : {&left_, &right_, &ring_}) {
     if (*slot && (*slot)->node == c.node) {
-      if ((*slot)->label != c.label) (*slot)->label = c.label;
+      if ((*slot)->label != c.label) {
+        (*slot)->label = c.label;
+        corrected = true;
+      }
       matched = true;
     }
   }
   if (matched) {
-    revalidate_sides();
+    if (corrected) revalidate_sides();
     return;
   }
-  if (c.label.r() == label_->r()) {
+  if (c.label.r_key() == label_->r_key()) {
     conflict(c);
     return;
   }
@@ -272,14 +284,15 @@ void SubscriberProtocol::conflict(const LabeledRef& c) {
   // is the authority (§3.1); ask it to straighten the other node out, and
   // to re-send our own configuration (whose merge resolves the conflict
   // on our side, trusted).
-  sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(c.node, self_));
-  sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(self_));
+  sink_->emit<msg::GetConfiguration>(supervisor_, c.node, self_);
+  sink_->emit<msg::GetConfiguration>(supervisor_, self_);
 }
 
 void SubscriberProtocol::consider_linear(const LabeledRef& c, bool trusted) {
   if (!c.node || c.node == self_ || !label_) return;
-  const Dyadic me = label_->r();
-  const Dyadic pos = c.label.r();
+  // Positions compare via r_key(), the shift-only order-embedding of r().
+  const std::uint64_t me = label_->r_key();
+  const std::uint64_t pos = c.label.r_key();
   if (pos == me) {
     conflict(c);
     return;
@@ -294,14 +307,14 @@ void SubscriberProtocol::consider_linear(const LabeledRef& c, bool trusted) {
       revalidate_sides();
       return;
     }
-    const Dyadic cur = slot->label.r();
+    const std::uint64_t cur = slot->label.r_key();
     if (pos == cur) {
       if (trusted) {
         // The supervisor vouches for c; the incumbent may be crashed and
         // silent. Adopt c and let the supervisor deal with the incumbent.
         const LabeledRef old = *slot;
         slot = c;
-        sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(old.node, self_));
+        sink_->emit<msg::GetConfiguration>(supervisor_, old.node, self_);
       } else {
         conflict(c);
       }
@@ -313,11 +326,10 @@ void SubscriberProtocol::consider_linear(const LabeledRef& c, bool trusted) {
       // lies between it and us.
       const LabeledRef displaced = *slot;
       slot = c;
-      sink_->send(c.node,
-                  std::make_unique<msg::Introduce>(displaced, IntroFlag::kLinear));
+      sink_->emit<msg::Introduce>(c.node, displaced, IntroFlag::kLinear);
     } else {
       // c is farther out: delegate it towards that side.
-      sink_->send(slot->node, std::make_unique<msg::Introduce>(c, IntroFlag::kLinear));
+      sink_->emit<msg::Introduce>(slot->node, c, IntroFlag::kLinear);
     }
   };
   if (pos < me) {
@@ -329,8 +341,8 @@ void SubscriberProtocol::consider_linear(const LabeledRef& c, bool trusted) {
 
 void SubscriberProtocol::consider_cyclic(const LabeledRef& c, bool trusted) {
   if (!c.node || c.node == self_ || !label_) return;
-  const Dyadic me = label_->r();
-  const Dyadic pos = c.label.r();
+  const std::uint64_t me = label_->r_key();
+  const std::uint64_t pos = c.label.r_key();
   if (pos == me) {
     conflict(c);
     return;
@@ -351,17 +363,18 @@ void SubscriberProtocol::consider_cyclic(const LabeledRef& c, bool trusted) {
       revalidate_sides();
       return;
     }
-    if (pos == ring_->label.r()) {
+    if (pos == ring_->label.r_key()) {
       if (trusted) {
         const LabeledRef old = *ring_;
         ring_ = c;
-        sink_->send(supervisor_, std::make_unique<msg::GetConfiguration>(old.node, self_));
+        sink_->emit<msg::GetConfiguration>(supervisor_, old.node, self_);
       } else {
         conflict(c);
       }
       return;
     }
-    const bool better = keep_smaller ? (pos < ring_->label.r()) : (pos > ring_->label.r());
+    const bool better =
+        keep_smaller ? (pos < ring_->label.r_key()) : (pos > ring_->label.r_key());
     if (better) {
       // Better extremum partner: keep it, re-linearize the loser.
       const LabeledRef loser = *ring_;
@@ -382,11 +395,11 @@ void SubscriberProtocol::consider_cyclic(const LabeledRef& c, bool trusted) {
   // Interior (w.r.t. this candidate's direction): route towards the
   // extremum the candidate is looking for.
   if (candidate_is_smaller && right_) {
-    sink_->send(right_->node, std::make_unique<msg::Introduce>(c, IntroFlag::kCyclic));
+    sink_->emit<msg::Introduce>(right_->node, c, IntroFlag::kCyclic);
     return;
   }
   if (!candidate_is_smaller && left_) {
-    sink_->send(left_->node, std::make_unique<msg::Introduce>(c, IntroFlag::kCyclic));
+    sink_->emit<msg::Introduce>(left_->node, c, IntroFlag::kCyclic);
     return;
   }
   // No suitable chain to route along: fall back to linearization so the
@@ -402,29 +415,29 @@ void SubscriberProtocol::revalidate_sides() {
   for (auto* slot : {&left_, &right_, &ring_}) {
     if (*slot && (*slot)->node == self_) slot->reset();
   }
-  const Dyadic me = label_->r();
+  const std::uint64_t me = label_->r_key();
   // Pop any neighbor that sits on the wrong side of our (possibly new)
   // label and feed it back through placement. Each entry is re-homed at
   // most once per call, so this terminates.
   std::vector<LabeledRef> rehome;
-  if (left_ && !(left_->label.r() < me)) {
+  if (left_ && !(left_->label.r_key() < me)) {
     rehome.push_back(*left_);
     left_.reset();
   }
-  if (right_ && !(right_->label.r() > me)) {
+  if (right_ && !(right_->label.r_key() > me)) {
     rehome.push_back(*right_);
     right_.reset();
   }
   if (ring_) {
-    const bool valid_for_min = !left_ && ring_->label.r() > me;
-    const bool valid_for_max = !right_ && ring_->label.r() < me;
+    const bool valid_for_min = !left_ && ring_->label.r_key() > me;
+    const bool valid_for_max = !right_ && ring_->label.r_key() < me;
     if (!(valid_for_min || valid_for_max)) {
       rehome.push_back(*ring_);
       ring_.reset();
     }
   }
   for (const LabeledRef& c : rehome) {
-    if (c.label.r() == me) {
+    if (c.label.r_key() == me) {
       conflict(c);
     } else {
       consider_linear(c);
@@ -447,64 +460,137 @@ void SubscriberProtocol::purge(sim::NodeId who) {
 
 std::optional<LabeledRef> SubscriberProtocol::side_source_ref(bool left_side) const {
   if (!label_) return std::nullopt;
-  const Dyadic me = label_->r();
+  const std::uint64_t me = label_->r_key();
   if (left_side) {
     if (left_) return left_;
-    if (ring_ && ring_->label.r() > me) return ring_;  // min: predecessor = max
+    if (ring_ && ring_->label.r_key() > me) return ring_;  // min: predecessor = max
     return std::nullopt;
   }
   if (right_) return right_;
-  if (ring_ && ring_->label.r() < me) return ring_;  // max: successor = min
+  if (ring_ && ring_->label.r_key() < me) return ring_;  // max: successor = min
   return std::nullopt;
 }
 
 std::optional<Label> SubscriberProtocol::side_source_label(bool left_side) const {
-  auto ref = side_source_ref(left_side);
-  if (!ref) return std::nullopt;
-  return ref->label;
+  // Mirrors side_source_ref without materializing the 40-byte LabeledRef
+  // optional — this runs several times per Timeout.
+  if (!label_) return std::nullopt;
+  if (left_side) {
+    if (left_) return left_->label;
+    if (ring_ && ring_->label.r_key() > label_->r_key()) return ring_->label;
+    return std::nullopt;
+  }
+  if (right_) return right_->label;
+  if (ring_ && ring_->label.r_key() < label_->r_key()) return ring_->label;
+  return std::nullopt;
+}
+
+bool SubscriberProtocol::ensure_derived_cache() const {
+  SSPS_ASSERT(label_.has_value());
+  const std::optional<Label> left_src = side_source_label(true);
+  const std::optional<Label> right_src = side_source_label(false);
+  if (derived_.valid && derived_.self == *label_ && derived_.left == left_src &&
+      derived_.right == right_src) {
+    return false;  // cache hit: the derived labels are unchanged
+  }
+  derived_.self = *label_;
+  derived_.left = left_src;
+  derived_.right = right_src;
+  derived_.expected = expected_shortcut_labels(*label_, left_src, right_src);
+  derived_.partner_left =
+      left_src ? std::optional<Label>(level_k_partner(*label_, *left_src))
+               : std::nullopt;
+  derived_.partner_right =
+      right_src ? std::optional<Label>(level_k_partner(*label_, *right_src))
+                : std::nullopt;
+  auto index_of = [&](const std::optional<Label>& partner) -> std::int32_t {
+    if (!partner) return -1;
+    const auto it = std::lower_bound(derived_.expected.begin(),
+                                     derived_.expected.end(), *partner);
+    if (it == derived_.expected.end() || !(*it == *partner)) return -1;
+    return static_cast<std::int32_t>(it - derived_.expected.begin());
+  };
+  derived_.partner_index_left = index_of(derived_.partner_left);
+  derived_.partner_index_right = index_of(derived_.partner_right);
+  derived_.valid = true;
+  derived_.table_synced = false;
+  return true;
 }
 
 void SubscriberProtocol::refresh_shortcuts() {
   if (!label_) {
     if (!shortcuts_.empty()) shortcuts_.clear();
+    derived_.valid = false;
     return;
   }
-  const auto expected =
-      expected_shortcut_labels(*label_, side_source_label(true), side_source_label(false));
-  std::map<Label, sim::NodeId> next;
-  for (const Label& l : expected) {
+  // In a converged system the label and both neighbor labels are stable,
+  // so this is one cache-key compare per Timeout — no allocation, no
+  // mirror arithmetic, no table rebuild.
+  ensure_derived_cache();
+  if (derived_.table_synced) return;
+
+  // Expected labels changed (or chaos touched the table): rebuild the
+  // table against the cached expectation, keeping known references.
+  std::vector<ShortcutTable::value_type> next;
+  next.reserve(derived_.expected.size());
+  for (const Label& l : derived_.expected) {
     auto it = shortcuts_.find(l);
     const sim::NodeId kept =
         (it == shortcuts_.end() || it->second == self_) ? sim::NodeId::null()
                                                         : it->second;
-    next.emplace(l, kept);
+    next.emplace_back(l, kept);
   }
   // Evicted references re-enter the sorted ring instead of being dropped.
   std::vector<LabeledRef> evicted;
   for (const auto& [lab, node] : shortcuts_) {
-    if (node && !next.contains(lab)) evicted.push_back(LabeledRef{lab, node});
+    if (node && !std::binary_search(derived_.expected.begin(),
+                                    derived_.expected.end(), lab)) {
+      evicted.push_back(LabeledRef{lab, node});
+    }
   }
-  shortcuts_ = std::move(next);
+  shortcuts_.assign_sorted(std::move(next));
+  derived_.table_synced = true;
+  // Re-linearize evictions last: they can touch left_/right_ and thereby
+  // stale the cache again; the next Timeout's key compare catches that.
   for (const LabeledRef& c : evicted) consider(c, IntroFlag::kLinear);
 }
 
 std::optional<LabeledRef> SubscriberProtocol::partner_ref(bool left_side) const {
   const auto src = side_source_ref(left_side);
   if (!src || !label_) return std::nullopt;
-  const Label partner = level_k_partner(*label_, src->label);
-  if (partner == src->label) return src;  // chain empty: partner is the neighbor
-  auto it = shortcuts_.find(partner);
-  if (it == shortcuts_.end() || !it->second) return std::nullopt;
-  return LabeledRef{partner, it->second};
+  // Caller guarantees a fresh derived cache (see introduce_level_partners).
+  const std::optional<Label>& partner =
+      left_side ? derived_.partner_left : derived_.partner_right;
+  if (!partner) return std::nullopt;
+  if (*partner == src->label) return src;  // chain empty: partner is the neighbor
+  const std::int32_t index =
+      left_side ? derived_.partner_index_left : derived_.partner_index_right;
+  sim::NodeId node;
+  if (derived_.table_synced && index >= 0) {
+    // Table keys match `expected`, so the cached sorted position resolves
+    // the partner without a search.
+    node = shortcuts_.entry(static_cast<std::size_t>(index)).second;
+  } else {
+    auto it = shortcuts_.find(*partner);
+    if (it == shortcuts_.end()) return std::nullopt;
+    node = it->second;
+  }
+  if (!node) return std::nullopt;
+  return LabeledRef{*partner, node};
 }
 
 void SubscriberProtocol::introduce_level_partners() {
+  if (!label_) return;
+  // One cache refresh covers both sides; refresh_shortcuts usually just
+  // validated it, but its eviction re-linearization may have moved a
+  // side, so re-ensure before deriving the partner labels.
+  ensure_derived_cache();
   const auto lp = partner_ref(true);
   const auto rp = partner_ref(false);
   if (!lp || !rp) return;
   if (lp->node == rp->node || lp->node == self_ || rp->node == self_) return;
-  sink_->send(lp->node, std::make_unique<msg::IntroduceShortcut>(*rp));
-  sink_->send(rp->node, std::make_unique<msg::IntroduceShortcut>(*lp));
+  sink_->emit<msg::IntroduceShortcut>(lp->node, *rp);
+  sink_->emit<msg::IntroduceShortcut>(rp->node, *lp);
 }
 
 // ---------------------------------------------------------------------------
@@ -512,13 +598,20 @@ void SubscriberProtocol::introduce_level_partners() {
 // ---------------------------------------------------------------------------
 
 std::vector<sim::NodeId> SubscriberProtocol::ring_neighbors() const {
-  std::vector<sim::NodeId> out;
+  std::array<sim::NodeId, 3> buf;
+  const std::size_t n = ring_neighbors_into(buf);
+  return std::vector<sim::NodeId>(buf.begin(), buf.begin() + n);
+}
+
+std::size_t SubscriberProtocol::ring_neighbors_into(
+    std::array<sim::NodeId, 3>& out) const {
+  std::size_t n = 0;
   for (const auto* slot : {&left_, &right_, &ring_}) {
-    if (*slot && (*slot)->node && (*slot)->node != self_) out.push_back((*slot)->node);
+    if (*slot && (*slot)->node && (*slot)->node != self_) out[n++] = (*slot)->node;
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  std::sort(out.begin(), out.begin() + n);
+  return static_cast<std::size_t>(std::unique(out.begin(), out.begin() + n) -
+                                  out.begin());
 }
 
 std::vector<sim::NodeId> SubscriberProtocol::overlay_neighbors() const {

@@ -12,12 +12,13 @@
 // level-k shortcut introductions (Lemma 12).
 #pragma once
 
-#include <map>
+#include <array>
 #include <optional>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/messages.hpp"
+#include "core/shortcuts.hpp"
 
 namespace ssps::core {
 
@@ -64,7 +65,7 @@ class SubscriberProtocol {
   const std::optional<LabeledRef>& ring() const { return ring_; }
 
   /// Shortcut table: expected label -> node reference (null until known).
-  const std::map<Label, sim::NodeId>& shortcuts() const { return shortcuts_; }
+  const ShortcutTable& shortcuts() const { return shortcuts_; }
 
   /// Distinct non-null overlay neighbors (ring edges + shortcuts); the
   /// flooding targets of §4.3.
@@ -74,6 +75,11 @@ class SubscriberProtocol {
   /// the anti-entropy partner pool of Algorithm 5.
   std::vector<sim::NodeId> ring_neighbors() const;
 
+  /// Allocation-free variant: fills `out` with the distinct non-null ring
+  /// neighbors in ascending id order and returns the count (<= 3). The
+  /// per-Timeout anti-entropy partner pick runs through this.
+  std::size_t ring_neighbors_into(std::array<sim::NodeId, 3>& out) const;
+
   /// Explicit edges for connectivity analyses.
   void collect_refs(std::vector<sim::NodeId>& out) const;
 
@@ -82,12 +88,30 @@ class SubscriberProtocol {
   // setters let the chaos generators produce them. They perform no
   // validation beyond basic type invariants.
 
-  void chaos_set_label(std::optional<Label> l) { label_ = std::move(l); }
-  void chaos_set_left(std::optional<LabeledRef> v) { left_ = std::move(v); }
-  void chaos_set_right(std::optional<LabeledRef> v) { right_ = std::move(v); }
-  void chaos_set_ring(std::optional<LabeledRef> v) { ring_ = std::move(v); }
-  void chaos_put_shortcut(const Label& l, sim::NodeId n) { shortcuts_[l] = n; }
-  void chaos_clear_shortcuts() { shortcuts_.clear(); }
+  void chaos_set_label(std::optional<Label> l) {
+    label_ = std::move(l);
+    derived_.valid = false;
+  }
+  void chaos_set_left(std::optional<LabeledRef> v) {
+    left_ = std::move(v);
+    derived_.valid = false;
+  }
+  void chaos_set_right(std::optional<LabeledRef> v) {
+    right_ = std::move(v);
+    derived_.valid = false;
+  }
+  void chaos_set_ring(std::optional<LabeledRef> v) {
+    ring_ = std::move(v);
+    derived_.valid = false;
+  }
+  void chaos_put_shortcut(const Label& l, sim::NodeId n) {
+    shortcuts_.put(l, n);
+    derived_.valid = false;
+  }
+  void chaos_clear_shortcuts() {
+    shortcuts_.clear();
+    derived_.valid = false;
+  }
   void chaos_set_phase(SubscriberPhase p) { phase_ = p; }
 
  private:
@@ -119,6 +143,9 @@ class SubscriberProtocol {
   /// Algorithm 4 line 3: make shortcuts_ contain exactly the expected
   /// labels, re-linearizing evicted references.
   void refresh_shortcuts();
+  /// Recomputes the derived-label cache when (label, side sources) moved;
+  /// returns true when the cache was (re)filled, false on a hit.
+  bool ensure_derived_cache() const;
   /// §3.2.2: introduce the two level-k partners to each other.
   void introduce_level_partners();
   /// Resolves the node reference for a (chain-end) partner label.
@@ -137,7 +164,33 @@ class SubscriberProtocol {
   std::optional<LabeledRef> left_;
   std::optional<LabeledRef> right_;
   std::optional<LabeledRef> ring_;
-  std::map<Label, sim::NodeId> shortcuts_;
+  ShortcutTable shortcuts_;
+
+  /// Labels derivable from (label_, side-source labels) — the expected
+  /// shortcut set and the two level-k partner labels — memoized because
+  /// they are recomputed every Timeout but only change on relabeling.
+  /// Invariant: valid ⇒ shortcuts_' key set equals `expected` (every key
+  /// mutation outside refresh_shortcuts() invalidates).
+  struct DerivedCache {
+    bool valid = false;
+    /// True only while shortcuts_' key set matches `expected`; cleared on
+    /// every cache refill, set again by refresh_shortcuts' rebuild. Keeps
+    /// partner_ref (which may refill the cache mid-timeout) from masking a
+    /// pending table rebuild.
+    bool table_synced = false;
+    Label self;
+    std::optional<Label> left;
+    std::optional<Label> right;
+    std::vector<Label> expected;
+    std::optional<Label> partner_left;
+    std::optional<Label> partner_right;
+    /// Sorted positions of the partner labels within `expected` (== the
+    /// table's key order while table_synced); -1 when the partner is the
+    /// ring neighbor itself or absent.
+    std::int32_t partner_index_left = -1;
+    std::int32_t partner_index_right = -1;
+  };
+  mutable DerivedCache derived_;
 };
 
 }  // namespace ssps::core

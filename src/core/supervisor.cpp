@@ -45,15 +45,15 @@ void SupervisorProtocol::timeout() {
 // ---------------------------------------------------------------------------
 
 bool SupervisorProtocol::handle(const sim::Message& m) {
-  if (const auto* s = dynamic_cast<const msg::Subscribe*>(&m)) {
+  if (const auto* s = sim::msg_cast<msg::Subscribe>(m)) {
     on_subscribe(s->who);
     return true;
   }
-  if (const auto* u = dynamic_cast<const msg::Unsubscribe*>(&m)) {
+  if (const auto* u = sim::msg_cast<msg::Unsubscribe>(m)) {
     on_unsubscribe(u->who);
     return true;
   }
-  if (const auto* g = dynamic_cast<const msg::GetConfiguration*>(&m)) {
+  if (const auto* g = sim::msg_cast<msg::GetConfiguration>(m)) {
     on_get_configuration(g->subject, g->requester);
     return true;
   }
@@ -177,8 +177,8 @@ std::optional<LabeledRef> SupervisorProtocol::succ_of(const Label& label) const 
 
 void SupervisorProtocol::send_configuration(
     std::map<Label, sim::NodeId>::const_iterator it) {
-  sink_->send(it->second, std::make_unique<msg::SetData>(pred_of(it->first), it->first,
-                                                         succ_of(it->first)));
+  sink_->emit<msg::SetData>(it->second, pred_of(it->first), it->first,
+                            succ_of(it->first));
 }
 
 void SupervisorProtocol::on_get_configuration(sim::NodeId subject,
@@ -194,7 +194,7 @@ void SupervisorProtocol::on_get_configuration(sim::NodeId subject,
       check_labels();
     }
     if (requester && requester != subject) {
-      sink_->send(requester, std::make_unique<msg::RemoveConnections>(subject));
+      sink_->emit<msg::RemoveConnections>(requester, subject);
     }
     return;
   }
@@ -202,8 +202,7 @@ void SupervisorProtocol::on_get_configuration(sim::NodeId subject,
   auto idx = index_.find(subject);
   if (idx == index_.end()) {
     // Unknown node (Alg. 3 line 30): evict it; it will re-subscribe.
-    sink_->send(subject,
-                std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+    sink_->emit<msg::SetData>(subject, std::nullopt, std::nullopt, std::nullopt);
     return;
   }
   SSPS_ASSERT(idx->second.size() == 1);
@@ -230,8 +229,7 @@ void SupervisorProtocol::on_unsubscribe(sim::NodeId who) {
   if (!index_.contains(who)) {
     // Not recorded (repeat request after removal): grant permission anyway
     // so the subscriber can shut down (idempotence).
-    sink_->send(who,
-                std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+    sink_->emit<msg::SetData>(who, std::nullopt, std::nullopt, std::nullopt);
     return;
   }
   // check_labels() may relabel `who` while repairing a corrupted database,
@@ -242,8 +240,7 @@ void SupervisorProtocol::on_unsubscribe(sim::NodeId who) {
   check_labels();
   auto idx = index_.find(who);
   if (idx == index_.end()) {
-    sink_->send(who,
-                std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+    sink_->emit<msg::SetData>(who, std::nullopt, std::nullopt, std::nullopt);
     return;
   }
   const Label leaving_label = idx->second.front();
@@ -264,8 +261,7 @@ void SupervisorProtocol::on_unsubscribe(sim::NodeId who) {
     send_configuration(db_.find(leaving_label));
   }
   // Permission to depart (Lemma 6).
-  sink_->send(who,
-              std::make_unique<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+  sink_->emit<msg::SetData>(who, std::nullopt, std::nullopt, std::nullopt);
 }
 
 // ---------------------------------------------------------------------------

@@ -117,7 +117,11 @@ std::string SkipRingSystem::legitimacy_violation() const {
 
   // 2. Every subscriber state matches the SR(n) spec under the database's
   // label assignment.
-  const SkipRingSpec spec(n == 0 ? 1 : n);
+  const std::size_t spec_n = n == 0 ? 1 : n;
+  if (!spec_cache_ || spec_cache_->n() != spec_n) {
+    spec_cache_ = std::make_unique<SkipRingSpec>(spec_n);
+  }
+  const SkipRingSpec& spec = *spec_cache_;
   auto ref_of = [&](const Label& l) -> LabeledRef {
     return LabeledRef{l, db.at(l)};
   };

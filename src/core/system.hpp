@@ -7,9 +7,11 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/skip_ring_spec.hpp"
 #include "core/subscriber.hpp"
 #include "core/supervisor.hpp"
 #include "sim/failure_detector.hpp"
@@ -22,9 +24,10 @@ namespace ssps::core {
 class DirectSink final : public MessageSink {
  public:
   explicit DirectSink(sim::Network& net) : net_(&net) {}
-  void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+  void send(sim::NodeId to, sim::PooledMsg msg) override {
     net_->send(to, std::move(msg));
   }
+  sim::MessagePool& pool() override { return net_->pool(); }
 
  private:
   sim::Network* net_;
@@ -33,46 +36,64 @@ class DirectSink final : public MessageSink {
 /// A network node running exactly one SubscriberProtocol instance.
 class SubscriberNode : public sim::Node {
  public:
-  explicit SubscriberNode(sim::NodeId supervisor) : supervisor_(supervisor) {}
+  explicit SubscriberNode(sim::NodeId supervisor)
+      : SubscriberNode(supervisor, sim::NodeKind::kSubscriber) {}
 
-  void handle(std::unique_ptr<sim::Message> msg) override { proto_->handle(*msg); }
+  static bool classof(sim::NodeKind k) {
+    // Every kind whose node IS-A SubscriberNode: the plain overlay node,
+    // the pub-sub specialization, and baseline/antientropy's gossip node.
+    return k == sim::NodeKind::kSubscriber || k == sim::NodeKind::kPubSub ||
+           k == sim::NodeKind::kGossipPeer;
+  }
+
+  void handle(sim::PooledMsg msg) override { proto_->handle(*msg); }
   void timeout() override { proto_->timeout(); }
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     if (proto_) proto_->collect_refs(out);
   }
   void on_register() override {
-    sink_ = std::make_unique<DirectSink>(net());
-    proto_ = std::make_unique<SubscriberProtocol>(id(), supervisor_, *sink_, rng());
+    sink_.emplace(net());
+    proto_.emplace(id(), supervisor_, *sink_, rng());
   }
 
   SubscriberProtocol& protocol() { return *proto_; }
   const SubscriberProtocol& protocol() const { return *proto_; }
 
+ protected:
+  SubscriberNode(sim::NodeId supervisor, sim::NodeKind kind)
+      : sim::Node(kind), supervisor_(supervisor) {}
+
  private:
   sim::NodeId supervisor_;
-  std::unique_ptr<DirectSink> sink_;
-  std::unique_ptr<SubscriberProtocol> proto_;
+  // Embedded by value (not unique_ptr): protocol state lives inside the
+  // node object, one cache-local block per node.
+  std::optional<DirectSink> sink_;
+  std::optional<SubscriberProtocol> proto_;
 };
 
 /// A network node running exactly one SupervisorProtocol instance.
 class SupervisorNode : public sim::Node {
  public:
-  void handle(std::unique_ptr<sim::Message> msg) override { proto_->handle(*msg); }
+  SupervisorNode() : sim::Node(sim::NodeKind::kSupervisor) {}
+
+  static bool classof(sim::NodeKind k) { return k == sim::NodeKind::kSupervisor; }
+
+  void handle(sim::PooledMsg msg) override { proto_->handle(*msg); }
   void timeout() override { proto_->timeout(); }
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     if (proto_) proto_->collect_refs(out);
   }
   void on_register() override {
-    sink_ = std::make_unique<DirectSink>(net());
-    proto_ = std::make_unique<SupervisorProtocol>(id(), *sink_);
+    sink_.emplace(net());
+    proto_.emplace(id(), *sink_);
   }
 
   SupervisorProtocol& protocol() { return *proto_; }
   const SupervisorProtocol& protocol() const { return *proto_; }
 
  private:
-  std::unique_ptr<DirectSink> sink_;
-  std::unique_ptr<SupervisorProtocol> proto_;
+  std::optional<DirectSink> sink_;
+  std::optional<SupervisorProtocol> proto_;
 };
 
 /// One supervised skip ring: supervisor + subscribers + failure detector.
@@ -139,6 +160,9 @@ class SkipRingSystem {
   sim::Network net_;
   sim::NodeId supervisor_id_;
   std::unique_ptr<sim::FailureDetector> fd_;
+  /// SR(n) ground truth reused across legitimacy checks (convergence waits
+  /// probe once per round; rebuilding the spec each time was O(n log n)).
+  mutable std::unique_ptr<SkipRingSpec> spec_cache_;
 };
 
 }  // namespace ssps::core

@@ -112,34 +112,34 @@ void ArbitraryStateInjector::scramble_trie(pubsub::PubSubProtocol& ps,
 // Channel garbage
 // ---------------------------------------------------------------------------
 
-std::unique_ptr<sim::Message> ArbitraryStateInjector::junk_core(
-    const std::vector<sim::NodeId>& peers) {
+sim::PooledMsg ArbitraryStateInjector::junk_core(
+    sim::MessagePool& pool, const std::vector<sim::NodeId>& peers) {
   const LabeledRef ref{random_label(), random_peer(peers)};
   switch (rng_.below(6)) {
     case 0:
-      return std::make_unique<core::msg::Check>(
+      return pool.make<core::msg::Check>(
           ref, random_label(),
           rng_.chance(1, 2) ? core::IntroFlag::kLinear : core::IntroFlag::kCyclic);
     case 1:
-      return std::make_unique<core::msg::Introduce>(
+      return pool.make<core::msg::Introduce>(
           ref, rng_.chance(1, 2) ? core::IntroFlag::kLinear : core::IntroFlag::kCyclic);
     case 2:
-      return std::make_unique<core::msg::IntroduceShortcut>(ref);
+      return pool.make<core::msg::IntroduceShortcut>(ref);
     case 3:
-      return std::make_unique<core::msg::RemoveConnections>(random_peer(peers));
+      return pool.make<core::msg::RemoveConnections>(random_peer(peers));
     case 4: {
       const LabeledRef a{random_label(), random_peer(peers)};
       const LabeledRef b{random_label(), random_peer(peers)};
-      return std::make_unique<core::msg::SetData>(a, random_label(), b);
+      return pool.make<core::msg::SetData>(a, random_label(), b);
     }
     default:
-      return std::make_unique<core::msg::SetData>(std::nullopt, std::nullopt,
-                                                  std::nullopt);
+      return pool.make<core::msg::SetData>(std::nullopt, std::nullopt, std::nullopt);
   }
 }
 
-std::unique_ptr<sim::Message> ArbitraryStateInjector::junk_pubsub(
-    const std::vector<sim::NodeId>& peers, std::size_t key_bits, bool allow_extra) {
+sim::PooledMsg ArbitraryStateInjector::junk_pubsub(
+    sim::MessagePool& pool, const std::vector<sim::NodeId>& peers,
+    std::size_t key_bits, bool allow_extra) {
   auto random_summary = [&] {
     const std::size_t bits = rng_.below(std::min<std::size_t>(key_bits, 64) + 1);
     pubsub::Digest digest;
@@ -154,19 +154,19 @@ std::unique_ptr<sim::Message> ArbitraryStateInjector::junk_pubsub(
   };
   switch (rng_.below(allow_extra ? 4 : 2)) {
     case 0:
-      return std::make_unique<pubsub::msg::CheckTrie>(random_peer(peers),
-                                                      random_summaries());
+      return pool.make<pubsub::msg::CheckTrie>(random_peer(peers),
+                                               random_summaries());
     case 1:
-      return std::make_unique<pubsub::msg::CheckAndPublish>(
+      return pool.make<pubsub::msg::CheckAndPublish>(
           random_peer(peers), random_summaries(), random_summary().label);
     case 2: {
       std::vector<pubsub::Publication> pubs;
       pubs.push_back(pubsub::Publication{
           random_peer(peers), "junkpub-" + std::to_string(junk_seq_++)});
-      return std::make_unique<pubsub::msg::Publish>(std::move(pubs));
+      return pool.make<pubsub::msg::Publish>(std::move(pubs));
     }
     default:
-      return std::make_unique<pubsub::msg::PublishNew>(pubsub::Publication{
+      return pool.make<pubsub::msg::PublishNew>(pubsub::Publication{
           random_peer(peers), "junkpub-" + std::to_string(junk_seq_++)});
   }
 }
@@ -183,26 +183,26 @@ void ArbitraryStateInjector::scramble(core::SkipRingSystem& system) {
     scramble_overlay(system.subscriber(id), subs);
   }
   if (opt_.databases) scramble_database(system.supervisor(), system.active_ids());
+  sim::MessagePool& pool = system.net().pool();
   for (int i = 0; i < opt_.junk_messages; ++i) {
     if (rng_.chance(1, 6)) {
       // Garbage requests into the supervisor's own channel.
       switch (rng_.below(3)) {
         case 0:
           system.net().inject(system.supervisor_id(),
-                              std::make_unique<core::msg::Subscribe>(random_peer(subs)));
+                              pool.make<core::msg::Subscribe>(random_peer(subs)));
           break;
         case 1:
-          system.net().inject(
-              system.supervisor_id(),
-              std::make_unique<core::msg::Unsubscribe>(random_peer(subs)));
+          system.net().inject(system.supervisor_id(),
+                              pool.make<core::msg::Unsubscribe>(random_peer(subs)));
           break;
         default:
           system.net().inject(system.supervisor_id(),
-                              std::make_unique<core::msg::GetConfiguration>(
+                              pool.make<core::msg::GetConfiguration>(
                                   random_peer(subs), random_peer(subs)));
       }
     } else {
-      system.net().inject(random_peer(subs), junk_core(subs));
+      system.net().inject(random_peer(subs), junk_core(pool, subs));
     }
   }
 }
@@ -218,8 +218,9 @@ void ArbitraryStateInjector::scramble(pubsub::PubSubSystem& system) {
   }
   const std::size_t key_bits = system.pubsub(subs.front()).trie().key_bits();
   for (int i = 0; i < opt_.junk_messages / 2; ++i) {
-    system.net().inject(random_peer(subs),
-                        junk_pubsub(subs, key_bits, /*allow_extra=*/true));
+    system.net().inject(
+        random_peer(subs),
+        junk_pubsub(system.net().pool(), subs, key_bits, /*allow_extra=*/true));
   }
 }
 
@@ -299,28 +300,30 @@ void ArbitraryStateInjector::scramble(const MultiTopicView& view) {
       // scoped to the topic's own members: the group realization has no
       // mechanism for a non-owner to disown a subscriber, so cross-topic
       // Subscribe forgeries are outside the recoverable state space.
-      std::unique_ptr<sim::Message> inner;
+      sim::PooledMsg inner;
       switch (rng_.below(3)) {
         case 0:
-          inner = std::make_unique<core::msg::Subscribe>(random_peer(members));
+          inner = net.pool().make<core::msg::Subscribe>(random_peer(members));
           break;
         case 1:
-          inner = std::make_unique<core::msg::Unsubscribe>(random_peer(members));
+          inner = net.pool().make<core::msg::Unsubscribe>(random_peer(members));
           break;
         default:
-          inner = std::make_unique<core::msg::GetConfiguration>(random_peer(members),
-                                                                random_peer(members));
+          inner = net.pool().make<core::msg::GetConfiguration>(random_peer(members),
+                                                               random_peer(members));
       }
-      net.inject(owner, std::make_unique<pubsub::TopicEnvelope>(topic, std::move(inner)));
+      net.inject(owner,
+                 net.pool().make<pubsub::TopicEnvelope>(topic, std::move(inner)));
       continue;
     }
     // Enveloped garbage at a random client — possibly for a topic it never
     // joined, exercising the departed-topic reply path.
-    std::unique_ptr<sim::Message> inner =
-        rng_.chance(1, 3) ? junk_pubsub(clients, key_bits, /*allow_extra=*/false)
-                          : junk_core(clients);
+    sim::PooledMsg inner =
+        rng_.chance(1, 3)
+            ? junk_pubsub(net.pool(), clients, key_bits, /*allow_extra=*/false)
+            : junk_core(net.pool(), clients);
     net.inject(random_peer(clients),
-               std::make_unique<pubsub::TopicEnvelope>(topic, std::move(inner)));
+               net.pool().make<pubsub::TopicEnvelope>(topic, std::move(inner)));
   }
 }
 

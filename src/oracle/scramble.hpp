@@ -87,9 +87,11 @@ class ArbitraryStateInjector {
   void scramble_trie(pubsub::PubSubProtocol& ps,
                      const std::vector<sim::NodeId>& peers, bool keep_all,
                      bool allow_extra);
-  std::unique_ptr<sim::Message> junk_core(const std::vector<sim::NodeId>& peers);
-  std::unique_ptr<sim::Message> junk_pubsub(const std::vector<sim::NodeId>& peers,
-                                            std::size_t key_bits, bool allow_extra);
+  sim::PooledMsg junk_core(sim::MessagePool& pool,
+                           const std::vector<sim::NodeId>& peers);
+  sim::PooledMsg junk_pubsub(sim::MessagePool& pool,
+                             const std::vector<sim::NodeId>& peers,
+                             std::size_t key_bits, bool allow_extra);
 
   ScrambleOptions opt_;
   ssps::Rng rng_;

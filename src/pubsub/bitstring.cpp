@@ -1,10 +1,20 @@
 #include "pubsub/bitstring.hpp"
 
 #include <bit>
+#include <cstring>
 
 #include "common/assert.hpp"
 
 namespace ssps::pubsub {
+
+void BitString::grow_words(std::size_t n) {
+  if (n <= kInlineWords) return;  // sbo_ already covers it (zero on construction)
+  if (overflow_.empty()) {
+    overflow_.reserve(n);
+    overflow_.assign(sbo_, sbo_ + kInlineWords);
+  }
+  overflow_.resize(n, 0);
+}
 
 BitString BitString::from_string(const std::string& s) {
   BitString out;
@@ -19,10 +29,11 @@ BitString BitString::from_bytes(std::span<const std::uint8_t> data, std::size_t 
   SSPS_ASSERT(bits <= data.size() * 8);
   BitString out;
   out.len_ = bits;
-  out.words_.assign((bits + 63) / 64, 0);
+  out.grow_words((bits + 63) / 64);
+  std::uint64_t* w = out.words();
   for (std::size_t i = 0; i < bits; ++i) {
     const bool b = (data[i / 8] >> (7 - (i % 8))) & 1U;
-    if (b) out.words_[i / 64] |= (1ULL << (63 - (i % 64)));
+    if (b) w[i / 64] |= (1ULL << (63 - (i % 64)));
   }
   return out;
 }
@@ -38,12 +49,16 @@ BitString BitString::from_uint(std::uint64_t value, std::size_t bits) {
 
 bool BitString::bit(std::size_t i) const {
   SSPS_ASSERT(i < len_);
-  return (words_[i / 64] >> (63 - (i % 64))) & 1ULL;
+  return (words()[i / 64] >> (63 - (i % 64))) & 1ULL;
 }
 
 void BitString::push_back(bool b) {
-  if (len_ % 64 == 0) words_.push_back(0);
-  if (b) words_[len_ / 64] |= (1ULL << (63 - (len_ % 64)));
+  if (len_ % 64 == 0) {
+    const std::size_t idx = len_ / 64;
+    grow_words(idx + 1);
+    words()[idx] = 0;
+  }
+  if (b) words()[len_ / 64] |= (1ULL << (63 - (len_ % 64)));
   ++len_;
 }
 
@@ -56,11 +71,13 @@ BitString BitString::prefix(std::size_t k) const {
   SSPS_ASSERT(k <= len_);
   BitString out;
   out.len_ = k;
-  out.words_.assign((k + 63) / 64, 0);
-  for (std::size_t w = 0; w < out.words_.size(); ++w) out.words_[w] = words_[w];
+  out.grow_words((k + 63) / 64);
+  std::uint64_t* w = out.words();
+  const std::size_t n = (k + 63) / 64;
+  for (std::size_t i = 0; i < n; ++i) w[i] = words()[i];
   // Clear bits past k in the last word.
   const std::size_t rem = k % 64;
-  if (rem != 0) out.words_.back() &= ~0ULL << (64 - rem);
+  if (rem != 0 && n > 0) w[n - 1] &= ~0ULL << (64 - rem);
   return out;
 }
 
@@ -73,9 +90,11 @@ BitString BitString::with_bit(bool b) const {
 std::size_t BitString::common_prefix_len(const BitString& other) const {
   const std::size_t limit = len_ < other.len_ ? len_ : other.len_;
   std::size_t i = 0;
-  const std::size_t words = (limit + 63) / 64;
-  for (std::size_t w = 0; w < words; ++w) {
-    const std::uint64_t x = words_[w] ^ other.words_[w];
+  const std::size_t nwords = (limit + 63) / 64;
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = other.words();
+  for (std::size_t w = 0; w < nwords; ++w) {
+    const std::uint64_t x = a[w] ^ b[w];
     if (x != 0) {
       i = w * 64 + static_cast<std::size_t>(std::countl_zero(x));
       return i < limit ? i : limit;
@@ -89,7 +108,9 @@ bool BitString::is_prefix_of(const BitString& other) const {
 }
 
 bool BitString::operator==(const BitString& other) const {
-  return len_ == other.len_ && words_ == other.words_;
+  if (len_ != other.len_) return false;
+  const std::size_t n = word_count();
+  return std::memcmp(words(), other.words(), n * sizeof(std::uint64_t)) == 0;
 }
 
 std::strong_ordering BitString::operator<=>(const BitString& other) const {
@@ -123,7 +144,9 @@ std::size_t BitString::hash_value() const noexcept {
     h ^= v;
     h *= 0x100000001b3ULL;
   };
-  for (std::uint64_t w : words_) mix(w);
+  const std::uint64_t* w = words();
+  const std::size_t n = word_count();
+  for (std::size_t i = 0; i < n; ++i) mix(w[i]);
   mix(len_);
   return static_cast<std::size_t>(h);
 }

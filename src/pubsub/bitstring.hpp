@@ -64,10 +64,26 @@ class BitString {
   std::size_t hash_value() const noexcept;
 
  private:
+  /// Keys and trie labels are at most a few words (key_bits defaults to
+  /// 64), so up to kInlineWords words live inline — copying a BitString
+  /// then allocates nothing, which matters because every CheckTrie
+  /// exchange copies label summaries.
+  static constexpr std::size_t kInlineWords = 2;
+
   std::size_t word_count() const { return (len_ + 63) / 64; }
   /// Word i holds bits [64i, 64i+63], bit j of the string at bit position
   /// 63 − (j mod 64) of its word; trailing unused bits are zero.
-  std::vector<std::uint64_t> words_;
+  /// Invariant: overflow_ is empty while word_count() <= kInlineWords
+  /// (words in sbo_), else holds all word_count() words.
+  const std::uint64_t* words() const {
+    return overflow_.empty() ? sbo_ : overflow_.data();
+  }
+  std::uint64_t* words() { return overflow_.empty() ? sbo_ : overflow_.data(); }
+  /// Grows storage to `n` zero-initialized words (never shrinks).
+  void grow_words(std::size_t n);
+
+  std::uint64_t sbo_[kInlineWords] = {0, 0};
+  std::vector<std::uint64_t> overflow_;
   std::size_t len_ = 0;
 };
 

@@ -16,11 +16,12 @@ PubSubProtocol::PubSubProtocol(core::SubscriberProtocol& overlay, core::MessageS
 void PubSubProtocol::timeout() {
   if (!config_.anti_entropy) return;
   if (trie_.empty()) return;  // nothing to offer; we learn via neighbors
-  const auto neighbors = overlay_->ring_neighbors();
-  if (neighbors.empty()) return;
-  const sim::NodeId target = neighbors[rng_->pick_index(neighbors)];
-  sink_->send(target, std::make_unique<msg::CheckTrie>(
-                          overlay_->self(), std::vector<NodeSummary>{*trie_.root()}));
+  std::array<sim::NodeId, 3> neighbors;
+  const std::size_t count = overlay_->ring_neighbors_into(neighbors);
+  if (count == 0) return;
+  const sim::NodeId target = neighbors[rng_->below(count)];
+  sink_->emit<msg::CheckTrie>(target, overlay_->self(),
+                              std::vector<NodeSummary>{*trie_.root()});
 }
 
 void PubSubProtocol::publish(std::string payload) {
@@ -33,19 +34,19 @@ void PubSubProtocol::publish(std::string payload) {
 // ---------------------------------------------------------------------------
 
 bool PubSubProtocol::handle(const sim::Message& m) {
-  if (const auto* ct = dynamic_cast<const msg::CheckTrie*>(&m)) {
+  if (const auto* ct = sim::msg_cast<msg::CheckTrie>(m)) {
     on_check_trie(ct->sender, ct->tuples);
     return true;
   }
-  if (const auto* cp = dynamic_cast<const msg::CheckAndPublish*>(&m)) {
+  if (const auto* cp = sim::msg_cast<msg::CheckAndPublish>(m)) {
     on_check_and_publish(*cp);
     return true;
   }
-  if (const auto* p = dynamic_cast<const msg::Publish*>(&m)) {
+  if (const auto* p = sim::msg_cast<msg::Publish>(m)) {
     on_publish(*p);
     return true;
   }
-  if (const auto* pn = dynamic_cast<const msg::PublishNew*>(&m)) {
+  if (const auto* pn = sim::msg_cast<msg::PublishNew>(m)) {
     on_publish_new(*pn);
     return true;
   }
@@ -63,16 +64,15 @@ void PubSubProtocol::check_tuple(sim::NodeId sender, const NodeSummary& tuple) {
       if (loc.node.hash == tuple.hash) return;  // subtries identical: silence
       if (!loc.is_leaf) {
         // Case (ii): recurse into our children; the sender compares them.
-        sink_->send(sender, std::make_unique<msg::CheckTrie>(overlay_->self(),
-                                                             loc.children));
+        sink_->emit<msg::CheckTrie>(sender, overlay_->self(), loc.children);
         return;
       }
       // Equal leaf labels always hash equally (hash = h(label)); reaching
       // this point means the tuple is corrupted. Re-anchor the exchange at
       // our root so the protocol still converges from garbage.
       if (auto r = trie_.root()) {
-        sink_->send(sender, std::make_unique<msg::CheckTrie>(
-                                overlay_->self(), std::vector<NodeSummary>{*r}));
+        sink_->emit<msg::CheckTrie>(sender, overlay_->self(),
+                                    std::vector<NodeSummary>{*r});
       }
       return;
     }
@@ -81,16 +81,15 @@ void PubSubProtocol::check_tuple(sim::NodeId sender, const NodeSummary& tuple) {
       // extends it ⇒ everything under label ∘ (1 − b1) is missing here,
       // where b1 is c's bit right after the probe label.
       const bool b1 = loc.node.label.bit(tuple.label.size());
-      sink_->send(sender, std::make_unique<msg::CheckAndPublish>(
-                              overlay_->self(), std::vector<NodeSummary>{loc.node},
-                              tuple.label.with_bit(!b1)));
+      sink_->emit<msg::CheckAndPublish>(sender, overlay_->self(),
+                                        std::vector<NodeSummary>{loc.node},
+                                        tuple.label.with_bit(!b1));
       return;
     }
     case Locate::Kind::kMiss: {
       // Case (iii)b: the whole subtrie is missing here — ask for all of it.
-      sink_->send(sender, std::make_unique<msg::CheckAndPublish>(
-                              overlay_->self(), std::vector<NodeSummary>{},
-                              tuple.label));
+      sink_->emit<msg::CheckAndPublish>(sender, overlay_->self(),
+                                        std::vector<NodeSummary>{}, tuple.label);
       return;
     }
   }
@@ -107,7 +106,7 @@ void PubSubProtocol::on_check_and_publish(const msg::CheckAndPublish& m) {
   on_check_trie(m.sender, m.tuples);
   auto pubs = trie_.collect_prefix(m.prefix);
   if (!pubs.empty()) {
-    sink_->send(m.sender, std::make_unique<msg::Publish>(std::move(pubs)));
+    sink_->emit<msg::Publish>(m.sender, std::move(pubs));
   }
 }
 
@@ -121,7 +120,7 @@ void PubSubProtocol::on_publish(const msg::Publish& m) {
 
 void PubSubProtocol::flood(const Publication& p, sim::NodeId except) {
   for (sim::NodeId nbr : overlay_->overlay_neighbors()) {
-    if (nbr != except) sink_->send(nbr, std::make_unique<msg::PublishNew>(p));
+    if (nbr != except) sink_->emit<msg::PublishNew>(nbr, p);
   }
 }
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "core/subscriber.hpp"
 #include "core/system.hpp"
@@ -31,7 +32,7 @@ inline std::size_t publication_bytes(const Publication& p) {
 
 /// CheckTrie(sender, tuples): compare these (label, hash) node summaries
 /// against the receiver's trie.
-struct CheckTrie final : sim::Message {
+struct CheckTrie final : sim::MsgBase<CheckTrie> {
   sim::NodeId sender;
   std::vector<NodeSummary> tuples;
 
@@ -50,7 +51,7 @@ struct CheckTrie final : sim::Message {
 
 /// CheckAndPublish(sender, tuples, prefix): continue checking `tuples` AND
 /// send every publication with key prefix `prefix` back to `sender`.
-struct CheckAndPublish final : sim::Message {
+struct CheckAndPublish final : sim::MsgBase<CheckAndPublish> {
   sim::NodeId sender;
   std::vector<NodeSummary> tuples;
   BitString prefix;
@@ -69,7 +70,7 @@ struct CheckAndPublish final : sim::Message {
 };
 
 /// Publish(P): deliver a batch of publications.
-struct Publish final : sim::Message {
+struct Publish final : sim::MsgBase<Publish> {
   std::vector<Publication> pubs;
 
   explicit Publish(std::vector<Publication> p) : pubs(std::move(p)) {}
@@ -85,7 +86,7 @@ struct Publish final : sim::Message {
 };
 
 /// PublishNew(p): flooding of a fresh publication (§4.3).
-struct PublishNew final : sim::Message {
+struct PublishNew final : sim::MsgBase<PublishNew> {
   Publication pub;
 
   explicit PublishNew(Publication p) : pub(std::move(p)) {}
@@ -153,16 +154,20 @@ class PubSubProtocol {
 class PubSubNode final : public core::SubscriberNode {
  public:
   explicit PubSubNode(sim::NodeId supervisor, const PubSubConfig& config = {})
-      : core::SubscriberNode(supervisor), config_(config) {}
+      : core::SubscriberNode(supervisor, sim::NodeKind::kPubSub), config_(config) {}
+
+  static bool classof(sim::NodeKind k) { return k == sim::NodeKind::kPubSub; }
 
   void on_register() override {
     core::SubscriberNode::on_register();
-    sink_ = std::make_unique<core::DirectSink>(net());
-    pubsub_ = std::make_unique<PubSubProtocol>(protocol(), *sink_, rng(), config_);
+    sink_.emplace(net());
+    pubsub_.emplace(protocol(), *sink_, rng(), config_);
   }
-  void handle(std::unique_ptr<sim::Message> msg) override {
-    if (pubsub_->handle(*msg)) return;
-    core::SubscriberNode::handle(std::move(msg));
+  void handle(sim::PooledMsg msg) override {
+    // Overlay maintenance traffic (Check/IntroduceShortcut) dominates, so
+    // try the BuildSR layer first; each layer matches by exact type tag.
+    if (protocol().handle(*msg)) return;
+    pubsub_->handle(*msg);
   }
   void timeout() override {
     core::SubscriberNode::timeout();
@@ -174,8 +179,8 @@ class PubSubNode final : public core::SubscriberNode {
 
  private:
   PubSubConfig config_;
-  std::unique_ptr<core::DirectSink> sink_;
-  std::unique_ptr<PubSubProtocol> pubsub_;
+  std::optional<core::DirectSink> sink_;
+  std::optional<PubSubProtocol> pubsub_;
 };
 
 /// SkipRingSystem plus publication-layer helpers.

@@ -58,8 +58,8 @@ const PubSubProtocol& MultiTopicNode::pubsub(TopicId topic) const {
   return *instance(topic).ps;
 }
 
-void MultiTopicNode::handle(std::unique_ptr<sim::Message> msg) {
-  auto* env = dynamic_cast<TopicEnvelope*>(msg.get());
+void MultiTopicNode::handle(sim::PooledMsg msg) {
+  auto* env = sim::msg_cast<TopicEnvelope>(*msg);
   if (env == nullptr) return;  // not a topic message; nothing to do
   auto it = topics_.find(env->topic);
   if (it == topics_.end()) {
@@ -70,7 +70,7 @@ void MultiTopicNode::handle(std::unique_ptr<sim::Message> msg) {
     TopicSink sink(net(), env->topic);
     for (sim::NodeId ref : refs) {
       if (ref && ref != id()) {
-        sink.send(ref, std::make_unique<core::msg::RemoveConnections>(id()));
+        sink.emit<core::msg::RemoveConnections>(ref, id());
       }
     }
     return;
@@ -122,8 +122,8 @@ const core::SupervisorProtocol* MultiTopicSupervisorNode::find_topic(
   return it == topics_.end() ? nullptr : it->second.proto.get();
 }
 
-void MultiTopicSupervisorNode::handle(std::unique_ptr<sim::Message> msg) {
-  auto* env = dynamic_cast<TopicEnvelope*>(msg.get());
+void MultiTopicSupervisorNode::handle(sim::PooledMsg msg) {
+  auto* env = sim::msg_cast<TopicEnvelope>(*msg);
   if (env == nullptr) return;
   topic_supervisor(env->topic).handle(*env->inner);
 }

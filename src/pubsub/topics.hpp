@@ -15,14 +15,14 @@ namespace ssps::pubsub {
 /// Wraps a protocol message with the topic it refers to (§4: "each message
 /// contains the topic"). Metrics keep the inner action label so per-action
 /// accounting stays meaningful across topics.
-struct TopicEnvelope final : sim::Message {
+struct TopicEnvelope final : sim::MsgBase<TopicEnvelope> {
   TopicId topic;
-  std::unique_ptr<sim::Message> inner;
+  sim::PooledMsg inner;
 
-  TopicEnvelope(TopicId t, std::unique_ptr<sim::Message> m)
-      : topic(t), inner(std::move(m)) {}
+  TopicEnvelope(TopicId t, sim::PooledMsg m) : topic(t), inner(std::move(m)) {}
   std::string_view name() const override { return inner->name(); }
   std::size_t wire_size() const override { return inner->wire_size() + sizeof(TopicId); }
+  sim::MsgTypeId metrics_type() const override { return inner->metrics_type(); }
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     inner->collect_refs(out);
   }
@@ -32,9 +32,10 @@ struct TopicEnvelope final : sim::Message {
 class TopicSink final : public core::MessageSink {
  public:
   TopicSink(sim::Network& net, TopicId topic) : net_(&net), topic_(topic) {}
-  void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
-    net_->send(to, std::make_unique<TopicEnvelope>(topic_, std::move(msg)));
+  void send(sim::NodeId to, sim::PooledMsg msg) override {
+    net_->send(to, net_->pool().make<TopicEnvelope>(topic_, std::move(msg)));
   }
+  sim::MessagePool& pool() override { return net_->pool(); }
 
  private:
   sim::Network* net_;
@@ -51,14 +52,20 @@ class MultiTopicNode final : public sim::Node {
  public:
   explicit MultiTopicNode(SupervisorResolver resolver,
                           const PubSubConfig& config = {})
-      : resolver_(std::move(resolver)), config_(config) {}
+      : sim::Node(sim::NodeKind::kMultiTopicClient),
+        resolver_(std::move(resolver)),
+        config_(config) {}
+
+  static bool classof(sim::NodeKind k) {
+    return k == sim::NodeKind::kMultiTopicClient;
+  }
 
   /// Convenience for the one-supervisor deployment.
   static SupervisorResolver fixed(sim::NodeId supervisor) {
     return [supervisor](TopicId) { return supervisor; };
   }
 
-  void handle(std::unique_ptr<sim::Message> msg) override;
+  void handle(sim::PooledMsg msg) override;
   void timeout() override;
   void collect_refs(std::vector<sim::NodeId>& out) const override;
 
@@ -105,9 +112,13 @@ class MultiTopicNode final : public sim::Node {
 class MultiTopicSupervisorNode final : public sim::Node {
  public:
   explicit MultiTopicSupervisorNode(const sim::FailureDetector** fd = nullptr)
-      : fd_(fd) {}
+      : sim::Node(sim::NodeKind::kMultiTopicSupervisor), fd_(fd) {}
 
-  void handle(std::unique_ptr<sim::Message> msg) override;
+  static bool classof(sim::NodeKind k) {
+    return k == sim::NodeKind::kMultiTopicSupervisor;
+  }
+
+  void handle(sim::PooledMsg msg) override;
   void timeout() override;
   void collect_refs(std::vector<sim::NodeId>& out) const override;
 

@@ -208,19 +208,122 @@ ScenarioSpec partition_drill(std::uint64_t seed, std::size_t nodes) {
   return spec;
 }
 
+// ---- scale family ---------------------------------------------------
+// Large-n workloads (default n = 1024, meant for n up to 4096): the same
+// shapes as the small builtins but tuned so the convergence predicates
+// stay affordable at thousands of nodes — single ring for steady/churn,
+// and a deliberately small topic universe for the flash crowd so per-topic
+// rings are big instead of numerous.
+
+ScenarioSpec scale_steady(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "scale-steady";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kSingleTopic;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase steady_window;
+  steady_window.name = "steady";
+  steady_window.run = 25;
+  steady_window.converge = true;
+  spec.phases.push_back(steady_window);
+
+  Phase burst;
+  burst.name = "publish-burst";
+  burst.publish.count = 64;
+  burst.converge = true;
+  spec.phases.push_back(burst);
+  return spec;
+}
+
+ScenarioSpec scale_churn(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "scale-churn";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kSingleTopic;
+  spec.fd_delay = 2;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase wave1;
+  wave1.name = "wave-1";
+  wave1.churn.joins = at_least(nodes / 16, 2);
+  wave1.churn.leaves = at_least(nodes / 32, 1);
+  wave1.churn.crashes = at_least(nodes / 32, 1);
+  wave1.converge = true;
+  spec.phases.push_back(wave1);
+
+  Phase wave2;
+  wave2.name = "wave-2";
+  wave2.set_fd_delay = 4;  // degraded detector during the second wave
+  wave2.churn.crashes = at_least(nodes / 32, 1);
+  wave2.churn.crash_min_label = true;
+  wave2.converge = true;
+  spec.phases.push_back(wave2);
+  return spec;
+}
+
+ScenarioSpec scale_flash(std::uint64_t seed, std::size_t nodes) {
+  constexpr TopicId kHotTopic = 1;
+  ScenarioSpec spec;
+  spec.name = "scale-flash";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kMultiTopic;
+  spec.supervisors = 4;
+  spec.topics = 32;
+  spec.topics_per_client = 1;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase flash;
+  flash.name = "flash";
+  flash.flash_crowd_topic = kHotTopic;
+  flash.converge = true;
+  spec.phases.push_back(flash);
+
+  Phase burst;
+  burst.name = "hot-burst";
+  burst.publish.count = 64;
+  burst.publish.topic = kHotTopic;
+  burst.converge = true;
+  spec.phases.push_back(burst);
+  return spec;
+}
+
 /// Single registry: name -> factory. --list, is_builtin and
 /// builtin_scenario all read this table, so a new scenario is one entry.
 struct BuiltinEntry {
   const char* name;
   ScenarioSpec (*make)(std::uint64_t seed, std::size_t nodes);
+  /// Population used when the caller does not specify one.
+  std::size_t default_nodes;
 };
 
 constexpr BuiltinEntry kBuiltins[] = {
-    {"steady", steady},
-    {"churn-wave", churn_wave},
-    {"flash-crowd", flash_crowd},
-    {"zipf-topics", zipf_topics},
-    {"partition-drill", partition_drill},
+    {"steady", steady, 32},
+    {"churn-wave", churn_wave, 32},
+    {"flash-crowd", flash_crowd, 32},
+    {"zipf-topics", zipf_topics, 32},
+    {"partition-drill", partition_drill, 32},
+    {"scale-steady", scale_steady, 1024},
+    {"scale-churn", scale_churn, 1024},
+    {"scale-flash", scale_flash, 1024},
 };
 
 }  // namespace
@@ -241,10 +344,19 @@ bool is_builtin(const std::string& name) {
 ScenarioSpec builtin_scenario(const std::string& name, std::uint64_t seed,
                               std::size_t nodes) {
   for (const BuiltinEntry& entry : kBuiltins) {
-    if (name == entry.name) return entry.make(seed, nodes);
+    if (name == entry.name) {
+      return entry.make(seed, nodes == 0 ? entry.default_nodes : nodes);
+    }
   }
   SSPS_ASSERT_MSG(false, "unknown built-in scenario name");
   return {};
+}
+
+std::size_t builtin_default_nodes(const std::string& name) {
+  for (const BuiltinEntry& entry : kBuiltins) {
+    if (name == entry.name) return entry.default_nodes;
+  }
+  return 32;
 }
 
 ScenarioSpec scrambled_variant(ScenarioSpec spec) {

@@ -7,6 +7,9 @@
 //   flash-crowd     everyone piles into one hot topic, then a publish burst
 //   zipf-topics     Zipf-skewed publication workload over many topics
 //   partition-drill split-brain + adversarial corruption recovery drill
+//   scale-steady    the steady shape at large n (default n = 1024)
+//   scale-churn     churn waves + worst-case crash on one large ring
+//   scale-flash     flash crowd onto one hot topic among 1024+ clients
 #pragma once
 
 #include <string>
@@ -22,10 +25,15 @@ std::vector<std::string> builtin_names();
 /// True if `name` names a built-in scenario.
 bool is_builtin(const std::string& name);
 
-/// Builds the named scenario for `nodes` clients under `seed`. Aborts on
-/// an unknown name (check is_builtin first when handling user input).
+/// Builds the named scenario for `nodes` clients under `seed`; nodes == 0
+/// selects the scenario's default population (32 for the classic
+/// builtins, 1024 for the scale family). Aborts on an unknown name (check
+/// is_builtin first when handling user input).
 ScenarioSpec builtin_scenario(const std::string& name, std::uint64_t seed,
                               std::size_t nodes);
+
+/// The population builtin_scenario uses for `nodes` == 0.
+std::size_t builtin_default_nodes(const std::string& name);
 
 /// The scrambled-start variant of any scenario: right after the first
 /// phase (the bootstrap in every builtin) an InjectArbitraryState phase

@@ -393,9 +393,10 @@ void ScenarioRunner::rehome_topic(TopicId topic, sim::NodeId old_owner,
         if (!node.subscribed(topic)) continue;
         node.drop_topic(topic);
         if (old_owner) {
-          multi_net_->send(old_owner,
-                           std::make_unique<pubsub::TopicEnvelope>(
-                               topic, std::make_unique<core::msg::Unsubscribe>(m)));
+          multi_net_->send(
+              old_owner,
+              multi_net_->pool().make<pubsub::TopicEnvelope>(
+                  topic, multi_net_->pool().make<core::msg::Unsubscribe>(m)));
         }
       }
     }

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/message_pool.hpp"
 #include "sim/types.hpp"
 
 namespace ssps::sim {
@@ -13,13 +14,26 @@ namespace ssps::sim {
 /// Base of all protocol messages.
 ///
 /// A message models a remote action invocation. The simulator treats
-/// messages as opaque apart from three introspection hooks used for
-/// metrics (name, wire_size) and for graph analyses that must count
-/// implicit edges, i.e. node references travelling inside channels
-/// (collect_refs).
+/// messages as opaque apart from the type tag (dispatch) and three
+/// introspection hooks used for metrics (name, wire_size) and for graph
+/// analyses that must count implicit edges, i.e. node references
+/// travelling inside channels (collect_refs).
+///
+/// Concrete classes derive through MsgBase<Self> so every instance carries
+/// its MsgTypeId; handlers then dispatch with msg_cast — one integer
+/// compare plus a static downcast — instead of a dynamic_cast chain.
 class Message {
  public:
   virtual ~Message() = default;
+
+  /// Tag of the concrete class (see msg_type_id). 0 for legacy messages
+  /// that bypass MsgBase; msg_cast never matches those.
+  MsgTypeId type_id() const { return type_id_; }
+
+  /// Type tag under which metrics account this message. Defaults to the
+  /// message's own tag; envelope messages forward their payload's tag so
+  /// per-action accounting stays meaningful across wrappers.
+  virtual MsgTypeId metrics_type() const { return type_id_; }
 
   /// Stable action label, used as the metrics key (e.g. "SetData").
   virtual std::string_view name() const = 0;
@@ -32,6 +46,36 @@ class Message {
   /// These are the paper's *implicit edges* and take part in connectivity
   /// checks (a reference inside a channel is an edge of G).
   virtual void collect_refs(std::vector<NodeId>& out) const { (void)out; }
+
+ protected:
+  template <typename Derived, typename Base>
+  friend struct MsgBase;
+
+  MsgTypeId type_id_ = 0;
 };
+
+/// CRTP shim that stamps the concrete type's tag into every instance
+/// (including stack-constructed ones in tests, not just pooled ones).
+/// `Base` supports intermediate hierarchies: MsgBase<D, SomeMessageBase>.
+template <typename Derived, typename Base = Message>
+struct MsgBase : Base {
+  template <typename... Args>
+  explicit MsgBase(Args&&... args) : Base(std::forward<Args>(args)...) {
+    Message::type_id_ = msg_type_id<Derived>();
+  }
+};
+
+/// Checked downcast by exact type tag: returns nullptr unless `m`'s
+/// dynamic type is exactly T. All protocol messages are final classes, so
+/// exact matching is the dispatch semantics handlers want.
+template <typename T>
+const T* msg_cast(const Message& m) {
+  return m.type_id() == msg_type_id<T>() ? static_cast<const T*>(&m) : nullptr;
+}
+
+template <typename T>
+T* msg_cast(Message& m) {
+  return m.type_id() == msg_type_id<T>() ? static_cast<T*>(&m) : nullptr;
+}
 
 }  // namespace ssps::sim

@@ -1,20 +1,62 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 namespace ssps::sim {
+
+namespace {
+
+std::size_t node_index(NodeId id) { return static_cast<std::size_t>(id.value - 1); }
+
+}  // namespace
+
+std::uint32_t Metrics::intern(std::string_view name) {
+  auto it = label_ids_.find(name);
+  if (it != label_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(label_names_.size());
+  label_names_.emplace_back(name);
+  label_ids_.emplace(label_names_.back(), id);
+  return id;
+}
+
+std::uint32_t Metrics::label_of_slow(const Message& m, MsgTypeId type) {
+  if (type != 0) {
+    if (type >= label_of_type_.size()) label_of_type_.resize(type + 1, 0);
+    std::uint32_t& cached = label_of_type_[type];
+    if (cached == 0) cached = intern(m.name()) + 1;
+    return cached - 1;
+  }
+  return intern(m.name());  // untagged (legacy/test) message
+}
+
+void Metrics::grow_deliver_table(std::size_t at_index, std::uint32_t label) {
+  // Amortized growth in both dimensions; the flat table is rebuilt when
+  // the label universe outgrows the stride (rare: labels are protocol
+  // action names, all seen within the first rounds).
+  const std::size_t rows =
+      std::max({at_index + 1, received_.size() * 2, std::size_t{16}});
+  std::uint32_t stride = labeled_stride_;
+  if (label >= stride) {
+    stride = std::max<std::uint32_t>({label + 1, stride * 2, 16});
+  }
+  std::vector<std::uint64_t> flat(rows * stride, 0);
+  for (std::size_t row = 0; row < received_.size(); ++row) {
+    for (std::uint32_t l = 0; l < labeled_stride_; ++l) {
+      flat[row * stride + l] = received_labeled_[row * labeled_stride_ + l];
+    }
+  }
+  received_labeled_ = std::move(flat);
+  labeled_stride_ = stride;
+  received_.resize(rows, 0);
+}
 
 void Metrics::on_send(std::string_view name, std::size_t bytes, NodeId to) {
   (void)to;
-  auto& counter = by_label_[std::string(name)];
-  counter.count += 1;
-  counter.bytes += bytes;
-  total_sent_ += 1;
-  total_bytes_ += bytes;
+  count_send(intern(name), bytes);
 }
 
 void Metrics::on_deliver(std::string_view name, NodeId at) {
-  received_[at] += 1;
-  received_labeled_[at][std::string(name)] += 1;
-  total_delivered_ += 1;
+  count_deliver(intern(name), at);
 }
 
 void Metrics::on_inject(std::size_t bytes) {
@@ -26,6 +68,7 @@ void Metrics::reset() {
   by_label_.clear();
   received_.clear();
   received_labeled_.clear();
+  labeled_stride_ = 0;
   total_sent_ = 0;
   total_delivered_ = 0;
   total_bytes_ = 0;
@@ -34,25 +77,44 @@ void Metrics::reset() {
 }
 
 std::uint64_t Metrics::sent(std::string_view name) const {
-  auto it = by_label_.find(std::string(name));
-  return it == by_label_.end() ? 0 : it->second.count;
+  auto it = label_ids_.find(name);
+  if (it == label_ids_.end() || it->second >= by_label_.size()) return 0;
+  return by_label_[it->second].count;
 }
 
 std::uint64_t Metrics::sent_bytes(std::string_view name) const {
-  auto it = by_label_.find(std::string(name));
-  return it == by_label_.end() ? 0 : it->second.bytes;
+  auto it = label_ids_.find(name);
+  if (it == label_ids_.end() || it->second >= by_label_.size()) return 0;
+  return by_label_[it->second].bytes;
 }
 
 std::uint64_t Metrics::received_by(NodeId id) const {
-  auto it = received_.find(id);
-  return it == received_.end() ? 0 : it->second;
+  const std::size_t index = node_index(id);
+  return index < received_.size() ? received_[index] : 0;
+}
+
+const std::uint64_t* Metrics::find_received_cell(NodeId id,
+                                                 std::string_view name) const {
+  const std::size_t index = node_index(id);
+  if (index >= received_.size()) return nullptr;
+  auto it = label_ids_.find(name);
+  if (it == label_ids_.end() || it->second >= labeled_stride_) return nullptr;
+  return &received_labeled_[index * labeled_stride_ + it->second];
 }
 
 std::uint64_t Metrics::received_by(NodeId id, std::string_view name) const {
-  auto it = received_labeled_.find(id);
-  if (it == received_labeled_.end()) return 0;
-  auto jt = it->second.find(std::string(name));
-  return jt == it->second.end() ? 0 : jt->second;
+  const std::uint64_t* cell = find_received_cell(id, name);
+  return cell != nullptr ? *cell : 0;
+}
+
+std::map<std::string, MessageCounter> Metrics::by_label() const {
+  std::map<std::string, MessageCounter> out;
+  for (std::uint32_t id = 0; id < by_label_.size(); ++id) {
+    const MessageCounter& counter = by_label_[id];
+    if (counter.count == 0 && counter.bytes == 0) continue;
+    out.emplace(label_names_[id], counter);
+  }
+  return out;
 }
 
 }  // namespace ssps::sim

@@ -1,4 +1,10 @@
 // Message accounting: per-action and per-node counters.
+//
+// The hot path (one on_send + one on_deliver per message) works entirely
+// on small integers: action labels are interned once into dense ids
+// (messages resolve their label id via the MsgTypeId they already carry),
+// and per-node counters index a vector by NodeId. The string-keyed views
+// used by reports and tests are materialized on demand.
 #pragma once
 
 #include <cstdint>
@@ -6,7 +12,9 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
+#include "sim/message.hpp"
 #include "sim/types.hpp"
 
 namespace ssps::sim {
@@ -21,11 +29,30 @@ struct MessageCounter {
 /// and delivery. Benches reset these around the measured window.
 class Metrics {
  public:
-  /// Records a send of `bytes` bytes under action label `name`, addressed
-  /// to `to`.
-  void on_send(std::string_view name, std::size_t bytes, NodeId to);
+  /// Records a send of `m` (wire_size() bytes under label name()),
+  /// addressed to `to`.
+  void on_send(const Message& m, NodeId to) {
+    (void)to;
+    count_send(label_of(m), m.wire_size());
+  }
 
-  /// Records a delivery (receipt) at node `at`.
+  /// Records a delivery (receipt) of `m` at node `at`.
+  void on_deliver(const Message& m, NodeId at) { count_deliver(label_of(m), at); }
+
+  /// Dense id of `m`'s action label (interned on first sight). The
+  /// Network resolves once per message and stamps the id into the
+  /// envelope so delivery accounting is index arithmetic only.
+  std::uint32_t label_id(const Message& m) { return label_of(m); }
+
+  /// Fast-path counters on pre-resolved label ids.
+  void on_send_id(std::uint32_t label, std::size_t bytes) {
+    count_send(label, bytes);
+  }
+  void on_deliver_id(std::uint32_t label, NodeId at) { count_deliver(label, at); }
+
+  /// String-keyed variants for callers without a Message instance
+  /// (tests, ad-hoc accounting). Slower: one intern lookup per call.
+  void on_send(std::string_view name, std::size_t bytes, NodeId to);
   void on_deliver(std::string_view name, NodeId at);
 
   /// Records an adversarially injected message (Network::inject). Kept
@@ -33,7 +60,8 @@ class Metrics {
   /// protocol traffic, but stabilization reports want its volume.
   void on_inject(std::size_t bytes);
 
-  /// Clears all counters.
+  /// Clears all counters (label interning survives; it is not
+  /// observable through any accessor).
   void reset();
 
   /// Copy of the current counters. The scenario engine snapshots around
@@ -69,13 +97,66 @@ class Metrics {
   /// Messages received by `id` under one action label.
   std::uint64_t received_by(NodeId id, std::string_view name) const;
 
-  /// All per-label send counters (sorted by label for stable output).
-  const std::map<std::string, MessageCounter>& by_label() const { return by_label_; }
+  /// All per-label send counters with nonzero traffic, sorted by label
+  /// for stable output.
+  std::map<std::string, MessageCounter> by_label() const;
 
  private:
-  std::map<std::string, MessageCounter> by_label_;
-  std::unordered_map<NodeId, std::uint64_t> received_;
-  std::unordered_map<NodeId, std::map<std::string, std::uint64_t>> received_labeled_;
+  /// Dense id of an action label (interned; stable for this Metrics).
+  std::uint32_t intern(std::string_view name);
+  const std::uint64_t* find_received_cell(NodeId id, std::string_view name) const;
+
+  /// Label id for a message: resolved through its metrics_type() tag with
+  /// a vector lookup; falls back to interning name() on first sight.
+  std::uint32_t label_of(const Message& m) {
+    const MsgTypeId type = m.metrics_type();
+    if (type != 0 && type < label_of_type_.size()) {
+      const std::uint32_t cached = label_of_type_[type];
+      if (cached != 0) return cached - 1;
+    }
+    return label_of_slow(m, type);
+  }
+  std::uint32_t label_of_slow(const Message& m, MsgTypeId type);
+
+  void count_send(std::uint32_t label, std::size_t bytes) {
+    if (label >= by_label_.size()) [[unlikely]] by_label_.resize(label + 1);
+    by_label_[label].count += 1;
+    by_label_[label].bytes += bytes;
+    total_sent_ += 1;
+    total_bytes_ += bytes;
+  }
+  void count_deliver(std::uint32_t label, NodeId at) {
+    total_delivered_ += 1;
+    if (at.is_null()) return;  // no per-node cell for the ⊥ reference
+    const auto at_index = static_cast<std::size_t>(at.value - 1);
+    if (at_index >= received_.size() || label >= labeled_stride_) [[unlikely]] {
+      grow_deliver_table(at_index, label);
+    }
+    received_[at_index] += 1;
+    received_labeled_[at_index * labeled_stride_ + label] += 1;
+  }
+  void grow_deliver_table(std::size_t at_index, std::uint32_t label);
+
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  // Interning (not cleared by reset()).
+  std::vector<std::string> label_names_;  // id -> name
+  std::unordered_map<std::string, std::uint32_t, StringHash, std::equal_to<>>
+      label_ids_;  // name -> id
+  std::vector<std::uint32_t> label_of_type_;  // MsgTypeId -> label id + 1 (0 = unseen)
+
+  // Counters (cleared by reset()).
+  std::vector<MessageCounter> by_label_;  // [label id]
+  std::vector<std::uint64_t> received_;   // [node index]
+  /// Flat node-major [node][label] table (stride labeled_stride_): one
+  /// strided increment per delivery instead of a per-node heap vector.
+  std::vector<std::uint64_t> received_labeled_;
+  std::uint32_t labeled_stride_ = 0;
   std::uint64_t total_sent_ = 0;
   std::uint64_t total_delivered_ = 0;
   std::uint64_t total_bytes_ = 0;

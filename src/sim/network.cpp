@@ -7,83 +7,111 @@ namespace ssps::sim {
 
 Network::Network(std::uint64_t seed) : rng_(seed) {}
 
-Network::~Network() = default;
+Network::~Network() {
+  // The in-flight buffers hold raw pool handles; reclaim them before the
+  // pool dies so the pool's leak accounting stays exact.
+  for (const Envelope& env : pending_) pool_.destroy(env.handle);
+  for (const Envelope& env : round_batch_) pool_.destroy(env.handle);
+  for (const Envelope& env : grouped_batch_) pool_.destroy(env.handle);
+  pending_.clear();
+  round_batch_.clear();
+  grouped_batch_.clear();
+}
 
 NodeId Network::register_node(std::unique_ptr<Node> node) {
   SSPS_ASSERT(node != nullptr);
-  const NodeId id{next_id_++};
-  node->id_ = id;
-  node->net_ = this;
-  node->rng_ = rng_.split();
-  Slot slot;
+  // Keep a stable pointer to the Node itself (heap-allocated) rather
+  // than a Slot reference: on_register() may spawn further nodes, which
+  // can reallocate the slot table.
+  Node* raw = node.get();
+  slots_.emplace_back();
+  const NodeId id = id_at(slots_.size() - 1);
+  raw->id_ = id;
+  raw->net_ = this;
+  raw->rng_ = rng_.split();
+  Slot& slot = slots_.back();
   slot.node = std::move(node);
   slot.last_timeout = step_;
-  auto [it, inserted] = nodes_.emplace(id, std::move(slot));
-  SSPS_ASSERT(inserted);
-  it->second.node->on_register();
+  ++alive_count_;
+  raw->on_register();
   return id;
 }
 
-void Network::crash(NodeId id) {
-  auto it = nodes_.find(id);
-  SSPS_ASSERT_MSG(it != nodes_.end(), "crash: node unknown or already crashed");
-  pending_total_ -= it->second.channel.size();
-  nodes_.erase(it);
-  crashed_.emplace(id, round_);
+void Network::drop_pending_for(NodeId to) {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    if (pending_[i].to == to) {
+      pool_.destroy(pending_[i].handle);
+    } else {
+      pending_[kept++] = pending_[i];
+    }
+  }
+  pending_.resize(kept);
 }
 
-bool Network::alive(NodeId id) const { return nodes_.contains(id); }
+void Network::crash(NodeId id) {
+  Slot* slot = find_slot(id);
+  SSPS_ASSERT_MSG(slot != nullptr && slot->node != nullptr,
+                  "crash: node unknown or already crashed");
+  drop_pending_for(id);
+  slot->node.reset();
+  slot->crash_round = round_;
+  --alive_count_;
+}
 
 std::optional<Round> Network::crash_round(NodeId id) const {
-  auto it = crashed_.find(id);
-  if (it == crashed_.end()) return std::nullopt;
-  return it->second;
+  const Slot* slot = find_slot(id);
+  if (slot == nullptr || slot->node != nullptr) return std::nullopt;
+  return slot->crash_round;
+}
+
+void Network::collect_alive(std::vector<NodeId>& out) const {
+  out.clear();
+  out.reserve(alive_count_);
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].node != nullptr) out.push_back(id_at(i));
+  }
 }
 
 std::vector<NodeId> Network::alive_ids() const {
   std::vector<NodeId> ids;
-  ids.reserve(nodes_.size());
-  for (const auto& [id, slot] : nodes_) ids.push_back(id);
-  std::sort(ids.begin(), ids.end());
+  collect_alive(ids);
   return ids;
 }
 
-void Network::send(NodeId to, std::unique_ptr<Message> msg) {
-  SSPS_ASSERT(msg != nullptr);
-  metrics_.on_send(msg->name(), msg->wire_size(), to);
-  auto it = nodes_.find(to);
-  if (it == nodes_.end()) {
-    // Target crashed or never existed: the message invokes no action.
-    ++swallowed_to_dead_;
-    return;
-  }
-  it->second.channel.push_back(Envelope{std::move(msg), step_});
-  ++pending_total_;
-}
-
-void Network::inject(NodeId to, std::unique_ptr<Message> msg) {
-  SSPS_ASSERT(msg != nullptr);
-  auto it = nodes_.find(to);
-  SSPS_ASSERT_MSG(it != nodes_.end(), "inject: unknown node");
+void Network::inject(NodeId to, PooledMsg msg) {
+  SSPS_ASSERT(msg);
+  SSPS_ASSERT_MSG(alive(to), "inject: unknown node");
   metrics_.on_inject(msg->wire_size());
-  it->second.channel.push_back(Envelope{std::move(msg), step_});
-  ++pending_total_;
+  // Resolve the label before the call: evaluation of `*msg` must not race
+  // the move into enqueue's by-value parameter (argument order is
+  // unspecified; clang moves first).
+  const std::uint32_t label = metrics_.label_id(*msg);
+  enqueue(to, std::move(msg), label);
 }
 
 std::size_t Network::pending_for(NodeId id) const {
-  auto it = nodes_.find(id);
-  return it == nodes_.end() ? 0 : it->second.channel.size();
+  std::size_t count = 0;
+  for (const Envelope& env : pending_) {
+    if (env.to == id) ++count;
+  }
+  return count;
 }
 
-void Network::deliver_one(Slot& slot, std::size_t index) {
-  SSPS_ASSERT(index < slot.channel.size());
-  std::unique_ptr<Message> msg = std::move(slot.channel[index].msg);
+void Network::deliver_envelope(const Envelope& env, Node& node) {
+  metrics_.on_deliver_id(env.label_id, env.to);
+  node.handle(PooledMsg(&pool_, env.msg, env.handle));
+}
+
+void Network::deliver_at(std::size_t index) {
+  SSPS_ASSERT(index < pending_.size());
+  const Envelope env = pending_[index];
   // Non-FIFO channel: order does not matter, so swap-remove.
-  slot.channel[index] = std::move(slot.channel.back());
-  slot.channel.pop_back();
-  --pending_total_;
-  metrics_.on_deliver(msg->name(), slot.node->id());
-  slot.node->handle(std::move(msg));
+  pending_[index] = pending_.back();
+  pending_.pop_back();
+  Slot* slot = find_slot(env.to);
+  SSPS_ASSERT(slot != nullptr && slot->node != nullptr);
+  deliver_envelope(env, *slot->node);
 }
 
 void Network::fire_timeout(Slot& slot) {
@@ -93,35 +121,61 @@ void Network::fire_timeout(Slot& slot) {
 
 std::size_t Network::run_round() {
   ++step_;
-  // Snapshot the messages present at round start; deliveries may enqueue
-  // new messages, which belong to the next round.
-  struct Pending {
-    NodeId to;
-    std::unique_ptr<Message> msg;
-  };
-  std::vector<Pending> batch;
-  batch.reserve(pending_total_);
-  for (auto& [id, slot] : nodes_) {
-    for (auto& env : slot.channel) batch.push_back(Pending{id, std::move(env.msg)});
-    pending_total_ -= slot.channel.size();
-    slot.channel.clear();
+  // The messages pending at round start become this round's batch;
+  // deliveries enqueue new messages into the (now empty) in-flight
+  // buffer, which belongs to the next round. Batch order is canonical
+  // (send order), so the shuffled delivery order depends only on the
+  // seed.
+  round_batch_.clear();
+  std::swap(round_batch_, pending_);
+  rng_.shuffle(round_batch_);
+  // Group the shuffled batch by target (stable counting sort), so each
+  // node's state is pulled into cache once per round, not once per
+  // message. Observably equivalent to delivering in fully shuffled
+  // order: nodes interact only through messages that arrive next round,
+  // so cross-node interleaving within a round cannot affect any node's
+  // trajectory — while each channel still sees a uniformly random
+  // permutation of its own messages (inherited from the shuffle).
+  grouped_batch_.resize(round_batch_.size());
+  scatter_offsets_.assign(slots_.size() + 1, 0);
+  for (const Envelope& env : round_batch_) {
+    ++scatter_offsets_[static_cast<std::size_t>(env.to.value)];
   }
-  rng_.shuffle(batch);
+  std::uint32_t running = 0;
+  for (std::size_t i = 1; i < scatter_offsets_.size(); ++i) {
+    const std::uint32_t count = scatter_offsets_[i];
+    scatter_offsets_[i] = running;
+    running += count;
+  }
+  for (const Envelope& env : round_batch_) {
+    grouped_batch_[scatter_offsets_[static_cast<std::size_t>(env.to.value)]++] = env;
+  }
+  round_batch_.clear();
+
   std::size_t delivered = 0;
-  for (auto& p : batch) {
-    auto it = nodes_.find(p.to);
-    if (it == nodes_.end()) continue;  // crashed mid-round
-    metrics_.on_deliver(p.msg->name(), p.to);
-    it->second.node->handle(std::move(p.msg));
+  for (const Envelope& env : grouped_batch_) {
+    // Re-resolve per message: a handler may crash its own node or spawn
+    // (which can reallocate the slot table) at any point mid-round.
+    Slot* slot = find_slot(env.to);
+    if (slot->node == nullptr) {
+      pool_.destroy(env.handle);  // crashed mid-round: reclaim, invoke nothing
+      continue;
+    }
+    deliver_envelope(env, *slot->node);
     ++delivered;
   }
+  grouped_batch_.clear();
 
-  std::vector<NodeId> order = alive_ids();
-  rng_.shuffle(order);
-  for (NodeId id : order) {
-    auto it = nodes_.find(id);
-    if (it == nodes_.end()) continue;
-    fire_timeout(it->second);
+  // Fire Timeouts in id order (a sequential sweep over the dense table).
+  // Equivalent to a randomized order: a Timeout reads and writes only its
+  // own node's state and draws from its own per-node stream, and
+  // everything it sends is delivered next round, so cross-node firing
+  // order within a round is unobservable. Index-based iteration over a
+  // size snapshot: a timeout() may spawn (reallocating the table), and
+  // nodes born mid-round first fire next round — as before.
+  const std::size_t population = slots_.size();
+  for (std::size_t i = 0; i < population; ++i) {
+    if (slots_[i].node != nullptr) fire_timeout(slots_[i]);
   }
   ++round_;
   return delivered;
@@ -143,65 +197,58 @@ std::optional<std::size_t> Network::run_until(const std::function<bool()>& pred,
 void Network::step() {
   ++step_;
 
-  // Fairness enforcement must serve by AGE, not by hash-map iteration
-  // order: under overload (more overdue work than one action per step) a
-  // first-found policy would starve whatever sorts last — violating the
-  // model's fair receipt / weakly fair execution. Oldest-first guarantees
-  // every message and every Timeout is served within a bounded lag.
-  Slot* oldest_msg_slot = nullptr;
+  // Fairness enforcement must serve by AGE, not by discovery order: under
+  // overload (more overdue work than one action per step) a first-found
+  // policy would starve whatever sorts last — violating the model's fair
+  // receipt / weakly fair execution. Oldest-first guarantees every message
+  // and every Timeout is served within a bounded lag. Ties break towards
+  // the earliest send / lowest NodeId (the scans are in buffer and id
+  // order), which is canonical.
   std::size_t oldest_msg_index = 0;
   Step oldest_msg_age = 0;
-  Slot* staleest_timeout_slot = nullptr;
-  Step staleest_timeout_age = 0;
-  for (auto& [id, slot] : nodes_) {
-    for (std::size_t i = 0; i < slot.channel.size(); ++i) {
-      const Step age = step_ - slot.channel[i].sent_at;
-      if (age > oldest_msg_age) {
-        oldest_msg_age = age;
-        oldest_msg_slot = &slot;
-        oldest_msg_index = i;
-      }
+  for (std::size_t i = 0; i < pending_.size(); ++i) {
+    const Step age = step_ - pending_[i].sent_at;
+    if (age > oldest_msg_age) {
+      oldest_msg_age = age;
+      oldest_msg_index = i;
     }
+  }
+  Slot* stalest_timeout_slot = nullptr;
+  Step stalest_timeout_age = 0;
+  for (Slot& slot : slots_) {
+    if (slot.node == nullptr) continue;
     const Step idle = step_ - slot.last_timeout;
-    if (idle > staleest_timeout_age) {
-      staleest_timeout_age = idle;
-      staleest_timeout_slot = &slot;
+    if (idle > stalest_timeout_age) {
+      stalest_timeout_age = idle;
+      stalest_timeout_slot = &slot;
     }
   }
-  if (oldest_msg_slot != nullptr && oldest_msg_age > async_cfg_.max_message_age &&
-      oldest_msg_age >= staleest_timeout_age) {
-    deliver_one(*oldest_msg_slot, oldest_msg_index);
+  if (oldest_msg_age > async_cfg_.max_message_age &&
+      oldest_msg_age >= stalest_timeout_age) {
+    deliver_at(oldest_msg_index);
     return;
   }
-  if (staleest_timeout_slot != nullptr &&
-      staleest_timeout_age > async_cfg_.max_timeout_gap) {
-    fire_timeout(*staleest_timeout_slot);
+  if (stalest_timeout_slot != nullptr &&
+      stalest_timeout_age > async_cfg_.max_timeout_gap) {
+    fire_timeout(*stalest_timeout_slot);
     return;
   }
-  if (oldest_msg_slot != nullptr && oldest_msg_age > async_cfg_.max_message_age) {
-    deliver_one(*oldest_msg_slot, oldest_msg_index);
+  if (oldest_msg_age > async_cfg_.max_message_age) {
+    deliver_at(oldest_msg_index);
     return;
   }
 
   const bool prefer_timeout =
-      pending_total_ == 0 || rng_.below(256) < async_cfg_.timeout_bias;
-  if (prefer_timeout && !nodes_.empty()) {
-    std::vector<NodeId> ids = alive_ids();
-    fire_timeout(nodes_.at(ids[rng_.pick_index(ids)]));
+      pending_.empty() || rng_.below(256) < async_cfg_.timeout_bias;
+  if (prefer_timeout && alive_count_ > 0) {
+    collect_alive(order_scratch_);
+    fire_timeout(*find_slot(order_scratch_[rng_.pick_index(order_scratch_)]));
     return;
   }
-  if (pending_total_ == 0) return;
+  if (pending_.empty()) return;
 
-  // Pick a uniformly random pending message across all channels.
-  std::uint64_t target = rng_.below(pending_total_);
-  for (auto& [id, slot] : nodes_) {
-    if (target < slot.channel.size()) {
-      deliver_one(slot, static_cast<std::size_t>(target));
-      return;
-    }
-    target -= slot.channel.size();
-  }
-  SSPS_ASSERT_MSG(false, "pending_total_ out of sync with channels");
+  // Pick a uniformly random pending message.
+  deliver_at(static_cast<std::size_t>(rng_.below(pending_.size())));
 }
 
 void Network::run_steps(std::size_t k) {
@@ -209,37 +256,55 @@ void Network::run_steps(std::size_t k) {
 }
 
 bool Network::weakly_connected(NodeId anchor) const {
-  if (nodes_.empty()) return true;
-  // Build the undirected adjacency implied by explicit + implicit edges.
-  std::unordered_map<NodeId, std::vector<NodeId>> adj;
+  if (alive_count_ == 0) return true;
+  // Build the undirected adjacency implied by explicit + implicit edges,
+  // indexed densely by slot.
+  std::vector<std::vector<std::uint32_t>> adj(slots_.size());
+  auto add_refs = [&](NodeId id, const std::vector<NodeId>& refs) {
+    const auto index = static_cast<std::uint32_t>(id.value - 1);
+    for (NodeId r : refs) {
+      if (!r || r == id || !alive(r)) continue;
+      const auto r_index = static_cast<std::uint32_t>(r.value - 1);
+      adj[index].push_back(r_index);
+      adj[r_index].push_back(index);
+    }
+  };
   std::vector<NodeId> refs;
-  for (const auto& [id, slot] : nodes_) {
+  std::size_t first_alive = slots_.size();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    const Slot& slot = slots_[i];
+    if (slot.node == nullptr) continue;
+    if (first_alive == slots_.size()) first_alive = i;
+    const NodeId id = id_at(i);
     refs.clear();
     slot.node->collect_refs(refs);
-    for (const auto& env : slot.channel) env.msg->collect_refs(refs);
     if (anchor && id != anchor) refs.push_back(anchor);
-    for (NodeId r : refs) {
-      if (!r || r == id || !nodes_.contains(r)) continue;
-      adj[id].push_back(r);
-      adj[r].push_back(id);
-    }
-    adj.try_emplace(id);
+    add_refs(id, refs);
   }
-  // BFS from an arbitrary node.
-  std::unordered_set<NodeId> seen;
-  std::deque<NodeId> queue;
-  queue.push_back(nodes_.begin()->first);
-  seen.insert(queue.front());
+  for (const Envelope& env : pending_) {
+    if (!alive(env.to)) continue;
+    refs.clear();
+    env.msg->collect_refs(refs);
+    add_refs(env.to, refs);
+  }
+  // BFS from the first alive node.
+  std::vector<bool> seen(slots_.size(), false);
+  std::deque<std::uint32_t> queue;
+  queue.push_back(static_cast<std::uint32_t>(first_alive));
+  seen[first_alive] = true;
+  std::size_t reached = 1;
   while (!queue.empty()) {
-    NodeId cur = queue.front();
+    const std::uint32_t cur = queue.front();
     queue.pop_front();
-    auto it = adj.find(cur);
-    if (it == adj.end()) continue;
-    for (NodeId nxt : it->second) {
-      if (seen.insert(nxt).second) queue.push_back(nxt);
+    for (std::uint32_t nxt : adj[cur]) {
+      if (!seen[nxt]) {
+        seen[nxt] = true;
+        ++reached;
+        queue.push_back(nxt);
+      }
     }
   }
-  return seen.size() == nodes_.size();
+  return reached == alive_count_;
 }
 
 }  // namespace ssps::sim

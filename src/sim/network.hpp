@@ -9,18 +9,27 @@
 //     by both schedulers (see run_round / step);
 //   - crashed nodes (§3.3) cease to exist: pending and future messages to
 //     them invoke no action.
+//
+// Large-n layout: nodes live in one dense vector indexed by NodeId (a
+// crashed node leaves a tombstone slot), and all channels share one
+// append-only in-flight buffer of pooled message handles — a send is a
+// sequential push, and the synchronous scheduler turns the whole buffer
+// into the round's shuffled delivery batch with a single swap. Delivery
+// order is a canonical function of (seed, call sequence) — independent of
+// container internals, so runs replay bit-for-bit on any standard
+// library.
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "sim/message_pool.hpp"
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
 #include "sim/types.hpp"
@@ -40,7 +49,8 @@ struct AsyncConfig {
   std::uint32_t timeout_bias = 64;
 };
 
-/// The simulated network. Owns all nodes, channels, randomness and metrics.
+/// The simulated network. Owns all nodes, channels, randomness, the
+/// message pool and the metrics.
 class Network {
  public:
   explicit Network(std::uint64_t seed);
@@ -61,45 +71,82 @@ class Network {
   /// Registers an externally constructed node.
   NodeId register_node(std::unique_ptr<Node> node);
 
-  /// Fail-stop crash: the node ceases to exist. Its channel is dropped and
-  /// all future messages to it are swallowed (they invoke no action).
+  /// Fail-stop crash: the node ceases to exist. Its channel is dropped
+  /// (pending pooled messages are reclaimed) and all future messages to it
+  /// are swallowed (they invoke no action).
   void crash(NodeId id);
 
   /// True if the node exists and has not crashed.
-  bool alive(NodeId id) const;
+  bool alive(NodeId id) const {
+    const Slot* slot = find_slot(id);
+    return slot != nullptr && slot->node != nullptr;
+  }
 
   /// Round number at which `id` crashed (for the failure detector).
   std::optional<Round> crash_round(NodeId id) const;
 
-  /// Typed access to a node. Aborts if the node is dead or of wrong type.
+  /// Typed access to a node. Aborts if the node is dead or of the wrong
+  /// type. Types that define `static bool classof(NodeKind)` resolve with
+  /// a one-byte tag check + static downcast; others (ad-hoc test nodes)
+  /// fall back to dynamic_cast.
   template <typename T>
   T& node_as(NodeId id) {
-    auto it = nodes_.find(id);
-    SSPS_ASSERT_MSG(it != nodes_.end(), "node_as: unknown or crashed node");
-    T* typed = dynamic_cast<T*>(it->second.node.get());
-    SSPS_ASSERT_MSG(typed != nullptr, "node_as: node has unexpected type");
-    return *typed;
+    Slot* slot = find_slot(id);
+    SSPS_ASSERT_MSG(slot != nullptr && slot->node != nullptr,
+                    "node_as: unknown or crashed node");
+    Node* node = slot->node.get();
+    if constexpr (requires(NodeKind k) { { T::classof(k) } -> std::convertible_to<bool>; }) {
+      SSPS_ASSERT_MSG(T::classof(node->kind()), "node_as: node has unexpected type");
+      return *static_cast<T*>(node);
+    } else {
+      T* typed = dynamic_cast<T*>(node);
+      SSPS_ASSERT_MSG(typed != nullptr, "node_as: node has unexpected type");
+      return *typed;
+    }
   }
 
   /// Ids of all alive nodes, in id order (deterministic).
   std::vector<NodeId> alive_ids() const;
 
-  /// Number of alive nodes.
-  std::size_t alive_count() const { return nodes_.size(); }
+  /// Number of alive nodes (crashed tombstones excluded).
+  std::size_t alive_count() const { return alive_count_; }
 
   // ---- Communication --------------------------------------------------
 
   /// Sends `msg` to `to` by placing it into to's channel. A send to a
-  /// crashed/unknown node is counted and swallowed (paper §3.3: the address
-  /// ceased to exist).
-  void send(NodeId to, std::unique_ptr<Message> msg);
+  /// crashed/unknown node is counted and swallowed (paper §3.3: the
+  /// address ceased to exist) and its pool slot is reclaimed immediately.
+  /// Inline: this plus emit<T> is the complete per-message send path.
+  void send(NodeId to, PooledMsg msg) {
+    SSPS_ASSERT(msg);
+    const std::uint32_t label = metrics_.label_id(*msg);
+    metrics_.on_send_id(label, msg->wire_size());
+    if (!alive(to)) {
+      // Target crashed or never existed: the message invokes no action
+      // (its pool slot is recycled as `msg` goes out of scope).
+      ++swallowed_to_dead_;
+      return;
+    }
+    enqueue(to, std::move(msg), label);
+  }
+
+  /// Allocates a T from the pool and sends it: the one-line send path for
+  /// protocol code.
+  template <typename T, typename... Args>
+  void emit(NodeId to, Args&&... args) {
+    send(to, pool_.make<T>(std::forward<Args>(args)...));
+  }
 
   /// Injects a message into a channel without attributing it to a sender;
   /// used by adversarial initial-state generators (corrupted messages).
-  void inject(NodeId to, std::unique_ptr<Message> msg);
+  void inject(NodeId to, PooledMsg msg);
+
+  /// The arena all in-flight messages of this network live in.
+  MessagePool& pool() { return pool_; }
+  const MessagePool& pool() const { return pool_; }
 
   /// Total number of messages currently sitting in channels.
-  std::size_t pending_messages() const { return pending_total_; }
+  std::size_t pending_messages() const { return pending_.size(); }
 
   /// Number of messages pending for one node.
   std::size_t pending_for(NodeId id) const;
@@ -151,29 +198,67 @@ class Network {
   bool weakly_connected(NodeId anchor = NodeId::null()) const;
 
  private:
+  /// One in-flight message. All undelivered messages live in a single
+  /// flat vector (`pending_`), not in per-node queues: sends append
+  /// sequentially (cache-friendly), and the round scheduler swaps the
+  /// whole vector out as its delivery batch.
   struct Envelope {
-    std::unique_ptr<Message> msg;
+    NodeId to;
+    Message* msg = nullptr;
+    MsgHandle handle;
+    std::uint32_t label_id = 0;  // metrics label, resolved at send time
     Step sent_at = 0;
   };
   struct Slot {
-    std::unique_ptr<Node> node;
-    std::vector<Envelope> channel;
+    std::unique_ptr<Node> node;  // null = tombstone (crashed)
     Step last_timeout = 0;
+    Round crash_round = 0;
   };
 
-  void deliver_one(Slot& slot, std::size_t index);
-  void fire_timeout(Slot& slot);
+  Slot* find_slot(NodeId id) {
+    const std::uint64_t index = id.value - 1;
+    return id.value >= 1 && index < slots_.size() ? &slots_[index] : nullptr;
+  }
+  const Slot* find_slot(NodeId id) const {
+    return const_cast<Network*>(this)->find_slot(id);
+  }
+  static NodeId id_at(std::size_t index) {
+    return NodeId{static_cast<std::uint64_t>(index) + 1};
+  }
 
-  std::unordered_map<NodeId, Slot> nodes_;
-  std::unordered_map<NodeId, Round> crashed_;
-  std::uint64_t next_id_ = 1;
-  std::size_t pending_total_ = 0;
+  void enqueue(NodeId to, PooledMsg msg, std::uint32_t label_id) {
+    Envelope env;
+    env.to = to;
+    env.msg = msg.get();
+    env.label_id = label_id;
+    env.sent_at = step_;
+    env.handle = msg.release();
+    pending_.push_back(env);
+  }
+  /// Delivers pending_[index] (swap-remove; non-FIFO channels).
+  void deliver_at(std::size_t index);
+  void deliver_envelope(const Envelope& env, Node& node);
+  void fire_timeout(Slot& slot);
+  /// Reclaims every pending message addressed to `to` (crash path).
+  void drop_pending_for(NodeId to);
+  void collect_alive(std::vector<NodeId>& out) const;
+
+  std::vector<Slot> slots_;  // index = NodeId.value - 1
+  std::size_t alive_count_ = 0;
+  std::vector<Envelope> pending_;  // all in-flight messages, send order
   Round round_ = 0;
   Step step_ = 0;
   ssps::Rng rng_;
+  MessagePool pool_;
   Metrics metrics_;
   AsyncConfig async_cfg_;
   std::uint64_t swallowed_to_dead_ = 0;
+
+  // Scratch buffers reused across rounds (capacity persists).
+  std::vector<Envelope> round_batch_;
+  std::vector<Envelope> grouped_batch_;
+  std::vector<std::uint32_t> scatter_offsets_;
+  std::vector<NodeId> order_scratch_;
 };
 
 }  // namespace ssps::sim

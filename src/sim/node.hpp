@@ -1,16 +1,37 @@
 // Node base class: a peer of the overlay running actions (paper §1.1).
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "sim/message.hpp"
+#include "sim/message_pool.hpp"
 #include "sim/types.hpp"
 
 namespace ssps::sim {
 
 class Network;
+
+/// One tag per node kind, for checked static downcasts (Network::node_as).
+/// The sim layer defines the universe of kinds so a single byte covers
+/// every layer; kOther is for ad-hoc nodes (tests) which fall back to
+/// dynamic_cast.
+enum class NodeKind : std::uint8_t {
+  kOther = 0,
+  // core/
+  kSubscriber,
+  kSupervisor,
+  // pubsub/
+  kPubSub,  // SubscriberNode specialized with the Algorithm 5 layer
+  kMultiTopicClient,
+  kMultiTopicSupervisor,
+  // baseline/
+  kBrokerHub,
+  kBrokerClient,
+  kGossipPeer,
+  kChordPeer,
+  kSkipGraphPeer,
+};
 
 /// A protocol participant.
 ///
@@ -19,14 +40,20 @@ class Network;
 /// `timeout` action. Nodes send messages exclusively through the Network
 /// reference supplied at registration; they hold no pointers to peers,
 /// only NodeId references (compare-store-send discipline).
+///
+/// Node classes meant for fast typed access pass their NodeKind up this
+/// constructor and define `static bool classof(NodeKind)` accepting their
+/// own kind plus every derived kind (the LLVM isa<> idiom); node_as then
+/// resolves them with one byte compare instead of a dynamic_cast.
 class Node {
  public:
   virtual ~Node() = default;
 
   NodeId id() const { return id_; }
+  NodeKind kind() const { return kind_; }
 
   /// Processes one incoming message (removed from this node's channel).
-  virtual void handle(std::unique_ptr<Message> msg) = 0;
+  virtual void handle(PooledMsg msg) = 0;
 
   /// The periodic Timeout action (weakly fair execution is guaranteed by
   /// the schedulers).
@@ -41,6 +68,8 @@ class Node {
   virtual void on_register() {}
 
  protected:
+  explicit Node(NodeKind kind = NodeKind::kOther) : kind_(kind) {}
+
   Network& net() const { return *net_; }
   ssps::Rng& rng() { return rng_; }
 
@@ -48,6 +77,7 @@ class Node {
   friend class Network;
   NodeId id_ = NodeId::null();
   Network* net_ = nullptr;
+  NodeKind kind_;
   ssps::Rng rng_{0};
 };
 

@@ -29,7 +29,7 @@ TEST(Broker, UnsubscribedClientsStopReceiving) {
   net.node_as<BrokerClientNode>(a).subscribe();
   net.node_as<BrokerClientNode>(b).subscribe();
   net.run_round();
-  net.send(broker, std::make_unique<msg::BrokerUnsubscribe>(b));
+  net.emit<msg::BrokerUnsubscribe>(broker, b);
   net.run_round();
   net.node_as<BrokerClientNode>(a).publish("solo");
   net.run_rounds(2);

@@ -108,11 +108,42 @@ TEST(CrashRecovery, QueuedUnsubscribeFromCrashedNodeIsHarmless) {
   const auto ids = sys.add_subscribers(6);
   ASSERT_TRUE(sys.run_until_legit(3000).has_value());
   const sim::NodeId victim = ids[2];
-  sys.net().inject(sys.supervisor_id(), std::make_unique<msg::Unsubscribe>(victim));
+  sys.net().inject(sys.supervisor_id(),
+                   sys.net().pool().make<msg::Unsubscribe>(victim));
   sys.crash(victim);
   const auto rounds = sys.run_until_legit(3000);
   ASSERT_TRUE(rounds.has_value()) << sys.legitimacy_violation();
   EXPECT_EQ(sys.supervisor().size(), 5u);
+}
+
+TEST(CrashRecovery, AliveCountExcludesTombstones) {
+  // Regression guard for the dense node table: crashed nodes leave
+  // tombstone slots behind, and alive_count()/alive_ids() must count only
+  // live nodes — the async convergence waits size their step chunks by
+  // alive_count(), and the oracle sizes SR(n) by the live population.
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 21, .fd_delay = 0});
+  const auto ids = sys.add_subscribers(8);
+  ASSERT_TRUE(sys.run_until_legit(1500).has_value());
+  EXPECT_EQ(sys.net().alive_count(), 9u);  // 8 subscribers + supervisor
+  EXPECT_EQ(sys.net().alive_ids().size(), 9u);
+
+  sys.crash(ids[1]);
+  sys.crash(ids[4]);
+  EXPECT_EQ(sys.net().alive_count(), 7u);
+  const auto alive = sys.net().alive_ids();
+  EXPECT_EQ(alive.size(), 7u);
+  for (sim::NodeId id : alive) {
+    EXPECT_TRUE(sys.net().alive(id));
+    EXPECT_NE(id, ids[1]);
+    EXPECT_NE(id, ids[4]);
+  }
+  // Tombstones stay dead; fresh spawns append new ids and are counted.
+  const sim::NodeId fresh = sys.add_subscriber();
+  EXPECT_EQ(sys.net().alive_count(), 8u);
+  EXPECT_TRUE(sys.net().alive(fresh));
+  EXPECT_FALSE(sys.net().alive(ids[1]));
+  ASSERT_TRUE(sys.run_until_legit(3000).has_value());
+  EXPECT_EQ(sys.net().alive_count(), 8u);
 }
 
 TEST(FailureDetector, NeverSuspectsAliveNodes) {

@@ -88,9 +88,9 @@ TEST(Messages, PublishNewCarriesOriginRef) {
 }
 
 TEST(Messages, TopicEnvelopeForwardsEverything) {
-  auto inner = std::make_unique<msg::Check>(
-      LabeledRef{*Label::parse("01"), sim::NodeId{4}}, *Label::parse("011"),
-      IntroFlag::kLinear);
+  sim::MessagePool pool;
+  auto inner = pool.make<msg::Check>(LabeledRef{*Label::parse("01"), sim::NodeId{4}},
+                                     *Label::parse("011"), IntroFlag::kLinear);
   const std::size_t inner_size = inner->wire_size();
   const pubsub::TopicEnvelope env(9, std::move(inner));
   EXPECT_EQ(env.name(), "Check");

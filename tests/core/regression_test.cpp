@@ -50,7 +50,8 @@ TEST(Regression, StaleSubscribeAfterDepartureHealsEndToEnd) {
   sys.request_unsubscribe(ids[2]);
   ASSERT_TRUE(sys.run_until_legit(800).has_value());
   ASSERT_TRUE(sys.subscriber(ids[2]).departed());
-  sys.net().inject(sys.supervisor_id(), std::make_unique<msg::Subscribe>(ids[2]));
+  sys.net().inject(sys.supervisor_id(),
+                   sys.net().pool().make<msg::Subscribe>(ids[2]));
   // The database transiently re-admits the departed node, then forgets it
   // again when the node answers with Unsubscribe.
   const auto rounds = sys.run_until_legit(2000);
@@ -75,7 +76,7 @@ TEST(Regression, SupervisorAnswersDeadSubjectQueriesWithPurge) {
   // Another subscriber asks about the dead node on its own behalf.
   sys.net().metrics().reset();
   sys.net().inject(sys.supervisor_id(),
-                   std::make_unique<msg::GetConfiguration>(ids[0], ids[1]));
+                   sys.net().pool().make<msg::GetConfiguration>(ids[0], ids[1]));
   sys.net().run_rounds(1);
   EXPECT_GE(sys.net().metrics().sent("RemoveConnections"), 1u);
 }

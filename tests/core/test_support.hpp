@@ -2,7 +2,6 @@
 // SupervisorProtocol/SubscriberProtocol can be driven without a network.
 #pragma once
 
-#include <memory>
 #include <vector>
 
 #include "core/messages.hpp"
@@ -10,16 +9,22 @@
 namespace ssps::core::testing {
 
 /// Records every send; tests inspect and/or replay the captured traffic.
+/// Owns a standalone MessagePool (no network required).
 class CapturingSink final : public MessageSink {
+  // Declared first so captured PooledMsgs (below) die before their pool.
+  sim::MessagePool pool_;
+
  public:
   struct Sent {
     sim::NodeId to;
-    std::unique_ptr<sim::Message> msg;
+    sim::PooledMsg msg;
   };
 
-  void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+  void send(sim::NodeId to, sim::PooledMsg msg) override {
     sent.push_back(Sent{to, std::move(msg)});
   }
+
+  sim::MessagePool& pool() override { return pool_; }
 
   void clear() { sent.clear(); }
 
@@ -29,7 +34,7 @@ class CapturingSink final : public MessageSink {
     std::vector<const T*> out;
     for (const Sent& s : sent) {
       if (to && s.to != to) continue;
-      if (const auto* typed = dynamic_cast<const T*>(s.msg.get())) out.push_back(typed);
+      if (const auto* typed = sim::msg_cast<T>(*s.msg)) out.push_back(typed);
     }
     return out;
   }

@@ -78,10 +78,13 @@ class Clique {
 
  private:
   struct QueueSink final : core::MessageSink {
-    void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+    // Pool first: queued PooledMsgs must die before it.
+    sim::MessagePool pool_;
+    void send(sim::NodeId to, sim::PooledMsg msg) override {
       queue.emplace_back(to, std::move(msg));
     }
-    std::deque<std::pair<sim::NodeId, std::unique_ptr<sim::Message>>> queue;
+    sim::MessagePool& pool() override { return pool_; }
+    std::deque<std::pair<sim::NodeId, sim::PooledMsg>> queue;
   };
 
   QueueSink sink_;

@@ -51,16 +51,22 @@ class Pair {
   static constexpr sim::NodeId kV{2};
 
   struct QueueSink final : core::MessageSink {
-    explicit QueueSink(std::deque<std::pair<sim::NodeId, std::unique_ptr<sim::Message>>>& q)
+    explicit QueueSink(std::deque<std::pair<sim::NodeId, sim::PooledMsg>>& q)
         : q_(&q) {}
-    void send(sim::NodeId to, std::unique_ptr<sim::Message> msg) override {
+    void send(sim::NodeId to, sim::PooledMsg msg) override {
       q_->emplace_back(to, std::move(msg));
     }
-    std::deque<std::pair<sim::NodeId, std::unique_ptr<sim::Message>>>* q_;
+    sim::MessagePool& pool() override { return pool_; }
+    sim::MessagePool pool_;
+    std::deque<std::pair<sim::NodeId, sim::PooledMsg>>* q_;
   };
 
-  std::deque<std::pair<sim::NodeId, std::unique_ptr<sim::Message>>> queue_;
+  // Declaration order matters: queue_ holds messages living in
+  // sink_.pool_, and members destruct in reverse order, so the queue
+  // (declared after the sink) drains before the pool dies. The sink only
+  // stores the queue's address at construction, never dereferences it.
   QueueSink sink_{queue_};
+  std::deque<std::pair<sim::NodeId, sim::PooledMsg>> queue_;
   ssps::Rng rng_u_{1};
   ssps::Rng rng_v_{2};
   core::SubscriberProtocol u_over_{kU, sim::NodeId{99}, sink_, rng_u_};

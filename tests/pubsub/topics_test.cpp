@@ -154,7 +154,8 @@ TEST(TopicsMultiSupervisor, TopicsShardAcrossSupervisors) {
 }
 
 TEST(TopicEnvelope, KeepsInnerNameAndRefs) {
-  auto inner = std::make_unique<core::msg::Subscribe>(sim::NodeId{5});
+  sim::MessagePool pool;
+  auto inner = pool.make<core::msg::Subscribe>(sim::NodeId{5});
   const TopicEnvelope env(3, std::move(inner));
   EXPECT_EQ(env.name(), "Subscribe");
   std::vector<sim::NodeId> refs;

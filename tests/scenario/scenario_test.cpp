@@ -75,7 +75,7 @@ TEST(ScenarioReplay, DifferentSeedsProduceDifferentTraffic) {
 // ---------------------------------------------------------------------------
 
 TEST(Builtins, NamesRoundTrip) {
-  EXPECT_EQ(builtin_names().size(), 5u);
+  EXPECT_EQ(builtin_names().size(), 8u);  // 5 classic + 3 scale-*
   for (const std::string& name : builtin_names()) {
     EXPECT_TRUE(is_builtin(name));
     const ScenarioSpec spec = builtin_scenario(name, 3, 10);

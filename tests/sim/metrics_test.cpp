@@ -57,17 +57,17 @@ TEST(Metrics, ByLabelIsSortedForStableOutput) {
 }
 
 TEST(Metrics, NetworkIntegrationTracksWireSizes) {
-  struct Sized final : Message {
+  struct Sized final : MsgBase<Sized> {
     std::string_view name() const override { return "Sized"; }
     std::size_t wire_size() const override { return 123; }
   };
   struct Sink final : Node {
-    void handle(std::unique_ptr<Message>) override {}
+    void handle(PooledMsg) override {}
     void timeout() override {}
   };
   Network net(1);
   const NodeId a = net.spawn<Sink>();
-  net.send(a, std::make_unique<Sized>());
+  net.emit<Sized>(a);
   EXPECT_EQ(net.metrics().sent("Sized"), 1u);
   EXPECT_EQ(net.metrics().sent_bytes("Sized"), 123u);
   net.run_round();
@@ -78,16 +78,16 @@ TEST(Metrics, SendsToDeadNodesAreStillCounted) {
   // The sender pays for the message whether or not the target lives — the
   // supervisor-overhead experiments rely on sender-side counting.
   struct Sink final : Node {
-    void handle(std::unique_ptr<Message>) override {}
+    void handle(PooledMsg) override {}
     void timeout() override {}
   };
-  struct Sized final : Message {
+  struct Sized final : MsgBase<Sized> {
     std::string_view name() const override { return "Sized"; }
   };
   Network net(2);
   const NodeId a = net.spawn<Sink>();
   net.crash(a);
-  net.send(a, std::make_unique<Sized>());
+  net.emit<Sized>(a);
   EXPECT_EQ(net.metrics().sent("Sized"), 1u);
 }
 

@@ -9,7 +9,7 @@
 namespace ssps::sim {
 namespace {
 
-struct Ping final : Message {
+struct Ping final : MsgBase<Ping> {
   int payload = 0;
   NodeId ref = NodeId::null();
   explicit Ping(int p, NodeId r = NodeId::null()) : payload(p), ref(r) {}
@@ -22,11 +22,11 @@ struct Ping final : Message {
 /// Records deliveries and timeouts; optionally echoes to a peer.
 class Probe final : public Node {
  public:
-  void handle(std::unique_ptr<Message> msg) override {
-    auto* ping = dynamic_cast<Ping*>(msg.get());
+  void handle(PooledMsg msg) override {
+    auto* ping = msg_cast<Ping>(*msg);
     ASSERT_NE(ping, nullptr);
     received.push_back(ping->payload);
-    if (echo_to) net().send(echo_to, std::make_unique<Ping>(ping->payload + 1000));
+    if (echo_to) net().emit<Ping>(echo_to, ping->payload + 1000);
   }
   void timeout() override { ++timeouts; }
   void collect_refs(std::vector<NodeId>& out) const override {
@@ -52,7 +52,7 @@ TEST(Network, SpawnAssignsDistinctIds) {
 TEST(Network, RoundDeliversAllPendingMessages) {
   Network net(2);
   const NodeId a = net.spawn<Probe>();
-  for (int i = 0; i < 5; ++i) net.send(a, std::make_unique<Ping>(i));
+  for (int i = 0; i < 5; ++i) net.emit<Ping>(a, i);
   EXPECT_EQ(net.pending_for(a), 5u);
   net.run_round();
   EXPECT_EQ(net.pending_for(a), 0u);
@@ -64,7 +64,7 @@ TEST(Network, MessagesSentDuringARoundArriveNextRound) {
   const NodeId a = net.spawn<Probe>();
   const NodeId b = net.spawn<Probe>();
   net.node_as<Probe>(a).echo_to = b;
-  net.send(a, std::make_unique<Ping>(1));
+  net.emit<Ping>(a, 1);
   net.run_round();
   EXPECT_TRUE(net.node_as<Probe>(b).received.empty());  // echo still queued
   net.run_round();
@@ -88,7 +88,7 @@ TEST(Network, DeliveryOrderIsNotFifo) {
   for (std::uint64_t seed = 0; seed < 10 && !reordered; ++seed) {
     Network net(seed);
     const NodeId a = net.spawn<Probe>();
-    for (int i = 0; i < 10; ++i) net.send(a, std::make_unique<Ping>(i));
+    for (int i = 0; i < 10; ++i) net.emit<Ping>(a, i);
     net.run_round();
     const auto& got = net.node_as<Probe>(a).received;
     reordered = !std::is_sorted(got.begin(), got.end());
@@ -102,7 +102,7 @@ TEST(Network, DeterministicGivenSeed) {
     const NodeId a = net.spawn<Probe>();
     const NodeId b = net.spawn<Probe>();
     net.node_as<Probe>(a).echo_to = b;
-    for (int i = 0; i < 20; ++i) net.send(a, std::make_unique<Ping>(i));
+    for (int i = 0; i < 20; ++i) net.emit<Ping>(a, i);
     net.run_rounds(3);
     return net.node_as<Probe>(b).received;
   };
@@ -113,11 +113,11 @@ TEST(Network, DeterministicGivenSeed) {
 TEST(Network, CrashSwallowsPendingAndFutureMessages) {
   Network net(5);
   const NodeId a = net.spawn<Probe>();
-  net.send(a, std::make_unique<Ping>(1));
+  net.emit<Ping>(a, 1);
   net.crash(a);
   EXPECT_FALSE(net.alive(a));
   EXPECT_EQ(net.pending_messages(), 0u);
-  net.send(a, std::make_unique<Ping>(2));  // must not throw, must vanish
+  net.emit<Ping>(a, 2);  // must not throw, must vanish
   EXPECT_EQ(net.pending_messages(), 0u);
   net.run_round();  // and rounds still work
 }
@@ -135,7 +135,7 @@ TEST(Network, CrashRoundIsRecorded) {
 TEST(Network, AsyncStepsDeliverEverythingEventually) {
   Network net(7);
   const NodeId a = net.spawn<Probe>();
-  for (int i = 0; i < 50; ++i) net.send(a, std::make_unique<Ping>(i));
+  for (int i = 0; i < 50; ++i) net.emit<Ping>(a, i);
   net.run_steps(5000);
   EXPECT_EQ(net.node_as<Probe>(a).received.size(), 50u);
 }
@@ -146,7 +146,7 @@ TEST(Network, AsyncFairnessBoundsMessageAge) {
   const NodeId a = net.spawn<Probe>();
   const NodeId b = net.spawn<Probe>();
   (void)b;
-  net.send(a, std::make_unique<Ping>(1));
+  net.emit<Ping>(a, 1);
   // Within max_message_age + a few steps the message must arrive, no
   // matter how the scheduler dices.
   net.run_steps(20);
@@ -159,7 +159,7 @@ TEST(Network, AsyncFairnessBoundsTimeoutGap) {
   const NodeId a = net.spawn<Probe>();
   // Keep the scheduler busy with messages to tempt it away from timeouts.
   const NodeId sinkhole = net.spawn<Probe>();
-  for (int i = 0; i < 100; ++i) net.send(sinkhole, std::make_unique<Ping>(i));
+  for (int i = 0; i < 100; ++i) net.emit<Ping>(sinkhole, i);
   net.run_steps(100);
   EXPECT_GE(net.node_as<Probe>(a).timeouts, 5);
 }
@@ -192,7 +192,7 @@ TEST(Network, WeaklyConnectedViaImplicitEdges) {
   Network net(13);
   const NodeId a = net.spawn<Probe>();
   const NodeId b = net.spawn<Probe>();
-  net.inject(a, std::make_unique<Ping>(0, b));  // reference in channel
+  net.inject(a, net.pool().make<Ping>(0, b));  // reference in channel
   EXPECT_TRUE(net.weakly_connected());
 }
 
@@ -208,7 +208,7 @@ TEST(Network, WeaklyConnectedViaAnchor) {
 TEST(Network, InjectBypassesMetrics) {
   Network net(15);
   const NodeId a = net.spawn<Probe>();
-  net.inject(a, std::make_unique<Ping>(1));
+  net.inject(a, net.pool().make<Ping>(1));
   EXPECT_EQ(net.metrics().total_sent(), 0u);
   EXPECT_EQ(net.pending_for(a), 1u);
 }

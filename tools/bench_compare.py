@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate: compare BENCH_*.json against committed baselines.
+
+Usage:
+    bench_compare.py --baseline-dir bench/baselines --result-dir build \
+        [--tolerance 0.15] [--throughput-tolerance 0.15]
+
+For every BENCH_<name>.json present in the baseline directory, the matching
+result file must exist and every gated metric must not REGRESS by more than
+the tolerance (improvements never fail the gate). Metrics are matched per
+series row by their identifying keys (n, class, ...).
+
+Gated metrics:
+  deterministic (exact replay per seed; --tolerance, default 15%):
+      lower is better:  bootstrap_rounds, rounds
+      drift check:      msgs_per_round (both directions: the steady-state
+                        maintenance traffic is a protocol property)
+  throughput (wall-clock; --throughput-tolerance, default 15%):
+      higher is better: rounds_per_sec, msgs_per_sec
+
+Refreshing baselines after an intended change:
+    cd build && ./bench_simcore --benchmark_filter=NONE \
+             && ./bench_convergence --benchmark_filter=NONE
+    cp build/BENCH_simcore.json build/BENCH_convergence.json bench/baselines/
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+LOWER_IS_BETTER = {"bootstrap_rounds", "rounds"}
+HIGHER_IS_BETTER = {"rounds_per_sec", "msgs_per_sec"}
+BOTH_DIRECTIONS = {"msgs_per_round"}
+IDENTIFYING_KEYS = ("n", "class", "name")
+
+
+def row_key(row):
+    return tuple((k, row[k]) for k in IDENTIFYING_KEYS if k in row)
+
+
+def iter_series(doc):
+    """Yields (series_name, row_dict) for every list-of-objects entry."""
+    for key, value in doc.items():
+        if isinstance(value, list):
+            for row in value:
+                if isinstance(row, dict):
+                    yield key, row
+
+
+def compare_rows(where, base, got, tol, thr_tol, failures):
+    for metric, base_value in base.items():
+        if metric in IDENTIFYING_KEYS or metric == "ok":
+            continue
+        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+            continue
+        if metric not in LOWER_IS_BETTER | HIGHER_IS_BETTER | BOTH_DIRECTIONS:
+            continue
+        if metric not in got:
+            failures.append(f"{where}: metric '{metric}' missing from results")
+            continue
+        value = got[metric]
+        if base_value == 0:
+            continue
+        ratio = value / base_value
+        tolerance = thr_tol if metric in HIGHER_IS_BETTER else tol
+        if metric in LOWER_IS_BETTER and ratio > 1 + tolerance:
+            failures.append(
+                f"{where}: {metric} regressed {base_value} -> {value} "
+                f"(+{(ratio - 1) * 100:.1f}% > {tolerance * 100:.0f}%)")
+        elif metric in HIGHER_IS_BETTER and ratio < 1 - tolerance:
+            failures.append(
+                f"{where}: {metric} regressed {base_value:.0f} -> {value:.0f} "
+                f"(-{(1 - ratio) * 100:.1f}% > {tolerance * 100:.0f}%)")
+        elif metric in BOTH_DIRECTIONS and abs(ratio - 1) > tolerance:
+            failures.append(
+                f"{where}: {metric} drifted {base_value} -> {value} "
+                f"(>{tolerance * 100:.0f}%; deterministic per seed — an intended "
+                f"protocol change must refresh bench/baselines/)")
+
+
+def compare_file(baseline_path, result_path, tol, thr_tol, failures):
+    with open(baseline_path) as f:
+        base_doc = json.load(f)
+    with open(result_path) as f:
+        got_doc = json.load(f)
+    got_index = {}
+    for series, row in iter_series(got_doc):
+        got_index[(series, row_key(row))] = row
+    compared = 0
+    for series, row in iter_series(base_doc):
+        where = f"{baseline_path.name}:{series}{list(row_key(row))}"
+        got = got_index.get((series, row_key(row)))
+        if got is None:
+            failures.append(f"{where}: row missing from results")
+            continue
+        compare_rows(where, row, got, tol, thr_tol, failures)
+        compared += 1
+    return compared
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--result-dir", required=True, type=pathlib.Path)
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fraction for deterministic metrics")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.15,
+                        help="allowed regression fraction for wall-clock metrics")
+    args = parser.parse_args()
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"bench_compare: no baselines under {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    total = 0
+    for baseline in baselines:
+        result = args.result_dir / baseline.name
+        if not result.exists():
+            failures.append(f"{baseline.name}: result file missing in {args.result_dir}")
+            continue
+        total += compare_file(baseline, result, args.tolerance,
+                              args.throughput_tolerance, failures)
+
+    for failure in failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    print(f"bench_compare: {total} rows compared across {len(baselines)} files, "
+          f"{len(failures)} failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,8 @@ void usage(std::FILE* to) {
                "options:\n"
                "  --scenario <name>  scenario to run (see --list)\n"
                "  --seed <u64>       simulation seed (default 1)\n"
-               "  --nodes <n>        client population size (default 32)\n"
+               "  --nodes <n>        client population size (default: per scenario;\n"
+               "                     32 for classic builtins, 1024 for scale-*)\n"
                "  --scramble         scrambled-start variant: inject an arbitrary\n"
                "                     state after bootstrap and re-converge\n"
                "                     (implies --oracle)\n"
@@ -50,7 +51,7 @@ using ssps::cli::parse_u64;
 int main(int argc, char** argv) {
   std::string scenario;
   std::uint64_t seed = 1;
-  std::uint64_t nodes = 32;
+  std::uint64_t nodes = 0;  // 0 = scenario default
   std::string out_path;
   bool quiet = false;
   bool scramble = false;

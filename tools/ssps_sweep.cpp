@@ -6,7 +6,7 @@
 // stabilization bugs show up as a deterministic (scenario, seed) pair to
 // replay under ssps_run.
 //
-//   $ ssps_sweep                                   # 5 builtins x 32 seeds
+//   $ ssps_sweep                                   # all builtins x 32 seeds
 //   $ ssps_sweep --seeds 8 --nodes 16              # CI smoke shape
 //   $ ssps_sweep --scenarios steady,churn-wave --no-scramble
 //   $ ssps_sweep --out sweep.json
