@@ -23,6 +23,14 @@ inline scenario::Json& result_json() {
   return doc;
 }
 
+/// Monotonic wall clock in seconds, for experiment printers that time
+/// coarse regions themselves (cold starts, bootstrap windows).
+inline double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 inline int run_bench_main(const char* name, void (*print_fn)(), int argc,
                           char** argv) {
   const auto start = std::chrono::steady_clock::now();

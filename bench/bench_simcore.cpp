@@ -1,6 +1,6 @@
 // Simulation-core throughput at scale: rounds/sec, msgs/sec and peak RSS
 // for the full stack (BuildSR overlay + Algorithm 5 pub-sub) in
-// steady-state maintenance, at n up to 4096. This is the bench behind the
+// steady-state maintenance, at n up to 16384. This is the bench behind the
 // CI perf-regression gate: BENCH_simcore.json carries one row per n with
 // deterministic fields (bootstrap convergence rounds, msgs per round) and
 // throughput fields (rounds/sec, msgs/sec) that tools/bench_compare.py
@@ -17,12 +17,7 @@
 namespace {
 
 using namespace ssps;
-
-double now_seconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
+using ssps::bench::now_seconds;
 
 std::size_t peak_rss_kb() {
   rusage usage{};
@@ -76,7 +71,7 @@ void print_experiment() {
   Table table({"n", "bootstrap rounds", "bootstrap s", "msgs/round", "rounds/sec",
                "msgs/sec", "peak RSS MB", "pool MB"});
   scenario::Json series = scenario::Json::array();
-  for (std::size_t n : {256u, 1024u, 4096u}) {
+  for (std::size_t n : {256u, 1024u, 4096u, 16384u}) {
     const std::size_t window = n >= 4096 ? 30 : 100;
     const Cell cell = measure(n, window, 3);
     table.add_row({Table::num(static_cast<std::uint64_t>(cell.n)),
@@ -111,7 +106,12 @@ void BM_SteadyRound(benchmark::State& state) {
     benchmark::DoNotOptimize(sys.net().run_round());
   }
 }
-BENCHMARK(BM_SteadyRound)->Arg(256)->Arg(1024)->Arg(4096)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SteadyRound)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_EmitDeliverCycle(benchmark::State& state) {
   // Pure sim-core cost: pooled emit + shuffled grouped delivery into an

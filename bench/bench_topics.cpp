@@ -67,16 +67,20 @@ double max_supervisor_in_group(std::size_t topics, std::size_t supervisors,
 
 void print_experiment() {
   {
+    // The thousand-topic points exercise the flat per-topic tables
+    // (common/flat_map.hpp): every supervisor Timeout walks all of its
+    // per-topic instances, and every envelope dispatch looks one up.
     Table table({"topics", "subs/topic", "supervisor out/round", "supervisor in/round"});
-    for (std::size_t topics : {1u, 4u, 16u, 64u}) {
-      const TopicLoad load = run_single_supervisor(topics, 8, 10 + topics);
+    for (std::size_t topics : {1u, 4u, 16u, 64u, 256u, 1024u}) {
+      const std::size_t subs = topics >= 256 ? 4 : 8;
+      const TopicLoad load = run_single_supervisor(topics, subs, 10 + topics);
       table.add_row({Table::num(static_cast<std::uint64_t>(topics)),
-                     Table::num(static_cast<std::uint64_t>(8)),
+                     Table::num(static_cast<std::uint64_t>(subs)),
                      Table::num(load.supervisor_out_per_round, 2),
                      Table::num(load.supervisor_in_per_round, 2)});
     }
     table.print(
-        "E13a / §1.3 — single supervisor, topic sweep "
+        "E13a / §1.3 — single supervisor, topic sweep to 1024 topics "
         "(expect: load linear in topics — ~1 SetData per topic per round)");
   }
   {
@@ -107,7 +111,11 @@ void BM_MultiTopicRound(benchmark::State& state) {
   net.run_rounds(80);
   for (auto _ : state) net.run_round();
 }
-BENCHMARK(BM_MultiTopicRound)->Arg(4)->Arg(32)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_MultiTopicRound)
+    ->Arg(4)
+    ->Arg(32)
+    ->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -1,0 +1,113 @@
+// Sorted flat-vector map, the multi-topic sibling of core::ShortcutTable.
+//
+// The per-topic tables of the pub-sub layer (per-client protocol
+// instances, per-supervisor topic databases, the consistent-hashing ring,
+// the scenario engine's member/publication bookkeeping) were std::map
+// nodes: one heap allocation per entry and a pointer chase per lookup, on
+// paths that iterate every topic every round. At the thousand-topic
+// target a sorted vector of pairs wins on every operation that matters —
+// iteration is linear memory, lookup is a binary search over contiguous
+// keys — while inserts stay rare (subscribe/join events). The interface
+// mirrors the std::map subset the call sites use.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace ssps {
+
+template <typename Key, typename T>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, T>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  const value_type& front() const { return entries_.front(); }
+  const value_type& back() const { return entries_.back(); }
+
+  iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  iterator find(const Key& key) {
+    auto it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  const_iterator find(const Key& key) const {
+    auto it = lower_bound(key);
+    return it != entries_.end() && it->first == key ? it : entries_.end();
+  }
+  bool contains(const Key& key) const { return find(key) != end(); }
+
+  const T& at(const Key& key) const {
+    auto it = find(key);
+    SSPS_ASSERT_MSG(it != end(), "FlatMap::at: unknown key");
+    return it->second;
+  }
+
+  /// Inserts (key, mapped) if absent; returns (iterator, inserted).
+  template <typename M>
+  std::pair<iterator, bool> emplace(const Key& key, M&& mapped) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return {it, false};
+    it = entries_.emplace(it, key, std::forward<M>(mapped));
+    return {it, true};
+  }
+
+  template <typename M>
+  std::pair<iterator, bool> insert_or_assign(const Key& key, M&& mapped) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) {
+      it->second = std::forward<M>(mapped);
+      return {it, false};
+    }
+    it = entries_.emplace(it, key, std::forward<M>(mapped));
+    return {it, true};
+  }
+
+  /// Default-constructs the mapped value on first access (std::map
+  /// operator[] semantics).
+  T& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || !(it->first == key)) {
+      it = entries_.emplace(it, key, T{});
+    }
+    return it->second;
+  }
+
+  iterator erase(iterator it) { return entries_.erase(it); }
+  std::size_t erase(const Key& key) {
+    auto it = find(key);
+    if (it == end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+
+  bool operator==(const FlatMap&) const = default;
+
+ private:
+  std::vector<value_type> entries_;
+};
+
+}  // namespace ssps

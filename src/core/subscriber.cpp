@@ -74,6 +74,7 @@ void SubscriberProtocol::timeout() {
     // An interior node must not hold a ring edge: re-linearize it.
     const LabeledRef stray = *ring_;
     ring_.reset();
+    touch();
     consider_linear(stray);
   }
   if ((!left_ || !right_) && ring_) {
@@ -130,6 +131,7 @@ bool SubscriberProtocol::handle(const sim::Message& m) {
 void SubscriberProtocol::request_unsubscribe() {
   if (phase_ != SubscriberPhase::kActive) return;
   phase_ = SubscriberPhase::kLeaving;
+  touch();
   sink_->emit<msg::Unsubscribe>(supervisor_, self_);
 }
 
@@ -165,10 +167,14 @@ void SubscriberProtocol::on_introduce_shortcut(const msg::IntroduceShortcut& m) 
   }
   if (sim::NodeId* slot = shortcuts_.slot(m.cand.label)) {
     // Expected label: adopt, re-linearizing any displaced reference
-    // (Algorithm 4, IntroduceShortcut).
+    // (Algorithm 4, IntroduceShortcut). The steady-state common case is a
+    // re-introduction of the node already stored — no state change.
     const sim::NodeId old = *slot;
-    *slot = m.cand.node;
-    if (old && old != m.cand.node) consider_linear(LabeledRef{m.cand.label, old});
+    if (old != m.cand.node) {
+      *slot = m.cand.node;
+      touch();
+      if (old) consider_linear(LabeledRef{m.cand.label, old});
+    }
     return;
   }
   // Unexpected label: the candidate still is a real node — linearize it.
@@ -185,6 +191,7 @@ void SubscriberProtocol::on_set_data(const msg::SetData& m) {
     ring_.reset();
     shortcuts_.clear();
     derived_.valid = false;
+    touch();
     return;
   }
   if (phase_ == SubscriberPhase::kDeparted) {
@@ -229,7 +236,10 @@ void SubscriberProtocol::on_set_data(const msg::SetData& m) {
 
   // Adopt the authoritative label, then merge the proposed neighbors
   // (trusted: a configuration comes from the supervisor's database).
-  label_ = *m.label;
+  if (!label_ || !(*label_ == *m.label)) {
+    label_ = *m.label;
+    touch();
+  }
   revalidate_sides();
   if (prop_left && prop_left->node != self_) consider_linear(*prop_left, /*trusted=*/true);
   if (prop_right && prop_right->node != self_) {
@@ -259,6 +269,7 @@ void SubscriberProtocol::consider(const LabeledRef& c, IntroFlag flag) {
     if (*slot && (*slot)->node == c.node) {
       if ((*slot)->label != c.label) {
         (*slot)->label = c.label;
+        touch();
         corrected = true;
       }
       matched = true;
@@ -300,10 +311,14 @@ void SubscriberProtocol::consider_linear(const LabeledRef& c, bool trusted) {
   auto place = [&](std::optional<LabeledRef>& slot, bool is_left) {
     if (!slot) {
       slot = c;
+      touch();
       return;
     }
     if (slot->node == c.node) {
-      slot->label = c.label;
+      if (slot->label != c.label) {
+        slot->label = c.label;
+        touch();
+      }
       revalidate_sides();
       return;
     }
@@ -314,6 +329,7 @@ void SubscriberProtocol::consider_linear(const LabeledRef& c, bool trusted) {
         // silent. Adopt c and let the supervisor deal with the incumbent.
         const LabeledRef old = *slot;
         slot = c;
+        touch();
         sink_->emit<msg::GetConfiguration>(supervisor_, old.node, self_);
       } else {
         conflict(c);
@@ -326,6 +342,7 @@ void SubscriberProtocol::consider_linear(const LabeledRef& c, bool trusted) {
       // lies between it and us.
       const LabeledRef displaced = *slot;
       slot = c;
+      touch();
       sink_->emit<msg::Introduce>(c.node, displaced, IntroFlag::kLinear);
     } else {
       // c is farther out: delegate it towards that side.
@@ -356,10 +373,14 @@ void SubscriberProtocol::consider_cyclic(const LabeledRef& c, bool trusted) {
   auto adopt_extreme = [&](bool keep_smaller) {
     if (!ring_) {
       ring_ = c;
+      touch();
       return;
     }
     if (ring_->node == c.node) {
-      ring_->label = c.label;
+      if (ring_->label != c.label) {
+        ring_->label = c.label;
+        touch();
+      }
       revalidate_sides();
       return;
     }
@@ -367,6 +388,7 @@ void SubscriberProtocol::consider_cyclic(const LabeledRef& c, bool trusted) {
       if (trusted) {
         const LabeledRef old = *ring_;
         ring_ = c;
+        touch();
         sink_->emit<msg::GetConfiguration>(supervisor_, old.node, self_);
       } else {
         conflict(c);
@@ -379,6 +401,7 @@ void SubscriberProtocol::consider_cyclic(const LabeledRef& c, bool trusted) {
       // Better extremum partner: keep it, re-linearize the loser.
       const LabeledRef loser = *ring_;
       ring_ = c;
+      touch();
       consider_linear(loser);
     } else {
       consider_linear(c);
@@ -409,11 +432,15 @@ void SubscriberProtocol::consider_cyclic(const LabeledRef& c, bool trusted) {
 
 void SubscriberProtocol::revalidate_sides() {
   if (!label_) return;
+  bool changed = false;
   // Self-references are meaningless edges and — because a node ignores
   // introductions from itself — would never be corrected: drop them
   // outright (they only arise in corrupted initial states).
   for (auto* slot : {&left_, &right_, &ring_}) {
-    if (*slot && (*slot)->node == self_) slot->reset();
+    if (*slot && (*slot)->node == self_) {
+      slot->reset();
+      changed = true;
+    }
   }
   const std::uint64_t me = label_->r_key();
   // Pop any neighbor that sits on the wrong side of our (possibly new)
@@ -423,10 +450,12 @@ void SubscriberProtocol::revalidate_sides() {
   if (left_ && !(left_->label.r_key() < me)) {
     rehome.push_back(*left_);
     left_.reset();
+    changed = true;
   }
   if (right_ && !(right_->label.r_key() > me)) {
     rehome.push_back(*right_);
     right_.reset();
+    changed = true;
   }
   if (ring_) {
     const bool valid_for_min = !left_ && ring_->label.r_key() > me;
@@ -434,8 +463,10 @@ void SubscriberProtocol::revalidate_sides() {
     if (!(valid_for_min || valid_for_max)) {
       rehome.push_back(*ring_);
       ring_.reset();
+      changed = true;
     }
   }
+  if (changed) touch();
   for (const LabeledRef& c : rehome) {
     if (c.label.r_key() == me) {
       conflict(c);
@@ -446,12 +477,20 @@ void SubscriberProtocol::revalidate_sides() {
 }
 
 void SubscriberProtocol::purge(sim::NodeId who) {
-  if (left_ && left_->node == who) left_.reset();
-  if (right_ && right_->node == who) right_.reset();
-  if (ring_ && ring_->node == who) ring_.reset();
-  for (auto& [lab, node] : shortcuts_) {
-    if (node == who) node = sim::NodeId::null();
+  bool changed = false;
+  for (auto* slot : {&left_, &right_, &ring_}) {
+    if (*slot && (*slot)->node == who) {
+      slot->reset();
+      changed = true;
+    }
   }
+  for (auto& [lab, node] : shortcuts_) {
+    if (node == who) {
+      node = sim::NodeId::null();
+      changed = true;
+    }
+  }
+  if (changed) touch();
 }
 
 // ---------------------------------------------------------------------------
@@ -519,7 +558,10 @@ bool SubscriberProtocol::ensure_derived_cache() const {
 
 void SubscriberProtocol::refresh_shortcuts() {
   if (!label_) {
-    if (!shortcuts_.empty()) shortcuts_.clear();
+    if (!shortcuts_.empty()) {
+      shortcuts_.clear();
+      touch();
+    }
     derived_.valid = false;
     return;
   }
@@ -550,6 +592,7 @@ void SubscriberProtocol::refresh_shortcuts() {
   }
   shortcuts_.assign_sorted(std::move(next));
   derived_.table_synced = true;
+  touch();
   // Re-linearize evictions last: they can touch left_/right_ and thereby
   // stale the cache again; the next Timeout's key compare catches that.
   for (const LabeledRef& c : evicted) consider(c, IntroFlag::kLinear);

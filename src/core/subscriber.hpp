@@ -59,6 +59,13 @@ class SubscriberProtocol {
   SubscriberPhase phase() const { return phase_; }
   bool departed() const { return phase_ == SubscriberPhase::kDeparted; }
 
+  /// Monotone state version: bumped on every observable change to the
+  /// protocol variables (phase, label, left/right/ring, shortcut table),
+  /// including the chaos/scramble hooks. In a converged system no Timeout
+  /// and no steady-state message moves it, so an incremental legitimacy
+  /// probe can skip any node whose version it has already checked.
+  std::uint64_t state_version() const { return version_; }
+
   const std::optional<Label>& label() const { return label_; }
   const std::optional<LabeledRef>& left() const { return left_; }
   const std::optional<LabeledRef>& right() const { return right_; }
@@ -91,28 +98,37 @@ class SubscriberProtocol {
   void chaos_set_label(std::optional<Label> l) {
     label_ = std::move(l);
     derived_.valid = false;
+    touch();
   }
   void chaos_set_left(std::optional<LabeledRef> v) {
     left_ = std::move(v);
     derived_.valid = false;
+    touch();
   }
   void chaos_set_right(std::optional<LabeledRef> v) {
     right_ = std::move(v);
     derived_.valid = false;
+    touch();
   }
   void chaos_set_ring(std::optional<LabeledRef> v) {
     ring_ = std::move(v);
     derived_.valid = false;
+    touch();
   }
   void chaos_put_shortcut(const Label& l, sim::NodeId n) {
     shortcuts_.put(l, n);
     derived_.valid = false;
+    touch();
   }
   void chaos_clear_shortcuts() {
     shortcuts_.clear();
     derived_.valid = false;
+    touch();
   }
-  void chaos_set_phase(SubscriberPhase p) { phase_ = p; }
+  void chaos_set_phase(SubscriberPhase p) {
+    phase_ = p;
+    touch();
+  }
 
  private:
   // -- Candidate processing (linearization core) --
@@ -154,12 +170,20 @@ class SubscriberProtocol {
   void send_check(const LabeledRef& to, IntroFlag flag);
   LabeledRef self_ref() const;
 
+  /// Records an observable state change (see state_version()). Every write
+  /// to phase/label/left/right/ring/shortcuts must be paired with a touch;
+  /// tests/core/probe_differential_test.cpp checks the pairing by running
+  /// the incremental probe against the exhaustive one on every round of
+  /// scrambled executions.
+  void touch() { ++version_; }
+
   sim::NodeId self_;
   sim::NodeId supervisor_;
   MessageSink* sink_;
   ssps::Rng* rng_;
 
   SubscriberPhase phase_ = SubscriberPhase::kActive;
+  std::uint64_t version_ = 1;
   std::optional<Label> label_;
   std::optional<LabeledRef> left_;
   std::optional<LabeledRef> right_;

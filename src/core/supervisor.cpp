@@ -67,24 +67,38 @@ bool SupervisorProtocol::handle(const sim::Message& m) {
 void SupervisorProtocol::check_labels() {
   // §3.3: evict subscribers the failure detector reports as crashed. The
   // eviction punches holes that the relabeling below repairs in the same
-  // sweep.
+  // sweep. Crashes are consumed from the detector's log exactly once
+  // (cursor): each newly-visible crash costs one O(1) index lookup, and a
+  // call with no news costs a bounds check — the database itself is only
+  // re-swept on the dirty path below, where a dead node may have re-entered
+  // through a stale Subscribe or chaos injection.
   if (fd_ != nullptr) {
+    const std::size_t visible = fd_->visible_crash_count();
+    for (; crash_cursor_ < visible; ++crash_cursor_) {
+      evict(fd_->visible_crash(crash_cursor_));
+    }
+  }
+  if (labels_clean_) return;
+
+  if (fd_ != nullptr) {
+    // Dirty re-sweep: tuples inserted for already-dead nodes since the
+    // cursor passed them (their insertion marked the labels dirty).
     for (auto it = db_.begin(); it != db_.end();) {
       if (it->second && fd_->suspects(it->second)) {
         index_remove(it->second, it->first);
         it = db_.erase(it);
-        labels_clean_ = false;
+        ++db_version_;
       } else {
         ++it;
       }
     }
   }
-  if (labels_clean_) return;
 
   // Case (i): drop tuples without a subscriber.
   for (auto it = db_.begin(); it != db_.end();) {
     if (!it->second) {
       it = db_.erase(it);
+      ++db_version_;
     } else {
       ++it;
     }
@@ -121,8 +135,22 @@ void SupervisorProtocol::check_labels() {
     const Label fresh = Label::from_index(missing[j]);
     db_.emplace(fresh, node);
     index_add(node, fresh);
+    ++db_version_;
   }
   labels_clean_ = true;
+}
+
+void SupervisorProtocol::evict(sim::NodeId dead) {
+  auto it = index_.find(dead);
+  if (it == index_.end()) return;
+  // Copy: index_remove edits the vector we would be iterating.
+  const std::vector<Label> labels = it->second;
+  for (const Label& label : labels) {
+    db_.erase(label);
+    index_remove(dead, label);
+    ++db_version_;
+  }
+  labels_clean_ = false;  // the eviction punched label holes
 }
 
 void SupervisorProtocol::check_multiple_copies(sim::NodeId who) {
@@ -134,6 +162,7 @@ void SupervisorProtocol::check_multiple_copies(sim::NodeId who) {
   for (std::size_t i = 1; i < labels.size(); ++i) {
     db_.erase(labels[i]);
     index_remove(who, labels[i]);
+    ++db_version_;
   }
   labels_clean_ = false;  // dropping tuples leaves label holes
   check_labels();
@@ -220,6 +249,13 @@ void SupervisorProtocol::on_subscribe(sim::NodeId who) {
   const Label label = Label::from_index(db_.size());
   db_.emplace(label, who);
   index_add(who, label);
+  ++db_version_;
+  if (fd_ != nullptr && fd_->suspects(who)) {
+    // A stale Subscribe from an already-dead node: the crash-log cursor has
+    // passed it, so flag the labels dirty — the next check_labels re-sweep
+    // evicts it (the same round the old full sweep would have).
+    labels_clean_ = false;
+  }
   send_configuration(db_.find(label));
 }
 
@@ -248,6 +284,7 @@ void SupervisorProtocol::on_unsubscribe(sim::NodeId who) {
   const Label last = Label::from_index(n - 1);
   db_.erase(leaving_label);
   index_remove(who, leaving_label);
+  ++db_version_;
   if (n > 1 && leaving_label != last) {
     // Move the highest-labeled subscriber into the hole (§4.1) and tell it
     // — the only other message this operation costs (Theorem 7).
@@ -258,6 +295,7 @@ void SupervisorProtocol::on_unsubscribe(sim::NodeId who) {
     index_remove(w, last);
     db_.emplace(leaving_label, w);
     index_add(w, leaving_label);
+    ++db_version_;
     send_configuration(db_.find(leaving_label));
   }
   // Permission to depart (Lemma 6).
@@ -286,6 +324,7 @@ void SupervisorProtocol::chaos_insert(const Label& label, sim::NodeId node) {
   db_.insert_or_assign(label, node);
   index_add(node, label);
   labels_clean_ = false;
+  ++db_version_;
 }
 
 void SupervisorProtocol::chaos_insert_null(const Label& label) {
@@ -293,12 +332,14 @@ void SupervisorProtocol::chaos_insert_null(const Label& label) {
   if (existing != db_.end()) index_remove(existing->second, label);
   db_.insert_or_assign(label, sim::NodeId::null());
   labels_clean_ = false;
+  ++db_version_;
 }
 
 void SupervisorProtocol::chaos_clear() {
   db_.clear();
   index_.clear();
   labels_clean_ = false;
+  ++db_version_;
 }
 
 }  // namespace ssps::core

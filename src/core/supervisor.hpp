@@ -45,6 +45,12 @@ class SupervisorProtocol {
 
   std::size_t size() const { return db_.size(); }
 
+  /// Monotone counter bumped on every database mutation (inserts, erases,
+  /// relabelings, chaos injection). Incremental legitimacy probes use it as
+  /// the database epoch: while it is unchanged, every cached fact derived
+  /// from the tuple set stays valid.
+  std::uint64_t db_version() const { return db_version_; }
+
   /// True when the database satisfies none of the corruption conditions
   /// (i)–(iv) of §3.1: values non-null, node-unique, labels = {l(0..n−1)}.
   bool database_consistent() const;
@@ -71,8 +77,15 @@ class SupervisorProtocol {
                             sim::NodeId requester = sim::NodeId::null());
 
   /// §3.1 cases (i), (iii), (iv) + §3.3 crash eviction. Runs lazily: a
-  /// clean database (the steady state) is validated in O(1).
+  /// clean database (the steady state) is validated in O(1). Crash
+  /// eviction consumes the network's crash log through a cursor — O(1)
+  /// amortized per crash — instead of sweeping the whole database per call
+  /// (which made every Subscribe during a cold start O(n), turning
+  /// bootstrap into O(n²)).
   void check_labels();
+  /// Erases every tuple recorded for `dead`; marks the labels dirty when a
+  /// hole was punched.
+  void evict(sim::NodeId dead);
   /// §3.1 case (ii): drop duplicate tuples for `who`, keeping the lowest
   /// label.
   void check_multiple_copies(sim::NodeId who);
@@ -98,6 +111,12 @@ class SupervisorProtocol {
   std::uint64_t next_ = 0;
   /// Cleared by chaos injection; when set, check_labels() is a no-op.
   bool labels_clean_ = true;
+  /// Crash-log entries already consumed by the eviction path. A node that
+  /// re-enters the database after its eviction (stale Subscribe, chaos) is
+  /// caught by the dirty-path re-sweep, not by the cursor.
+  std::size_t crash_cursor_ = 0;
+  /// Database epoch (see db_version()).
+  std::uint64_t db_version_ = 0;
 };
 
 }  // namespace ssps::core

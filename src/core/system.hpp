@@ -6,6 +6,7 @@
 // src/pubsub/topics.hpp).
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
@@ -142,11 +143,29 @@ class SkipRingSystem {
   /// Full legitimacy check: database consistent and matching the active
   /// set, every subscriber holding its database label, and every explicit
   /// edge equal to the SR(n) spec.
+  ///
+  /// Incremental: the check runs on a persistent per-node conformance
+  /// cache. A node is re-verified against the cached SkipRingSpec only
+  /// when its SubscriberProtocol::state_version() moved since its last
+  /// check; the database-level facts revalidate only when the supervisor's
+  /// db_version() or the network topology epoch (spawns/crashes) moved;
+  /// and a live nonconforming count answers the converged steady state
+  /// without touching any node. Convergence waits that probe every round
+  /// therefore pay O(changed nodes) amortized instead of O(n log n) per
+  /// round. Equivalence with the exhaustive check is CI-enforced by
+  /// tests/core/probe_differential_test.cpp.
   bool topology_legit() const;
 
   /// Human-readable first violation ("" when legitimate). For diagnostics
-  /// in tests.
+  /// in tests: legitimacy is decided by the incremental probe, the message
+  /// is recovered by the reference checker.
   std::string legitimacy_violation() const;
+
+  /// The exhaustive O(n log n) reference checker (the pre-incremental
+  /// implementation, kept verbatim): recomputes everything from scratch.
+  /// The differential test runs it against topology_legit() on every round
+  /// of scrambled executions.
+  std::string legitimacy_violation_full() const;
 
   /// Convenience: run rounds until topology_legit() or max_rounds; returns
   /// rounds used (nullopt = did not converge).
@@ -157,12 +176,50 @@ class SkipRingSystem {
   std::string to_dot() const;
 
  private:
+  /// Re-validates the database-level facts (consistency, values alive and
+  /// non-supervisor) and rebuilds the flat label-index -> node assignment;
+  /// returns whether the database passed. Runs only when the db/topology
+  /// epoch moved.
+  bool revalidate_database() const;
+  /// Checks one subscriber against the cached spec and assignment; appends
+  /// the reason to `why` when given (diagnostics path).
+  bool node_conforms(sim::NodeId id, const SubscriberProtocol& sub,
+                     std::ostream* why) const;
+  /// The incremental probe behind topology_legit().
+  bool probe_legit() const;
+
   sim::Network net_;
   sim::NodeId supervisor_id_;
   std::unique_ptr<sim::FailureDetector> fd_;
   /// SR(n) ground truth reused across legitimacy checks (convergence waits
   /// probe once per round; rebuilding the spec each time was O(n log n)).
   mutable std::unique_ptr<SkipRingSpec> spec_cache_;
+
+  /// Persistent conformance cache of the incremental probe.
+  struct ProbeState {
+    /// Database-layer epoch key: supervisor db version + topology epoch
+    /// (total slots, alive count) — the pair changes on every spawn or
+    /// crash, covering "database references dead node" staleness.
+    std::uint64_t db_version = 0;
+    std::size_t slots_seen = 0;
+    std::size_t alive_seen = 0;
+    bool db_checked = false;
+    bool db_ok = false;
+    /// Canonical label index -> recorded node (valid while db_ok).
+    std::vector<sim::NodeId> by_index;
+
+    /// Per-node conformance entries, indexed by NodeId value - 1.
+    struct Entry {
+      std::uint64_t version = 0;  // state_version at last check (0 = never)
+      bool active = false;
+      bool conforms = false;
+    };
+    bool nodes_valid = false;
+    std::vector<Entry> nodes;
+    std::size_t active_count = 0;
+    std::size_t nonconforming = 0;
+  };
+  mutable ProbeState probe_;
 };
 
 }  // namespace ssps::core

@@ -17,10 +17,11 @@
 // fires the invariant named for it (tests/oracle pins both directions).
 #pragma once
 
-#include <map>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/flat_map.hpp"
 
 #include "core/system.hpp"
 #include "oracle/violation.hpp"
@@ -66,7 +67,7 @@ struct MultiTopicView {
   sim::Network* net = nullptr;
   const pubsub::SupervisorGroup* group = nullptr;
   std::vector<sim::NodeId> supervisors;
-  std::map<pubsub::TopicId, std::vector<sim::NodeId>> members;
+  FlatMap<pubsub::TopicId, std::vector<sim::NodeId>> members;
 };
 
 /// Full sweep of a multi-topic deployment: placement per hash arc, then

@@ -134,18 +134,27 @@ void PubSubProtocol::on_publish_new(const msg::PublishNew& m) {
 // ---------------------------------------------------------------------------
 
 bool PubSubSystem::publications_converged() const {
+  // All tries pairwise equal ⟺ every trie equals the union (the union is
+  // taken over these same tries). Equality is decided by Merkle root
+  // digest plus size — O(1) per member — rather than the structural walk
+  // plus an O(members · publications) union materialization the probe used
+  // to pay on every round of a convergence wait. equal_contents() remains
+  // the bit-exact comparator for tests.
   const auto ids = active_ids();
   if (ids.empty()) return true;
-  const PatriciaTrie* first = nullptr;
-  std::size_t union_size = distinct_publications();
+  bool have_first = false;
+  std::size_t first_size = 0;
+  std::optional<NodeSummary> first_root;
   for (sim::NodeId id : ids) {
     const PatriciaTrie& t = pubsub(id).trie();
-    if (t.size() != union_size) return false;
-    if (first == nullptr) {
-      first = &t;
-    } else if (!first->equal_contents(t)) {
-      return false;
+    const std::optional<NodeSummary> root = t.root();
+    if (!have_first) {
+      have_first = true;
+      first_size = t.size();
+      first_root = root;
+      continue;
     }
+    if (t.size() != first_size || root != first_root) return false;
   }
   return true;
 }

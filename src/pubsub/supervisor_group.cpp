@@ -75,7 +75,7 @@ double SupervisorGroup::arc_share(sim::NodeId id) const {
   // Each point owns the arc ending at it and starting after the previous
   // point (successor rule).
   double owned = 0.0;
-  std::uint64_t prev = ring_.rbegin()->first;  // wrap: last point precedes first
+  std::uint64_t prev = ring_.back().first;  // wrap: last point precedes first
   bool first_iteration = true;
   for (const auto& [point, owner] : ring_) {
     const std::uint64_t arc =

@@ -10,9 +10,9 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "pubsub/hash.hpp"
 #include "sim/types.hpp"
 
@@ -48,8 +48,10 @@ class SupervisorGroup {
 
   int virtual_nodes_;
   std::size_t members_ = 0;
-  /// Ring point -> owning supervisor.
-  std::map<std::uint64_t, sim::NodeId> ring_;
+  /// Ring point -> owning supervisor. Sorted flat vector: supervisor_for
+  /// is one binary search over contiguous points (hot in every multi-topic
+  /// probe and rebalance sweep), arc_share a linear walk.
+  FlatMap<std::uint64_t, sim::NodeId> ring_;
 };
 
 }  // namespace ssps::pubsub

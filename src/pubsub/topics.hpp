@@ -4,9 +4,9 @@
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 
+#include "common/flat_map.hpp"
 #include "pubsub/pubsub_node.hpp"
 #include "pubsub/supervisor_group.hpp"
 
@@ -19,10 +19,11 @@ struct TopicEnvelope final : sim::MsgBase<TopicEnvelope> {
   TopicId topic;
   sim::PooledMsg inner;
 
-  TopicEnvelope(TopicId t, sim::PooledMsg m) : topic(t), inner(std::move(m)) {}
+  TopicEnvelope(TopicId t, sim::PooledMsg m) : topic(t), inner(std::move(m)) {
+    set_metrics_type(inner->metrics_type());
+  }
   std::string_view name() const override { return inner->name(); }
   std::size_t wire_size() const override { return inner->wire_size() + sizeof(TopicId); }
-  sim::MsgTypeId metrics_type() const override { return inner->metrics_type(); }
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     inner->collect_refs(out);
   }
@@ -104,7 +105,11 @@ class MultiTopicNode final : public sim::Node {
 
   SupervisorResolver resolver_;
   PubSubConfig config_;
-  std::map<TopicId, Instance> topics_;
+  /// Sorted flat table (see common/flat_map.hpp): timeout() walks every
+  /// instance each round, and envelope dispatch looks one up per message.
+  /// The protocol objects live behind unique_ptrs, so entry moves on
+  /// insert/erase never invalidate the sink/overlay pointers they share.
+  FlatMap<TopicId, Instance> topics_;
 };
 
 /// A supervisor process serving any number of topics (one database each).
@@ -135,7 +140,7 @@ class MultiTopicSupervisorNode final : public sim::Node {
   };
 
   const sim::FailureDetector** fd_;
-  std::map<TopicId, Instance> topics_;
+  FlatMap<TopicId, Instance> topics_;
 };
 
 }  // namespace ssps::pubsub

@@ -11,10 +11,10 @@
 // so a (spec, seed) pair reproduces its report bit-for-bit.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <vector>
 
+#include "common/flat_map.hpp"
 #include "common/rng.hpp"
 #include "oracle/invariants.hpp"
 #include "pubsub/topics.hpp"
@@ -114,9 +114,12 @@ class ScenarioRunner {
   std::vector<sim::NodeId> sup_ids_;
   std::vector<sim::NodeId> clients_;
   /// topic -> members in join order (the expected converged fan-out).
-  std::map<TopicId, std::vector<sim::NodeId>> members_;
+  /// Flat tables (common/flat_map.hpp): the convergence probe and the
+  /// report sampler iterate every topic, which at the thousand-topic
+  /// target must be a linear scan, not a pointer chase.
+  FlatMap<TopicId, std::vector<sim::NodeId>> members_;
   /// topic -> publications issued so far (the expected trie size).
-  std::map<TopicId, std::size_t> pubs_per_topic_;
+  FlatMap<TopicId, std::size_t> pubs_per_topic_;
 };
 
 }  // namespace ssps::scenario

@@ -9,6 +9,8 @@
 // supervisor's database still contains dead subscribers.
 #pragma once
 
+#include <algorithm>
+
 #include "sim/network.hpp"
 #include "sim/types.hpp"
 
@@ -29,6 +31,26 @@ class FailureDetector {
     if (!crashed) return true;  // never existed: safe to treat as gone
     return net_->round() >= *crashed + delay_;
   }
+
+  /// How many entries of the network's crash log are already detectable
+  /// under the current delay. The log is in crash order with non-decreasing
+  /// rounds, so the visible crashes are exactly its first
+  /// visible_crash_count() entries — a consumer (the supervisor's eviction
+  /// sweep) can process the log incrementally with a cursor instead of
+  /// re-scanning its whole database per suspects() probe.
+  std::size_t visible_crash_count() const {
+    const auto& log = net_->crash_log();
+    const Round now = net_->round();
+    if (now < delay_) return 0;
+    const Round horizon = now - delay_;  // visible iff crash_round <= horizon
+    const auto it = std::upper_bound(
+        log.begin(), log.end(), horizon,
+        [](Round h, const std::pair<Round, NodeId>& e) { return h < e.first; });
+    return static_cast<std::size_t>(it - log.begin());
+  }
+
+  /// The node of the i-th crash-log entry (i < visible_crash_count()).
+  NodeId visible_crash(std::size_t i) const { return net_->crash_log()[i].second; }
 
   Round delay() const { return delay_; }
   void set_delay(Round delay_rounds) { delay_ = delay_rounds; }

@@ -31,9 +31,12 @@ class Message {
   MsgTypeId type_id() const { return type_id_; }
 
   /// Type tag under which metrics account this message. Defaults to the
-  /// message's own tag; envelope messages forward their payload's tag so
-  /// per-action accounting stays meaningful across wrappers.
-  virtual MsgTypeId metrics_type() const { return type_id_; }
+  /// message's own tag; envelope messages re-stamp it with their payload's
+  /// tag (set_metrics_type) so per-action accounting stays meaningful
+  /// across wrappers. A plain field, not a virtual: the send path resolves
+  /// it once per message, and the indirect call showed up in round-loop
+  /// profiles.
+  MsgTypeId metrics_type() const { return metrics_type_; }
 
   /// Stable action label, used as the metrics key (e.g. "SetData").
   virtual std::string_view name() const = 0;
@@ -51,7 +54,12 @@ class Message {
   template <typename Derived, typename Base>
   friend struct MsgBase;
 
+  /// For envelope messages: account this instance under `type` (normally
+  /// the wrapped payload's metrics_type()).
+  void set_metrics_type(MsgTypeId type) { metrics_type_ = type; }
+
   MsgTypeId type_id_ = 0;
+  MsgTypeId metrics_type_ = 0;
 };
 
 /// CRTP shim that stamps the concrete type's tag into every instance
@@ -62,6 +70,7 @@ struct MsgBase : Base {
   template <typename... Args>
   explicit MsgBase(Args&&... args) : Base(std::forward<Args>(args)...) {
     Message::type_id_ = msg_type_id<Derived>();
+    Message::metrics_type_ = Message::type_id_;
   }
 };
 

@@ -66,6 +66,8 @@ void Metrics::on_inject(std::size_t bytes) {
 
 void Metrics::reset() {
   by_label_.clear();
+  by_label_view_.clear();
+  view_sent_ = kViewInvalid;
   received_.clear();
   received_labeled_.clear();
   labeled_stride_ = 0;
@@ -107,14 +109,20 @@ std::uint64_t Metrics::received_by(NodeId id, std::string_view name) const {
   return cell != nullptr ? *cell : 0;
 }
 
-std::map<std::string, MessageCounter> Metrics::by_label() const {
-  std::map<std::string, MessageCounter> out;
+const std::vector<std::pair<std::string, MessageCounter>>& Metrics::by_label()
+    const {
+  if (view_sent_ == total_sent_) return by_label_view_;
+  by_label_view_.clear();
+  by_label_view_.reserve(by_label_.size());
   for (std::uint32_t id = 0; id < by_label_.size(); ++id) {
     const MessageCounter& counter = by_label_[id];
     if (counter.count == 0 && counter.bytes == 0) continue;
-    out.emplace(label_names_[id], counter);
+    by_label_view_.emplace_back(label_names_[id], counter);
   }
-  return out;
+  std::sort(by_label_view_.begin(), by_label_view_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  view_sent_ = total_sent_;
+  return by_label_view_;
 }
 
 }  // namespace ssps::sim

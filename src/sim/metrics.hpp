@@ -8,10 +8,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/message.hpp"
@@ -97,9 +97,13 @@ class Metrics {
   /// Messages received by `id` under one action label.
   std::uint64_t received_by(NodeId id, std::string_view name) const;
 
-  /// All per-label send counters with nonzero traffic, sorted by label
-  /// for stable output.
-  std::map<std::string, MessageCounter> by_label() const;
+  /// All per-label send counters with nonzero traffic, sorted by label for
+  /// stable output. Returns a cached flat view: report writers call this
+  /// once per phase (and per supervisor row), and rebuilding a node-based
+  /// map from the interned counters each time was allocator churn. The
+  /// cache revalidates against total_sent(), which moves on every counted
+  /// send, so the hot send/deliver path pays nothing for it.
+  const std::vector<std::pair<std::string, MessageCounter>>& by_label() const;
 
  private:
   /// Dense id of an action label (interned; stable for this Metrics).
@@ -162,6 +166,13 @@ class Metrics {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_injected_ = 0;
   std::uint64_t injected_bytes_ = 0;
+
+  /// Cached by_label() view. Valid while view_sent_ == total_sent_, which
+  /// only moves on counted sends (monotone between resets; reset() stamps
+  /// the sentinel so a fresh window never aliases an old one).
+  static constexpr std::uint64_t kViewInvalid = ~0ULL;
+  mutable std::vector<std::pair<std::string, MessageCounter>> by_label_view_;
+  mutable std::uint64_t view_sent_ = kViewInvalid;
 };
 
 }  // namespace ssps::sim

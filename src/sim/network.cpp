@@ -9,13 +9,12 @@ Network::Network(std::uint64_t seed) : rng_(seed) {}
 
 Network::~Network() {
   // The in-flight buffers hold raw pool handles; reclaim them before the
-  // pool dies so the pool's leak accounting stays exact.
+  // pool dies so the pool's leak accounting stays exact. (The grouped
+  // scatter array never holds handles across run_round calls.)
   for (const Envelope& env : pending_) pool_.destroy(env.handle);
   for (const Envelope& env : round_batch_) pool_.destroy(env.handle);
-  for (const Envelope& env : grouped_batch_) pool_.destroy(env.handle);
   pending_.clear();
   round_batch_.clear();
-  grouped_batch_.clear();
 }
 
 NodeId Network::register_node(std::unique_ptr<Node> node) {
@@ -56,6 +55,7 @@ void Network::crash(NodeId id) {
   drop_pending_for(id);
   slot->node.reset();
   slot->crash_round = round_;
+  crash_log_.emplace_back(round_, id);
   --alive_count_;
 }
 
@@ -136,7 +136,11 @@ std::size_t Network::run_round() {
   // so cross-node interleaving within a round cannot affect any node's
   // trajectory — while each channel still sees a uniformly random
   // permutation of its own messages (inherited from the shuffle).
-  grouped_batch_.resize(round_batch_.size());
+  const std::size_t batch = round_batch_.size();
+  if (grouped_cap_ < batch) {
+    grouped_cap_ = std::max(batch, grouped_cap_ * 2);
+    grouped_ = std::make_unique<Envelope[]>(grouped_cap_);
+  }
   scatter_offsets_.assign(slots_.size() + 1, 0);
   for (const Envelope& env : round_batch_) {
     ++scatter_offsets_[static_cast<std::size_t>(env.to.value)];
@@ -148,12 +152,13 @@ std::size_t Network::run_round() {
     running += count;
   }
   for (const Envelope& env : round_batch_) {
-    grouped_batch_[scatter_offsets_[static_cast<std::size_t>(env.to.value)]++] = env;
+    grouped_[scatter_offsets_[static_cast<std::size_t>(env.to.value)]++] = env;
   }
   round_batch_.clear();
 
   std::size_t delivered = 0;
-  for (const Envelope& env : grouped_batch_) {
+  for (std::size_t i = 0; i < batch; ++i) {
+    const Envelope& env = grouped_[i];
     // Re-resolve per message: a handler may crash its own node or spawn
     // (which can reallocate the slot table) at any point mid-round.
     Slot* slot = find_slot(env.to);
@@ -164,7 +169,6 @@ std::size_t Network::run_round() {
     deliver_envelope(env, *slot->node);
     ++delivered;
   }
-  grouped_batch_.clear();
 
   // Fire Timeouts in id order (a sequential sweep over the dense table).
   // Equivalent to a randomized order: a Timeout reads and writes only its
@@ -174,9 +178,14 @@ std::size_t Network::run_round() {
   // size snapshot: a timeout() may spawn (reallocating the table), and
   // nodes born mid-round first fire next round — as before.
   const std::size_t population = slots_.size();
+  std::size_t timeouts = 0;
   for (std::size_t i = 0; i < population; ++i) {
-    if (slots_[i].node != nullptr) fire_timeout(slots_[i]);
+    if (slots_[i].node != nullptr) {
+      fire_timeout(slots_[i]);
+      ++timeouts;
+    }
   }
+  last_round_timeouts_ = timeouts;
   ++round_;
   return delivered;
 }
@@ -187,10 +196,25 @@ void Network::run_rounds(std::size_t k) {
 
 std::optional<std::size_t> Network::run_until(const std::function<bool()>& pred,
                                               std::size_t max_rounds) {
+  // Quiescence short-circuit: a round that delivered zero messages and
+  // fired zero timeouts executed no action, so no node variable and no
+  // channel changed — a predicate over the simulated state that was false
+  // before such a round is still false after it (the same reasoning as the
+  // delivery-grouping note in run_round: state only moves when an action
+  // runs). Skipping the re-evaluation is therefore observably equivalent;
+  // it matters for waits over empty or fully-crashed populations, where
+  // every round is quiescent and an O(n)-ish probe per round would be pure
+  // overhead.
+  bool known_false = false;
   for (std::size_t i = 0; i < max_rounds; ++i) {
-    if (pred()) return i;
-    run_round();
+    if (!known_false) {
+      if (pred()) return i;
+      known_false = true;
+    }
+    const std::size_t delivered = run_round();
+    if (delivered > 0 || last_round_timeouts_ > 0) known_false = false;
   }
+  if (known_false) return std::nullopt;
   return pred() ? std::optional<std::size_t>(max_rounds) : std::nullopt;
 }
 

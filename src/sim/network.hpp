@@ -111,6 +111,27 @@ class Network {
   /// Number of alive nodes (crashed tombstones excluded).
   std::size_t alive_count() const { return alive_count_; }
 
+  /// Total node slots ever created (alive + tombstones). Together with
+  /// alive_count() this changes on every spawn or crash, which makes the
+  /// pair a cheap topology epoch for incremental probes.
+  std::size_t slot_count() const { return slots_.size(); }
+
+  /// Every crash since construction, in crash order: (round, node). Rounds
+  /// are non-decreasing, so "crashes visible under a detection delay" is a
+  /// prefix of this log (see sim::FailureDetector::visible_crash_count).
+  const std::vector<std::pair<Round, NodeId>>& crash_log() const {
+    return crash_log_;
+  }
+
+  /// Calls fn(id, node) for every alive node in id order, without
+  /// materializing an id vector (the per-round probe path).
+  template <typename Fn>
+  void for_each_alive(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].node != nullptr) fn(id_at(i), *slots_[i].node);
+    }
+  }
+
   // ---- Communication --------------------------------------------------
 
   /// Sends `msg` to `to` by placing it into to's channel. A send to a
@@ -165,6 +186,11 @@ class Network {
   /// Runs rounds until `pred()` holds (checked after each round) or
   /// `max_rounds` elapse. Returns the number of rounds executed, or
   /// nullopt if the predicate never held.
+  ///
+  /// `pred` must be a function of the simulated system state (every
+  /// convergence probe is): rounds that executed no action at all are
+  /// skipped without re-evaluating it (see the quiescence note in
+  /// network.cpp).
   std::optional<std::size_t> run_until(const std::function<bool()>& pred,
                                        std::size_t max_rounds);
 
@@ -226,7 +252,7 @@ class Network {
     return NodeId{static_cast<std::uint64_t>(index) + 1};
   }
 
-  void enqueue(NodeId to, PooledMsg msg, std::uint32_t label_id) {
+  void enqueue(NodeId to, PooledMsg&& msg, std::uint32_t label_id) {
     Envelope env;
     env.to = to;
     env.msg = msg.get();
@@ -246,6 +272,7 @@ class Network {
   std::vector<Slot> slots_;  // index = NodeId.value - 1
   std::size_t alive_count_ = 0;
   std::vector<Envelope> pending_;  // all in-flight messages, send order
+  std::vector<std::pair<Round, NodeId>> crash_log_;  // crash order
   Round round_ = 0;
   Step step_ = 0;
   ssps::Rng rng_;
@@ -253,10 +280,18 @@ class Network {
   Metrics metrics_;
   AsyncConfig async_cfg_;
   std::uint64_t swallowed_to_dead_ = 0;
+  /// Timeouts fired by the last run_round (for the quiescence check).
+  std::size_t last_round_timeouts_ = 0;
 
-  // Scratch buffers reused across rounds (capacity persists).
+  // Scratch buffers reused across rounds (capacity persists). The grouped
+  // scatter target is a raw array, not a vector: every cell in [0, batch)
+  // is overwritten by the counting sort each round, so element lifetime
+  // bookkeeping (and the re-zeroing a vector resize would do) is pure
+  // overhead — and no pooled handle ever outlives the delivery loop here,
+  // so the destructor has nothing to reclaim from it.
   std::vector<Envelope> round_batch_;
-  std::vector<Envelope> grouped_batch_;
+  std::unique_ptr<Envelope[]> grouped_;
+  std::size_t grouped_cap_ = 0;
   std::vector<std::uint32_t> scatter_offsets_;
   std::vector<NodeId> order_scratch_;
 };

@@ -1,0 +1,88 @@
+// Tests for the sorted flat-vector map (src/common/flat_map.hpp) backing
+// the multi-topic tables.
+#include "common/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+namespace ssps {
+namespace {
+
+TEST(FlatMap, InsertFindEraseKeepSortedOrder) {
+  FlatMap<int, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_TRUE(m.emplace(3, "c").second);
+  EXPECT_TRUE(m.emplace(1, "a").second);
+  EXPECT_TRUE(m.emplace(2, "b").second);
+  EXPECT_FALSE(m.emplace(2, "x").second);  // no overwrite
+  ASSERT_EQ(m.size(), 3u);
+
+  std::string keys;
+  for (const auto& [k, v] : m) keys += v;
+  EXPECT_EQ(keys, "abc");  // iteration in key order, like std::map
+
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_EQ(m.find(2)->second, "b");
+  EXPECT_EQ(m.find(9), m.end());
+  EXPECT_EQ(m.at(3), "c");
+
+  EXPECT_EQ(m.erase(2), 1u);
+  EXPECT_EQ(m.erase(2), 0u);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, OperatorBracketDefaultConstructs) {
+  FlatMap<int, std::size_t> m;
+  m[7] += 2;
+  m[5] += 1;
+  m[7] += 3;
+  EXPECT_EQ(m.at(7), 5u);
+  EXPECT_EQ(m.at(5), 1u);
+  EXPECT_EQ(m.front().first, 5);
+  EXPECT_EQ(m.back().first, 7);
+}
+
+TEST(FlatMap, LowerBoundSupportsRingLookup) {
+  // The consistent-hashing ring uses lower_bound with wraparound.
+  FlatMap<std::uint64_t, int> ring;
+  ring.emplace(10u, 1);
+  ring.emplace(20u, 2);
+  ring.emplace(30u, 3);
+  EXPECT_EQ(ring.lower_bound(15)->second, 2);
+  EXPECT_EQ(ring.lower_bound(20)->second, 2);
+  EXPECT_EQ(ring.lower_bound(31), ring.end());  // caller wraps to begin()
+}
+
+TEST(FlatMap, EraseDuringIterationReturnsNextEntry) {
+  // MultiTopicNode::timeout prunes departed instances mid-iteration.
+  FlatMap<int, int> m;
+  for (int k = 0; k < 6; ++k) m.emplace(k, k * k);
+  for (auto it = m.begin(); it != m.end();) {
+    if (it->first % 2 == 0) {
+      it = m.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.begin()->first, 1);
+}
+
+TEST(FlatMap, HoldsMoveOnlyValues) {
+  // The per-topic instance tables store unique_ptr-laden structs; entry
+  // moves on insert/erase must compile and preserve the pointees.
+  FlatMap<int, std::unique_ptr<int>> m;
+  m.emplace(2, std::make_unique<int>(22));
+  m.emplace(1, std::make_unique<int>(11));
+  int* stable = m.find(2)->second.get();
+  m.emplace(0, std::make_unique<int>(0));  // shifts entries right
+  EXPECT_EQ(m.find(2)->second.get(), stable);
+  EXPECT_EQ(*m.at(1), 11);
+  m.erase(1);
+  EXPECT_EQ(*m.at(2), 22);
+}
+
+}  // namespace
+}  // namespace ssps

@@ -56,6 +56,31 @@ TEST(Metrics, ByLabelIsSortedForStableOutput) {
   EXPECT_EQ(names, (std::vector<std::string>{"Alpha", "Mid", "Zeta"}));
 }
 
+TEST(Metrics, ByLabelViewRevalidatesAcrossSendsAndResets) {
+  Metrics m;
+  m.on_send("A", 10, NodeId{1});
+  const auto& first = m.by_label();
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].second.count, 1u);
+
+  // New traffic must show up on the next call.
+  m.on_send("A", 10, NodeId{1});
+  m.on_send("B", 5, NodeId{2});
+  const auto& second = m.by_label();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].first, "A");
+  EXPECT_EQ(second[0].second.count, 2u);
+  EXPECT_EQ(second[1].first, "B");
+
+  // reset() invalidates even though the running totals start over (the
+  // fresh window must never alias a cached view from an old one).
+  m.reset();
+  EXPECT_TRUE(m.by_label().empty());
+  m.on_send("C", 1, NodeId{1});
+  ASSERT_EQ(m.by_label().size(), 1u);
+  EXPECT_EQ(m.by_label()[0].first, "C");
+}
+
 TEST(Metrics, NetworkIntegrationTracksWireSizes) {
   struct Sized final : MsgBase<Sized> {
     std::string_view name() const override { return "Sized"; }

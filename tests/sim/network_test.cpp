@@ -179,6 +179,39 @@ TEST(Network, RunUntilReportsFailure) {
   EXPECT_FALSE(net.run_until([] { return false; }, 5).has_value());
 }
 
+TEST(Network, RunUntilSkipsPredicateOnQuiescentRounds) {
+  // A fully crashed population executes no action, so state cannot change:
+  // the wait must evaluate the predicate once, not once per round.
+  Network net(19);
+  const NodeId a = net.spawn<Probe>();
+  net.crash(a);
+  int evaluations = 0;
+  EXPECT_FALSE(net.run_until(
+                      [&] {
+                        ++evaluations;
+                        return false;
+                      },
+                      50)
+                   .has_value());
+  EXPECT_EQ(evaluations, 1);
+  EXPECT_EQ(net.round(), Round{50});  // the rounds themselves still ran
+}
+
+TEST(Network, RunUntilReevaluatesWhileAnyActionRuns) {
+  // Any alive node fires a Timeout each round, so nothing is skipped.
+  Network net(20);
+  net.spawn<Probe>();
+  int evaluations = 0;
+  EXPECT_FALSE(net.run_until(
+                      [&] {
+                        ++evaluations;
+                        return false;
+                      },
+                      5)
+                   .has_value());
+  EXPECT_EQ(evaluations, 6);  // before each of 5 rounds + the final check
+}
+
 TEST(Network, WeaklyConnectedViaExplicitEdges) {
   Network net(12);
   const NodeId a = net.spawn<Probe>();

@@ -18,6 +18,11 @@ Gated metrics:
   throughput (wall-clock; --throughput-tolerance, default 15%):
       higher is better: rounds_per_sec, msgs_per_sec
 
+Silent-drop guard: a numeric metric — or a whole series row — the current
+run emits but the baseline lacks fails the gate. Without it, refreshing
+baselines from a filtered or truncated run (or growing a bench without
+refreshing) would silently stop gating that metric or row forever.
+
 Refreshing baselines after an intended change:
     cd build && ./bench_simcore --benchmark_filter=NONE \
              && ./bench_convergence --benchmark_filter=NONE
@@ -48,11 +53,22 @@ def iter_series(doc):
                     yield key, row
 
 
+def is_numeric_metric(name, value):
+    if name in IDENTIFYING_KEYS or name == "ok":
+        return False
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def compare_rows(where, base, got, tol, thr_tol, failures):
+    # Silent-drop guard: every numeric metric the run emits must exist in
+    # the baseline row, or the baseline can no longer vouch for it.
+    for metric, value in got.items():
+        if is_numeric_metric(metric, value) and metric not in base:
+            failures.append(
+                f"{where}: baseline lacks metric '{metric}' that the current "
+                f"run emits (refresh bench/baselines/ from a full run)")
     for metric, base_value in base.items():
-        if metric in IDENTIFYING_KEYS or metric == "ok":
-            continue
-        if not isinstance(base_value, (int, float)) or isinstance(base_value, bool):
+        if not is_numeric_metric(metric, base_value):
             continue
         if metric not in LOWER_IS_BETTER | HIGHER_IS_BETTER | BOTH_DIRECTIONS:
             continue
@@ -87,8 +103,10 @@ def compare_file(baseline_path, result_path, tol, thr_tol, failures):
     got_index = {}
     for series, row in iter_series(got_doc):
         got_index[(series, row_key(row))] = row
+    base_keys = set()
     compared = 0
     for series, row in iter_series(base_doc):
+        base_keys.add((series, row_key(row)))
         where = f"{baseline_path.name}:{series}{list(row_key(row))}"
         got = got_index.get((series, row_key(row)))
         if got is None:
@@ -96,6 +114,13 @@ def compare_file(baseline_path, result_path, tol, thr_tol, failures):
             continue
         compare_rows(where, row, got, tol, thr_tol, failures)
         compared += 1
+    # Row-level silent-drop guard: a row the run emits that the baseline
+    # never gates (e.g. a bench extended to a new n without a refresh).
+    for (series, key) in got_index:
+        if (series, key) not in base_keys:
+            failures.append(
+                f"{baseline_path.name}:{series}{list(key)}: row missing from "
+                f"baseline (refresh bench/baselines/ to gate it)")
     return compared
 
 
