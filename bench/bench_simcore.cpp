@@ -36,10 +36,12 @@ struct Cell {
   std::size_t pool_reserved_kb = 0;
 };
 
-Cell measure(std::size_t n, std::size_t measure_rounds, int reps) {
+Cell measure(std::size_t n, std::size_t measure_rounds, int reps,
+             unsigned threads = 1) {
   Cell cell;
   cell.n = n;
   pubsub::PubSubSystem sys(core::SkipRingSystem::Options{.seed = 42, .fd_delay = 0});
+  if (threads > 1) sys.net().set_threads(threads);
   sys.add_pubsub_subscribers(n);
 
   double t0 = now_seconds();
@@ -63,7 +65,7 @@ Cell measure(std::size_t n, std::size_t measure_rounds, int reps) {
   cell.msgs_per_sec =
       static_cast<double>(cell.msgs_per_round) * cell.rounds_per_sec;
   cell.peak_rss_kb = peak_rss_kb();
-  cell.pool_reserved_kb = sys.net().pool().reserved_bytes() / 1024;
+  cell.pool_reserved_kb = sys.net().pool_reserved_bytes() / 1024;
   return cell;
 }
 
@@ -95,7 +97,57 @@ void print_experiment() {
       "Simulation-core throughput — steady-state maintenance of the full "
       "stack (expect: msgs/round ~4n, rounds/sec falling ~1/n, RSS linear)");
   ssps::bench::result_json()["simcore"] = std::move(series);
+
+  // Worker sweep: the same steady-state window under the parallel round
+  // scheduler. msgs/round is a determinism pin (the trace is worker-count
+  // independent, so the column must not move); rounds/sec is the scaling
+  // measurement and only meaningful on multi-core hosts (a single-core
+  // container serializes the workers and pays the barrier overhead).
+  Table sweep({"n", "threads", "bootstrap rounds", "msgs/round", "rounds/sec",
+               "msgs/sec"});
+  scenario::Json sweep_series = scenario::Json::array();
+  for (std::size_t n : {4096u, 16384u}) {
+    for (unsigned threads : {1u, 2u, 4u}) {
+      const Cell cell = measure(n, 30, 3, threads);
+      sweep.add_row({Table::num(static_cast<std::uint64_t>(cell.n)),
+                     Table::num(static_cast<std::uint64_t>(threads)),
+                     Table::num(static_cast<std::uint64_t>(cell.bootstrap_rounds)),
+                     Table::num(cell.msgs_per_round),
+                     Table::num(cell.rounds_per_sec, 1),
+                     Table::num(cell.msgs_per_sec, 0)});
+      scenario::Json row = scenario::Json::object();
+      row["n"] = static_cast<std::uint64_t>(cell.n);
+      row["threads"] = static_cast<std::uint64_t>(threads);
+      row["bootstrap_rounds"] = static_cast<std::uint64_t>(cell.bootstrap_rounds);
+      row["msgs_per_round"] = cell.msgs_per_round;
+      row["rounds_per_sec"] = cell.rounds_per_sec;
+      row["msgs_per_sec"] = cell.msgs_per_sec;
+      sweep_series.push_back(std::move(row));
+    }
+  }
+  sweep.print(
+      "Parallel round scheduler — steady-state worker sweep (expect: "
+      "identical msgs/round per n; rounds/sec scaling with cores)");
+  ssps::bench::result_json()["simcore_threads"] = std::move(sweep_series);
 }
+
+void BM_SteadyRoundParallel(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const unsigned threads = static_cast<unsigned>(state.range(1));
+  pubsub::PubSubSystem sys(core::SkipRingSystem::Options{.seed = 7, .fd_delay = 0});
+  sys.net().set_threads(threads);
+  sys.add_pubsub_subscribers(n);
+  sys.run_until_legit(20000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sys.net().run_round());
+  }
+}
+BENCHMARK(BM_SteadyRoundParallel)
+    ->Args({4096, 2})
+    ->Args({4096, 4})
+    ->Args({16384, 2})
+    ->Args({16384, 4})
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_SteadyRound(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));

@@ -64,6 +64,13 @@ class SubscriberProtocol {
   /// including the chaos/scramble hooks. In a converged system no Timeout
   /// and no steady-state message moves it, so an incremental legitimacy
   /// probe can skip any node whose version it has already checked.
+  ///
+  /// Threading: a plain counter, deliberately not atomic. Under the
+  /// parallel round scheduler all writes happen on the worker that owns
+  /// this node's shard, and every probe runs between rounds — after the
+  /// scheduler's round barrier, whose mutex hand-off publishes the
+  /// worker's writes (sched/parallel.cpp). Reading versions mid-phase
+  /// would be a race *and* meaningless (the round is half-applied).
   std::uint64_t state_version() const { return version_; }
 
   const std::optional<Label>& label() const { return label_; }

@@ -74,6 +74,18 @@ void SupervisorProtocol::check_labels() {
   // through a stale Subscribe or chaos injection.
   if (fd_ != nullptr) {
     const std::size_t visible = fd_->visible_crash_count();
+    if (crash_cursor_ > visible) {
+      // The detector's delay was raised: crashes the cursor already
+      // consumed are temporarily invisible again, and a tuple for such a
+      // node can re-enter while it is unsuspected (stale Subscribe,
+      // chaos injection) without marking the labels dirty. Rewind so
+      // each of those crashes is consumed again when it becomes visible
+      // — restoring the pre-cursor full sweep's eventual-eviction
+      // guarantee under detector retuning. Re-consuming a crash whose
+      // tuples are already gone is a no-op (evict() is idempotent), so
+      // runs that never re-admit a dead node keep their exact traces.
+      crash_cursor_ = visible;
+    }
     for (; crash_cursor_ < visible; ++crash_cursor_) {
       evict(fd_->visible_crash(crash_cursor_));
     }

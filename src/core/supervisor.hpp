@@ -48,7 +48,9 @@ class SupervisorProtocol {
   /// Monotone counter bumped on every database mutation (inserts, erases,
   /// relabelings, chaos injection). Incremental legitimacy probes use it as
   /// the database epoch: while it is unchanged, every cached fact derived
-  /// from the tuple set stays valid.
+  /// from the tuple set stays valid. Plain (non-atomic) like
+  /// SubscriberProtocol::state_version, and published the same way: probes
+  /// read it only at round barriers of the installed scheduler.
   std::uint64_t db_version() const { return db_version_; }
 
   /// True when the database satisfies none of the corruption conditions

@@ -47,6 +47,14 @@ std::vector<TopicId> MultiTopicNode::topics() const {
   return out;
 }
 
+std::optional<std::pair<std::uint64_t, std::size_t>> MultiTopicNode::topic_epoch(
+    TopicId topic) const {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) return std::nullopt;
+  return std::make_pair(it->second.sub->state_version(),
+                        it->second.ps->trie().size());
+}
+
 core::SubscriberProtocol& MultiTopicNode::overlay(TopicId topic) {
   return *instance(topic).sub;
 }

@@ -3,8 +3,11 @@
 // process by tagging every message with its topic.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <utility>
 
 #include "common/flat_map.hpp"
 #include "pubsub/pubsub_node.hpp"
@@ -86,6 +89,16 @@ class MultiTopicNode final : public sim::Node {
 
   bool subscribed(TopicId topic) const { return topics_.contains(topic); }
   std::vector<TopicId> topics() const;
+
+  /// (overlay state version, publication-store size) of the per-topic
+  /// instance — the member's contribution to the engine's per-topic
+  /// convergence epoch (ScenarioRunner::converged). Two integer reads;
+  /// nullopt when not subscribed (instance existence is part of the
+  /// epoch). Together these cover every per-member fact the convergence
+  /// probe evaluates: the overlay's label (state_version) and the trie
+  /// size (read directly).
+  std::optional<std::pair<std::uint64_t, std::size_t>> topic_epoch(
+      TopicId topic) const;
 
   /// Accessors abort if the topic is not joined.
   core::SubscriberProtocol& overlay(TopicId topic);

@@ -82,6 +82,7 @@ Json ScenarioReport::to_json() const {
   j["mode"] = mode_name(mode);
   j["supervisors"] = static_cast<std::uint64_t>(supervisors);
   j["topics"] = static_cast<std::uint64_t>(topics);
+  j["threads"] = static_cast<std::uint64_t>(threads);
   j["ok"] = ok;
   j["oracle_ok"] = oracle_ok;
   Json totals = Json::object();

@@ -76,6 +76,10 @@ struct ScenarioReport {
   Mode mode = Mode::kSingleTopic;
   std::size_t supervisors = 0;
   std::size_t topics = 0;
+  /// Round-scheduler worker count the run used. The only header field
+  /// that may differ between otherwise byte-identical reports (determinism
+  /// harnesses strip it before comparing across thread counts).
+  unsigned threads = 1;
 
   std::vector<PhaseReport> phases;
 

@@ -27,6 +27,10 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
   report_.mode = spec_.mode;
   report_.supervisors = spec_.supervisors;
   report_.topics = spec_.topics;
+  // The round-scheduler worker count the run actually uses: async specs
+  // never install the pool (see the guard below), so they report 1.
+  report_.threads =
+      spec_.scheduler == Scheduler::kRounds ? spec_.threads : 1;
 
   if (spec_.mode == Mode::kSingleTopic) {
     single_ = std::make_unique<pubsub::PubSubSystem>(
@@ -41,6 +45,11 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     std::vector<sim::NodeId> initial;
     for (std::size_t i = 0; i < spec_.supervisors; ++i) initial.push_back(spawn_supervisor());
     group_ = std::make_unique<pubsub::SupervisorGroup>(initial, spec_.virtual_nodes);
+  }
+  // Async-scheduler specs never call run_round, so a worker pool would
+  // be dead weight — threads only applies to the round scheduler.
+  if (spec_.threads > 1 && spec_.scheduler == Scheduler::kRounds) {
+    net().set_threads(spec_.threads);
   }
 }
 
@@ -464,6 +473,70 @@ void ScenarioRunner::run_budget(std::size_t budget) {
 }
 
 bool ScenarioRunner::converged() const {
+  if (spec_.mode == Mode::kSingleTopic) {
+    return single_->topology_legit() && single_->publications_converged();
+  }
+  for (const auto& [topic, members] : members_) {
+    if (members.empty()) continue;
+    if (!topic_converged(topic, members)) return false;
+  }
+  return true;
+}
+
+bool ScenarioRunner::topic_converged(
+    TopicId topic, const std::vector<sim::NodeId>& members) const {
+  auto* self = const_cast<ScenarioRunner*>(this);
+  const sim::NodeId owner = group_->supervisor_for(topic);
+  auto& sup = self->multi_net_->node_as<pubsub::MultiTopicSupervisorNode>(owner);
+  const core::SupervisorProtocol* proto = sup.find_topic(topic);
+  if (proto == nullptr) return false;  // no instance yet: nothing to cache
+  const std::size_t want_pubs = [&] {
+    auto it = pubs_per_topic_.find(topic);
+    return it == pubs_per_topic_.end() ? std::size_t{0} : it->second;
+  }();
+
+  // Build the topic's epoch key from cheap version reads: two integers
+  // per member, one per database. Every fact the full check below
+  // evaluates is a function of this key — proto->size(),
+  // database_consistent() and label_of() of the database (db_version),
+  // overlay.label() of the member's overlay state (state_version), the
+  // trie size (keyed directly) — so an unchanged key means an unchanged
+  // verdict, positive or negative.
+  epoch_scratch_.clear();
+  for (sim::NodeId m : members) {
+    auto& node = self->multi_net_->node_as<pubsub::MultiTopicNode>(m);
+    const auto epoch = node.topic_epoch(topic);
+    epoch_scratch_.push_back(epoch ? MemberEpoch{m, epoch->first, epoch->second}
+                                   : MemberEpoch{m, ~std::uint64_t{0}, 0});
+  }
+  TopicVerdict& verdict = verdicts_[topic];
+  if (verdict.owner == owner && verdict.db_version == proto->db_version() &&
+      verdict.want_pubs == want_pubs && verdict.members == epoch_scratch_) {
+    return verdict.ok;
+  }
+
+  // Epoch moved (or first sight): re-evaluate in full and re-key.
+  verdict.owner = owner;
+  verdict.db_version = proto->db_version();
+  verdict.want_pubs = want_pubs;
+  verdict.members = epoch_scratch_;
+  verdict.ok = [&] {
+    if (proto->size() != members.size() || !proto->database_consistent()) {
+      return false;
+    }
+    for (sim::NodeId m : members) {
+      auto& node = self->multi_net_->node_as<pubsub::MultiTopicNode>(m);
+      if (!node.subscribed(topic)) return false;
+      const auto& overlay = node.overlay(topic);
+      if (!overlay.label() || proto->label_of(m) != overlay.label()) return false;
+      if (node.pubsub(topic).trie().size() != want_pubs) return false;
+    }
+    return true;
+  }();
+  return verdict.ok;
+}
+
+bool ScenarioRunner::converged_reference() const {
   if (spec_.mode == Mode::kSingleTopic) {
     return single_->topology_legit() && single_->publications_converged();
   }

@@ -45,6 +45,20 @@ class ScenarioRunner {
   /// for it; exposed so tests and tools can interrogate any moment.
   oracle::OracleReport check_oracle();
 
+  /// The engine's convergence predicate (the wait target of
+  /// Phase::converge). Multi-topic mode answers from a per-topic verdict
+  /// cache keyed on cheap version reads — supervisor db_version, member
+  /// overlay state versions, publication-store sizes — re-evaluating a
+  /// topic only when its epoch moved, the multi-topic analogue of the
+  /// single-ring incremental probe. Exposed (with the exhaustive
+  /// reference below) so the differential test can pin their agreement.
+  bool converged() const;
+
+  /// Reference implementation of converged(): the full (topic, member)
+  /// walk, no caching. Tests assert converged() == converged_reference()
+  /// along entire convergence trajectories.
+  bool converged_reference() const;
+
   /// The underlying network (either mode).
   sim::Network& net();
 
@@ -71,7 +85,6 @@ class ScenarioRunner {
   void apply_scramble(const Phase& phase);
   void apply_publish(const PublishLoad& load);
   void run_budget(std::size_t budget);
-  bool converged() const;
   /// Whether the oracle runs at the end of `phase`.
   bool oracle_enabled(const Phase& phase) const;
   std::size_t wait_converged(std::size_t max_rounds, bool oracle_too,
@@ -120,6 +133,36 @@ class ScenarioRunner {
   FlatMap<TopicId, std::vector<sim::NodeId>> members_;
   /// topic -> publications issued so far (the expected trie size).
   FlatMap<TopicId, std::size_t> pubs_per_topic_;
+
+  /// One member's contribution to a topic's convergence epoch: identity
+  /// plus the version pair from MultiTopicNode::topic_epoch (nullopt —
+  /// not subscribed — keys as the (~0, 0) sentinel, which a real epoch
+  /// never produces: versions grow far slower than 2^64).
+  struct MemberEpoch {
+    sim::NodeId id;
+    std::uint64_t overlay_version = 0;
+    std::size_t trie_size = 0;
+    bool operator==(const MemberEpoch&) const = default;
+  };
+  /// Cached verdict for one topic, valid while its key fields — owner,
+  /// database epoch, expected publication count, member epochs — are
+  /// unchanged. Negative verdicts cache too: a topic that was not
+  /// converged and whose state did not move is still not converged.
+  struct TopicVerdict {
+    bool ok = false;
+    sim::NodeId owner;
+    std::uint64_t db_version = 0;
+    std::size_t want_pubs = 0;
+    std::vector<MemberEpoch> members;
+  };
+  /// The per-topic verdict cache (mutable: converged() is logically
+  /// const). Stale entries for emptied topics are simply skipped.
+  mutable FlatMap<TopicId, TopicVerdict> verdicts_;
+  /// Scratch key rebuilt per probe call (capacity persists).
+  mutable std::vector<MemberEpoch> epoch_scratch_;
+
+  bool topic_converged(TopicId topic,
+                       const std::vector<sim::NodeId>& members) const;
 };
 
 }  // namespace ssps::scenario

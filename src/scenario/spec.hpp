@@ -137,6 +137,12 @@ struct ScenarioSpec {
   Mode mode = Mode::kSingleTopic;
   Scheduler scheduler = Scheduler::kRounds;
 
+  /// Round-scheduler worker count (1 = serial). Any value produces the
+  /// same report byte-for-byte apart from the recorded `threads` header
+  /// field (sched/parallel.hpp); only wall-clock changes. Ignored by the
+  /// async scheduler.
+  unsigned threads = 1;
+
   // ---- multi-topic shape ----------------------------------------------
   std::size_t supervisors = 1;       ///< initial supervisor-group size
   std::size_t topics = 0;            ///< topic universe [1, topics]

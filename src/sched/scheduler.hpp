@@ -1,0 +1,53 @@
+// Round-scheduler seam of the simulated network.
+//
+// sim::Network::run_round() delegates to the installed Scheduler, which
+// executes one synchronous round through the Network's phase helpers
+// (round_begin / deliver_grouped_range / timeout_sweep / round_end). The
+// contract every implementation must honor: for a fixed (seed, call
+// sequence), the delivery trace — which message reaches which node in
+// which order, and every metrics counter — is bit-identical across all
+// schedulers and worker counts. SerialScheduler is the reference;
+// ParallelScheduler reproduces it from sharded worker lanes (see
+// parallel.hpp for why that equality holds by construction).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace ssps::sim {
+class Network;
+}  // namespace ssps::sim
+
+namespace ssps::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Executes one synchronous round against `net`; returns the number of
+  /// messages delivered.
+  virtual std::size_t run_round(sim::Network& net) = 0;
+
+  /// Folds any per-worker metrics shards into net's main Metrics (a
+  /// no-op for schedulers without shards). Network::metrics() calls this
+  /// before handing the counters to any reader.
+  virtual void flush_metrics(sim::Network& net) { (void)net; }
+
+  /// Called when the Network replaces this scheduler mid-run. The
+  /// instance stays alive — its message arenas may still own in-flight
+  /// envelopes — but will never execute another round, so
+  /// implementations release everything else (the parallel scheduler
+  /// joins its worker threads here).
+  virtual void retire() {}
+
+  /// Worker count (1 for the serial scheduler).
+  virtual unsigned threads() const = 0;
+
+  /// Display name for reports and diagnostics.
+  virtual std::string_view name() const = 0;
+
+  /// Bytes reserved by scheduler-owned message arenas (worker pools).
+  virtual std::size_t reserved_bytes() const { return 0; }
+};
+
+}  // namespace ssps::sched

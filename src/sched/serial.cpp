@@ -1,0 +1,16 @@
+#include "sched/serial.hpp"
+
+#include "sim/network.hpp"
+
+namespace ssps::sched {
+
+std::size_t SerialScheduler::run_round(sim::Network& net) {
+  const std::size_t batch = net.round_begin();
+  const std::size_t delivered =
+      net.deliver_grouped_range(0, batch, net.main_ctx_);
+  net.timeout_sweep();
+  net.round_end();
+  return delivered;
+}
+
+}  // namespace ssps::sched

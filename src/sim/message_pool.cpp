@@ -11,6 +11,8 @@ MsgTypeId allocate_msg_type_id() {
   return ++next;  // 0 stays "untagged"
 }
 
+thread_local FreeLane* tls_free_lane = nullptr;
+
 }  // namespace detail
 
 void PooledMsg::reset() {
@@ -18,7 +20,7 @@ void PooledMsg::reset() {
   // itself; a nested owner's release must then be a no-op or the slot
   // would see its destructor twice.
   if (pool_ != nullptr && ptr_ != nullptr && !pool_->tearing_down()) {
-    pool_->destroy(handle_);
+    pool_->destroy(ptr_, handle_);
   }
   forget();
 }
@@ -46,7 +48,12 @@ MessagePool::~MessagePool() {
   std::vector<bool> free_slots(oversize_.size(), false);
   for (std::uint32_t s : oversize_free_) free_slots[s] = true;
   for (std::uint32_t s = 0; s < oversize_.size(); ++s) {
-    if (!free_slots[s]) get(MsgHandle::make(kOversizeClass, s))->~Message();
+    // Address the block directly rather than through get(): the class is
+    // statically the oversize one, and GCC's -Warray-bounds flags the
+    // (dead) size-class branch inside address_of when it inlines here.
+    if (!free_slots[s]) {
+      std::launder(reinterpret_cast<Message*>(oversize_[s].block.get()))->~Message();
+    }
   }
 }
 

@@ -67,6 +67,31 @@ struct MsgHandle {
   }
 };
 
+/// One slot release that must wait for the next round barrier: the handle
+/// plus the pool that owns it (parallel rounds run one pool per worker).
+struct DeferredFree {
+  MessagePool* pool = nullptr;
+  MsgHandle handle;
+};
+
+/// Per-worker deferred-free list, active while a ParallelScheduler phase
+/// runs on this thread. A worker delivering messages frees slots that
+/// belong to *other* workers' pools (whoever sent the message last round
+/// allocated it); pushing those frees here — and repatriating them on the
+/// main thread at the round barrier — keeps every pool's freelist
+/// single-threaded, so the hot allocation path needs no atomics. Frees
+/// into the worker's own pool (`own`) recycle immediately.
+struct FreeLane {
+  MessagePool* own = nullptr;
+  std::vector<DeferredFree> deferred;
+};
+
+namespace detail {
+/// Null outside parallel round phases; set by the scheduler's workers
+/// around their delivery slice. See FreeLane.
+extern thread_local FreeLane* tls_free_lane;
+}  // namespace detail
+
 /// Owning smart handle for a pooled message: unique_ptr semantics (move
 /// only, destroys the message and recycles its slot on scope exit), plus
 /// access to the underlying MsgHandle for code that stores messages
@@ -152,10 +177,32 @@ class MessagePool {
     return std::launder(reinterpret_cast<Message*>(address_of(h.size_class(), h.slot())));
   }
 
-  /// Runs the message's destructor and recycles the slot (LIFO).
-  void destroy(MsgHandle h) {
+  /// Runs the message's destructor and recycles the slot (LIFO). During a
+  /// parallel round phase a free into a pool this thread does not own is
+  /// deferred to the thread's FreeLane and repatriated at the round
+  /// barrier (the slot's live accounting moves with it, in reclaim()).
+  void destroy(MsgHandle h) { destroy(get(h), h); }
+
+  /// destroy() for callers that already hold the message pointer (the
+  /// Network's envelopes, PooledMsg). On a worker thread this avoids the
+  /// slab-table lookup of get(), which may race the owning thread growing
+  /// its own pool mid-phase; the destructor itself only touches the slot's
+  /// memory, which is exclusively this message's until reclaim().
+  void destroy(Message* msg, MsgHandle h) {
     SSPS_ASSERT(!h.is_null());
-    destroy_msg(get(h));
+    destroy_msg(msg);
+    FreeLane* lane = detail::tls_free_lane;
+    if (lane != nullptr && lane->own != this) [[unlikely]] {
+      lane->deferred.push_back(DeferredFree{this, h});
+      return;
+    }
+    reclaim(h);
+  }
+
+  /// Recycles a slot whose destructor already ran (the repatriation half
+  /// of a deferred destroy). Must run on the thread that owns this pool —
+  /// in practice, the main thread at a round barrier.
+  void reclaim(MsgHandle h) {
     if (h.size_class() == kOversizeClass) {
       oversize_free_.push_back(h.slot());
     } else {

@@ -64,6 +64,45 @@ void Metrics::on_inject(std::size_t bytes) {
   injected_bytes_ += bytes;
 }
 
+void Metrics::fold_into(Metrics& dst) const {
+  if (total_sent_ == 0 && total_delivered_ == 0 && total_injected_ == 0) return;
+  // Shard label id -> dst label id, resolved by name on first use.
+  constexpr std::uint32_t kUnmapped = ~0u;
+  std::vector<std::uint32_t> remap(label_names_.size(), kUnmapped);
+  auto dst_label = [&](std::uint32_t l) {
+    if (remap[l] == kUnmapped) remap[l] = dst.intern(label_names_[l]);
+    return remap[l];
+  };
+  for (std::uint32_t l = 0; l < by_label_.size(); ++l) {
+    const MessageCounter& c = by_label_[l];
+    if (c.count == 0 && c.bytes == 0) continue;
+    const std::uint32_t d = dst_label(l);
+    if (d >= dst.by_label_.size()) dst.by_label_.resize(d + 1);
+    dst.by_label_[d].count += c.count;
+    dst.by_label_[d].bytes += c.bytes;
+  }
+  for (std::size_t row = 0; row < received_.size(); ++row) {
+    if (received_[row] == 0) continue;  // untouched node: whole row is zero
+    for (std::uint32_t l = 0; l < labeled_stride_; ++l) {
+      const std::uint64_t v = received_labeled_[row * labeled_stride_ + l];
+      if (v == 0) continue;
+      const std::uint32_t d = dst_label(l);
+      if (row >= dst.received_.size() || d >= dst.labeled_stride_) {
+        dst.grow_deliver_table(row, d);
+      }
+      dst.received_labeled_[row * dst.labeled_stride_ + d] += v;
+    }
+    if (row >= dst.received_.size()) dst.grow_deliver_table(row, 0);
+    dst.received_[row] += received_[row];
+  }
+  dst.total_sent_ += total_sent_;
+  dst.total_delivered_ += total_delivered_;
+  dst.total_bytes_ += total_bytes_;
+  dst.total_injected_ += total_injected_;
+  dst.injected_bytes_ += injected_bytes_;
+  dst.view_sent_ = kViewInvalid;  // by_label_ moved without a counted send
+}
+
 void Metrics::reset() {
   by_label_.clear();
   by_label_view_.clear();

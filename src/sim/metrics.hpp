@@ -39,16 +39,17 @@ class Metrics {
   /// Records a delivery (receipt) of `m` at node `at`.
   void on_deliver(const Message& m, NodeId at) { count_deliver(label_of(m), at); }
 
-  /// Dense id of `m`'s action label (interned on first sight). The
-  /// Network resolves once per message and stamps the id into the
-  /// envelope so delivery accounting is index arithmetic only.
+  /// Dense id of `m`'s action label (interned on first sight). The ids
+  /// are local to this Metrics instance — under the parallel scheduler
+  /// each worker shard interns independently and fold_into remaps by
+  /// name — so they are only ever paired with on_send_id on the same
+  /// instance; delivery accounting re-resolves via on_deliver(m, at).
   std::uint32_t label_id(const Message& m) { return label_of(m); }
 
-  /// Fast-path counters on pre-resolved label ids.
+  /// Fast-path send counter on a pre-resolved label id.
   void on_send_id(std::uint32_t label, std::size_t bytes) {
     count_send(label, bytes);
   }
-  void on_deliver_id(std::uint32_t label, NodeId at) { count_deliver(label, at); }
 
   /// String-keyed variants for callers without a Message instance
   /// (tests, ad-hoc accounting). Slower: one intern lookup per call.
@@ -63,6 +64,16 @@ class Metrics {
   /// Clears all counters (label interning survives; it is not
   /// observable through any accessor).
   void reset();
+
+  /// Adds every counter of this Metrics into `dst`, translating label ids
+  /// by name (each instance interns its labels independently). The
+  /// parallel scheduler accumulates per-worker shards and folds them into
+  /// the Network's main Metrics in worker-id order when the counters are
+  /// read; integer sums commute, so the folded totals are bit-identical
+  /// to single-thread accounting regardless of how deliveries were
+  /// sharded. Label id assignment in `dst` may differ from a serial run,
+  /// which is unobservable: every accessor is keyed by name or node.
+  void fold_into(Metrics& dst) const;
 
   /// Copy of the current counters. The scenario engine snapshots around
   /// each phase so a report can carry per-phase traffic without disturbing

@@ -3,22 +3,41 @@
 #include <algorithm>
 #include <deque>
 
+#include "sched/parallel.hpp"
+#include "sched/serial.hpp"
+
 namespace ssps::sim {
 
-Network::Network(std::uint64_t seed) : rng_(seed) {}
+namespace detail {
+thread_local SendContext* tls_send_ctx = nullptr;
+}  // namespace detail
+
+Network::Network(std::uint64_t seed) : rng_(seed) {
+  main_ctx_.lane = &pending_;
+  main_ctx_.metrics = &metrics_;
+  main_ctx_.pool = &pool_;
+  scheduler_ = std::make_unique<sched::SerialScheduler>();
+}
 
 Network::~Network() {
   // The in-flight buffers hold raw pool handles; reclaim them before the
-  // pool dies so the pool's leak accounting stays exact. (The grouped
-  // scatter array never holds handles across run_round calls.)
-  for (const Envelope& env : pending_) pool_.destroy(env.handle);
-  for (const Envelope& env : round_batch_) pool_.destroy(env.handle);
+  // pools die so their leak accounting stays exact. Envelopes may live in
+  // scheduler-owned worker pools, so drain before the schedulers (and
+  // with them their pools) are destroyed. (The grouped scatter array
+  // never holds handles across run_round calls.)
+  for (const Envelope& env : pending_) env.pool->destroy(env.msg, env.handle);
+  for (const Envelope& env : round_batch_) env.pool->destroy(env.msg, env.handle);
   pending_.clear();
   round_batch_.clear();
+  retired_schedulers_.clear();
+  scheduler_.reset();
 }
 
 NodeId Network::register_node(std::unique_ptr<Node> node) {
   SSPS_ASSERT(node != nullptr);
+  SSPS_ASSERT_MSG(!in_parallel_phase_,
+                  "spawn during a parallel round is unsupported; mutate the "
+                  "topology between rounds (or use the serial scheduler)");
   // Keep a stable pointer to the Node itself (heap-allocated) rather
   // than a Slot reference: on_register() may spawn further nodes, which
   // can reallocate the slot table.
@@ -40,7 +59,7 @@ void Network::drop_pending_for(NodeId to) {
   std::size_t kept = 0;
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].to == to) {
-      pool_.destroy(pending_[i].handle);
+      pending_[i].pool->destroy(pending_[i].msg, pending_[i].handle);
     } else {
       pending_[kept++] = pending_[i];
     }
@@ -52,6 +71,9 @@ void Network::crash(NodeId id) {
   Slot* slot = find_slot(id);
   SSPS_ASSERT_MSG(slot != nullptr && slot->node != nullptr,
                   "crash: node unknown or already crashed");
+  SSPS_ASSERT_MSG(!in_parallel_phase_,
+                  "crash during a parallel round is unsupported; crash "
+                  "between rounds (or use the serial scheduler)");
   drop_pending_for(id);
   slot->node.reset();
   slot->crash_round = round_;
@@ -82,12 +104,9 @@ std::vector<NodeId> Network::alive_ids() const {
 void Network::inject(NodeId to, PooledMsg msg) {
   SSPS_ASSERT(msg);
   SSPS_ASSERT_MSG(alive(to), "inject: unknown node");
+  SSPS_ASSERT_MSG(!in_parallel_phase_, "inject: forbidden during a parallel round");
   metrics_.on_inject(msg->wire_size());
-  // Resolve the label before the call: evaluation of `*msg` must not race
-  // the move into enqueue's by-value parameter (argument order is
-  // unspecified; clang moves first).
-  const std::uint32_t label = metrics_.label_id(*msg);
-  enqueue(to, std::move(msg), label);
+  enqueue(main_ctx_, to, std::move(msg));
 }
 
 std::size_t Network::pending_for(NodeId id) const {
@@ -99,8 +118,8 @@ std::size_t Network::pending_for(NodeId id) const {
 }
 
 void Network::deliver_envelope(const Envelope& env, Node& node) {
-  metrics_.on_deliver_id(env.label_id, env.to);
-  node.handle(PooledMsg(&pool_, env.msg, env.handle));
+  metrics_.on_deliver(*env.msg, env.to);
+  node.handle(PooledMsg(env.pool, env.msg, env.handle));
 }
 
 void Network::deliver_at(std::size_t index) {
@@ -119,13 +138,14 @@ void Network::fire_timeout(Slot& slot) {
   slot.node->timeout();
 }
 
-std::size_t Network::run_round() {
+std::size_t Network::round_begin() {
   ++step_;
   // The messages pending at round start become this round's batch;
   // deliveries enqueue new messages into the (now empty) in-flight
   // buffer, which belongs to the next round. Batch order is canonical
-  // (send order), so the shuffled delivery order depends only on the
-  // seed.
+  // (send order — under the parallel scheduler, the round-barrier merge
+  // reproduces it exactly), so the shuffled delivery order depends only
+  // on the seed, never on the worker count.
   round_batch_.clear();
   std::swap(round_batch_, pending_);
   rng_.shuffle(round_batch_);
@@ -135,7 +155,9 @@ std::size_t Network::run_round() {
   // order: nodes interact only through messages that arrive next round,
   // so cross-node interleaving within a round cannot affect any node's
   // trajectory — while each channel still sees a uniformly random
-  // permutation of its own messages (inherited from the shuffle).
+  // permutation of its own messages (inherited from the shuffle). The
+  // same argument is what lets the parallel scheduler deliver disjoint
+  // target ranges concurrently (src/sched/parallel.hpp).
   const std::size_t batch = round_batch_.size();
   if (grouped_cap_ < batch) {
     grouped_cap_ = std::max(batch, grouped_cap_ * 2);
@@ -154,22 +176,36 @@ std::size_t Network::run_round() {
   for (const Envelope& env : round_batch_) {
     grouped_[scatter_offsets_[static_cast<std::size_t>(env.to.value)]++] = env;
   }
+  // scatter_offsets_[v] is now the END of target id v's group (groups lie
+  // in id order), which is exactly the shard-boundary table the parallel
+  // scheduler slices grouped_ with.
   round_batch_.clear();
+  return batch;
+}
 
+std::size_t Network::deliver_grouped_range(std::size_t begin, std::size_t end,
+                                           SendContext& ctx) {
   std::size_t delivered = 0;
-  for (std::size_t i = 0; i < batch; ++i) {
+  for (std::size_t i = begin; i < end; ++i) {
     const Envelope& env = grouped_[i];
     // Re-resolve per message: a handler may crash its own node or spawn
-    // (which can reallocate the slot table) at any point mid-round.
+    // (which can reallocate the slot table) at any point mid-round under
+    // the serial scheduler. (The parallel scheduler forbids both, so its
+    // workers only ever read the slot table.)
     Slot* slot = find_slot(env.to);
     if (slot->node == nullptr) {
-      pool_.destroy(env.handle);  // crashed mid-round: reclaim, invoke nothing
+      // Crashed mid-round: reclaim, invoke nothing.
+      env.pool->destroy(env.msg, env.handle);
       continue;
     }
-    deliver_envelope(env, *slot->node);
+    ctx.metrics->on_deliver(*env.msg, env.to);
+    slot->node->handle(PooledMsg(env.pool, env.msg, env.handle));
     ++delivered;
   }
+  return delivered;
+}
 
+void Network::timeout_sweep() {
   // Fire Timeouts in id order (a sequential sweep over the dense table).
   // Equivalent to a randomized order: a Timeout reads and writes only its
   // own node's state and draws from its own per-node stream, and
@@ -186,9 +222,9 @@ std::size_t Network::run_round() {
     }
   }
   last_round_timeouts_ = timeouts;
-  ++round_;
-  return delivered;
 }
+
+std::size_t Network::run_round() { return scheduler_->run_round(*this); }
 
 void Network::run_rounds(std::size_t k) {
   for (std::size_t i = 0; i < k; ++i) run_round();
@@ -200,7 +236,7 @@ std::optional<std::size_t> Network::run_until(const std::function<bool()>& pred,
   // fired zero timeouts executed no action, so no node variable and no
   // channel changed — a predicate over the simulated state that was false
   // before such a round is still false after it (the same reasoning as the
-  // delivery-grouping note in run_round: state only moves when an action
+  // delivery-grouping note in round_begin: state only moves when an action
   // runs). Skipping the re-evaluation is therefore observably equivalent;
   // it matters for waits over empty or fully-crashed populations, where
   // every round is quiescent and an O(n)-ish probe per round would be pure
@@ -216,6 +252,51 @@ std::optional<std::size_t> Network::run_until(const std::function<bool()>& pred,
   }
   if (known_false) return std::nullopt;
   return pred() ? std::optional<std::size_t>(max_rounds) : std::nullopt;
+}
+
+void Network::set_scheduler(std::unique_ptr<sched::Scheduler> scheduler) {
+  SSPS_ASSERT(scheduler != nullptr);
+  SSPS_ASSERT_MSG(!in_parallel_phase_, "set_scheduler: mid-round");
+  if (scheduler_ != nullptr) {
+    // In-flight envelopes may have been allocated from the old
+    // scheduler's worker pools; retire it (alive until the Network dies)
+    // instead of destroying those slabs under the messages. It will
+    // never run again: metrics shards fold in now, worker threads join.
+    scheduler_->flush_metrics(*this);
+    scheduler_->retire();
+    retired_schedulers_.push_back(std::move(scheduler_));
+  }
+  scheduler_ = std::move(scheduler);
+}
+
+void Network::set_threads(unsigned threads) {
+  SSPS_ASSERT_MSG(threads >= 1, "set_threads: need at least one worker");
+  if (threads == scheduler_threads()) return;
+  if (threads == 1) {
+    set_scheduler(std::make_unique<sched::SerialScheduler>());
+  } else {
+    set_scheduler(std::make_unique<sched::ParallelScheduler>(threads));
+  }
+}
+
+unsigned Network::scheduler_threads() const { return scheduler_->threads(); }
+
+Metrics& Network::metrics() {
+  // Fold any per-worker shards in before handing the counters out; the
+  // hot send/deliver paths only ever touch their own shard, so every
+  // external reader (and reset()) goes through here. Retired schedulers
+  // flushed at retirement and never run again.
+  SSPS_ASSERT_MSG(!in_parallel_phase_, "metrics: unavailable mid-phase");
+  scheduler_->flush_metrics(*this);
+  return metrics_;
+}
+
+const Metrics& Network::metrics() const {
+  return const_cast<Network*>(this)->metrics();
+}
+
+std::size_t Network::pool_reserved_bytes() const {
+  return pool_.reserved_bytes() + scheduler_->reserved_bytes();
 }
 
 void Network::step() {

@@ -18,6 +18,14 @@
 // order is a canonical function of (seed, call sequence) — independent of
 // container internals, so runs replay bit-for-bit on any standard
 // library.
+//
+// Synchronous rounds execute behind a Scheduler seam (src/sched): the
+// default sched::SerialScheduler runs the round on the calling thread;
+// sched::ParallelScheduler shards the delivery phase across a worker pool
+// while reproducing the serial delivery trace bit-for-bit. All send-side
+// effects (lane append, metrics, pool allocation) are routed through a
+// SendContext so a worker's sends land in its private lane without any
+// atomics on the hot path.
 #pragma once
 
 #include <concepts>
@@ -34,6 +42,12 @@
 #include "sim/node.hpp"
 #include "sim/types.hpp"
 
+namespace ssps::sched {
+class Scheduler;
+class SerialScheduler;
+class ParallelScheduler;
+}  // namespace ssps::sched
+
 namespace ssps::sim {
 
 /// Tuning knobs of the randomized asynchronous scheduler.
@@ -48,6 +62,42 @@ struct AsyncConfig {
   /// when both are possible.
   std::uint32_t timeout_bias = 64;
 };
+
+/// One in-flight message (internal to the sim/sched layer). All
+/// undelivered messages live in flat vectors ("lanes"), not in per-node
+/// queues: sends append sequentially (cache-friendly), and the round
+/// scheduler turns the merged lanes into the next round's shuffled
+/// delivery batch. `pool` is the arena the message was allocated from —
+/// under the parallel scheduler each worker allocates from its own pool,
+/// so the envelope must remember its origin to recycle the slot.
+struct Envelope {
+  NodeId to;
+  Message* msg = nullptr;
+  MessagePool* pool = nullptr;
+  MsgHandle handle;
+  Step sent_at = 0;
+};
+
+/// Where the current thread's sends go: the in-flight lane that receives
+/// the envelope, the Metrics shard that accounts it, and the MessagePool
+/// that allocates it. The Network's own context targets its members; a
+/// ParallelScheduler worker's context targets that worker's private lane,
+/// shard and pool, which is what makes the delivery phase run without
+/// cross-thread writes.
+struct SendContext {
+  std::vector<Envelope>* lane = nullptr;
+  Metrics* metrics = nullptr;
+  MessagePool* pool = nullptr;
+  /// Sends swallowed because the target crashed (§3.3); folded into the
+  /// Network's main context at the round barrier.
+  std::uint64_t swallowed_to_dead = 0;
+};
+
+namespace detail {
+/// Null outside parallel round phases; a ParallelScheduler worker points
+/// this at its own context around its delivery slice.
+extern thread_local SendContext* tls_send_ctx;
+}  // namespace detail
 
 /// The simulated network. Owns all nodes, channels, randomness, the
 /// message pool and the metrics.
@@ -137,34 +187,41 @@ class Network {
   /// Sends `msg` to `to` by placing it into to's channel. A send to a
   /// crashed/unknown node is counted and swallowed (paper §3.3: the
   /// address ceased to exist) and its pool slot is reclaimed immediately.
-  /// Inline: this plus emit<T> is the complete per-message send path.
+  /// Inline: this plus emit<T> is the complete per-message send path. All
+  /// effects go through the calling thread's SendContext, so the same
+  /// code serves the serial scheduler and every parallel worker.
   void send(NodeId to, PooledMsg msg) {
     SSPS_ASSERT(msg);
-    const std::uint32_t label = metrics_.label_id(*msg);
-    metrics_.on_send_id(label, msg->wire_size());
+    SendContext& ctx = send_ctx();
+    ctx.metrics->on_send_id(ctx.metrics->label_id(*msg), msg->wire_size());
     if (!alive(to)) {
       // Target crashed or never existed: the message invokes no action
       // (its pool slot is recycled as `msg` goes out of scope).
-      ++swallowed_to_dead_;
+      ++ctx.swallowed_to_dead;
       return;
     }
-    enqueue(to, std::move(msg), label);
+    enqueue(ctx, to, std::move(msg));
   }
 
   /// Allocates a T from the pool and sends it: the one-line send path for
   /// protocol code.
   template <typename T, typename... Args>
   void emit(NodeId to, Args&&... args) {
-    send(to, pool_.make<T>(std::forward<Args>(args)...));
+    send(to, send_ctx().pool->make<T>(std::forward<Args>(args)...));
   }
 
   /// Injects a message into a channel without attributing it to a sender;
   /// used by adversarial initial-state generators (corrupted messages).
   void inject(NodeId to, PooledMsg msg);
 
-  /// The arena all in-flight messages of this network live in.
-  MessagePool& pool() { return pool_; }
-  const MessagePool& pool() const { return pool_; }
+  /// The arena the calling thread allocates messages from: the Network's
+  /// own pool, or the worker's private pool during a parallel round.
+  MessagePool& pool() { return *send_ctx().pool; }
+  const MessagePool& pool() const { return *const_cast<Network*>(this)->send_ctx().pool; }
+
+  /// Bytes reserved by every message arena of this simulation (the main
+  /// pool plus any scheduler-owned worker pools).
+  std::size_t pool_reserved_bytes() const;
 
   /// Total number of messages currently sitting in channels.
   std::size_t pending_messages() const { return pending_.size(); }
@@ -177,7 +234,8 @@ class Network {
   /// Synchronous-round scheduler: delivers every message that was pending
   /// at round start (randomized order), then fires every alive node's
   /// Timeout (randomized order). One round is the paper's "timeout
-  /// interval". Returns the number of messages delivered.
+  /// interval". Returns the number of messages delivered. Executed by the
+  /// installed round scheduler (see set_threads / set_scheduler).
   std::size_t run_round();
 
   /// Runs `k` rounds.
@@ -202,6 +260,21 @@ class Network {
   /// Runs `k` async steps.
   void run_steps(std::size_t k);
 
+  /// Installs the round scheduler: 1 = the serial scheduler (default),
+  /// N > 1 = a ParallelScheduler with N workers. Any thread count yields
+  /// bit-identical delivery traces and reports (see src/sched/parallel.hpp
+  /// for the argument); only wall-clock changes. May be called mid-run at
+  /// a round boundary: the previous scheduler is retired, not destroyed,
+  /// because in-flight envelopes may live in its worker pools.
+  void set_threads(unsigned threads);
+
+  /// Installs a specific scheduler instance (set_threads is the normal
+  /// entry point).
+  void set_scheduler(std::unique_ptr<sched::Scheduler> scheduler);
+
+  /// Worker count of the installed round scheduler.
+  unsigned scheduler_threads() const;
+
   /// Current round (advanced by run_round only).
   Round round() const { return round_; }
 
@@ -212,8 +285,11 @@ class Network {
 
   // ---- Introspection ---------------------------------------------------
 
-  Metrics& metrics() { return metrics_; }
-  const Metrics& metrics() const { return metrics_; }
+  /// The aggregated traffic counters. Under the parallel scheduler the
+  /// per-worker shards are folded in (worker-id order) on access, so
+  /// readers always observe totals bit-identical to a serial run.
+  Metrics& metrics();
+  const Metrics& metrics() const;
 
   ssps::Rng& rng() { return rng_; }
 
@@ -224,17 +300,9 @@ class Network {
   bool weakly_connected(NodeId anchor = NodeId::null()) const;
 
  private:
-  /// One in-flight message. All undelivered messages live in a single
-  /// flat vector (`pending_`), not in per-node queues: sends append
-  /// sequentially (cache-friendly), and the round scheduler swaps the
-  /// whole vector out as its delivery batch.
-  struct Envelope {
-    NodeId to;
-    Message* msg = nullptr;
-    MsgHandle handle;
-    std::uint32_t label_id = 0;  // metrics label, resolved at send time
-    Step sent_at = 0;
-  };
+  friend class sched::SerialScheduler;
+  friend class sched::ParallelScheduler;
+
   struct Slot {
     std::unique_ptr<Node> node;  // null = tombstone (crashed)
     Step last_timeout = 0;
@@ -252,16 +320,50 @@ class Network {
     return NodeId{static_cast<std::uint64_t>(index) + 1};
   }
 
-  void enqueue(NodeId to, PooledMsg&& msg, std::uint32_t label_id) {
+  /// The calling thread's send context: a parallel worker's private
+  /// context during its delivery slice, the Network's own otherwise.
+  SendContext& send_ctx() {
+    SendContext* tls = detail::tls_send_ctx;
+    return tls != nullptr ? *tls : main_ctx_;
+  }
+
+  void enqueue(SendContext& ctx, NodeId to, PooledMsg&& msg) {
     Envelope env;
     env.to = to;
     env.msg = msg.get();
-    env.label_id = label_id;
+    env.pool = msg.pool();
     env.sent_at = step_;
     env.handle = msg.release();
-    pending_.push_back(env);
+    ctx.lane->push_back(env);
   }
-  /// Delivers pending_[index] (swap-remove; non-FIFO channels).
+
+  // ---- Round phases (called by the sched:: schedulers) -----------------
+
+  /// Phase A (sequential): advances the step clock, swaps the merged
+  /// in-flight buffer out as this round's batch, applies the seeded
+  /// shuffle and the stable group-by-target counting sort. Returns the
+  /// batch size; after it, scatter_offsets_[v] is the END offset of
+  /// target id v's group in grouped_ (so shard slice boundaries are
+  /// scatter_offsets_ lookups).
+  std::size_t round_begin();
+
+  /// Phase B: delivers grouped_[begin, end) — a contiguous run of target
+  /// groups — accounting through `ctx`. Safe to run concurrently for
+  /// disjoint target ranges: a handler touches only its own node's state
+  /// and sends through `ctx` (see the shard argument in
+  /// src/sched/parallel.hpp). Returns the number delivered.
+  std::size_t deliver_grouped_range(std::size_t begin, std::size_t end,
+                                    SendContext& ctx);
+
+  /// Phase C (sequential): fires Timeouts in id order; sends append to
+  /// the main in-flight buffer, after every merged delivery lane.
+  void timeout_sweep();
+
+  /// Finishes the round (advances the round clock).
+  void round_end() { ++round_; }
+
+  /// Delivers pending_[index] (swap-remove; non-FIFO channels). Async
+  /// scheduler path.
   void deliver_at(std::size_t index);
   void deliver_envelope(const Envelope& env, Node& node);
   void fire_timeout(Slot& slot);
@@ -279,9 +381,19 @@ class Network {
   MessagePool pool_;
   Metrics metrics_;
   AsyncConfig async_cfg_;
-  std::uint64_t swallowed_to_dead_ = 0;
+  /// The Network's own send context (lane = pending_, shard = metrics_,
+  /// arena = pool_); aggregates the workers' swallowed counters at fold.
+  SendContext main_ctx_;
+  /// Set by the ParallelScheduler around its concurrent delivery phase;
+  /// structure mutations (spawn/crash/inject) assert against it.
+  bool in_parallel_phase_ = false;
   /// Timeouts fired by the last run_round (for the quiescence check).
   std::size_t last_round_timeouts_ = 0;
+
+  std::unique_ptr<sched::Scheduler> scheduler_;
+  /// Schedulers replaced mid-run: their worker pools may still own
+  /// in-flight envelopes, so they live until the Network dies.
+  std::vector<std::unique_ptr<sched::Scheduler>> retired_schedulers_;
 
   // Scratch buffers reused across rounds (capacity persists). The grouped
   // scatter target is a raw array, not a vector: every cell in [0, batch)

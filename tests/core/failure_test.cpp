@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "core/system.hpp"
+#include "test_support.hpp"
 
 namespace ssps::core {
 namespace {
@@ -167,6 +168,45 @@ TEST(FailureDetector, UnknownNodesAreSuspect) {
   SkipRingSystem sys(SkipRingSystem::Options{.seed = 15, .fd_delay = 0});
   sim::FailureDetector fd(sys.net(), 5);
   EXPECT_TRUE(fd.suspects(sim::NodeId{424242}));
+}
+
+TEST(FailureDetector, RaisedDelayStillEvictsReadmittedDeadNode) {
+  // Regression: the §3.3 crash-log cursor consumes each crash once. If
+  // the detector's delay is RAISED after a crash was consumed, the node
+  // is temporarily unsuspected again — and a stale Subscribe arriving in
+  // that window re-admits it without marking the labels dirty, so the
+  // cursor alone would never evict it once suspicion returns (at system
+  // level only the slower GetConfiguration purge path would catch it,
+  // and only once some live node queries about the ghost). check_labels
+  // now rewinds the cursor when the visible prefix shrinks; this drives
+  // a detached SupervisorProtocol directly — no ring traffic, so no
+  // purge backstop can mask a broken cursor.
+  SkipRingSystem sys(SkipRingSystem::Options{.seed = 16, .fd_delay = 0});
+  const auto ids = sys.add_subscribers(4);
+  sim::FailureDetector fd(sys.net(), 0);
+  testing::CapturingSink sink;
+  SupervisorProtocol sup{sim::NodeId{9999}, sink};
+  sup.set_failure_detector(&fd);
+  for (sim::NodeId id : ids) sup.handle(msg::Subscribe(id));
+
+  const sim::NodeId victim = ids[1];
+  sys.crash(victim);
+  sys.net().run_round();  // crash becomes visible at delay 0
+  sup.timeout();          // cursor consumes it
+  EXPECT_FALSE(sup.label_of(victim).has_value());
+
+  // Raise the delay: the consumed crash drops back out of the visible
+  // prefix, so the victim is unsuspected again...
+  fd.set_delay(sys.net().round() + 20);
+  EXPECT_FALSE(fd.suspects(victim));
+  // ...and a stale Subscribe re-admits it without dirtying the labels.
+  sup.handle(msg::Subscribe(victim));
+  ASSERT_TRUE(sup.label_of(victim).has_value());
+
+  // Once the crash is visible again, the rewound cursor re-consumes it.
+  while (!fd.suspects(victim)) sys.net().run_round();
+  sup.timeout();
+  EXPECT_FALSE(sup.label_of(victim).has_value());
 }
 
 }  // namespace

@@ -89,6 +89,31 @@ TEST(ProbeDifferential, ArbitraryStateInjection) {
   }
 }
 
+TEST(ProbeDifferential, AgreesUnderTheParallelScheduler) {
+  // Same drill as the cold-start/chaos classes, but with rounds executed
+  // by the ParallelScheduler: worker-side protocol writes (and the plain
+  // version counters the probe keys on) must be fully published at the
+  // round barrier where the probe runs.
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    pubsub::PubSubSystem sys(
+        SkipRingSystem::Options{.seed = seed, .fd_delay = 0});
+    sys.net().set_threads(seed % 2 == 0 ? 2 : 4);
+    sys.add_pubsub_subscribers(kNodes);
+    run_checked(sys, "parallel cold start");
+
+    ChaosOptions chaos;
+    chaos.seed = seed * 13 + 7;
+    corrupt_system(sys, chaos);
+    run_checked(sys, "parallel chaos");
+
+    oracle::ScrambleOptions options;
+    options.seed = seed * 17 + 3;
+    oracle::ArbitraryStateInjector injector(options);
+    injector.scramble(sys);
+    run_checked(sys, "parallel scrambled start");
+  }
+}
+
 TEST(ProbeDifferential, ChurnWithDelayedFailureDetector) {
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
     pubsub::PubSubSystem sys(

@@ -37,7 +37,7 @@ import sys
 LOWER_IS_BETTER = {"bootstrap_rounds", "rounds"}
 HIGHER_IS_BETTER = {"rounds_per_sec", "msgs_per_sec"}
 BOTH_DIRECTIONS = {"msgs_per_round"}
-IDENTIFYING_KEYS = ("n", "class", "name")
+IDENTIFYING_KEYS = ("n", "threads", "class", "name")
 
 
 def row_key(row):

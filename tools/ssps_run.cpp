@@ -22,7 +22,8 @@ namespace {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ssps_run --scenario <name> [--seed <u64>] [--nodes <n>]\n"
-               "                [--scramble] [--oracle] [--out <file>] [--quiet]\n"
+               "                [--threads <n>] [--scramble] [--oracle]\n"
+               "                [--out <file>] [--quiet]\n"
                "       ssps_run --list\n"
                "\n"
                "Runs a built-in scenario and prints its JSON metrics report.\n"
@@ -33,6 +34,9 @@ void usage(std::FILE* to) {
                "  --seed <u64>       simulation seed (default 1)\n"
                "  --nodes <n>        client population size (default: per scenario;\n"
                "                     32 for classic builtins, 1024 for scale-*)\n"
+               "  --threads <n>      round-scheduler workers (default 1). Any value\n"
+               "                     yields the same report apart from the recorded\n"
+               "                     \"threads\" field; only wall-clock changes\n"
                "  --scramble         scrambled-start variant: inject an arbitrary\n"
                "                     state after bootstrap and re-converge\n"
                "                     (implies --oracle)\n"
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   std::string scenario;
   std::uint64_t seed = 1;
   std::uint64_t nodes = 0;  // 0 = scenario default
+  std::uint64_t threads = 1;
   std::string out_path;
   bool quiet = false;
   bool scramble = false;
@@ -85,6 +90,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--nodes") {
       if (!parse_u64(value(), nodes) || nodes == 0) {
         std::fprintf(stderr, "ssps_run: --nodes expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      if (!parse_u64(value(), threads) || threads == 0 || threads > 256) {
+        std::fprintf(stderr, "ssps_run: --threads expects 1..256\n");
         return 2;
       }
     } else if (arg == "--out") {
@@ -122,6 +132,7 @@ int main(int argc, char** argv) {
       scenario, seed, static_cast<std::size_t>(nodes));
   if (scramble) spec = ssps::scenario::scrambled_variant(std::move(spec));
   if (oracle) spec.oracle = true;
+  spec.threads = static_cast<unsigned>(threads);
 
   ssps::scenario::ScenarioRunner runner(std::move(spec));
   const ssps::scenario::ScenarioReport& report = runner.run();

@@ -24,7 +24,7 @@ namespace {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ssps_sweep [--scenarios <a,b,...>] [--seeds <n>]\n"
-               "                  [--base-seed <u64>] [--nodes <n>]\n"
+               "                  [--base-seed <u64>] [--nodes <n>] [--threads <n>]\n"
                "                  [--no-scramble] [--no-oracle] [--out <file>]\n"
                "                  [--verbose]\n"
                "\n"
@@ -37,6 +37,8 @@ void usage(std::FILE* to) {
                "  --seeds <n>        seeds per scenario (default 32)\n"
                "  --base-seed <u64>  first seed (default 1)\n"
                "  --nodes <n>        client population size (default 12)\n"
+               "  --threads <n>      round-scheduler workers per run (default 1;\n"
+               "                     results are identical for any value)\n"
                "  --no-scramble      run the plain variants (default: scrambled)\n"
                "  --no-oracle        skip the invariant oracle (convergence only)\n"
                "  --out <file>       write the sweep matrix as JSON to <file>\n"
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
   std::uint64_t seeds = 32;
   std::uint64_t base_seed = 1;
   std::uint64_t nodes = 12;
+  std::uint64_t threads = 1;
   bool scramble = true;
   bool oracle = true;
   bool verbose = false;
@@ -104,6 +107,11 @@ int main(int argc, char** argv) {
     } else if (arg == "--nodes") {
       if (!parse_u64(value(), nodes) || nodes == 0) {
         std::fprintf(stderr, "ssps_sweep: --nodes expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--threads") {
+      if (!parse_u64(value(), threads) || threads == 0 || threads > 256) {
+        std::fprintf(stderr, "ssps_sweep: --threads expects 1..256\n");
         return 2;
       }
     } else if (arg == "--no-scramble") {
@@ -146,6 +154,7 @@ int main(int argc, char** argv) {
       // Override the variant's default: --no-oracle means convergence only,
       // even for scrambled runs.
       spec.oracle = oracle;
+      spec.threads = static_cast<unsigned>(threads);
 
       ssps::scenario::ScenarioRunner runner(std::move(spec));
       const ssps::scenario::ScenarioReport& report = runner.run();
@@ -205,6 +214,7 @@ int main(int argc, char** argv) {
     doc["nodes"] = nodes;
     doc["seeds"] = seeds;
     doc["base_seed"] = base_seed;
+    doc["threads"] = threads;
     doc["scramble"] = scramble;
     doc["oracle"] = oracle;
     doc["failures"] = static_cast<std::uint64_t>(failures);
