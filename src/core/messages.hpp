@@ -157,6 +157,17 @@ class MessageSink {
   virtual void send(sim::NodeId to, sim::PooledMsg msg) = 0;
   virtual sim::MessagePool& pool() = 0;
 
+  /// Current round of the underlying clock (0 when the sink has none —
+  /// ad-hoc test sinks). Publications are stamped with this at publish
+  /// time (pubsub::Publication::born).
+  virtual sim::Round round() const { return 0; }
+
+  /// Telemetry callback: a publication first reached this sink's node
+  /// `latency` rounds after it was published. Default: discarded (test
+  /// sinks); network-backed sinks forward into the simulator's
+  /// LatencyTracker with their topic id.
+  virtual void publication_delivered(sim::Round latency) { (void)latency; }
+
   /// Pool-allocates a T and sends it to `to`.
   template <typename T, typename... Args>
   void emit(sim::NodeId to, Args&&... args) {

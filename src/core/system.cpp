@@ -68,6 +68,17 @@ std::optional<std::size_t> SkipRingSystem::run_until_legit(std::size_t max_round
 
 bool SkipRingSystem::topology_legit() const { return probe_legit(); }
 
+std::size_t SkipRingSystem::nonconforming_count() const {
+  probe_legit();  // refresh the conformance cache
+  if (!probe_.db_ok) {
+    // Database-level failure: no per-node attribution exists. Count every
+    // alive subscriber (population minus the supervisor).
+    const std::size_t alive = net_.alive_count();
+    return alive > 0 ? alive - 1 : 0;
+  }
+  return probe_.nonconforming;
+}
+
 std::string SkipRingSystem::to_dot() const {
   std::vector<sim::NodeId> nodes = subscriber_ids();
   std::vector<sim::DotEdge> edges;

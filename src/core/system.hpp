@@ -29,6 +29,10 @@ class DirectSink final : public MessageSink {
     net_->send(to, std::move(msg));
   }
   sim::MessagePool& pool() override { return net_->pool(); }
+  sim::Round round() const override { return net_->round(); }
+  void publication_delivered(sim::Round latency) override {
+    net_->record_delivery_latency(telemetry::LatencyTracker::kNoTopic, latency);
+  }
 
  private:
   sim::Network* net_;
@@ -155,6 +159,14 @@ class SkipRingSystem {
   /// round. Equivalence with the exhaustive check is CI-enforced by
   /// tests/core/probe_differential_test.cpp.
   bool topology_legit() const;
+
+  /// Number of alive subscribers currently failing their conformance
+  /// check, per the incremental probe (refreshed on call) — the per-round
+  /// "how far from legitimate" telemetry signal. When the database-level
+  /// facts themselves fail, the probe cannot attribute blame to
+  /// individual nodes, so every alive subscriber counts as
+  /// nonconforming.
+  std::size_t nonconforming_count() const;
 
   /// Human-readable first violation ("" when legitimate). For diagnostics
   /// in tests: legitimacy is decided by the incremental probe, the message

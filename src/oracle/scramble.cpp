@@ -103,8 +103,8 @@ void ArbitraryStateInjector::scramble_trie(pubsub::PubSubProtocol& ps,
   if (allow_extra && rng_.chance(1, 3)) {
     // Pre-existing content the rest of the system has never seen; legal on
     // a single ring, where the converged state is the union.
-    ps.add_local(pubsub::Publication{random_peer(peers),
-                                     "scramble-" + std::to_string(junk_seq_++)});
+    ps.add_local(pubsub::Publication{
+        random_peer(peers), "scramble-" + std::to_string(junk_seq_++), now_});
   }
 }
 
@@ -162,12 +162,12 @@ sim::PooledMsg ArbitraryStateInjector::junk_pubsub(
     case 2: {
       std::vector<pubsub::Publication> pubs;
       pubs.push_back(pubsub::Publication{
-          random_peer(peers), "junkpub-" + std::to_string(junk_seq_++)});
+          random_peer(peers), "junkpub-" + std::to_string(junk_seq_++), now_});
       return pool.make<pubsub::msg::Publish>(std::move(pubs));
     }
     default:
       return pool.make<pubsub::msg::PublishNew>(pubsub::Publication{
-          random_peer(peers), "junkpub-" + std::to_string(junk_seq_++)});
+          random_peer(peers), "junkpub-" + std::to_string(junk_seq_++), now_});
   }
 }
 
@@ -176,6 +176,7 @@ sim::PooledMsg ArbitraryStateInjector::junk_pubsub(
 // ---------------------------------------------------------------------------
 
 void ArbitraryStateInjector::scramble(core::SkipRingSystem& system) {
+  now_ = system.net().round();
   const auto subs = system.subscriber_ids();
   if (subs.empty()) return;
   for (sim::NodeId id : subs) {
@@ -226,6 +227,7 @@ void ArbitraryStateInjector::scramble(pubsub::PubSubSystem& system) {
 
 void ArbitraryStateInjector::scramble(const MultiTopicView& view) {
   auto& net = *view.net;
+  now_ = net.round();
 
   // All alive clients, any topic — the model allows a reference to any
   // existing node, so overlay slots may point across topic boundaries

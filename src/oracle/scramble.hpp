@@ -96,6 +96,11 @@ class ArbitraryStateInjector {
   ScrambleOptions opt_;
   ssps::Rng rng_;
   std::uint64_t junk_seq_ = 0;
+  /// Round clock of the deployment being scrambled (set by each entry
+  /// point): injected publications are stamped born = now_, so the
+  /// latency telemetry measures recovery time from the injection, not a
+  /// bogus distance from round 0.
+  sim::Round now_ = 0;
 };
 
 }  // namespace ssps::oracle

@@ -23,8 +23,18 @@ namespace ssps::pubsub {
 struct Publication {
   sim::NodeId origin;
   std::string payload;
+  /// Round the publication was published in — telemetry metadata, not
+  /// identity and not wire data: delivery-latency tracking reads
+  /// `deliver_round - born` when a copy first reaches a node (the trie
+  /// preserves the stamp through replication, so every copy carries the
+  /// origin round).
+  sim::Round born = 0;
 
-  bool operator==(const Publication&) const = default;
+  /// Identity is (origin, payload) only; `born` never distinguishes two
+  /// publications.
+  bool operator==(const Publication& other) const {
+    return origin == other.origin && payload == other.payload;
+  }
 };
 
 /// A (label, hash) pair as shipped inside CheckTrie messages. Sending a

@@ -25,8 +25,10 @@ void PubSubProtocol::timeout() {
 }
 
 void PubSubProtocol::publish(std::string payload) {
-  Publication p{overlay_->self(), std::move(payload)};
-  if (trie_.insert(p) && config_.flooding) flood(p, sim::NodeId::null());
+  Publication p{overlay_->self(), std::move(payload), sink_->round()};
+  if (!trie_.insert(p)) return;
+  sink_->publication_delivered(0);  // reached the origin by definition
+  if (config_.flooding) flood(p, sim::NodeId::null());
 }
 
 // ---------------------------------------------------------------------------
@@ -111,7 +113,16 @@ void PubSubProtocol::on_check_and_publish(const msg::CheckAndPublish& m) {
 }
 
 void PubSubProtocol::on_publish(const msg::Publish& m) {
-  for (const Publication& p : m.pubs) trie_.insert(p);
+  for (const Publication& p : m.pubs) {
+    if (trie_.insert(p)) record_delivery(p);
+  }
+}
+
+void PubSubProtocol::record_delivery(const Publication& p) {
+  // Latency = rounds from publish to this node's first receipt. Clamped:
+  // adversarially injected state may carry born stamps from the future.
+  const sim::Round now = sink_->round();
+  sink_->publication_delivered(now > p.born ? now - p.born : 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -126,6 +137,7 @@ void PubSubProtocol::flood(const Publication& p, sim::NodeId except) {
 
 void PubSubProtocol::on_publish_new(const msg::PublishNew& m) {
   if (!trie_.insert(m.pub)) return;  // already known: drop, do not forward
+  record_delivery(m.pub);
   if (config_.flooding) flood(m.pub, m.pub.origin);
 }
 

@@ -142,6 +142,10 @@ class PubSubProtocol {
   /// Processes one received (label, hash) tuple; the three cases of §4.2.
   void check_tuple(sim::NodeId sender, const NodeSummary& tuple);
   void flood(const Publication& p, sim::NodeId except);
+  /// Reports `p`'s first receipt here to the sink's latency telemetry.
+  /// Only called right after a successful publish-path trie insert;
+  /// add_local (pre-existing/corrupted state) never reports.
+  void record_delivery(const Publication& p);
 
   core::SubscriberProtocol* overlay_;
   core::MessageSink* sink_;

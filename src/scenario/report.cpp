@@ -72,6 +72,46 @@ Json phase_to_json(const PhaseReport& p) {
   return j;
 }
 
+Json summary_to_json(const telemetry::Histogram::Summary& s) {
+  Json j = Json::object();
+  j["count"] = s.count;
+  j["p50"] = s.p50;
+  j["p99"] = s.p99;
+  j["p999"] = s.p999;
+  j["max"] = s.max;
+  return j;
+}
+
+Json latency_to_json(const LatencyReport& l) {
+  Json j = Json::object();
+  j["global"] = summary_to_json(l.global);
+  Json per_topic = Json::object();
+  for (const auto& [topic, summary] : l.per_topic) {
+    per_topic[std::to_string(topic)] = summary_to_json(summary);
+  }
+  j["per_topic"] = std::move(per_topic);
+  return j;
+}
+
+Json timeseries_to_json(const TimeSeriesReport& ts) {
+  Json j = Json::object();
+  j["dropped"] = ts.dropped;
+  Json samples = Json::array();
+  for (const telemetry::RoundSample& s : ts.samples) {
+    Json entry = Json::object();
+    entry["round"] = static_cast<std::uint64_t>(s.round);
+    entry["delivered"] = s.delivered;
+    entry["timeouts"] = s.timeouts;
+    entry["in_flight"] = s.in_flight;
+    entry["alive"] = s.alive;
+    entry["nonconforming"] = s.nonconforming;
+    // pool_reserved_bytes is thread-variant and deliberately omitted.
+    samples.push_back(std::move(entry));
+  }
+  j["samples"] = std::move(samples);
+  return j;
+}
+
 }  // namespace
 
 Json ScenarioReport::to_json() const {
@@ -93,6 +133,8 @@ Json ScenarioReport::to_json() const {
   Json phase_arr = Json::array();
   for (const PhaseReport& p : phases) phase_arr.push_back(phase_to_json(p));
   j["phases"] = std::move(phase_arr);
+  j["latency"] = latency_to_json(latency);
+  if (timeseries) j["timeseries"] = timeseries_to_json(*timeseries);
   return j;
 }
 

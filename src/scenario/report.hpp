@@ -16,6 +16,8 @@
 #include "scenario/json.hpp"
 #include "scenario/spec.hpp"
 #include "sim/types.hpp"
+#include "telemetry/histogram.hpp"
+#include "telemetry/round_probe.hpp"
 
 namespace ssps::scenario {
 
@@ -68,6 +70,22 @@ struct PhaseReport {
   std::optional<OracleSummary> oracle;
 };
 
+/// Delivery-latency distribution over the whole run: rounds from publish
+/// to each subscriber's first receipt (telemetry/latency.hpp). Measured in
+/// rounds, so identical across worker counts.
+struct LatencyReport {
+  telemetry::Histogram::Summary global;
+  /// topic -> summary (multi-topic runs; empty in single-topic mode).
+  std::map<std::uint32_t, telemetry::Histogram::Summary> per_topic;
+};
+
+/// Per-round health samples from the telemetry::RoundProbe ring buffer
+/// (the last ScenarioSpec::timeseries_capacity rounds of the run).
+struct TimeSeriesReport {
+  std::uint64_t dropped = 0;  ///< rounds evicted from the ring
+  std::vector<telemetry::RoundSample> samples;
+};
+
 /// The full result of one ScenarioRunner::run().
 struct ScenarioReport {
   std::string scenario;
@@ -82,6 +100,12 @@ struct ScenarioReport {
   unsigned threads = 1;
 
   std::vector<PhaseReport> phases;
+
+  /// Whole-run delivery-latency percentiles (always present; zero counts
+  /// when the scenario never published).
+  LatencyReport latency;
+  /// Per-round time series (present when the spec enabled sampling).
+  std::optional<TimeSeriesReport> timeseries;
 
   bool ok = false;                 ///< every convergence wait succeeded
   /// Every oracle-checked convergence wait ended in a legal state

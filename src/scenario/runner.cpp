@@ -51,6 +51,28 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
   if (spec_.threads > 1 && spec_.scheduler == Scheduler::kRounds) {
     net().set_threads(spec_.threads);
   }
+
+  // Per-round telemetry: sampled by Network::run_round after the round
+  // barrier (async runs never sample — their ring just stays empty). The
+  // enricher supplies the one field the Network cannot compute itself.
+  if (spec_.timeseries_capacity > 0) {
+    probe_ = std::make_unique<telemetry::RoundProbe>(spec_.timeseries_capacity);
+    probe_->set_enricher([this](telemetry::RoundSample& s) {
+      if (spec_.mode == Mode::kSingleTopic) {
+        s.nonconforming = single_->nonconforming_count();
+      } else {
+        // Multi-topic: nonconforming counts topics (not nodes) that fail
+        // the engine's convergence probe; the verdict cache makes the
+        // per-round sweep cheap between epoch changes.
+        std::uint64_t bad = 0;
+        for (const auto& [topic, members] : members_) {
+          if (!members.empty() && !topic_converged(topic, members)) ++bad;
+        }
+        s.nonconforming = bad;
+      }
+    });
+    net().attach_round_probe(probe_.get());
+  }
 }
 
 sim::Network& ScenarioRunner::net() {
@@ -99,6 +121,26 @@ const ScenarioReport& ScenarioRunner::run() {
     report_.total_rounds += p.rounds;
     report_.total_messages += p.messages;
     report_.total_bytes += p.bytes;
+  }
+
+  // Whole-run delivery-latency distribution (never reset per phase: the
+  // interesting percentiles span publish-to-recovery arcs that cross phase
+  // boundaries). latency() folds outstanding worker shards first.
+  const telemetry::LatencyTracker& lat = net().latency();
+  report_.latency.global = lat.global().summary();
+  report_.latency.per_topic.clear();
+  for (const auto& [topic, hist] : lat.by_topic()) {
+    report_.latency.per_topic[topic] = hist.summary();
+  }
+
+  if (probe_) {
+    TimeSeriesReport ts;
+    ts.dropped = probe_->dropped();
+    ts.samples.reserve(probe_->size());
+    for (std::size_t i = 0; i < probe_->size(); ++i) {
+      ts.samples.push_back(probe_->at(i));
+    }
+    report_.timeseries = std::move(ts);
   }
   return report_;
 }

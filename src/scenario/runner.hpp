@@ -21,6 +21,7 @@
 #include "scenario/report.hpp"
 #include "scenario/spec.hpp"
 #include "sim/failure_detector.hpp"
+#include "telemetry/round_probe.hpp"
 
 namespace ssps::scenario {
 
@@ -114,6 +115,11 @@ class ScenarioRunner {
   ssps::Rng rng_;
   std::size_t next_phase_ = 0;
   std::size_t payload_seq_ = 0;
+
+  /// Per-round time-series ring (spec.timeseries_capacity > 0). Attached
+  /// to the network right after deployment construction; its enricher
+  /// fills the nonconforming count from the mode's convergence probe.
+  std::unique_ptr<telemetry::RoundProbe> probe_;
 
   // Single-topic deployment.
   std::unique_ptr<pubsub::PubSubSystem> single_;

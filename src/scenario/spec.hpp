@@ -155,6 +155,12 @@ struct ScenarioSpec {
   /// Run the invariant oracle after every phase (see Phase::check_invariants).
   bool oracle = false;
 
+  /// Ring-buffer capacity of the per-round telemetry probe (reports gain a
+  /// `timeseries` section holding the last this-many rounds). 0 disables
+  /// sampling. The sampled fields are thread-invariant, so the section is
+  /// byte-identical across worker counts.
+  std::size_t timeseries_capacity = 512;
+
   pubsub::PubSubConfig pubsub;
 
   std::vector<Phase> phases;

@@ -14,6 +14,7 @@ ParallelScheduler::ParallelScheduler(unsigned threads) {
     worker->ctx.lane = &worker->lane;
     worker->ctx.metrics = &worker->metrics;
     worker->ctx.pool = &worker->pool;
+    worker->ctx.latency = &worker->latency;
     worker->free_lane.own = &worker->pool;
     workers_.push_back(std::move(worker));
   }
@@ -142,6 +143,8 @@ void ParallelScheduler::flush_metrics(sim::Network& net) {
   for (std::unique_ptr<Worker>& wp : workers_) {
     wp->metrics.fold_into(net.metrics_);
     wp->metrics.reset();
+    wp->latency.fold_into(net.latency_);
+    wp->latency.reset();
   }
 }
 

@@ -77,12 +77,14 @@ class ParallelScheduler final : public Scheduler {
   std::size_t reserved_bytes() const override;
 
  private:
-  /// One worker's private world: message arena, metrics shard, in-flight
-  /// lane, deferred-free lane, and the SendContext tying them together.
-  /// Persistent across rounds so slab freelists keep recycling.
+  /// One worker's private world: message arena, metrics shard, latency
+  /// shard, in-flight lane, deferred-free lane, and the SendContext tying
+  /// them together. Persistent across rounds so slab freelists keep
+  /// recycling.
   struct Worker {
     sim::MessagePool pool;
     sim::Metrics metrics;
+    telemetry::LatencyTracker latency;
     std::vector<sim::Envelope> lane;
     sim::FreeLane free_lane;
     sim::SendContext ctx;

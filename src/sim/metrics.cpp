@@ -51,8 +51,8 @@ void Metrics::grow_deliver_table(std::size_t at_index, std::uint32_t label) {
 }
 
 void Metrics::on_send(std::string_view name, std::size_t bytes, NodeId to) {
-  (void)to;
   count_send(intern(name), bytes);
+  count_sent_to(to);
 }
 
 void Metrics::on_deliver(std::string_view name, NodeId at) {
@@ -95,6 +95,11 @@ void Metrics::fold_into(Metrics& dst) const {
     if (row >= dst.received_.size()) dst.grow_deliver_table(row, 0);
     dst.received_[row] += received_[row];
   }
+  for (std::size_t row = 0; row < sent_to_.size(); ++row) {
+    if (sent_to_[row] == 0) continue;
+    if (row >= dst.sent_to_.size()) dst.sent_to_.resize(sent_to_.size(), 0);
+    dst.sent_to_[row] += sent_to_[row];
+  }
   dst.total_sent_ += total_sent_;
   dst.total_delivered_ += total_delivered_;
   dst.total_bytes_ += total_bytes_;
@@ -108,6 +113,7 @@ void Metrics::reset() {
   by_label_view_.clear();
   view_sent_ = kViewInvalid;
   received_.clear();
+  sent_to_.clear();
   received_labeled_.clear();
   labeled_stride_ = 0;
   total_sent_ = 0;
@@ -132,6 +138,11 @@ std::uint64_t Metrics::sent_bytes(std::string_view name) const {
 std::uint64_t Metrics::received_by(NodeId id) const {
   const std::size_t index = node_index(id);
   return index < received_.size() ? received_[index] : 0;
+}
+
+std::uint64_t Metrics::sent_by(NodeId id) const {
+  const std::size_t index = node_index(id);
+  return index < sent_to_.size() ? sent_to_[index] : 0;
 }
 
 const std::uint64_t* Metrics::find_received_cell(NodeId id,

@@ -32,8 +32,8 @@ class Metrics {
   /// Records a send of `m` (wire_size() bytes under label name()),
   /// addressed to `to`.
   void on_send(const Message& m, NodeId to) {
-    (void)to;
     count_send(label_of(m), m.wire_size());
+    count_sent_to(to);
   }
 
   /// Records a delivery (receipt) of `m` at node `at`.
@@ -47,8 +47,9 @@ class Metrics {
   std::uint32_t label_id(const Message& m) { return label_of(m); }
 
   /// Fast-path send counter on a pre-resolved label id.
-  void on_send_id(std::uint32_t label, std::size_t bytes) {
+  void on_send_id(std::uint32_t label, std::size_t bytes, NodeId to) {
     count_send(label, bytes);
+    count_sent_to(to);
   }
 
   /// String-keyed variants for callers without a Message instance
@@ -105,6 +106,13 @@ class Metrics {
   /// supervisor-overhead experiments).
   std::uint64_t received_by(NodeId id) const;
 
+  /// Messages addressed to one node at send time — the offered load, the
+  /// symmetric counterpart to received_by. Counts every send whether or
+  /// not the target was alive (the sender pays; a send to a crashed node
+  /// shows up here but never in received_by), so the gap between the two
+  /// is exactly the traffic the crash model swallowed.
+  std::uint64_t sent_by(NodeId id) const;
+
   /// Messages received by `id` under one action label.
   std::uint64_t received_by(NodeId id, std::string_view name) const;
 
@@ -152,6 +160,15 @@ class Metrics {
   }
   void grow_deliver_table(std::size_t at_index, std::uint32_t label);
 
+  void count_sent_to(NodeId to) {
+    if (to.is_null()) return;  // no per-node cell for the ⊥ reference
+    const auto index = static_cast<std::size_t>(to.value - 1);
+    if (index >= sent_to_.size()) [[unlikely]] {
+      sent_to_.resize(std::max({index + 1, sent_to_.size() * 2, std::size_t{16}}), 0);
+    }
+    sent_to_[index] += 1;
+  }
+
   struct StringHash {
     using is_transparent = void;
     std::size_t operator()(std::string_view s) const {
@@ -168,6 +185,7 @@ class Metrics {
   // Counters (cleared by reset()).
   std::vector<MessageCounter> by_label_;  // [label id]
   std::vector<std::uint64_t> received_;   // [node index]
+  std::vector<std::uint64_t> sent_to_;    // [node index] offered load
   /// Flat node-major [node][label] table (stride labeled_stride_): one
   /// strided increment per delivery instead of a per-node heap vector.
   std::vector<std::uint64_t> received_labeled_;

@@ -5,6 +5,8 @@
 
 #include "sched/parallel.hpp"
 #include "sched/serial.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/round_probe.hpp"
 
 namespace ssps::sim {
 
@@ -16,6 +18,7 @@ Network::Network(std::uint64_t seed) : rng_(seed) {
   main_ctx_.lane = &pending_;
   main_ctx_.metrics = &metrics_;
   main_ctx_.pool = &pool_;
+  main_ctx_.latency = &latency_;
   scheduler_ = std::make_unique<sched::SerialScheduler>();
 }
 
@@ -59,6 +62,7 @@ void Network::drop_pending_for(NodeId to) {
   std::size_t kept = 0;
   for (std::size_t i = 0; i < pending_.size(); ++i) {
     if (pending_[i].to == to) {
+      if (trace_ != nullptr) [[unlikely]] trace_forget(pending_[i].msg);
       pending_[i].pool->destroy(pending_[i].msg, pending_[i].handle);
     } else {
       pending_[kept++] = pending_[i];
@@ -119,6 +123,7 @@ std::size_t Network::pending_for(NodeId id) const {
 
 void Network::deliver_envelope(const Envelope& env, Node& node) {
   metrics_.on_deliver(*env.msg, env.to);
+  if (trace_ != nullptr) [[unlikely]] trace_deliver(env);
   node.handle(PooledMsg(env.pool, env.msg, env.handle));
 }
 
@@ -195,10 +200,12 @@ std::size_t Network::deliver_grouped_range(std::size_t begin, std::size_t end,
     Slot* slot = find_slot(env.to);
     if (slot->node == nullptr) {
       // Crashed mid-round: reclaim, invoke nothing.
+      if (trace_ != nullptr) [[unlikely]] trace_forget(env.msg);
       env.pool->destroy(env.msg, env.handle);
       continue;
     }
     ctx.metrics->on_deliver(*env.msg, env.to);
+    if (trace_ != nullptr) [[unlikely]] trace_deliver(env);
     slot->node->handle(PooledMsg(env.pool, env.msg, env.handle));
     ++delivered;
   }
@@ -217,14 +224,34 @@ void Network::timeout_sweep() {
   std::size_t timeouts = 0;
   for (std::size_t i = 0; i < population; ++i) {
     if (slots_[i].node != nullptr) {
+      if (trace_ != nullptr) [[unlikely]] acting_node_ = id_at(i);
       fire_timeout(slots_[i]);
       ++timeouts;
     }
   }
+  if (trace_ != nullptr) acting_node_ = NodeId::null();
   last_round_timeouts_ = timeouts;
 }
 
-std::size_t Network::run_round() { return scheduler_->run_round(*this); }
+std::size_t Network::run_round() {
+  const std::size_t delivered = scheduler_->run_round(*this);
+  // Sample after the round barrier: the parallel phase is over, so
+  // pending_ and the alive count are stable and every serialized field is
+  // a pure function of the simulated state (worker-count-invariant).
+  if (round_probe_ != nullptr) sample_round_probe(delivered);
+  return delivered;
+}
+
+void Network::sample_round_probe(std::size_t delivered) {
+  telemetry::RoundSample sample;
+  sample.round = round_;
+  sample.delivered = delivered;
+  sample.timeouts = last_round_timeouts_;
+  sample.in_flight = pending_.size();
+  sample.alive = alive_count_;
+  sample.pool_reserved_bytes = pool_reserved_bytes();
+  round_probe_->push(sample);
+}
 
 void Network::run_rounds(std::size_t k) {
   for (std::size_t i = 0; i < k; ++i) run_round();
@@ -257,6 +284,8 @@ std::optional<std::size_t> Network::run_until(const std::function<bool()>& pred,
 void Network::set_scheduler(std::unique_ptr<sched::Scheduler> scheduler) {
   SSPS_ASSERT(scheduler != nullptr);
   SSPS_ASSERT_MSG(!in_parallel_phase_, "set_scheduler: mid-round");
+  SSPS_ASSERT_MSG(trace_ == nullptr || scheduler->threads() == 1,
+                  "set_scheduler: detach the trace before going parallel");
   if (scheduler_ != nullptr) {
     // In-flight envelopes may have been allocated from the old
     // scheduler's worker pools; retire it (alive until the Network dies)
@@ -294,6 +323,50 @@ Metrics& Network::metrics() {
 const Metrics& Network::metrics() const {
   return const_cast<Network*>(this)->metrics();
 }
+
+telemetry::LatencyTracker& Network::latency() {
+  // Same fold-on-access discipline as metrics(): flush_metrics folds the
+  // per-worker latency shards alongside the metrics shards.
+  SSPS_ASSERT_MSG(!in_parallel_phase_, "latency: unavailable mid-phase");
+  scheduler_->flush_metrics(*this);
+  return latency_;
+}
+
+const telemetry::LatencyTracker& Network::latency() const {
+  return const_cast<Network*>(this)->latency();
+}
+
+void Network::attach_trace(Trace* trace) {
+  SSPS_ASSERT_MSG(trace == nullptr || scheduler_threads() == 1,
+                  "attach_trace: tracing requires the serial scheduler");
+  trace_ = trace;
+  if (trace == nullptr) {
+    flow_ids_.clear();
+    acting_node_ = NodeId::null();
+  }
+}
+
+void Network::trace_send(NodeId to, const Message& msg, bool enqueued) {
+  const std::uint64_t flow = ++next_flow_;
+  // Swallowed sends get an event but no map entry: their pool slot is
+  // recycled immediately, and a reused slot must not alias this flow.
+  if (enqueued) flow_ids_[&msg] = flow;
+  trace_->record(round_, acting_node_, to, msg.name(), TraceEventKind::kSend, flow);
+}
+
+void Network::trace_deliver(const Envelope& env) {
+  acting_node_ = env.to;
+  std::uint64_t flow = 0;
+  auto it = flow_ids_.find(env.msg);
+  if (it != flow_ids_.end()) {
+    flow = it->second;
+    flow_ids_.erase(it);
+  }
+  trace_->record(round_, NodeId::null(), env.to, env.msg->name(),
+                 TraceEventKind::kDeliver, flow);
+}
+
+void Network::trace_forget(const Message* msg) { flow_ids_.erase(msg); }
 
 std::size_t Network::pool_reserved_bytes() const {
   return pool_.reserved_bytes() + scheduler_->reserved_bytes();

@@ -33,6 +33,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -41,12 +42,17 @@
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
 #include "sim/types.hpp"
+#include "telemetry/latency.hpp"
 
 namespace ssps::sched {
 class Scheduler;
 class SerialScheduler;
 class ParallelScheduler;
 }  // namespace ssps::sched
+
+namespace ssps::telemetry {
+class RoundProbe;
+}  // namespace ssps::telemetry
 
 namespace ssps::sim {
 
@@ -88,6 +94,10 @@ struct SendContext {
   std::vector<Envelope>* lane = nullptr;
   Metrics* metrics = nullptr;
   MessagePool* pool = nullptr;
+  /// Delivery-latency shard (same ownership discipline as `metrics`:
+  /// the Network's own tracker, or a worker's private shard folded at
+  /// the round barrier).
+  telemetry::LatencyTracker* latency = nullptr;
   /// Sends swallowed because the target crashed (§3.3); folded into the
   /// Network's main context at the round barrier.
   std::uint64_t swallowed_to_dead = 0;
@@ -98,6 +108,8 @@ namespace detail {
 /// this at its own context around its delivery slice.
 extern thread_local SendContext* tls_send_ctx;
 }  // namespace detail
+
+class Trace;
 
 /// The simulated network. Owns all nodes, channels, randomness, the
 /// message pool and the metrics.
@@ -193,8 +205,10 @@ class Network {
   void send(NodeId to, PooledMsg msg) {
     SSPS_ASSERT(msg);
     SendContext& ctx = send_ctx();
-    ctx.metrics->on_send_id(ctx.metrics->label_id(*msg), msg->wire_size());
-    if (!alive(to)) {
+    ctx.metrics->on_send_id(ctx.metrics->label_id(*msg), msg->wire_size(), to);
+    const bool enqueued = alive(to);
+    if (trace_ != nullptr) [[unlikely]] trace_send(to, *msg, enqueued);
+    if (!enqueued) {
       // Target crashed or never existed: the message invokes no action
       // (its pool slot is recycled as `msg` goes out of scope).
       ++ctx.swallowed_to_dead;
@@ -291,6 +305,32 @@ class Network {
   Metrics& metrics();
   const Metrics& metrics() const;
 
+  /// The aggregated delivery-latency histograms (same fold-on-access
+  /// discipline as metrics(): per-worker shards fold in first, so the
+  /// distribution is bit-identical to a serial run).
+  telemetry::LatencyTracker& latency();
+  const telemetry::LatencyTracker& latency() const;
+
+  /// Records one publication delivery that took `rounds` rounds end to
+  /// end (called by the pub-sub layer through its MessageSink). Routed
+  /// through the calling thread's SendContext, so a parallel worker
+  /// records into its own shard without any atomics.
+  void record_delivery_latency(std::uint32_t topic, Round rounds) {
+    send_ctx().latency->record(topic, rounds);
+  }
+
+  /// Attaches a per-round time-series probe: every run_round() pushes one
+  /// RoundSample after the round barrier. Pass nullptr to detach. The
+  /// probe must outlive the attachment.
+  void attach_round_probe(telemetry::RoundProbe* probe) { round_probe_ = probe; }
+
+  /// Attaches a structured event trace recording every send and delivery
+  /// with flow correlation (see src/telemetry/perfetto.hpp for the
+  /// exporter). Serial-only: tracing attributes sends to the acting node
+  /// via a single member, so the scheduler must stay single-threaded
+  /// while a trace is attached. Pass nullptr to detach.
+  void attach_trace(Trace* trace);
+
   ssps::Rng& rng() { return rng_; }
 
   /// True if the union graph of explicit edges (node variables) and
@@ -367,6 +407,15 @@ class Network {
   void deliver_at(std::size_t index);
   void deliver_envelope(const Envelope& env, Node& node);
   void fire_timeout(Slot& slot);
+
+  // ---- Telemetry hooks (cold paths; only reached when attached) -------
+  void trace_send(NodeId to, const Message& msg, bool enqueued);
+  void trace_deliver(const Envelope& env);
+  /// Forgets a message's flow id before its pool slot is recycled on a
+  /// non-delivery path (crash drop, destructor drain) — a reused slot
+  /// must never alias an old flow.
+  void trace_forget(const Message* msg);
+  void sample_round_probe(std::size_t delivered);
   /// Reclaims every pending message addressed to `to` (crash path).
   void drop_pending_for(NodeId to);
   void collect_alive(std::vector<NodeId>& out) const;
@@ -380,6 +429,7 @@ class Network {
   ssps::Rng rng_;
   MessagePool pool_;
   Metrics metrics_;
+  telemetry::LatencyTracker latency_;
   AsyncConfig async_cfg_;
   /// The Network's own send context (lane = pending_, shard = metrics_,
   /// arena = pool_); aggregates the workers' swallowed counters at fold.
@@ -389,6 +439,20 @@ class Network {
   bool in_parallel_phase_ = false;
   /// Timeouts fired by the last run_round (for the quiescence check).
   std::size_t last_round_timeouts_ = 0;
+
+  /// Optional per-round time-series sink (attach_round_probe).
+  telemetry::RoundProbe* round_probe_ = nullptr;
+  /// Optional structured event trace (attach_trace; forces serial).
+  Trace* trace_ = nullptr;
+  /// Node whose action is currently executing — the `from` attribution
+  /// for traced sends. Only maintained while a trace is attached (the
+  /// serial-only rule makes the single member race-free); null for sends
+  /// from outside any round (harness injections, publishes).
+  NodeId acting_node_;
+  /// In-flight flow correlation: message -> flow id, assigned in send
+  /// order. Only populated while a trace is attached.
+  std::unordered_map<const Message*, std::uint64_t> flow_ids_;
+  std::uint64_t next_flow_ = 0;
 
   std::unique_ptr<sched::Scheduler> scheduler_;
   /// Schedulers replaced mid-run: their worker pools may still own

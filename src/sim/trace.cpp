@@ -5,12 +5,22 @@
 
 namespace ssps::sim {
 
-void Trace::record(Round round, NodeId from, NodeId to, std::string label) {
+std::uint32_t Trace::intern(std::string_view label) {
+  auto it = label_ids_.find(label);
+  if (it != label_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(label_names_.size());
+  label_names_.emplace_back(label);
+  label_ids_.emplace(label_names_.back(), id);
+  return id;
+}
+
+void Trace::record_id(Round round, NodeId from, NodeId to, std::uint32_t label,
+                      TraceEventKind kind, std::uint64_t flow) {
   if (events_.size() == capacity_) {
     events_.pop_front();
     ++dropped_;
   }
-  events_.push_back(TraceEvent{round, from, to, std::move(label)});
+  events_.push_back(TraceEvent{round, from, to, label, kind, flow});
 }
 
 void Trace::clear() {
@@ -18,10 +28,12 @@ void Trace::clear() {
   dropped_ = 0;
 }
 
-std::vector<TraceEvent> Trace::filter(const std::string& label) const {
+std::vector<TraceEvent> Trace::filter(std::string_view label) const {
   std::vector<TraceEvent> out;
+  auto it = label_ids_.find(label);
+  if (it == label_ids_.end()) return out;  // never interned: no event has it
   for (const TraceEvent& e : events_) {
-    if (e.label == label) out.push_back(e);
+    if (e.label == it->second) out.push_back(e);
   }
   return out;
 }
@@ -31,7 +43,7 @@ std::string Trace::to_text() const {
   if (dropped_ > 0) out << "(… " << dropped_ << " earlier events dropped)\n";
   for (const TraceEvent& e : events_) {
     out << "[r" << e.round << "] " << e.from.value << " -> " << e.to.value << " : "
-        << e.label << "\n";
+        << label_names_[e.label] << "\n";
   }
   return out.str();
 }

@@ -1,0 +1,44 @@
+#include "telemetry/histogram.hpp"
+
+namespace ssps::telemetry {
+
+void Histogram::merge(const Histogram& other) {
+  for (std::uint64_t i = 0; i < kExactBuckets; ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  overflow_ += other.overflow_;
+  total_ += other.total_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+void Histogram::reset() {
+  buckets_.fill(0);
+  overflow_ = 0;
+  total_ = 0;
+  max_ = 0;
+}
+
+std::uint64_t Histogram::percentile_permille(std::uint32_t permille) const {
+  if (total_ == 0) return 0;
+  // rank = ceil(total * permille / 1000), in pure integer arithmetic.
+  std::uint64_t rank = (total_ * permille + 999) / 1000;
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (std::uint64_t v = 0; v < kExactBuckets; ++v) {
+    seen += buckets_[v];
+    if (seen >= rank) return v;
+  }
+  return max_;  // rank falls into the overflow bucket
+}
+
+Histogram::Summary Histogram::summary() const {
+  Summary s;
+  s.count = total_;
+  s.p50 = percentile_permille(500);
+  s.p99 = percentile_permille(990);
+  s.p999 = percentile_permille(999);
+  s.max = max_;
+  return s;
+}
+
+}  // namespace ssps::telemetry

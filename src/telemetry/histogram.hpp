@@ -1,0 +1,64 @@
+// Fixed-bucket latency histogram with deterministic percentiles.
+//
+// Delivery latency is measured in rounds, so the value domain is tiny:
+// almost every observation lands in [0, 256). The histogram keeps one
+// exact bucket per round up to that bound plus a single overflow bucket
+// (count + exact max), which makes record() a branch and an increment,
+// merge() an element-wise sum (commutative — per-worker shards fold to
+// bit-identical totals in any order), and percentiles an integer bucket
+// walk with no floating point anywhere.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace ssps::telemetry {
+
+class Histogram {
+ public:
+  /// Values in [0, kExactBuckets) are counted exactly; larger ones share
+  /// the overflow bucket (their max is still exact).
+  static constexpr std::uint64_t kExactBuckets = 256;
+
+  void record(std::uint64_t value) {
+    ++total_;
+    if (value > max_) max_ = value;
+    if (value < kExactBuckets) {
+      ++buckets_[value];
+    } else {
+      ++overflow_;
+    }
+  }
+
+  /// Adds every bucket of `other` into this histogram. Integer sums
+  /// commute, so folding shards in any order yields identical totals.
+  void merge(const Histogram& other);
+
+  void reset();
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t max() const { return max_; }
+
+  /// Smallest value v such that at least ceil(total * permille / 1000)
+  /// observations are <= v. Returns 0 on an empty histogram; a rank that
+  /// falls into the overflow bucket reports the exact max.
+  std::uint64_t percentile_permille(std::uint32_t permille) const;
+
+  /// The percentile set every report row carries.
+  struct Summary {
+    std::uint64_t count = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+    std::uint64_t max = 0;
+  };
+  Summary summary() const;
+
+ private:
+  std::array<std::uint64_t, kExactBuckets> buckets_{};
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace ssps::telemetry

@@ -1,0 +1,18 @@
+#include "telemetry/latency.hpp"
+
+namespace ssps::telemetry {
+
+void LatencyTracker::fold_into(LatencyTracker& dst) const {
+  if (global_.count() == 0) return;
+  dst.global_.merge(global_);
+  for (const auto& [topic, hist] : by_topic_) {
+    dst.by_topic_[topic].merge(hist);
+  }
+}
+
+void LatencyTracker::reset() {
+  global_.reset();
+  by_topic_.clear();
+}
+
+}  // namespace ssps::telemetry

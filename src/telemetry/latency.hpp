@@ -1,0 +1,57 @@
+// Delivery-latency accounting: rounds from publish to subscriber receipt.
+//
+// Every publication carries the round it was born in (see
+// pubsub::Publication::born); the pub-sub layer reports
+// `deliver_round - publish_round` here each time a publication first
+// reaches a node. Latencies land in a global histogram plus one per
+// topic, so reports can surface p50/p99/p999/max both overall and per
+// topic.
+//
+// Sharding mirrors sim::Metrics: recording happens on worker threads
+// during the parallel delivery phase, so each worker owns a private
+// LatencyTracker and the scheduler folds the shards into the Network's
+// main tracker at the round barrier. Histogram merges are element-wise
+// integer sums, so the folded distribution is bit-identical to a serial
+// run regardless of how deliveries were sharded — which is what makes
+// the percentiles deterministic (cmp-exact) bench metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "common/flat_map.hpp"
+#include "sim/types.hpp"
+#include "telemetry/histogram.hpp"
+
+namespace ssps::telemetry {
+
+class LatencyTracker {
+ public:
+  /// Topic id used by single-topic systems (no per-topic row).
+  static constexpr std::uint32_t kNoTopic = 0;
+
+  /// Records one publication delivery that took `rounds` rounds end to
+  /// end. `topic` == kNoTopic records into the global histogram only.
+  void record(std::uint32_t topic, sim::Round rounds) {
+    global_.record(rounds);
+    if (topic != kNoTopic) by_topic_[topic].record(rounds);
+  }
+
+  /// Adds every histogram of this tracker into `dst` (the shard fold;
+  /// see the class comment).
+  void fold_into(LatencyTracker& dst) const;
+
+  void reset();
+
+  std::uint64_t count() const { return global_.count(); }
+  const Histogram& global() const { return global_; }
+
+  /// Per-topic histograms, sorted by topic id (deterministic iteration
+  /// for report writers).
+  const FlatMap<std::uint32_t, Histogram>& by_topic() const { return by_topic_; }
+
+ private:
+  Histogram global_;
+  FlatMap<std::uint32_t, Histogram> by_topic_;
+};
+
+}  // namespace ssps::telemetry

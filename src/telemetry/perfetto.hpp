@@ -1,0 +1,31 @@
+// Chrome/Perfetto trace_event exporter for sim::Trace.
+//
+// Serializes a recorded trace as the JSON Trace Event Format that both
+// chrome://tracing and https://ui.perfetto.dev load directly: one "X"
+// span per simulated round on a dedicated track, one instant slice per
+// send/deliver event on the acting node's track, and "s"/"f" flow pairs
+// connecting each send to its delivery (the `flow` correlation id
+// assigned by the Network's trace hooks). The simulated clock maps to
+// trace time as 1 round = 1000 µs, so round boundaries are legible at
+// the default zoom.
+//
+// The output is a pure function of the trace contents — byte-identical
+// per (scenario, seed) — which is what makes the export golden-file
+// testable.
+#pragma once
+
+#include <string>
+
+namespace ssps::sim {
+class Trace;
+}
+
+namespace ssps::telemetry {
+
+/// Renders `trace` as a Trace Event Format JSON document.
+std::string to_perfetto_json(const sim::Trace& trace);
+
+/// Writes to_perfetto_json(trace) to `path`. Returns false on I/O error.
+bool write_perfetto_file(const std::string& path, const sim::Trace& trace);
+
+}  // namespace ssps::telemetry

@@ -40,6 +40,14 @@ for scenario in $scenarios; do
       status=1
       continue
     fi
+    # The byte comparison below is only meaningful if the telemetry
+    # sections are actually in the reports being compared.
+    for section in '"latency"' '"timeseries"'; do
+      if ! grep -q "$section" "$ref"; then
+        echo "MISSING SECTION: $scenario ($variant) report lacks $section"
+        status=1
+      fi
+    done
     for threads in 2 4; do
       out="$workdir/$scenario-$variant-$threads.json"
       if ! "$run" --scenario "$scenario" --seed "$seed" --nodes 12 \

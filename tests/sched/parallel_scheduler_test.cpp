@@ -200,6 +200,53 @@ TEST(ParallelScheduler, BuiltinReportsBitIdenticalAcrossWorkerCounts) {
   }
 }
 
+TEST(ParallelScheduler, TelemetrySectionsPopulatedAndThreadInvariant) {
+  // The byte-equality tests above would pass vacuously if the telemetry
+  // sections were silently empty; pin that they carry real data and that
+  // every serialized field matches across worker counts.
+  auto run = [](const char* builtin, unsigned threads) {
+    ScenarioSpec spec = builtin_scenario(builtin, /*seed=*/11, /*nodes=*/16);
+    spec.threads = threads;
+    ScenarioRunner runner(std::move(spec));
+    return runner.run();  // copies the report out of the dying runner
+  };
+
+  const ScenarioReport serial = run("churn-wave", 1);
+  EXPECT_GT(serial.latency.global.count, 0u);
+  EXPECT_GE(serial.latency.global.p999, serial.latency.global.p50);
+  EXPECT_GE(serial.latency.global.max, serial.latency.global.p999);
+  ASSERT_TRUE(serial.timeseries.has_value());
+  ASSERT_FALSE(serial.timeseries->samples.empty());
+  EXPECT_GT(serial.timeseries->samples.front().alive, 0u);
+
+  const ScenarioReport parallel = run("churn-wave", 4);
+  EXPECT_EQ(serial.latency.global.count, parallel.latency.global.count);
+  EXPECT_EQ(serial.latency.global.p50, parallel.latency.global.p50);
+  EXPECT_EQ(serial.latency.global.p99, parallel.latency.global.p99);
+  EXPECT_EQ(serial.latency.global.p999, parallel.latency.global.p999);
+  EXPECT_EQ(serial.latency.global.max, parallel.latency.global.max);
+  ASSERT_TRUE(parallel.timeseries.has_value());
+  ASSERT_EQ(serial.timeseries->samples.size(), parallel.timeseries->samples.size());
+  EXPECT_EQ(serial.timeseries->dropped, parallel.timeseries->dropped);
+  for (std::size_t i = 0; i < serial.timeseries->samples.size(); ++i) {
+    const auto& a = serial.timeseries->samples[i];
+    const auto& b = parallel.timeseries->samples[i];
+    // Every serialized field; pool_reserved_bytes is thread-variant by
+    // design and deliberately excluded.
+    EXPECT_EQ(a.round, b.round) << i;
+    EXPECT_EQ(a.delivered, b.delivered) << i;
+    EXPECT_EQ(a.timeouts, b.timeouts) << i;
+    EXPECT_EQ(a.in_flight, b.in_flight) << i;
+    EXPECT_EQ(a.alive, b.alive) << i;
+    EXPECT_EQ(a.nonconforming, b.nonconforming) << i;
+  }
+
+  // Multi-topic runs additionally carry per-topic latency rows.
+  const ScenarioReport multi = run("zipf-topics", 2);
+  EXPECT_GT(multi.latency.global.count, 0u);
+  EXPECT_FALSE(multi.latency.per_topic.empty());
+}
+
 TEST(ParallelScheduler, ThreadsRecordedInReportHeader) {
   ScenarioSpec spec = builtin_scenario("steady", 3, 12);
   spec.threads = 2;

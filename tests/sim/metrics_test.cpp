@@ -81,6 +81,29 @@ TEST(Metrics, ByLabelViewRevalidatesAcrossSendsAndResets) {
   EXPECT_EQ(m.by_label()[0].first, "C");
 }
 
+TEST(Metrics, SentByCountsPerTargetOfferedLoad) {
+  Metrics m;
+  m.on_send("A", 10, NodeId{1});
+  m.on_send("A", 10, NodeId{1});
+  m.on_send("B", 5, NodeId{7});
+  EXPECT_EQ(m.sent_by(NodeId{1}), 2u);
+  EXPECT_EQ(m.sent_by(NodeId{7}), 1u);
+  EXPECT_EQ(m.sent_by(NodeId{2}), 0u);
+  EXPECT_EQ(m.sent_by(NodeId::null()), 0u);
+  m.reset();
+  EXPECT_EQ(m.sent_by(NodeId{1}), 0u);
+}
+
+TEST(Metrics, SentByFoldsAcrossShards) {
+  Metrics a, b;
+  a.on_send("A", 1, NodeId{3});
+  b.on_send("A", 1, NodeId{3});
+  b.on_send("B", 1, NodeId{9});  // forces the destination table to grow
+  b.fold_into(a);
+  EXPECT_EQ(a.sent_by(NodeId{3}), 2u);
+  EXPECT_EQ(a.sent_by(NodeId{9}), 1u);
+}
+
 TEST(Metrics, NetworkIntegrationTracksWireSizes) {
   struct Sized final : MsgBase<Sized> {
     std::string_view name() const override { return "Sized"; }
@@ -114,6 +137,10 @@ TEST(Metrics, SendsToDeadNodesAreStillCounted) {
   net.crash(a);
   net.emit<Sized>(a);
   EXPECT_EQ(net.metrics().sent("Sized"), 1u);
+  // ...and the per-target table attributes it: the gap between sent_by
+  // and received_by is exactly the swallowed-to-dead traffic.
+  EXPECT_EQ(net.metrics().sent_by(a), 1u);
+  EXPECT_EQ(net.metrics().received_by(a), 0u);
 }
 
 }  // namespace

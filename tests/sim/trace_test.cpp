@@ -25,8 +25,33 @@ TEST(Trace, BoundedCapacityDropsOldest) {
   }
   EXPECT_EQ(t.events().size(), 3u);
   EXPECT_EQ(t.dropped(), 7u);
-  EXPECT_EQ(t.events().front().label, "e7");
+  EXPECT_EQ(t.label_name(t.events().front().label), "e7");
   EXPECT_NE(t.to_text().find("7 earlier events dropped"), std::string::npos);
+}
+
+TEST(Trace, InternsLabelsToStableDenseIds) {
+  Trace t;
+  const std::uint32_t a = t.intern("A");
+  const std::uint32_t b = t.intern("B");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(t.intern("A"), a);  // idempotent
+  EXPECT_EQ(t.label_name(a), "A");
+  t.record(1, NodeId{1}, NodeId{2}, "A");
+  EXPECT_EQ(t.events().back().label, a);
+  // Interning survives clear(): ids recorded before and after agree.
+  t.clear();
+  t.record(2, NodeId{1}, NodeId{2}, "A");
+  EXPECT_EQ(t.events().back().label, a);
+}
+
+TEST(Trace, RecordsKindAndFlowCorrelation) {
+  Trace t;
+  t.record(1, NodeId{1}, NodeId{2}, "Publish", TraceEventKind::kSend, 42);
+  t.record(2, NodeId::null(), NodeId{2}, "Publish", TraceEventKind::kDeliver, 42);
+  ASSERT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.events().front().kind, TraceEventKind::kSend);
+  EXPECT_EQ(t.events().back().kind, TraceEventKind::kDeliver);
+  EXPECT_EQ(t.events().front().flow, t.events().back().flow);
 }
 
 TEST(Trace, FilterByLabel) {

@@ -1,0 +1,137 @@
+// Tests for the fixed-bucket latency histogram (src/telemetry/histogram.hpp).
+#include "telemetry/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "telemetry/latency.hpp"
+
+namespace ssps::telemetry {
+namespace {
+
+TEST(Histogram, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile_permille(500), 0u);
+  const Histogram::Summary s = h.summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0u);
+  EXPECT_EQ(s.max, 0u);
+}
+
+TEST(Histogram, PercentilesOnUniformRange) {
+  Histogram h;
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  // p50: rank ceil(100*500/1000) = 50 -> value 50.
+  EXPECT_EQ(h.percentile_permille(500), 50u);
+  EXPECT_EQ(h.percentile_permille(990), 99u);
+  EXPECT_EQ(h.percentile_permille(999), 100u);
+  EXPECT_EQ(h.percentile_permille(1000), 100u);
+}
+
+TEST(Histogram, SingleValueDominatesEveryPercentile) {
+  Histogram h;
+  for (int i = 0; i < 7; ++i) h.record(3);
+  EXPECT_EQ(h.percentile_permille(1), 3u);
+  EXPECT_EQ(h.percentile_permille(500), 3u);
+  EXPECT_EQ(h.percentile_permille(999), 3u);
+}
+
+TEST(Histogram, OverflowBucketReportsExactMax) {
+  Histogram h;
+  h.record(1);
+  h.record(Histogram::kExactBuckets + 100);  // overflow
+  h.record(100000);                          // overflow, new max
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.max(), 100000u);
+  EXPECT_EQ(h.percentile_permille(1), 1u);
+  // Ranks landing in the overflow bucket collapse to the exact max.
+  EXPECT_EQ(h.percentile_permille(990), 100000u);
+}
+
+TEST(Histogram, MergeIsElementwiseAndCommutative) {
+  Histogram a, b;
+  for (std::uint64_t v = 0; v < 50; ++v) a.record(v);
+  for (std::uint64_t v = 50; v < 100; ++v) b.record(v);
+  b.record(5000);  // overflow on one side only
+
+  Histogram ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_EQ(ab.count(), 101u);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.max(), ba.max());
+  for (std::uint32_t p : {1u, 250u, 500u, 900u, 990u, 999u, 1000u}) {
+    EXPECT_EQ(ab.percentile_permille(p), ba.percentile_permille(p)) << p;
+  }
+}
+
+TEST(Histogram, ResetRestoresEmptyState) {
+  Histogram h;
+  h.record(7);
+  h.record(9999);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile_permille(999), 0u);
+}
+
+TEST(LatencyTracker, RecordsGlobalAndPerTopic) {
+  LatencyTracker t;
+  t.record(LatencyTracker::kNoTopic, 2);
+  t.record(1, 4);
+  t.record(2, 6);
+  t.record(1, 8);
+  EXPECT_EQ(t.count(), 4u);
+  EXPECT_EQ(t.global().max(), 8u);
+  ASSERT_EQ(t.by_topic().size(), 2u);
+  const auto it = t.by_topic().begin();
+  EXPECT_EQ(it->first, 1u);
+  EXPECT_EQ(it->second.count(), 2u);
+  EXPECT_EQ((it + 1)->first, 2u);
+  EXPECT_EQ((it + 1)->second.count(), 1u);
+}
+
+TEST(LatencyTracker, FoldPreservesDistributionsAcrossSharding) {
+  // Record one stream serially, then the same stream split over three
+  // shards folded in arbitrary order — every percentile must agree.
+  LatencyTracker serial;
+  LatencyTracker shard[3];
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const std::uint32_t topic = 1 + static_cast<std::uint32_t>(i % 3);
+    const sim::Round latency = (i * 7) % 40;
+    serial.record(topic, latency);
+    shard[i % 3].record(topic, latency);
+  }
+  LatencyTracker folded;
+  shard[2].fold_into(folded);
+  shard[0].fold_into(folded);
+  shard[1].fold_into(folded);
+  EXPECT_EQ(folded.count(), serial.count());
+  for (std::uint32_t p : {500u, 990u, 999u}) {
+    EXPECT_EQ(folded.global().percentile_permille(p),
+              serial.global().percentile_permille(p));
+  }
+  ASSERT_EQ(folded.by_topic().size(), serial.by_topic().size());
+  auto f = folded.by_topic().begin();
+  auto s = serial.by_topic().begin();
+  for (; f != folded.by_topic().end(); ++f, ++s) {
+    EXPECT_EQ(f->first, s->first);
+    EXPECT_EQ(f->second.count(), s->second.count());
+    EXPECT_EQ(f->second.percentile_permille(990),
+              s->second.percentile_permille(990));
+  }
+}
+
+TEST(LatencyTracker, EmptyShardFoldIsANoop) {
+  LatencyTracker empty, dst;
+  dst.record(1, 5);
+  empty.fold_into(dst);
+  EXPECT_EQ(dst.count(), 1u);
+  ASSERT_EQ(dst.by_topic().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ssps::telemetry

@@ -15,6 +15,9 @@ Gated metrics:
       lower is better:  bootstrap_rounds, rounds
       drift check:      msgs_per_round (both directions: the steady-state
                         maintenance traffic is a protocol property)
+      drift check:      latency_p50/p99/p999/max (both directions: delivery
+                        latency in rounds is bit-deterministic per seed, so
+                        any drift is a protocol change to acknowledge)
   throughput (wall-clock; --throughput-tolerance, default 15%):
       higher is better: rounds_per_sec, msgs_per_sec
 
@@ -36,7 +39,8 @@ import sys
 
 LOWER_IS_BETTER = {"bootstrap_rounds", "rounds"}
 HIGHER_IS_BETTER = {"rounds_per_sec", "msgs_per_sec"}
-BOTH_DIRECTIONS = {"msgs_per_round"}
+BOTH_DIRECTIONS = {"msgs_per_round", "latency_p50", "latency_p99",
+                   "latency_p999", "latency_max"}
 IDENTIFYING_KEYS = ("n", "threads", "class", "name")
 
 

@@ -16,6 +16,8 @@
 #include "cli_util.hpp"
 #include "scenario/builtin.hpp"
 #include "scenario/runner.hpp"
+#include "sim/trace.hpp"
+#include "telemetry/perfetto.hpp"
 
 namespace {
 
@@ -23,7 +25,7 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ssps_run --scenario <name> [--seed <u64>] [--nodes <n>]\n"
                "                [--threads <n>] [--scramble] [--oracle]\n"
-               "                [--out <file>] [--quiet]\n"
+               "                [--out <file>] [--trace <file>] [--quiet]\n"
                "       ssps_run --list\n"
                "\n"
                "Runs a built-in scenario and prints its JSON metrics report.\n"
@@ -44,6 +46,10 @@ void usage(std::FILE* to) {
                "                     phase end; exit 1 on post-convergence\n"
                "                     violations\n"
                "  --out <file>       additionally write the report to <file>\n"
+               "  --trace <file>     record every send/deliver and export a\n"
+               "                     Chrome/Perfetto trace_event JSON to <file>\n"
+               "                     (open in ui.perfetto.dev; requires\n"
+               "                     --threads 1)\n"
                "  --quiet            suppress stdout report (use with --out)\n"
                "  --list             list built-in scenarios and exit\n");
 }
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
   std::uint64_t nodes = 0;  // 0 = scenario default
   std::uint64_t threads = 1;
   std::string out_path;
+  std::string trace_path;
   bool quiet = false;
   bool scramble = false;
   bool oracle = false;
@@ -104,6 +111,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       out_path = v;
+    } else if (arg == "--trace") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      trace_path = v;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--scramble") {
@@ -128,6 +142,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!trace_path.empty() && threads != 1) {
+    std::fprintf(stderr, "ssps_run: --trace requires --threads 1\n");
+    return 2;
+  }
+
   ssps::scenario::ScenarioSpec spec = ssps::scenario::builtin_scenario(
       scenario, seed, static_cast<std::size_t>(nodes));
   if (scramble) spec = ssps::scenario::scrambled_variant(std::move(spec));
@@ -135,7 +154,15 @@ int main(int argc, char** argv) {
   spec.threads = static_cast<unsigned>(threads);
 
   ssps::scenario::ScenarioRunner runner(std::move(spec));
+  // Unbounded in practice: big enough that no builtin run evicts events.
+  ssps::sim::Trace trace(1u << 22);
+  if (!trace_path.empty()) runner.net().attach_trace(&trace);
   const ssps::scenario::ScenarioReport& report = runner.run();
+  if (!trace_path.empty() &&
+      !ssps::telemetry::write_perfetto_file(trace_path, trace)) {
+    std::fprintf(stderr, "ssps_run: cannot write '%s'\n", trace_path.c_str());
+    return 1;
+  }
   const ssps::scenario::Json doc = report.to_json();
 
   if (!quiet) std::fputs(doc.dump(2).c_str(), stdout);
