@@ -127,6 +127,7 @@ void print_experiment() {
         scenario::Json row = scenario::Json::object();
         row["class"] = klass;
         row["n"] = static_cast<std::uint64_t>(n);
+        row["scheduler"] = "rounds";
         row["ok"] = mid.ok;
         row["rounds"] = static_cast<std::uint64_t>(mid.rounds);
         row["msgs_per_node_round"] = mid.msgs_per_node_round;
@@ -165,6 +166,7 @@ void print_experiment() {
                      Table::num(mid.wall_secs, 3)});
       scenario::Json row = scenario::Json::object();
       row["n"] = static_cast<std::uint64_t>(n);
+      row["scheduler"] = "rounds";
       row["ok"] = mid.ok;
       row["rounds"] = static_cast<std::uint64_t>(mid.rounds);
       row["rounds_per_log2n"] =
@@ -211,6 +213,7 @@ void print_experiment() {
                      Table::num(s.p999), Table::num(s.max)});
       scenario::Json row = scenario::Json::object();
       row["n"] = static_cast<std::uint64_t>(n);
+      row["scheduler"] = "rounds";
       row["ok"] = report.ok;
       row["latency_count"] = s.count;
       row["latency_p50"] = s.p50;
@@ -223,6 +226,56 @@ void print_experiment() {
         "Delivery latency — rounds from publish to each subscriber's first "
         "receipt over a converged ring (expect: p50 within a few rounds, "
         "max ~O(log n) via flooding)");
+
+    // The same burst under the event-driven timed scheduler on a lossy
+    // WAN profile (~80 ms median lognormal latency, 2% loss): percentiles
+    // read in virtual seconds. Deterministic per seed like the round rows;
+    // the gate keys the two schedulers' rows apart by the "scheduler"
+    // field.
+    Table timed_table({"n", "publications", "p50 s", "p99 s", "p999 s", "max s"});
+    for (std::size_t n : {16u, 64u, 256u}) {
+      scenario::ScenarioSpec spec;
+      spec.name = "latency-burst-timed";
+      spec.seed = 31 + n;
+      spec.nodes = n;
+      spec.mode = scenario::Mode::kSingleTopic;
+      spec.scheduler = scenario::Scheduler::kTimed;
+      spec.timed.local.latency = {sim::LatencySpec::Dist::kLognormal, -2.5, 0.5};
+      spec.timed.local.loss = 0.02;
+      scenario::Phase bootstrap;
+      bootstrap.name = "bootstrap";
+      bootstrap.churn.joins = n;
+      bootstrap.converge = true;
+      bootstrap.max_rounds = 5000;
+      spec.phases.push_back(bootstrap);
+      scenario::Phase burst;
+      burst.name = "publish-burst";
+      burst.publish.count = n / 2;
+      burst.converge = true;
+      burst.max_rounds = 5000;
+      spec.phases.push_back(burst);
+      scenario::ScenarioRunner runner(std::move(spec));
+      const scenario::ScenarioReport& report = runner.run();
+      const auto& s = report.latency.global;
+      timed_table.add_row({Table::num(static_cast<std::uint64_t>(n)),
+                           Table::num(s.count), Table::num(s.p50),
+                           Table::num(s.p99), Table::num(s.p999),
+                           Table::num(s.max)});
+      scenario::Json row = scenario::Json::object();
+      row["n"] = static_cast<std::uint64_t>(n);
+      row["scheduler"] = "timed";
+      row["ok"] = report.ok;
+      row["latency_count"] = s.count;
+      row["latency_p50"] = s.p50;
+      row["latency_p99"] = s.p99;
+      row["latency_p999"] = s.p999;
+      row["latency_max"] = s.max;
+      lat_series.push_back(std::move(row));
+    }
+    timed_table.print(
+        "Delivery latency, timed scheduler — virtual seconds from publish "
+        "to first receipt on a lossy ~80 ms WAN (expect: p50 of a few "
+        "seconds; deterministic per seed)");
     ssps::bench::result_json()["delivery_latency"] = std::move(lat_series);
   }
   {

@@ -86,6 +86,7 @@ void print_experiment() {
                    Table::num(static_cast<double>(cell.pool_reserved_kb) / 1024.0, 1)});
     scenario::Json row = scenario::Json::object();
     row["n"] = static_cast<std::uint64_t>(cell.n);
+    row["scheduler"] = "rounds";
     row["bootstrap_rounds"] = static_cast<std::uint64_t>(cell.bootstrap_rounds);
     row["msgs_per_round"] = cell.msgs_per_round;
     row["rounds_per_sec"] = cell.rounds_per_sec;
@@ -118,6 +119,7 @@ void print_experiment() {
       scenario::Json row = scenario::Json::object();
       row["n"] = static_cast<std::uint64_t>(cell.n);
       row["threads"] = static_cast<std::uint64_t>(threads);
+      row["scheduler"] = "rounds";
       row["bootstrap_rounds"] = static_cast<std::uint64_t>(cell.bootstrap_rounds);
       row["msgs_per_round"] = cell.msgs_per_round;
       row["rounds_per_sec"] = cell.rounds_per_sec;

@@ -30,6 +30,13 @@ struct TopicEnvelope final : sim::MsgBase<TopicEnvelope> {
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     inner->collect_refs(out);
   }
+  sim::PooledMsg clone_into(sim::MessagePool& pool) const override {
+    // Move-only (the inner handle), so the MsgBase auto-clone can't apply:
+    // clone the payload first, then re-wrap it under the same topic.
+    sim::PooledMsg inner_copy = inner->clone_into(pool);
+    if (!inner_copy) return {};
+    return pool.make<TopicEnvelope>(topic, std::move(inner_copy));
+  }
 };
 
 /// MessageSink that stamps outgoing messages with a fixed topic.
@@ -40,7 +47,7 @@ class TopicSink final : public core::MessageSink {
     net_->send(to, net_->pool().make<TopicEnvelope>(topic_, std::move(msg)));
   }
   sim::MessagePool& pool() override { return net_->pool(); }
-  sim::Round round() const override { return net_->round(); }
+  sim::Round round() const override { return net_->clock_now(); }
   void publication_delivered(sim::Round latency) override {
     // Topic ids start at 1 (the universe is [1, topics]), so the sink's
     // topic never collides with the kNoTopic sentinel.

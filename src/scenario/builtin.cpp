@@ -208,6 +208,108 @@ ScenarioSpec partition_drill(std::uint64_t seed, std::size_t nodes) {
   return spec;
 }
 
+// ---- timed family ---------------------------------------------------
+// Event-driven virtual-clock scenarios (Scheduler::kTimed): per-link
+// latency distributions, seeded faults and partition schedules replace the
+// round model's idealized channel. Durations and latency percentiles in
+// their reports read as virtual seconds.
+
+/// Three-zone geo deployment: same-rack links at a constant 50 ms,
+/// cross-zone links uniform in 100–800 ms. After seeding publications the
+/// link between zones 0 and 1 is cut for 20 virtual seconds, then heals —
+/// the recovery wait and the closing burst measure stabilization time in
+/// seconds.
+ScenarioSpec geo_steady(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "geo-steady";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kSingleTopic;
+  spec.scheduler = Scheduler::kTimed;
+  spec.fd_delay = 4;
+  spec.timed.zones = 3;
+  spec.timed.local.latency = {sim::LatencySpec::Dist::kConstant, 0.05, 0.0};
+  spec.timed.remote.latency = {sim::LatencySpec::Dist::kUniform, 0.1, 0.8};
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase pubs;
+  pubs.name = "seed-publications";
+  pubs.publish.count = at_least(nodes / 4, 3);
+  pubs.converge = true;
+  spec.phases.push_back(pubs);
+
+  Phase cut;
+  cut.name = "zone-partition";
+  sim::PartitionWindow window;
+  window.from_s = 0;
+  window.to_s = 20;
+  window.zone_a = 0;
+  window.zone_b = 1;
+  cut.partitions.push_back(window);
+  cut.run = 20;  // ride out the cut; the convergence wait starts healed
+  cut.converge = true;
+  spec.phases.push_back(cut);
+
+  Phase burst;
+  burst.name = "healed-burst";
+  burst.publish.count = at_least(nodes / 4, 3);
+  burst.publish.gap = 1;
+  burst.converge = true;
+  spec.phases.push_back(burst);
+  return spec;
+}
+
+/// Lossy wide-area churn: every link drops 5% of messages, duplicates 1%
+/// and reorders 2% on top of a jittery 20–250 ms latency, while a churn
+/// wave runs. The self-stabilizing timeouts must recover everything the
+/// link layer eats.
+ScenarioSpec lossy_churn(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "lossy-churn";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kSingleTopic;
+  spec.scheduler = Scheduler::kTimed;
+  spec.fd_delay = 4;  // a lost heartbeat must not evict instantly
+  spec.timed.local.latency = {sim::LatencySpec::Dist::kUniform, 0.02, 0.25};
+  spec.timed.local.loss = 0.05;
+  spec.timed.local.duplicate = 0.01;
+  spec.timed.local.reorder = 0.02;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase pubs;
+  pubs.name = "seed-publications";
+  pubs.publish.count = at_least(nodes / 4, 3);
+  pubs.converge = true;
+  spec.phases.push_back(pubs);
+
+  Phase wave;
+  wave.name = "churn-wave";
+  wave.churn.joins = at_least(nodes / 8, 1);
+  wave.churn.leaves = at_least(nodes / 8, 1);
+  wave.churn.crashes = at_least(nodes / 8, 1);
+  wave.converge = true;
+  spec.phases.push_back(wave);
+
+  Phase burst;
+  burst.name = "lossy-burst";
+  burst.publish.count = at_least(nodes / 4, 3);
+  burst.publish.gap = 1;
+  burst.converge = true;
+  spec.phases.push_back(burst);
+  return spec;
+}
+
 // ---- scale family ---------------------------------------------------
 // Large-n workloads (default n = 1024, meant for n up to 4096): the same
 // shapes as the small builtins but tuned so the convergence predicates
@@ -321,6 +423,8 @@ constexpr BuiltinEntry kBuiltins[] = {
     {"flash-crowd", flash_crowd, 32},
     {"zipf-topics", zipf_topics, 32},
     {"partition-drill", partition_drill, 32},
+    {"geo-steady", geo_steady, 32},
+    {"lossy-churn", lossy_churn, 32},
     {"scale-steady", scale_steady, 1024},
     {"scale-churn", scale_churn, 1024},
     {"scale-flash", scale_flash, 1024},

@@ -84,6 +84,7 @@ Json summary_to_json(const telemetry::Histogram::Summary& s) {
 
 Json latency_to_json(const LatencyReport& l) {
   Json j = Json::object();
+  j["unit"] = l.unit;
   j["global"] = summary_to_json(l.global);
   Json per_topic = Json::object();
   for (const auto& [topic, summary] : l.per_topic) {
@@ -95,6 +96,7 @@ Json latency_to_json(const LatencyReport& l) {
 
 Json timeseries_to_json(const TimeSeriesReport& ts) {
   Json j = Json::object();
+  j["unit"] = ts.unit;
   j["dropped"] = ts.dropped;
   Json samples = Json::array();
   for (const telemetry::RoundSample& s : ts.samples) {
@@ -123,6 +125,7 @@ Json ScenarioReport::to_json() const {
   j["supervisors"] = static_cast<std::uint64_t>(supervisors);
   j["topics"] = static_cast<std::uint64_t>(topics);
   j["threads"] = static_cast<std::uint64_t>(threads);
+  j["clock"] = clock;
   j["ok"] = ok;
   j["oracle_ok"] = oracle_ok;
   Json totals = Json::object();

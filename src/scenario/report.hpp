@@ -70,19 +70,28 @@ struct PhaseReport {
   std::optional<OracleSummary> oracle;
 };
 
-/// Delivery-latency distribution over the whole run: rounds from publish
-/// to each subscriber's first receipt (telemetry/latency.hpp). Measured in
-/// rounds, so identical across worker counts.
+/// Delivery-latency distribution over the whole run: publish to each
+/// subscriber's first receipt (telemetry/latency.hpp), measured on the
+/// scheduler's clock — rounds, async steps, or virtual seconds — named by
+/// `unit`. Clock values are thread-invariant, so the section is identical
+/// across worker counts.
 struct LatencyReport {
+  /// Unit of every percentile: "rounds", "steps", or "virtual-seconds".
+  std::string unit = "rounds";
   telemetry::Histogram::Summary global;
   /// topic -> summary (multi-topic runs; empty in single-topic mode).
   std::map<std::uint32_t, telemetry::Histogram::Summary> per_topic;
 };
 
-/// Per-round health samples from the telemetry::RoundProbe ring buffer
-/// (the last ScenarioSpec::timeseries_capacity rounds of the run).
+/// Health samples from the telemetry::RoundProbe ring buffer (the last
+/// ScenarioSpec::timeseries_capacity samples of the run). Round/timed runs
+/// sample once per round; async runs sample every AsyncConfig::probe_stride
+/// steps, with each sample's `round` field holding the step count.
 struct TimeSeriesReport {
-  std::uint64_t dropped = 0;  ///< rounds evicted from the ring
+  /// Clock the samples' `round` field ticks in: "rounds", "steps", or
+  /// "virtual-seconds".
+  std::string unit = "rounds";
+  std::uint64_t dropped = 0;  ///< samples evicted from the ring
   std::vector<telemetry::RoundSample> samples;
 };
 
@@ -98,6 +107,11 @@ struct ScenarioReport {
   /// that may differ between otherwise byte-identical reports (determinism
   /// harnesses strip it before comparing across thread counts).
   unsigned threads = 1;
+  /// The clock every duration in the report ticks in: "rounds", "steps"
+  /// (async), or "virtual-seconds" (timed). Together with the two section
+  /// `unit` fields, the only lines the timed-equivalence harness strips
+  /// before comparing timed-default reports against round reports.
+  std::string clock = "rounds";
 
   std::vector<PhaseReport> phases;
 

@@ -14,6 +14,20 @@ namespace {
 /// stream (both derive from the one spec seed).
 constexpr std::uint64_t kRunnerSeedSalt = 0x5c3ec0de5c3ec0deULL;
 
+/// The unit every duration and latency figure in the report is measured
+/// in — the clock the spec's scheduler advances.
+const char* clock_label(Scheduler scheduler) {
+  switch (scheduler) {
+    case Scheduler::kRounds:
+      return "rounds";
+    case Scheduler::kAsync:
+      return "steps";
+    case Scheduler::kTimed:
+      return "virtual-seconds";
+  }
+  return "rounds";
+}
+
 }  // namespace
 
 ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
@@ -27,10 +41,13 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
   report_.mode = spec_.mode;
   report_.supervisors = spec_.supervisors;
   report_.topics = spec_.topics;
-  // The round-scheduler worker count the run actually uses: async specs
-  // never install the pool (see the guard below), so they report 1.
+  // The round-scheduler worker count the run actually uses: async and
+  // timed specs never install the pool (see the guard below), so they
+  // report 1.
   report_.threads =
       spec_.scheduler == Scheduler::kRounds ? spec_.threads : 1;
+  report_.clock = clock_label(spec_.scheduler);
+  report_.latency.unit = report_.clock;
 
   if (spec_.mode == Mode::kSingleTopic) {
     single_ = std::make_unique<pubsub::PubSubSystem>(
@@ -46,15 +63,27 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     for (std::size_t i = 0; i < spec_.supervisors; ++i) initial.push_back(spawn_supervisor());
     group_ = std::make_unique<pubsub::SupervisorGroup>(initial, spec_.virtual_nodes);
   }
-  // Async-scheduler specs never call run_round, so a worker pool would
-  // be dead weight — threads only applies to the round scheduler.
+  if (spec_.scheduler == Scheduler::kTimed) {
+    // Installs the event-driven scheduler and the link model. The network
+    // is still quiescent here (subscribers join in phase 0), which
+    // enable_timed requires.
+    net().enable_timed(spec_.timed);
+  } else if (spec_.scheduler == Scheduler::kAsync) {
+    // Async runs measure latency and stamp telemetry on the step clock —
+    // the round counter barely moves under step scheduling.
+    net().set_clock_mode(sim::Network::ClockMode::kSteps);
+  }
+  // Async/timed specs never call the parallel run_round path, so a worker
+  // pool would be dead weight — threads only applies to the round
+  // scheduler.
   if (spec_.threads > 1 && spec_.scheduler == Scheduler::kRounds) {
     net().set_threads(spec_.threads);
   }
 
-  // Per-round telemetry: sampled by Network::run_round after the round
-  // barrier (async runs never sample — their ring just stays empty). The
-  // enricher supplies the one field the Network cannot compute itself.
+  // Per-phase telemetry ring: round/timed runs sample once per round
+  // (Network::run_round, after the barrier); async runs sample every
+  // AsyncConfig::probe_stride steps on the step clock. The enricher
+  // supplies the one field the Network cannot compute itself.
   if (spec_.timeseries_capacity > 0) {
     probe_ = std::make_unique<telemetry::RoundProbe>(spec_.timeseries_capacity);
     probe_->set_enricher([this](telemetry::RoundSample& s) {
@@ -135,6 +164,7 @@ const ScenarioReport& ScenarioRunner::run() {
 
   if (probe_) {
     TimeSeriesReport ts;
+    ts.unit = report_.clock;
     ts.dropped = probe_->dropped();
     ts.samples.reserve(probe_->size());
     for (std::size_t i = 0; i < probe_->size(); ++i) {
@@ -159,6 +189,19 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
   const sim::Round round_start = network.round();
   const sim::Step step_start = network.now();
 
+  if (!phase.partitions.empty()) {
+    SSPS_ASSERT_MSG(spec_.scheduler == Scheduler::kTimed,
+                    "phase partitions require the timed scheduler");
+    // Spec windows are relative to the phase start; shift them onto the
+    // absolute virtual clock.
+    const std::uint64_t now_s =
+        network.virtual_now_ticks() / sim::kTicksPerInterval;
+    for (sim::PartitionWindow w : phase.partitions) {
+      w.from_s += now_s;
+      w.to_s += now_s;
+      network.add_partition(w);
+    }
+  }
   if (phase.set_fd_delay) apply_fd_delay(*phase.set_fd_delay);
   if (spec_.mode == Mode::kMultiTopic) apply_supervisor_changes(phase, out);
   apply_churn(phase.churn);
@@ -173,9 +216,11 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
         wait_converged(phase.max_rounds, oracle_enabled(phase), out.converged);
   }
 
-  out.rounds = spec_.scheduler == Scheduler::kRounds
-                   ? static_cast<std::size_t>(network.round() - round_start)
-                   : static_cast<std::size_t>(network.now() - step_start);
+  // Rounds and timed intervals both advance the round counter; only the
+  // async scheduler counts raw steps.
+  out.rounds = spec_.scheduler == Scheduler::kAsync
+                   ? static_cast<std::size_t>(network.now() - step_start)
+                   : static_cast<std::size_t>(network.round() - round_start);
 
   sample(phase, out);
   if (oracle_enabled(phase)) {
@@ -507,10 +552,11 @@ void ScenarioRunner::apply_supervisor_changes(const Phase& phase, PhaseReport& o
 
 void ScenarioRunner::run_budget(std::size_t budget) {
   if (budget == 0) return;
-  if (spec_.scheduler == Scheduler::kRounds) {
-    net().run_rounds(budget);
-  } else {
+  if (spec_.scheduler == Scheduler::kAsync) {
     net().run_steps(budget);
+  } else {
+    // Rounds, or timed one-second intervals — both go through run_round.
+    net().run_rounds(budget);
   }
 }
 
@@ -615,7 +661,7 @@ std::size_t ScenarioRunner::wait_converged(std::size_t max_rounds, bool oracle_t
   auto settled = [this, oracle_too] {
     return converged() && (!oracle_too || check_oracle().ok());
   };
-  if (spec_.scheduler == Scheduler::kRounds) {
+  if (spec_.scheduler != Scheduler::kAsync) {
     const auto used = net().run_until(settled, max_rounds);
     converged_out = used.has_value();
     return used.value_or(max_rounds);

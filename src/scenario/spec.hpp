@@ -24,6 +24,7 @@
 #include "oracle/scramble.hpp"
 #include "pubsub/pubsub_node.hpp"
 #include "pubsub/supervisor_group.hpp"
+#include "sim/link.hpp"
 #include "sim/types.hpp"
 
 namespace ssps::scenario {
@@ -44,6 +45,10 @@ enum class Mode {
 enum class Scheduler {
   kRounds,  ///< synchronous rounds (run_round)
   kAsync,   ///< randomized asynchronous steps (step); budgets are steps
+  /// Event-driven virtual clock with per-link latency/loss/duplication/
+  /// reordering (sim/link.hpp). Budgets count one-second intervals, so
+  /// phase durations and latency percentiles read as virtual seconds.
+  kTimed,
 };
 
 /// One wave of membership churn.
@@ -101,6 +106,11 @@ struct Phase {
   /// Single-topic only: split-brain relabeling (core/chaos split_brain).
   bool split_brain = false;
 
+  /// Timed scheduler only: partition windows installed when the phase
+  /// starts. Window times are relative to the phase start (in virtual
+  /// seconds); the runner shifts them to absolute simulation time.
+  std::vector<sim::PartitionWindow> partitions;
+
   /// Both modes: InjectArbitraryState — rebuild every protocol variable
   /// from scratch via oracle/scramble (the arbitrary initial states the
   /// stabilization theorems quantify over).
@@ -140,8 +150,13 @@ struct ScenarioSpec {
   /// Round-scheduler worker count (1 = serial). Any value produces the
   /// same report byte-for-byte apart from the recorded `threads` header
   /// field (sched/parallel.hpp); only wall-clock changes. Ignored by the
-  /// async scheduler.
+  /// async and timed schedulers (both are single-threaded by contract).
   unsigned threads = 1;
+
+  /// Link latency/fault model for Scheduler::kTimed (ignored otherwise).
+  /// The default — constant one-second latency, zero faults — reproduces
+  /// the round scheduler's reports byte-for-byte (minus clock labels).
+  sim::TimedConfig timed;
 
   // ---- multi-topic shape ----------------------------------------------
   std::size_t supervisors = 1;       ///< initial supervisor-group size

@@ -1,0 +1,11 @@
+#include "sched/timed.hpp"
+
+#include "sim/network.hpp"
+
+namespace ssps::sched {
+
+std::size_t TimedScheduler::run_round(sim::Network& net) {
+  return net.timed_interval();
+}
+
+}  // namespace ssps::sched

@@ -1,0 +1,53 @@
+#include "sim/link.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace ssps::sim {
+
+Step LatencySpec::sample_ticks(Rng& rng) const {
+  double seconds = a;
+  switch (dist) {
+    case Dist::kConstant:
+      // No draw (see the header note: the default profile's link stream
+      // must stay empty for the round-equivalence argument).
+      break;
+    case Dist::kUniform:
+      seconds = a + (b - a) * rng.uniform01();
+      break;
+    case Dist::kLognormal: {
+      // Box-Muller; clamp the first uniform away from 0 so log is finite.
+      const double u1 = std::max(rng.uniform01(), 1e-12);
+      const double u2 = rng.uniform01();
+      const double z =
+          std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+      seconds = std::exp(a + b * z);
+      break;
+    }
+  }
+  // Integer ticks on [1 tick, 60 s]: the floor is the causality bound
+  // (nothing arrives within its own send instant); the ceiling keeps a
+  // heavy lognormal tail from parking messages beyond any convergence
+  // horizon.
+  const double ticks = seconds * static_cast<double>(kTicksPerInterval);
+  constexpr Step kMaxTicks = 60 * kTicksPerInterval;
+  if (!(ticks >= 1.0)) return 1;  // also catches NaN
+  if (ticks >= static_cast<double>(kMaxTicks)) return kMaxTicks;
+  return static_cast<Step>(std::llround(ticks));
+}
+
+bool TimedConfig::partitioned(NodeId from, NodeId to, Step sent_tick) const {
+  if (partitions.empty()) return false;
+  const std::uint32_t zf = zone_of(from);
+  const std::uint32_t zt = zone_of(to);
+  for (const PartitionWindow& w : partitions) {
+    if (sent_tick < w.from_tick() || sent_tick >= w.to_tick()) continue;
+    if ((zf == w.zone_a && zt == w.zone_b) ||
+        (w.bidirectional && zf == w.zone_b && zt == w.zone_a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ssps::sim

@@ -4,6 +4,7 @@
 
 #include <cstddef>
 #include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "sim/message_pool.hpp"
@@ -50,6 +51,15 @@ class Message {
   /// checks (a reference inside a channel is an edge of G).
   virtual void collect_refs(std::vector<NodeId>& out) const { (void)out; }
 
+  /// Allocates a copy of this message from `pool` (the timed scheduler's
+  /// link-duplication fault). MsgBase provides this automatically for
+  /// copy-constructible messages; move-only wrappers override it by hand.
+  /// A null return means "not clonable" and the duplication is skipped.
+  virtual PooledMsg clone_into(MessagePool& pool) const {
+    (void)pool;
+    return PooledMsg{};
+  }
+
  protected:
   template <typename Derived, typename Base>
   friend struct MsgBase;
@@ -71,6 +81,14 @@ struct MsgBase : Base {
   explicit MsgBase(Args&&... args) : Base(std::forward<Args>(args)...) {
     Message::type_id_ = msg_type_id<Derived>();
     Message::metrics_type_ = Message::type_id_;
+  }
+
+  PooledMsg clone_into(MessagePool& pool) const override {
+    if constexpr (std::is_copy_constructible_v<Derived>) {
+      return pool.make<Derived>(static_cast<const Derived&>(*this));
+    } else {
+      return PooledMsg{};  // move-only payload: override by hand if needed
+    }
   }
 };
 

@@ -5,6 +5,7 @@
 
 #include "sched/parallel.hpp"
 #include "sched/serial.hpp"
+#include "sched/timed.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/round_probe.hpp"
 
@@ -14,7 +15,7 @@ namespace detail {
 thread_local SendContext* tls_send_ctx = nullptr;
 }  // namespace detail
 
-Network::Network(std::uint64_t seed) : rng_(seed) {
+Network::Network(std::uint64_t seed) : seed_(seed), rng_(seed) {
   main_ctx_.lane = &pending_;
   main_ctx_.metrics = &metrics_;
   main_ctx_.pool = &pool_;
@@ -30,8 +31,12 @@ Network::~Network() {
   // never holds handles across run_round calls.)
   for (const Envelope& env : pending_) env.pool->destroy(env.msg, env.handle);
   for (const Envelope& env : round_batch_) env.pool->destroy(env.msg, env.handle);
+  for (const TimedEvent& ev : timed_events_) {
+    ev.env.pool->destroy(ev.env.msg, ev.env.handle);
+  }
   pending_.clear();
   round_batch_.clear();
+  timed_events_.clear();
   retired_schedulers_.clear();
   scheduler_.reset();
 }
@@ -54,6 +59,13 @@ NodeId Network::register_node(std::unique_ptr<Node> node) {
   slot.node = std::move(node);
   slot.last_timeout = step_;
   ++alive_count_;
+  alive_cache_valid_ = false;
+  if (async_timeout_heap_valid_) {
+    async_timeout_heap_.push_back(
+        {step_, static_cast<std::uint32_t>(slots_.size() - 1)});
+    std::push_heap(async_timeout_heap_.begin(), async_timeout_heap_.end(),
+                   timeout_entry_later);
+  }
   raw->on_register();
   return id;
 }
@@ -69,6 +81,25 @@ void Network::drop_pending_for(NodeId to) {
     }
   }
   pending_.resize(kept);
+  // The compaction moved surviving envelopes; the async oldest-first
+  // index would resolve stale positions, so rebuild it lazily.
+  async_msg_heap_.clear();
+  async_synced_ = 0;
+  if (!timed_events_.empty()) {
+    std::size_t kept_ev = 0;
+    for (std::size_t i = 0; i < timed_events_.size(); ++i) {
+      const Envelope& env = timed_events_[i].env;
+      if (env.to == to) {
+        if (trace_ != nullptr) [[unlikely]] trace_forget(env.msg);
+        env.pool->destroy(env.msg, env.handle);
+      } else {
+        timed_events_[kept_ev++] = timed_events_[i];
+      }
+    }
+    timed_events_.resize(kept_ev);
+    std::make_heap(timed_events_.begin(), timed_events_.end(),
+                   timed_event_later);
+  }
 }
 
 void Network::crash(NodeId id) {
@@ -83,6 +114,7 @@ void Network::crash(NodeId id) {
   slot->crash_round = round_;
   crash_log_.emplace_back(round_, id);
   --alive_count_;
+  alive_cache_valid_ = false;
 }
 
 std::optional<Round> Network::crash_round(NodeId id) const {
@@ -118,6 +150,9 @@ std::size_t Network::pending_for(NodeId id) const {
   for (const Envelope& env : pending_) {
     if (env.to == id) ++count;
   }
+  for (const TimedEvent& ev : timed_events_) {
+    if (ev.env.to == id) ++count;
+  }
   return count;
 }
 
@@ -133,6 +168,16 @@ void Network::deliver_at(std::size_t index) {
   // Non-FIFO channel: order does not matter, so swap-remove.
   pending_[index] = pending_.back();
   pending_.pop_back();
+  if (index < pending_.size()) {
+    // The back envelope moved into `index`; its old heap entry no longer
+    // resolves, so index the new position afresh (the stale entry fails
+    // validation and is discarded on pop).
+    async_msg_heap_.push_back({pending_[index].sent_at, pending_[index].seq,
+                               static_cast<std::uint32_t>(index)});
+    std::push_heap(async_msg_heap_.begin(), async_msg_heap_.end(),
+                   msg_entry_later);
+  }
+  if (async_synced_ > pending_.size()) async_synced_ = pending_.size();
   Slot* slot = find_slot(env.to);
   SSPS_ASSERT(slot != nullptr && slot->node != nullptr);
   deliver_envelope(env, *slot->node);
@@ -140,6 +185,12 @@ void Network::deliver_at(std::size_t index) {
 
 void Network::fire_timeout(Slot& slot) {
   slot.last_timeout = step_;
+  if (async_timeout_heap_valid_) {
+    async_timeout_heap_.push_back(
+        {step_, static_cast<std::uint32_t>(&slot - slots_.data())});
+    std::push_heap(async_timeout_heap_.begin(), async_timeout_heap_.end(),
+                   timeout_entry_later);
+  }
   slot.node->timeout();
 }
 
@@ -153,6 +204,13 @@ std::size_t Network::round_begin() {
   // on the seed, never on the worker count.
   round_batch_.clear();
   std::swap(round_batch_, pending_);
+  // The swap emptied pending_; any async oldest-first entries are stale.
+  async_msg_heap_.clear();
+  async_synced_ = 0;
+  return group_round_batch();
+}
+
+std::size_t Network::group_round_batch() {
   rng_.shuffle(round_batch_);
   // Group the shuffled batch by target (stable counting sort), so each
   // node's state is pulled into cache once per round, not once per
@@ -206,9 +264,14 @@ std::size_t Network::deliver_grouped_range(std::size_t begin, std::size_t end,
     }
     ctx.metrics->on_deliver(*env.msg, env.to);
     if (trace_ != nullptr) [[unlikely]] trace_deliver(env);
+    else if (timed_enabled_) acting_node_ = env.to;
     slot->node->handle(PooledMsg(env.pool, env.msg, env.handle));
     ++delivered;
   }
+  // Timed mode attributes each handler's sends to the handling node
+  // (trace_deliver does the same when tracing); the guard keeps this a
+  // no-write under the parallel scheduler, where timed mode is off.
+  if (timed_enabled_) acting_node_ = NodeId::null();
   return delivered;
 }
 
@@ -220,16 +283,20 @@ void Network::timeout_sweep() {
   // order within a round is unobservable. Index-based iteration over a
   // size snapshot: a timeout() may spawn (reallocating the table), and
   // nodes born mid-round first fire next round — as before.
+  // A full sweep rewrites every alive last_timeout: cheaper to let the
+  // async index rebuild once on the next step() than to push n updates.
+  async_timeout_heap_valid_ = false;
+  const bool attribute = trace_ != nullptr || timed_enabled_;
   const std::size_t population = slots_.size();
   std::size_t timeouts = 0;
   for (std::size_t i = 0; i < population; ++i) {
     if (slots_[i].node != nullptr) {
-      if (trace_ != nullptr) [[unlikely]] acting_node_ = id_at(i);
+      if (attribute) [[unlikely]] acting_node_ = id_at(i);
       fire_timeout(slots_[i]);
       ++timeouts;
     }
   }
-  if (trace_ != nullptr) acting_node_ = NodeId::null();
+  if (attribute) acting_node_ = NodeId::null();
   last_round_timeouts_ = timeouts;
 }
 
@@ -247,7 +314,7 @@ void Network::sample_round_probe(std::size_t delivered) {
   sample.round = round_;
   sample.delivered = delivered;
   sample.timeouts = last_round_timeouts_;
-  sample.in_flight = pending_.size();
+  sample.in_flight = pending_messages();
   sample.alive = alive_count_;
   sample.pool_reserved_bytes = pool_reserved_bytes();
   round_probe_->push(sample);
@@ -286,6 +353,8 @@ void Network::set_scheduler(std::unique_ptr<sched::Scheduler> scheduler) {
   SSPS_ASSERT_MSG(!in_parallel_phase_, "set_scheduler: mid-round");
   SSPS_ASSERT_MSG(trace_ == nullptr || scheduler->threads() == 1,
                   "set_scheduler: detach the trace before going parallel");
+  SSPS_ASSERT_MSG(!timed_enabled_ || scheduler->threads() == 1,
+                  "set_scheduler: timed mode is single-threaded");
   if (scheduler_ != nullptr) {
     // In-flight envelopes may have been allocated from the old
     // scheduler's worker pools; retire it (alive until the Network dies)
@@ -372,6 +441,176 @@ std::size_t Network::pool_reserved_bytes() const {
   return pool_.reserved_bytes() + scheduler_->reserved_bytes();
 }
 
+// ---- Timed-mode engine --------------------------------------------------
+
+void Network::enable_timed(const TimedConfig& cfg) {
+  SSPS_ASSERT_MSG(!in_parallel_phase_, "enable_timed: mid-round");
+  SSPS_ASSERT_MSG(pending_.empty() && timed_events_.empty(),
+                  "enable_timed: switch modes before the first send");
+  timed_cfg_ = cfg;
+  timed_enabled_ = true;
+  timed_now_ = round_ * kTicksPerInterval;
+  // The scheduler stream (rng_) must keep drawing exactly the round
+  // scheduler's sequence for the constant-latency equivalence proof, so
+  // link faults and latency sampling draw from a decorrelated stream.
+  link_rng_.reseed(seed_ * 0x9e3779b97f4a7c15ULL + 0x1d8e4e27c47d124fULL);
+  set_scheduler(std::make_unique<sched::TimedScheduler>());
+}
+
+void Network::add_partition(const PartitionWindow& window) {
+  SSPS_ASSERT_MSG(timed_enabled_, "add_partition: enable_timed first");
+  timed_cfg_.partitions.push_back(window);
+}
+
+std::size_t Network::timed_interval() {
+  SSPS_ASSERT(timed_enabled_);
+  ++step_;
+  // Harness sends since the last interval (publishes, injections) are
+  // deemed sent at interval start: with the default constant one-interval
+  // latency they land exactly at this interval's deadline — delivered
+  // this round, as the round scheduler would.
+  schedule_sends(timed_now_);
+  const Step deadline = timed_now_ + kTicksPerInterval;
+  // Pop everything due by the deadline, in (time, send-order) order; that
+  // canonical sequence is the shuffle input, exactly where the round
+  // scheduler feeds its send-ordered batch in.
+  round_batch_.clear();
+  while (!timed_events_.empty() && timed_events_.front().at <= deadline) {
+    std::pop_heap(timed_events_.begin(), timed_events_.end(),
+                  timed_event_later);
+    round_batch_.push_back(timed_events_.back().env);
+    timed_events_.pop_back();
+  }
+  const std::size_t batch = group_round_batch();
+  const std::size_t delivered = deliver_grouped_range(0, batch, main_ctx_);
+  timed_now_ = deadline;
+  // Handler sends happened during this interval; stamp them at its end
+  // (constant-1 latency then puts them at the next deadline in send
+  // order — the next round's batch). Same for the timeout sweep's sends.
+  schedule_sends(timed_now_);
+  timeout_sweep();
+  schedule_sends(timed_now_);
+  round_end();
+  return delivered;
+}
+
+void Network::schedule_sends(Step send_tick) {
+  for (const Envelope& env : pending_) route_envelope(env, send_tick);
+  pending_.clear();
+  async_msg_heap_.clear();
+  async_synced_ = 0;
+}
+
+void Network::route_envelope(const Envelope& env, Step send_tick) {
+  if (!env.from) {
+    // Harness-originated (publish/inject/control plane): models the
+    // experiment driver, not a network link — rides the clock at the
+    // constant one-interval arrival but is exempt from link faults, so a
+    // workload can never be silently unsatisfiable.
+    push_timed_event(send_tick + kTicksPerInterval, env);
+    return;
+  }
+  const LinkProfile& profile = timed_cfg_.profile_between(env.from, env.to);
+  if (timed_cfg_.partitioned(env.from, env.to, send_tick) ||
+      (profile.loss > 0.0 && link_rng_.uniform01() < profile.loss)) {
+    drop_envelope(env);
+    return;
+  }
+  Step delay = profile.latency.sample_ticks(link_rng_);
+  if (profile.reorder > 0.0 && link_rng_.uniform01() < profile.reorder) {
+    // Reordering = extra jitter that pushes this message behind sends
+    // made up to a full interval later.
+    delay += 1 + link_rng_.below(kTicksPerInterval);
+  }
+  if (profile.duplicate > 0.0 && link_rng_.uniform01() < profile.duplicate) {
+    PooledMsg copy = env.msg->clone_into(pool_);
+    if (copy) {  // null = not clonable; skip the duplicate
+      Envelope dup;
+      dup.to = env.to;
+      dup.from = env.from;
+      dup.sent_at = env.sent_at;
+      dup.seq = next_send_seq_++;
+      dup.msg = copy.get();
+      dup.pool = copy.pool();
+      const Step dup_delay = profile.latency.sample_ticks(link_rng_);
+      dup.handle = copy.release();
+      push_timed_event(send_tick + dup_delay, dup);
+      ++timed_duplicated_;
+    }
+  }
+  push_timed_event(send_tick + delay, env);
+}
+
+void Network::push_timed_event(Step at, const Envelope& env) {
+  timed_events_.push_back(TimedEvent{at, env.seq, env});
+  std::push_heap(timed_events_.begin(), timed_events_.end(),
+                 timed_event_later);
+}
+
+void Network::drop_envelope(const Envelope& env) {
+  if (trace_ != nullptr) [[unlikely]] trace_forget(env.msg);
+  env.pool->destroy(env.msg, env.handle);
+  ++timed_dropped_;
+}
+
+void Network::sync_msg_heap() {
+  for (std::size_t i = async_synced_; i < pending_.size(); ++i) {
+    async_msg_heap_.push_back(
+        {pending_[i].sent_at, pending_[i].seq, static_cast<std::uint32_t>(i)});
+    std::push_heap(async_msg_heap_.begin(), async_msg_heap_.end(),
+                   msg_entry_later);
+  }
+  async_synced_ = pending_.size();
+}
+
+std::pair<Step, std::size_t> Network::oldest_pending() {
+  while (!async_msg_heap_.empty()) {
+    const MsgHeapEntry& top = async_msg_heap_.front();
+    if (top.index < pending_.size() && pending_[top.index].seq == top.seq &&
+        pending_[top.index].sent_at == top.sent_at) {
+      return {step_ - top.sent_at, top.index};
+    }
+    // Stale: the envelope was delivered, dropped or moved since this
+    // entry was pushed (seq values are never reused, so a match is
+    // conclusive). Discard and look deeper.
+    std::pop_heap(async_msg_heap_.begin(), async_msg_heap_.end(),
+                  msg_entry_later);
+    async_msg_heap_.pop_back();
+  }
+  return {0, 0};
+}
+
+void Network::rebuild_timeout_heap() {
+  async_timeout_heap_.clear();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].node != nullptr) {
+      async_timeout_heap_.push_back(
+          {slots_[i].last_timeout, static_cast<std::uint32_t>(i)});
+    }
+  }
+  std::make_heap(async_timeout_heap_.begin(), async_timeout_heap_.end(),
+                 timeout_entry_later);
+  async_timeout_heap_valid_ = true;
+}
+
+std::pair<Step, Network::Slot*> Network::stalest_timeout() {
+  if (!async_timeout_heap_valid_) rebuild_timeout_heap();
+  while (!async_timeout_heap_.empty()) {
+    const TimeoutHeapEntry& top = async_timeout_heap_.front();
+    Slot& slot = slots_[top.slot_index];
+    if (slot.node != nullptr && slot.last_timeout == top.last_timeout) {
+      const Step idle = step_ - top.last_timeout;
+      if (idle == 0) break;  // every alive node fired this very step
+      return {idle, &slot};
+    }
+    // Crashed since, or re-fired (a fresher entry exists): discard.
+    std::pop_heap(async_timeout_heap_.begin(), async_timeout_heap_.end(),
+                  timeout_entry_later);
+    async_timeout_heap_.pop_back();
+  }
+  return {0, nullptr};
+}
+
 void Network::step() {
   ++step_;
 
@@ -380,57 +619,73 @@ void Network::step() {
   // policy would starve whatever sorts last — violating the model's fair
   // receipt / weakly fair execution. Oldest-first guarantees every message
   // and every Timeout is served within a bounded lag. Ties break towards
-  // the earliest send / lowest NodeId (the scans are in buffer and id
-  // order), which is canonical.
-  std::size_t oldest_msg_index = 0;
-  Step oldest_msg_age = 0;
-  for (std::size_t i = 0; i < pending_.size(); ++i) {
-    const Step age = step_ - pending_[i].sent_at;
-    if (age > oldest_msg_age) {
-      oldest_msg_age = age;
-      oldest_msg_index = i;
-    }
-  }
-  Slot* stalest_timeout_slot = nullptr;
-  Step stalest_timeout_age = 0;
-  for (Slot& slot : slots_) {
-    if (slot.node == nullptr) continue;
-    const Step idle = step_ - slot.last_timeout;
-    if (idle > stalest_timeout_age) {
-      stalest_timeout_age = idle;
-      stalest_timeout_slot = &slot;
-    }
-  }
+  // the earliest send (lowest seq) / lowest slot index, which is
+  // canonical. Both "oldest" queries are lazy min-heaps — O(log n)
+  // amortized per step where the old full scans made k-step runs
+  // quadratic.
+  sync_msg_heap();
+  const auto [oldest_msg_age, oldest_msg_index] = oldest_pending();
+  const auto [stalest_timeout_age, stalest_timeout_slot] = stalest_timeout();
   if (oldest_msg_age > async_cfg_.max_message_age &&
       oldest_msg_age >= stalest_timeout_age) {
     deliver_at(oldest_msg_index);
+    ++window_delivered_;
     return;
   }
   if (stalest_timeout_slot != nullptr &&
       stalest_timeout_age > async_cfg_.max_timeout_gap) {
     fire_timeout(*stalest_timeout_slot);
+    ++window_timeouts_;
     return;
   }
   if (oldest_msg_age > async_cfg_.max_message_age) {
     deliver_at(oldest_msg_index);
+    ++window_delivered_;
     return;
   }
 
   const bool prefer_timeout =
       pending_.empty() || rng_.below(256) < async_cfg_.timeout_bias;
   if (prefer_timeout && alive_count_ > 0) {
-    collect_alive(order_scratch_);
-    fire_timeout(*find_slot(order_scratch_[rng_.pick_index(order_scratch_)]));
+    if (!alive_cache_valid_) {
+      collect_alive(alive_cache_);
+      alive_cache_valid_ = true;
+    }
+    fire_timeout(*find_slot(alive_cache_[rng_.pick_index(alive_cache_)]));
+    ++window_timeouts_;
     return;
   }
   if (pending_.empty()) return;
 
   // Pick a uniformly random pending message.
   deliver_at(static_cast<std::size_t>(rng_.below(pending_.size())));
+  ++window_delivered_;
 }
 
 void Network::run_steps(std::size_t k) {
-  for (std::size_t i = 0; i < k; ++i) step();
+  for (std::size_t i = 0; i < k; ++i) {
+    step();
+    // The async analogue of the per-round probe sample: window counters
+    // on the step clock (fixes the always-empty timeseries of step-driven
+    // runs, which only ever sampled at round barriers).
+    if (round_probe_ != nullptr && async_cfg_.probe_stride > 0 &&
+        step_ % async_cfg_.probe_stride == 0) {
+      sample_async_probe();
+    }
+  }
+}
+
+void Network::sample_async_probe() {
+  telemetry::RoundSample sample;
+  sample.round = step_;  // the step clock (ClockMode::kSteps)
+  sample.delivered = window_delivered_;
+  sample.timeouts = window_timeouts_;
+  sample.in_flight = pending_messages();
+  sample.alive = alive_count_;
+  sample.pool_reserved_bytes = pool_reserved_bytes();
+  round_probe_->push(sample);
+  window_delivered_ = 0;
+  window_timeouts_ = 0;
 }
 
 bool Network::weakly_connected(NodeId anchor) const {
@@ -464,6 +719,12 @@ bool Network::weakly_connected(NodeId anchor) const {
     refs.clear();
     env.msg->collect_refs(refs);
     add_refs(env.to, refs);
+  }
+  for (const TimedEvent& ev : timed_events_) {
+    if (!alive(ev.env.to)) continue;
+    refs.clear();
+    ev.env.msg->collect_refs(refs);
+    add_refs(ev.env.to, refs);
   }
   // BFS from the first alive node.
   std::vector<bool> seen(slots_.size(), false);

@@ -38,6 +38,7 @@
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
+#include "sim/link.hpp"
 #include "sim/message_pool.hpp"
 #include "sim/metrics.hpp"
 #include "sim/node.hpp"
@@ -48,6 +49,7 @@ namespace ssps::sched {
 class Scheduler;
 class SerialScheduler;
 class ParallelScheduler;
+class TimedScheduler;
 }  // namespace ssps::sched
 
 namespace ssps::telemetry {
@@ -67,6 +69,12 @@ struct AsyncConfig {
   /// Probability (x / 256) that a step prefers a Timeout over a delivery
   /// when both are possible.
   std::uint32_t timeout_bias = 64;
+  /// run_steps samples an attached RoundProbe whenever the step clock is a
+  /// multiple of this (window counters since the previous sample) — the
+  /// async scheduler's analogue of the per-round sample. Chunk-invariant:
+  /// the sample points depend only on the step count, never on how the
+  /// steps were batched into run_steps calls.
+  Step probe_stride = 64;
 };
 
 /// One in-flight message (internal to the sim/sched layer). All
@@ -78,10 +86,21 @@ struct AsyncConfig {
 /// so the envelope must remember its origin to recycle the slot.
 struct Envelope {
   NodeId to;
+  /// Sender attribution: the node whose action executed the send, or null
+  /// for harness-originated traffic (publishes, injections, control
+  /// plane). The timed scheduler keys link selection and fault exemption
+  /// on it; only maintained while a trace is attached or timed mode is on.
+  NodeId from;
   Message* msg = nullptr;
   MessagePool* pool = nullptr;
   MsgHandle handle;
   Step sent_at = 0;
+  /// Canonical send order, stamped on the main lane only (worker-lane
+  /// envelopes get 0; the round-barrier merge order already reproduces
+  /// send order for those). Monotone and never reused: the async
+  /// scheduler's oldest-first index and the timed scheduler's
+  /// equal-deadline tie-break both key on it.
+  std::uint64_t seq = 0;
 };
 
 /// Where the current thread's sends go: the in-flight lane that receives
@@ -237,8 +256,11 @@ class Network {
   /// pool plus any scheduler-owned worker pools).
   std::size_t pool_reserved_bytes() const;
 
-  /// Total number of messages currently sitting in channels.
-  std::size_t pending_messages() const { return pending_.size(); }
+  /// Total number of messages currently sitting in channels (including,
+  /// in timed mode, messages in flight on the virtual-clock event heap).
+  std::size_t pending_messages() const {
+    return pending_.size() + timed_events_.size();
+  }
 
   /// Number of messages pending for one node.
   std::size_t pending_for(NodeId id) const;
@@ -297,6 +319,47 @@ class Network {
 
   AsyncConfig& async_config() { return async_cfg_; }
 
+  /// Which clock the telemetry layer keys on (delivery-latency `born`
+  /// stamps, probe sample indices). The round schedulers count rounds
+  /// (and the timed scheduler's virtual seconds coincide with its round
+  /// count by construction); a harness that drives the network with
+  /// step() installs kSteps so latency is denominated in steps instead of
+  /// a clock that never advances.
+  enum class ClockMode { kRounds, kSteps };
+  void set_clock_mode(ClockMode mode) { clock_mode_ = mode; }
+  ClockMode clock_mode() const { return clock_mode_; }
+
+  /// The telemetry clock's current value (see ClockMode).
+  std::uint64_t clock_now() const {
+    return clock_mode_ == ClockMode::kSteps ? step_ : round_;
+  }
+
+  // ---- Timed mode (event-driven virtual clock; see sim/link.hpp) -------
+
+  /// Switches the network to the event-driven timed model: sends are
+  /// scheduled onto a virtual-clock event heap with per-link latency,
+  /// loss, duplication and reordering per `cfg`, and run_round() (via the
+  /// installed sched::TimedScheduler) advances the clock one interval
+  /// (= 1 virtual second = one round) at a time. Call before the first
+  /// round; the default TimedConfig reproduces the round scheduler's
+  /// trace bit-for-bit.
+  void enable_timed(const TimedConfig& cfg);
+
+  bool timed() const { return timed_enabled_; }
+  const TimedConfig& timed_config() const { return timed_cfg_; }
+
+  /// Appends a partition window (virtual-second bounds are absolute, i.e.
+  /// relative to the start of the run) to the live schedule.
+  void add_partition(const PartitionWindow& window);
+
+  /// Virtual clock in ticks (1000 per interval); 0 unless timed.
+  Step virtual_now_ticks() const { return timed_now_; }
+
+  /// Messages dropped by link loss or partitions so far (timed mode).
+  std::uint64_t timed_dropped() const { return timed_dropped_; }
+  /// Extra deliveries manufactured by link duplication (timed mode).
+  std::uint64_t timed_duplicated() const { return timed_duplicated_; }
+
   // ---- Introspection ---------------------------------------------------
 
   /// The aggregated traffic counters. Under the parallel scheduler the
@@ -342,12 +405,49 @@ class Network {
  private:
   friend class sched::SerialScheduler;
   friend class sched::ParallelScheduler;
+  friend class sched::TimedScheduler;
 
   struct Slot {
     std::unique_ptr<Node> node;  // null = tombstone (crashed)
     Step last_timeout = 0;
     Round crash_round = 0;
   };
+
+  /// One scheduled delivery on the timed event heap: the envelope plus
+  /// its virtual delivery time. Equal-time events pop in send (`seq`)
+  /// order — the deterministic tie-break that makes the constant-latency
+  /// special case reproduce the round batch order exactly.
+  struct TimedEvent {
+    Step at = 0;
+    std::uint64_t seq = 0;
+    Envelope env;
+  };
+  /// Min-heap "later than" comparator for std::push_heap/pop_heap.
+  static bool timed_event_later(const TimedEvent& a, const TimedEvent& b) {
+    return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+  }
+
+  /// Lazy oldest-first index entries of the async scheduler (see step()):
+  /// validated against pending_ on pop, so swap-removes and round swaps
+  /// never have to eagerly fix the heaps.
+  struct MsgHeapEntry {
+    Step sent_at = 0;
+    std::uint64_t seq = 0;
+    std::uint32_t index = 0;
+  };
+  static bool msg_entry_later(const MsgHeapEntry& a, const MsgHeapEntry& b) {
+    return a.sent_at != b.sent_at ? a.sent_at > b.sent_at : a.seq > b.seq;
+  }
+  struct TimeoutHeapEntry {
+    Step last_timeout = 0;
+    std::uint32_t slot_index = 0;
+  };
+  static bool timeout_entry_later(const TimeoutHeapEntry& a,
+                                  const TimeoutHeapEntry& b) {
+    return a.last_timeout != b.last_timeout
+               ? a.last_timeout > b.last_timeout
+               : a.slot_index > b.slot_index;
+  }
 
   Slot* find_slot(NodeId id) {
     const std::uint64_t index = id.value - 1;
@@ -370,9 +470,14 @@ class Network {
   void enqueue(SendContext& ctx, NodeId to, PooledMsg&& msg) {
     Envelope env;
     env.to = to;
+    env.from = acting_node_;
     env.msg = msg.get();
     env.pool = msg.pool();
     env.sent_at = step_;
+    // The canonical send counter lives on the main lane; worker lanes are
+    // merged in send-reproducing order anyway, and a shared counter would
+    // be a cross-thread write on the parallel hot path.
+    if (ctx.lane == &pending_) env.seq = next_send_seq_++;
     env.handle = msg.release();
     ctx.lane->push_back(env);
   }
@@ -402,11 +507,46 @@ class Network {
   /// Finishes the round (advances the round clock).
   void round_end() { ++round_; }
 
+  /// The shuffle + group-by-target counting sort applied to round_batch_
+  /// (shared by round_begin and timed_interval; consumes round_batch_).
+  /// Returns the batch size.
+  std::size_t group_round_batch();
+
+  // ---- Timed-mode engine (called by sched::TimedScheduler) -------------
+
+  /// Advances the virtual clock one interval (= one round = 1 virtual
+  /// second): schedules any harness sends, pops every event due by the
+  /// interval deadline into the delivery batch (time order, send-order
+  /// ties), delivers, schedules the resulting sends, fires the timeout
+  /// sweep and schedules its sends. Returns the number delivered.
+  std::size_t timed_interval();
+
+  /// Drains pending_ onto the event heap, routing each envelope through
+  /// its link (loss, partition, duplication, latency). `send_tick` is the
+  /// virtual time the drained sends are deemed to have happened at.
+  void schedule_sends(Step send_tick);
+  void route_envelope(const Envelope& env, Step send_tick);
+  void push_timed_event(Step at, const Envelope& env);
+  /// Drops one envelope on the floor (loss/partition path).
+  void drop_envelope(const Envelope& env);
+
   /// Delivers pending_[index] (swap-remove; non-FIFO channels). Async
   /// scheduler path.
   void deliver_at(std::size_t index);
   void deliver_envelope(const Envelope& env, Node& node);
   void fire_timeout(Slot& slot);
+
+  // ---- Async oldest-first index (see step()) ---------------------------
+
+  /// Appends heap entries for pending_ envelopes not yet indexed.
+  void sync_msg_heap();
+  /// Oldest pending message as (age, index), or age 0 when none pending.
+  std::pair<Step, std::size_t> oldest_pending();
+  /// Stalest alive Timeout as (idle, slot), or {0, nullptr} when none is
+  /// overdue by at least one step.
+  std::pair<Step, Slot*> stalest_timeout();
+  void rebuild_timeout_heap();
+  void sample_async_probe();
 
   // ---- Telemetry hooks (cold paths; only reached when attached) -------
   void trace_send(NodeId to, const Message& msg, bool enqueued);
@@ -426,11 +566,49 @@ class Network {
   std::vector<std::pair<Round, NodeId>> crash_log_;  // crash order
   Round round_ = 0;
   Step step_ = 0;
+  std::uint64_t seed_ = 0;  // construction seed (re-salts link_rng_)
   ssps::Rng rng_;
   MessagePool pool_;
   Metrics metrics_;
   telemetry::LatencyTracker latency_;
   AsyncConfig async_cfg_;
+  ClockMode clock_mode_ = ClockMode::kRounds;
+  /// Canonical send counter (Envelope::seq source); main lane only.
+  std::uint64_t next_send_seq_ = 0;
+
+  // ---- Timed-mode state ------------------------------------------------
+  bool timed_enabled_ = false;
+  TimedConfig timed_cfg_;
+  /// Virtual clock in ticks; advances by kTicksPerInterval per interval.
+  Step timed_now_ = 0;
+  /// Event heap (timed_event_later order): all in-flight timed messages.
+  std::vector<TimedEvent> timed_events_;
+  /// Link-fault stream, decorrelated from rng_ (the scheduler stream must
+  /// draw exactly the round scheduler's sequence for the equivalence
+  /// argument; faults and latency sampling draw here instead).
+  ssps::Rng link_rng_{0};
+  std::uint64_t timed_dropped_ = 0;
+  std::uint64_t timed_duplicated_ = 0;
+
+  // ---- Async oldest-first index state ----------------------------------
+  /// Lazy min-heaps over (sent_at, seq) / (last_timeout, slot); entries
+  /// are validated on pop (see step()), so structural churn just leaves
+  /// stale entries behind instead of forcing eager rebuilds.
+  std::vector<MsgHeapEntry> async_msg_heap_;
+  /// pending_ entries [0, async_synced_) already have heap entries.
+  std::size_t async_synced_ = 0;
+  std::vector<TimeoutHeapEntry> async_timeout_heap_;
+  /// False after bulk last_timeout churn (a round's timeout sweep) or a
+  /// spawn; step() rebuilds the heap once on demand.
+  bool async_timeout_heap_valid_ = false;
+  /// Alive ids in id order, reused across steps (collect_alive was an
+  /// O(slots) scan per step); invalidated by spawn/crash.
+  std::vector<NodeId> alive_cache_;
+  bool alive_cache_valid_ = false;
+  /// Probe window counters since the last async sample (satellite of the
+  /// empty-timeseries fix: run_steps samples these every probe_stride).
+  std::size_t window_delivered_ = 0;
+  std::size_t window_timeouts_ = 0;
   /// The Network's own send context (lane = pending_, shard = metrics_,
   /// arena = pool_); aggregates the workers' swallowed counters at fold.
   SendContext main_ctx_;
@@ -445,9 +623,10 @@ class Network {
   /// Optional structured event trace (attach_trace; forces serial).
   Trace* trace_ = nullptr;
   /// Node whose action is currently executing — the `from` attribution
-  /// for traced sends. Only maintained while a trace is attached (the
-  /// serial-only rule makes the single member race-free); null for sends
-  /// from outside any round (harness injections, publishes).
+  /// for traced and timed-mode sends. Only maintained while a trace is
+  /// attached or timed mode is on (both force the serial scheduler, so
+  /// the single member is race-free); null for sends from outside any
+  /// round (harness injections, publishes).
   NodeId acting_node_;
   /// In-flight flow correlation: message -> flow id, assigned in send
   /// order. Only populated while a trace is attached.

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Round-equivalence of the timed scheduler: for every round-scheduler
+# builtin, plain and scrambled-start, the report produced under
+# `--timed --latency-profile default` (event-driven virtual clock, constant
+# one-second latency, zero faults) must be byte-identical to the round
+# scheduler's report. The only lines allowed to differ are the "clock"
+# header and the per-section "unit" labels, which name the schedulers'
+# clocks by design and are stripped before comparing. Registered with
+# CTest; also the shape CI runs on pull requests.
+#
+#   usage: timed_equivalence.sh <path-to-ssps_run>
+set -u
+
+run=${1:?usage: timed_equivalence.sh <path-to-ssps_run>}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+status=0
+
+scenarios=$("$run" --list) || {
+  echo "FAILED: $run --list exited nonzero"
+  exit 1
+}
+if [ -z "$scenarios" ]; then
+  echo "FAILED: $run --list printed no scenarios"
+  exit 1
+fi
+
+compared=0
+for scenario in $scenarios; do
+  # The natively timed builtins have no round-scheduler twin: their specs
+  # carry non-default link profiles and partition schedules.
+  case "$scenario" in
+    geo-*|lossy-*) continue ;;
+  esac
+  for variant in plain scrambled; do
+    flags=""
+    seed=7
+    if [ "$variant" = scrambled ]; then
+      flags="--scramble"
+      seed=5
+    fi
+    ref="$workdir/$scenario-$variant-rounds.json"
+    if ! "$run" --scenario "$scenario" --seed "$seed" --nodes 12 \
+        $flags --quiet --out "$ref"; then
+      echo "FAILED RUN: $scenario ($variant) round scheduler"
+      status=1
+      continue
+    fi
+    out="$workdir/$scenario-$variant-timed.json"
+    if ! "$run" --scenario "$scenario" --seed "$seed" --nodes 12 \
+        --timed --latency-profile default $flags --quiet --out "$out"; then
+      echo "FAILED RUN: $scenario ($variant) timed scheduler"
+      status=1
+      continue
+    fi
+    if ! grep -q '"clock": "virtual-seconds"' "$out"; then
+      echo "MISSING CLOCK: $scenario ($variant) timed report lacks the label"
+      status=1
+    fi
+    if ! diff <(grep -vE '"(clock|unit)":' "$ref") \
+        <(grep -vE '"(clock|unit)":' "$out") >/dev/null; then
+      echo "TRACE MISMATCH: $scenario ($variant) timed vs rounds"
+      status=1
+    fi
+    compared=$((compared + 1))
+  done
+done
+
+if [ "$compared" = 0 ]; then
+  echo "FAILED: no scenario was compared (vacuous pass)"
+  exit 1
+fi
+if [ "$status" = 0 ]; then
+  echo "$compared timed runs byte-identical to their round-scheduler twins"
+fi
+exit $status

@@ -75,7 +75,7 @@ TEST(ScenarioReplay, DifferentSeedsProduceDifferentTraffic) {
 // ---------------------------------------------------------------------------
 
 TEST(Builtins, NamesRoundTrip) {
-  EXPECT_EQ(builtin_names().size(), 8u);  // 5 classic + 3 scale-*
+  EXPECT_EQ(builtin_names().size(), 10u);  // 5 classic + 2 timed + 3 scale-*
   for (const std::string& name : builtin_names()) {
     EXPECT_TRUE(is_builtin(name));
     const ScenarioSpec spec = builtin_scenario(name, 3, 10);
@@ -243,6 +243,107 @@ TEST(CustomSpec, SingleTopicChurnConverges) {
   EXPECT_TRUE(report.ok);
   EXPECT_EQ(runner.single().active_ids().size(), 9u);  // 10 + 3 - 2 - 2
   EXPECT_TRUE(runner.single().topology_legit());
+}
+
+TEST(CustomSpec, AsyncTimeseriesAndLatencyUseTheStepClock) {
+  // Regression: async runs used to emit an always-empty timeseries ring
+  // and latency figures stamped with the (never-advancing) round counter.
+  // They now sample every AsyncConfig::probe_stride steps and measure on
+  // the step clock, and the report says so.
+  ScenarioSpec spec;
+  spec.name = "custom-async-probe";
+  spec.seed = 17;
+  spec.nodes = 8;
+  spec.mode = Mode::kSingleTopic;
+  spec.scheduler = Scheduler::kAsync;
+  spec.timeseries_capacity = 64;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = 8;
+  bootstrap.converge = true;
+  bootstrap.max_rounds = 5000;
+  spec.phases.push_back(bootstrap);
+
+  Phase pubs;
+  pubs.name = "publish";
+  pubs.publish.count = 4;
+  pubs.converge = true;
+  pubs.max_rounds = 5000;
+  spec.phases.push_back(pubs);
+
+  ScenarioRunner runner(spec);
+  const ScenarioReport& report = runner.run();
+  ASSERT_TRUE(report.ok);
+  EXPECT_EQ(report.clock, "steps");
+  EXPECT_EQ(report.latency.unit, "steps");
+  ASSERT_TRUE(report.timeseries.has_value());
+  EXPECT_EQ(report.timeseries->unit, "steps");
+  ASSERT_FALSE(report.timeseries->samples.empty());
+  // Samples tick on the step clock: strictly increasing multiples of the
+  // probe stride (the round counter would sit at a handful of rounds).
+  const auto& samples = report.timeseries->samples;
+  const sim::Step stride = runner.net().async_config().probe_stride;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(samples[i - 1].round, samples[i].round);
+    }
+    EXPECT_EQ(samples[i].round % stride, 0u);
+  }
+  EXPECT_GE(samples.back().round, 2 * stride);
+  // Latency percentiles are step-denominated: a publish needs many steps
+  // to reach every subscriber.
+  EXPECT_GT(report.latency.global.count, 0u);
+  EXPECT_GT(report.latency.global.p50, 0u);
+}
+
+TEST(TimedScheduler, DefaultProfileMatchesRoundReports) {
+  // The in-process face of tests/determinism/timed_equivalence.sh: with
+  // the default link profile the timed engine's report is byte-identical
+  // to the round scheduler's minus the clock/unit labels.
+  auto strip_clock_lines = [](const std::string& text) {
+    std::string out;
+    std::size_t start = 0;
+    while (start < text.size()) {
+      std::size_t end = text.find('\n', start);
+      if (end == std::string::npos) end = text.size();
+      const std::string line = text.substr(start, end - start);
+      if (line.find("\"clock\":") == std::string::npos &&
+          line.find("\"unit\":") == std::string::npos) {
+        out += line;
+        out += '\n';
+      }
+      start = end + 1;
+    }
+    return out;
+  };
+  for (const char* name : {"steady", "churn-wave"}) {
+    ScenarioSpec spec = builtin_scenario(name, 11, 12);
+    ScenarioRunner rounds(spec);
+    spec.scheduler = Scheduler::kTimed;
+    ScenarioRunner timed(spec);
+    const std::string a = rounds.run().to_json().dump(2);
+    const std::string b = timed.run().to_json().dump(2);
+    EXPECT_NE(a, b) << name << ": clock labels should differ";
+    EXPECT_EQ(strip_clock_lines(a), strip_clock_lines(b)) << name;
+  }
+}
+
+TEST(TimedScheduler, LossyScrambledRecoveryAt64Nodes) {
+  // The acceptance drill: a 64-node deployment started from an arbitrary
+  // scrambled state recovers to an oracle-certified legal state while
+  // every link drops 5% of traffic, and the report's latency percentiles
+  // read in virtual seconds.
+  ScenarioSpec spec = scrambled_variant(builtin_scenario("lossy-churn", 23, 64));
+  ScenarioRunner runner(std::move(spec));
+  const ScenarioReport& report = runner.run();
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.oracle_ok);
+  EXPECT_EQ(report.clock, "virtual-seconds");
+  EXPECT_EQ(report.latency.unit, "virtual-seconds");
+  EXPECT_GT(report.latency.global.count, 0u);
+  // The link layer really dropped traffic on the way.
+  EXPECT_GT(runner.net().timed_dropped(), 0u);
 }
 
 TEST(CustomSpec, AsyncSchedulerPhasesAreDeterministic) {

@@ -3,9 +3,12 @@
 // interleaving biases — not just under synchronous rounds.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "core/chaos.hpp"
 #include "core/system.hpp"
 #include "pubsub/pubsub_node.hpp"
+#include "sim/network.hpp"
 
 namespace ssps::sim {
 namespace {
@@ -58,6 +61,64 @@ INSTANTIATE_TEST_SUITE_P(
                       AsyncCase{512, 32, 64, 5},   // stale messages
                       AsyncCase{32, 512, 64, 6}),  // starved timeouts
     case_name);
+
+struct StepPing final : MsgBase<StepPing> {
+  int payload = 0;
+  explicit StepPing(int p) : payload(p) {}
+  std::string_view name() const override { return "StepPing"; }
+};
+
+class StepProbe final : public Node {
+ public:
+  void handle(PooledMsg msg) override {
+    auto* ping = msg_cast<StepPing>(*msg);
+    ASSERT_NE(ping, nullptr);
+    received.push_back(ping->payload);
+    if (echo_to && ping->payload < 3000) {
+      net().emit<StepPing>(echo_to, ping->payload + 1000);
+    }
+  }
+  void timeout() override { ++timeouts; }
+  std::vector<int> received;
+  int timeouts = 0;
+  NodeId echo_to = NodeId::null();
+};
+
+TEST(AsyncScheduler, FixedSeedPickSequenceIsPinned) {
+  // The canonical step()-picking trace for seed 2024: delivery order and
+  // per-node timeout counts over 120 steps. Pins the scheduler's fairness
+  // decisions — the oldest-message / stalest-timeout indexes and the
+  // (sent_at, seq) / (last_timeout, slot) tie-breaks — so a refactor of
+  // the O(log n) heap bookkeeping cannot silently change interleavings.
+  Network net(2024);
+  const NodeId a = net.spawn<StepProbe>();
+  const NodeId b = net.spawn<StepProbe>();
+  const NodeId c = net.spawn<StepProbe>();
+  net.node_as<StepProbe>(a).echo_to = b;
+  net.node_as<StepProbe>(b).echo_to = c;
+  for (int i = 0; i < 6; ++i) net.emit<StepPing>(a, i);
+  net.run_steps(120);
+  EXPECT_EQ(net.node_as<StepProbe>(a).received, (std::vector<int>{3, 4, 5, 0, 2, 1}));
+  EXPECT_EQ(net.node_as<StepProbe>(b).received,
+            (std::vector<int>{1003, 1002, 1005, 1000, 1004, 1001}));
+  EXPECT_EQ(net.node_as<StepProbe>(c).received,
+            (std::vector<int>{2003, 2002, 2005, 2000, 2004, 2001}));
+  EXPECT_EQ(net.node_as<StepProbe>(a).timeouts, 36);
+  EXPECT_EQ(net.node_as<StepProbe>(b).timeouts, 37);
+  EXPECT_EQ(net.node_as<StepProbe>(c).timeouts, 29);
+}
+
+TEST(AsyncScheduler, StepClockModeStampsSinkRounds) {
+  // ClockMode::kSteps redirects clock_now() (and with it latency/telemetry
+  // stamps) from the round counter to the step counter.
+  Network net(3);
+  net.spawn<StepProbe>();
+  EXPECT_EQ(net.clock_mode(), Network::ClockMode::kRounds);
+  net.set_clock_mode(Network::ClockMode::kSteps);
+  EXPECT_EQ(net.clock_now(), 0u);
+  net.run_steps(37);
+  EXPECT_EQ(net.clock_now(), 37u);
+}
 
 TEST(AsyncScheduler, PublicationsConvergeUnderAsynchronyToo) {
   pubsub::PubSubConfig cfg;

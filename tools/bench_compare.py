@@ -8,7 +8,8 @@ Usage:
 For every BENCH_<name>.json present in the baseline directory, the matching
 result file must exist and every gated metric must not REGRESS by more than
 the tolerance (improvements never fail the gate). Metrics are matched per
-series row by their identifying keys (n, class, ...).
+series row by their identifying keys (n, class, scheduler, ...); rows
+without a "scheduler" key are round-scheduler rows.
 
 Gated metrics:
   deterministic (exact replay per seed; --tolerance, default 15%):
@@ -41,11 +42,18 @@ LOWER_IS_BETTER = {"bootstrap_rounds", "rounds"}
 HIGHER_IS_BETTER = {"rounds_per_sec", "msgs_per_sec"}
 BOTH_DIRECTIONS = {"msgs_per_round", "latency_p50", "latency_p99",
                    "latency_p999", "latency_max"}
-IDENTIFYING_KEYS = ("n", "threads", "class", "name")
+IDENTIFYING_KEYS = ("n", "threads", "class", "name", "scheduler")
 
 
 def row_key(row):
-    return tuple((k, row[k]) for k in IDENTIFYING_KEYS if k in row)
+    """Identity of one series row. Rows written before the timed scheduler
+    existed carry no "scheduler" key; they are round-scheduler rows, so the
+    key normalizes the absence to "rounds" — old baselines keep matching
+    new results without a refresh."""
+    key = [(k, row[k]) for k in IDENTIFYING_KEYS if k in row]
+    if "scheduler" not in row:
+        key.append(("scheduler", "rounds"))
+    return tuple(key)
 
 
 def iter_series(doc):

@@ -20,6 +20,15 @@ inline bool parse_u64(const char* text, std::uint64_t& out) {
   return errno == 0 && end != nullptr && *end == '\0';
 }
 
+/// Parses a decimal floating-point number (probabilities, seconds).
+inline bool parse_double(const char* text, double& out) {
+  if (text == nullptr || *text == '\0') return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtod(text, &end);
+  return errno == 0 && end != nullptr && *end == '\0';
+}
+
 /// Splits "a,b,c" into {"a","b","c"}, dropping empty segments.
 inline std::vector<std::string> split_csv(const std::string& csv) {
   std::vector<std::string> out;

@@ -25,6 +25,7 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ssps_run --scenario <name> [--seed <u64>] [--nodes <n>]\n"
                "                [--threads <n>] [--scramble] [--oracle]\n"
+               "                [--timed] [--loss <p>] [--latency-profile <name>]\n"
                "                [--out <file>] [--trace <file>] [--quiet]\n"
                "       ssps_run --list\n"
                "\n"
@@ -45,6 +46,21 @@ void usage(std::FILE* to) {
                "  --oracle           run the legal-state invariant oracle at every\n"
                "                     phase end; exit 1 on post-convergence\n"
                "                     violations\n"
+               "  --timed            run under the event-driven timed scheduler\n"
+               "                     (virtual clock, per-link latency; see\n"
+               "                     --latency-profile). With the default profile\n"
+               "                     the report matches the round scheduler's\n"
+               "                     byte-for-byte minus the clock/unit labels.\n"
+               "                     Requires --threads 1\n"
+               "  --loss <p>         drop each message with probability p in [0,1)\n"
+               "                     on every link (implies --timed)\n"
+               "  --latency-profile <name>\n"
+               "                     per-link latency model (implies --timed):\n"
+               "                       default  constant 1 s (round-equivalent)\n"
+               "                       lan      uniform 1-5 ms, one zone\n"
+               "                       wan      lognormal ~80 ms median, one zone\n"
+               "                       geo      3 zones: 50 ms local, 0.1-0.8 s\n"
+               "                                cross-zone\n"
                "  --out <file>       additionally write the report to <file>\n"
                "  --trace <file>     record every send/deliver and export a\n"
                "                     Chrome/Perfetto trace_event JSON to <file>\n"
@@ -68,6 +84,9 @@ int main(int argc, char** argv) {
   bool quiet = false;
   bool scramble = false;
   bool oracle = false;
+  bool timed = false;
+  double loss = -1.0;  // < 0 = unset
+  std::string latency_profile;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -118,6 +137,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       trace_path = v;
+    } else if (arg == "--timed") {
+      timed = true;
+    } else if (arg == "--loss") {
+      if (!ssps::cli::parse_double(value(), loss) || loss < 0.0 || loss >= 1.0) {
+        std::fprintf(stderr, "ssps_run: --loss expects a probability in [0,1)\n");
+        return 2;
+      }
+      timed = true;
+    } else if (arg == "--latency-profile") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      latency_profile = v;
+      timed = true;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--scramble") {
@@ -142,8 +177,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Flag-combination validation happens before any work: a bad combination
+  // exits 2 without running a single round.
   if (!trace_path.empty() && threads != 1) {
     std::fprintf(stderr, "ssps_run: --trace requires --threads 1\n");
+    return 2;
+  }
+  if (timed && threads != 1) {
+    std::fprintf(stderr,
+                 "ssps_run: --timed (and --loss/--latency-profile) requires "
+                 "--threads 1\n");
+    return 2;
+  }
+  if (!latency_profile.empty() && latency_profile != "default" &&
+      latency_profile != "lan" && latency_profile != "wan" &&
+      latency_profile != "geo") {
+    std::fprintf(stderr,
+                 "ssps_run: unknown latency profile '%s' "
+                 "(default, lan, wan, geo)\n",
+                 latency_profile.c_str());
     return 2;
   }
 
@@ -152,6 +204,32 @@ int main(int argc, char** argv) {
   if (scramble) spec = ssps::scenario::scrambled_variant(std::move(spec));
   if (oracle) spec.oracle = true;
   spec.threads = static_cast<unsigned>(threads);
+
+  if (timed) {
+    using ssps::sim::LatencySpec;
+    spec.scheduler = ssps::scenario::Scheduler::kTimed;
+    if (latency_profile == "lan") {
+      spec.timed = {};
+      spec.timed.local.latency = {LatencySpec::Dist::kUniform, 0.001, 0.005};
+    } else if (latency_profile == "wan") {
+      spec.timed = {};
+      // exp(-2.5) ~ 82 ms median with a heavy-ish tail.
+      spec.timed.local.latency = {LatencySpec::Dist::kLognormal, -2.5, 0.5};
+    } else if (latency_profile == "geo") {
+      spec.timed = {};
+      spec.timed.zones = 3;
+      spec.timed.local.latency = {LatencySpec::Dist::kConstant, 0.05, 0.0};
+      spec.timed.remote.latency = {LatencySpec::Dist::kUniform, 0.1, 0.8};
+    } else if (latency_profile == "default") {
+      spec.timed = {};  // constant 1 s: the round-equivalent channel
+    }
+    // No profile flag: keep whatever the builtin configured (default
+    // TimedConfig for round builtins forced timed by --timed).
+    if (loss >= 0.0) {
+      spec.timed.local.loss = loss;
+      spec.timed.remote.loss = loss;
+    }
+  }
 
   ssps::scenario::ScenarioRunner runner(std::move(spec));
   // Unbounded in practice: big enough that no builtin run evicts events.
