@@ -239,9 +239,9 @@ void print_experiment() {
       spec.seed = 31 + n;
       spec.nodes = n;
       spec.mode = scenario::Mode::kSingleTopic;
-      spec.scheduler = scenario::Scheduler::kTimed;
-      spec.timed.local.latency = {sim::LatencySpec::Dist::kLognormal, -2.5, 0.5};
-      spec.timed.local.loss = 0.02;
+      spec.exec.scheduler = scenario::Scheduler::kTimed;
+      spec.exec.timed.local.latency = {sim::LatencySpec::Dist::kLognormal, -2.5, 0.5};
+      spec.exec.timed.local.loss = 0.02;
       scenario::Phase bootstrap;
       bootstrap.name = "bootstrap";
       bootstrap.churn.joins = n;

@@ -1,0 +1,63 @@
+// Canonical little-endian state encoding.
+//
+// The model checker (src/mc) hashes protocol states by serializing them
+// into a byte string; two states collide iff their encodings are equal, so
+// the encoding must be canonical: fixed field order, fixed-width integers,
+// explicit length prefixes for variable-size data, no padding, no pointers.
+// This is deliberately the shape of a wire format — the ROADMAP
+// multi-process item needs exactly the same property (a byte string that
+// two processes agree on), so these encodings double as its first draft.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+namespace ssps::common {
+
+/// Append-only canonical byte sink. All integers are little-endian.
+class Encoder {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  /// Raw bytes, no length prefix (caller encodes the length separately
+  /// when the size is not implied by context).
+  void raw(const void* data, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + n);
+  }
+
+  /// Length-prefixed byte string (u64 length + bytes).
+  void bytes(const void* data, std::size_t n) {
+    u64(n);
+    raw(data, n);
+  }
+
+  void string(std::string_view s) { bytes(s.data(), s.size()); }
+
+  /// Canonical optional: presence byte, then the payload via `fn(enc, v)`.
+  template <typename T, typename Fn>
+  void optional(const std::optional<T>& v, Fn&& fn) {
+    u8(v.has_value() ? 1 : 0);
+    if (v.has_value()) fn(*this, *v);
+  }
+
+  const std::vector<std::uint8_t>& buffer() const { return bytes_; }
+  std::size_t size() const { return bytes_.size(); }
+  void clear() { bytes_.clear(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace ssps::common

@@ -6,6 +6,7 @@
 // simulation, so a (seed, parameters) pair reproduces a run bit-for-bit.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +85,12 @@ class Rng {
   std::size_t pick_index(const std::vector<T>& v) {
     return static_cast<std::size_t>(below(v.size()));
   }
+
+  /// The raw 256-bit generator state. Part of the canonical protocol state
+  /// the model checker hashes: two executions whose nodes hold identical
+  /// protocol variables but different pending randomness are different
+  /// states (their futures differ).
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/encode.hpp"
 #include "core/label.hpp"
 #include "sim/message.hpp"
 
@@ -16,6 +17,18 @@ namespace ssps::core {
 /// Flag distinguishing linear (sorted-list) candidates from cyclic
 /// (ring-closure) candidates, as in Algorithms 1–2 (LIN / CYC).
 enum class IntroFlag : std::uint8_t { kLinear, kCyclic };
+
+/// Canonical encodings of the core value types (common/encode.hpp); the
+/// building blocks of every Message::encode override below.
+inline void encode_label(common::Encoder& e, const Label& l) {
+  e.u64(l.bits());
+  e.u8(static_cast<std::uint8_t>(l.length()));
+}
+
+inline void encode_ref(common::Encoder& e, const LabeledRef& r) {
+  encode_label(e, r.label);
+  e.u64(r.node.value);
+}
 
 namespace msg {
 
@@ -31,6 +44,10 @@ struct Subscribe final : sim::MsgBase<Subscribe> {
   std::string_view name() const override { return "Subscribe"; }
   std::size_t wire_size() const override { return kHeaderBytes + kRefBytes; }
   void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
+  bool encode(common::Encoder& e) const override {
+    e.u64(who.value);
+    return true;
+  }
 };
 
 /// Unsubscribe(v): v asks to leave (§4.1).
@@ -41,6 +58,10 @@ struct Unsubscribe final : sim::MsgBase<Unsubscribe> {
   std::string_view name() const override { return "Unsubscribe"; }
   std::size_t wire_size() const override { return kHeaderBytes + kRefBytes; }
   void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
+  bool encode(common::Encoder& e) const override {
+    e.u64(who.value);
+    return true;
+  }
 };
 
 /// GetConfiguration(u): request the supervisor to (re)send u's
@@ -65,6 +86,11 @@ struct GetConfiguration final : sim::MsgBase<GetConfiguration> {
     out.push_back(subject);
     if (requester) out.push_back(requester);
   }
+  bool encode(common::Encoder& e) const override {
+    e.u64(subject.value);
+    e.u64(requester.value);
+    return true;
+  }
 };
 
 /// SetData(pred, label, succ): the supervisor's configuration reply. All
@@ -85,6 +111,12 @@ struct SetData final : sim::MsgBase<SetData> {
     if (pred) out.push_back(pred->node);
     if (succ) out.push_back(succ->node);
   }
+  bool encode(common::Encoder& e) const override {
+    e.optional(pred, encode_ref);
+    e.optional(label, encode_label);
+    e.optional(succ, encode_ref);
+    return true;
+  }
 };
 
 /// Check(sender, label, flag): sender introduces itself and names the
@@ -103,6 +135,12 @@ struct Check final : sim::MsgBase<Check> {
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     out.push_back(sender.node);
   }
+  bool encode(common::Encoder& e) const override {
+    encode_ref(e, sender);
+    encode_label(e, believed);
+    e.u8(static_cast<std::uint8_t>(flag));
+    return true;
+  }
 };
 
 /// Introduce(candidate, flag): hands the receiver a node reference to be
@@ -117,6 +155,11 @@ struct Introduce final : sim::MsgBase<Introduce> {
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     out.push_back(cand.node);
   }
+  bool encode(common::Encoder& e) const override {
+    encode_ref(e, cand);
+    e.u8(static_cast<std::uint8_t>(flag));
+    return true;
+  }
 };
 
 /// RemoveConnections(who): ask the receiver to purge its references to
@@ -128,6 +171,10 @@ struct RemoveConnections final : sim::MsgBase<RemoveConnections> {
   std::string_view name() const override { return "RemoveConnections"; }
   std::size_t wire_size() const override { return kHeaderBytes + kRefBytes; }
   void collect_refs(std::vector<sim::NodeId>& out) const override { out.push_back(who); }
+  bool encode(common::Encoder& e) const override {
+    e.u64(who.value);
+    return true;
+  }
 };
 
 /// IntroduceShortcut(candidate): level-k introduction (§3.2.2): the sender
@@ -140,6 +187,10 @@ struct IntroduceShortcut final : sim::MsgBase<IntroduceShortcut> {
   std::size_t wire_size() const override { return kHeaderBytes + kRefBytes + kLabelBytes; }
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     out.push_back(cand.node);
+  }
+  bool encode(common::Encoder& e) const override {
+    encode_ref(e, cand);
+    return true;
   }
 };
 

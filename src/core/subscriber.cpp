@@ -676,4 +676,18 @@ void SubscriberProtocol::collect_refs(std::vector<sim::NodeId>& out) const {
   }
 }
 
+void SubscriberProtocol::encode_state(common::Encoder& enc) const {
+  enc.u8(static_cast<std::uint8_t>(phase_));
+  enc.optional(label_, encode_label);
+  enc.optional(left_, encode_ref);
+  enc.optional(right_, encode_ref);
+  enc.optional(ring_, encode_ref);
+  // The table is sorted by label, so pair order is already canonical.
+  enc.u64(shortcuts_.size());
+  for (const auto& [label, node] : shortcuts_) {
+    encode_label(enc, label);
+    enc.u64(node.value);
+  }
+}
+
 }  // namespace ssps::core

@@ -97,6 +97,13 @@ class SubscriberProtocol {
   /// Explicit edges for connectivity analyses.
   void collect_refs(std::vector<sim::NodeId>& out) const;
 
+  /// Serializes every protocol variable (phase, label, ring edges,
+  /// shortcut table) in canonical form: the model checker's state
+  /// fingerprint, doubling as the subscriber half of the wire-format
+  /// draft. Excludes state_version() and the derived-label cache — both
+  /// are determined by (or pure memoization of) the encoded variables.
+  void encode_state(common::Encoder& enc) const;
+
   // ---- Adversarial state injection (tests/benches only) ---------------
   // Self-stabilization quantifies over *arbitrary* initial states; these
   // setters let the chaos generators produce them. They perform no

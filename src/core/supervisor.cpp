@@ -354,4 +354,17 @@ void SupervisorProtocol::chaos_clear() {
   ++db_version_;
 }
 
+void SupervisorProtocol::encode_state(common::Encoder& enc) const {
+  // std::map iterates in label order — already canonical. The reverse
+  // index is pure memoization of db_ and is not encoded.
+  enc.u64(db_.size());
+  for (const auto& [label, node] : db_) {
+    encode_label(enc, label);
+    enc.u64(node.value);
+  }
+  enc.u64(next_);
+  enc.u8(labels_clean_ ? 1 : 0);
+  enc.u64(crash_cursor_);
+}
+
 }  // namespace ssps::core

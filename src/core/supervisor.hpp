@@ -62,6 +62,12 @@ class SupervisorProtocol {
 
   void collect_refs(std::vector<sim::NodeId>& out) const;
 
+  /// Serializes every protocol variable (database, round-robin pointer,
+  /// repair bookkeeping) in canonical form: the model checker's state
+  /// fingerprint, doubling as the supervisor half of the wire-format
+  /// draft. Excludes db_version() — determined by the encoded variables.
+  void encode_state(common::Encoder& enc) const;
+
   // ---- Adversarial injection (tests/benches only) -----------------------
 
   /// Inserts a raw tuple, bypassing all invariants (may create duplicates

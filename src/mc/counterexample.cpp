@@ -1,0 +1,183 @@
+#include "mc/counterexample.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+
+namespace ssps::mc {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Value text following `"key":` — up to the next ',' or '}' (numbers and
+/// booleans only; strings are handled separately).
+std::optional<std::string> scalar_after(const std::string& text,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  std::size_t from = at + needle.size();
+  std::size_t to = from;
+  while (to < text.size() && text[to] != ',' && text[to] != '}' &&
+         text[to] != ']') {
+    ++to;
+  }
+  std::string value = text.substr(from, to - from);
+  // Trim whitespace.
+  while (!value.empty() && (value.front() == ' ' || value.front() == '\n')) {
+    value.erase(value.begin());
+  }
+  while (!value.empty() && (value.back() == ' ' || value.back() == '\n')) {
+    value.pop_back();
+  }
+  return value;
+}
+
+/// Unsigned parse: seeds use the full u64 range (stoll would overflow on
+/// anything past INT64_MAX, which real derived scramble seeds hit).
+std::optional<std::uint64_t> uint_after(const std::string& text,
+                                        const std::string& key) {
+  const auto value = scalar_after(text, key);
+  if (!value || value->empty()) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const std::uint64_t parsed = std::stoull(*value, &used);
+    if (used != value->size()) return std::nullopt;
+    return parsed;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<std::string> string_after(const std::string& text,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  std::size_t at = text.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  at = text.find('"', at + needle.size());
+  if (at == std::string::npos) return std::nullopt;
+  std::string out;
+  for (std::size_t i = at + 1; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\\' && i + 1 < text.size()) {
+      const char n = text[++i];
+      out += n == 'n' ? '\n' : n == 't' ? '\t' : n;
+    } else if (c == '"') {
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool write_counterexample(const std::string& path,
+                          const CounterexampleFile& ce) {
+  std::ofstream out(path);
+  if (!out) return false;
+  const Executor::Options& o = ce.options;
+  out << "{\n";
+  out << "  \"kind\": \"" << escape(ce.kind) << "\",\n";
+  out << "  \"seed\": " << o.seed << ",\n";
+  out << "  \"nodes\": " << o.nodes << ",\n";
+  out << "  \"max_rounds\": " << o.max_rounds << ",\n";
+  out << "  \"drop\": \"" << escape(o.drop_message_name) << "\",\n";
+  out << "  \"scramble_seed\": " << o.scramble.seed << ",\n";
+  out << "  \"label_null_pct\": " << o.scramble.label_null_pct << ",\n";
+  out << "  \"label_random_pct\": " << o.scramble.label_random_pct << ",\n";
+  out << "  \"edge_null_pct\": " << o.scramble.edge_null_pct << ",\n";
+  out << "  \"max_shortcuts\": " << o.scramble.max_shortcuts << ",\n";
+  out << "  \"databases\": " << (o.scramble.databases ? "true" : "false")
+      << ",\n";
+  out << "  \"tries\": " << (o.scramble.tries ? "true" : "false") << ",\n";
+  out << "  \"junk_messages\": " << o.scramble.junk_messages << ",\n";
+  out << "  \"max_label_len\": " << o.scramble.max_label_len << ",\n";
+  out << "  \"violation\": \"" << escape(ce.violation) << "\",\n";
+  out << "  \"trace\": [";
+  for (std::size_t i = 0; i < ce.trace.size(); ++i) {
+    if (i != 0) out << ", ";
+    // kAdvance (a round boundary) serializes as -1.
+    if (ce.trace[i] == kAdvance) {
+      out << -1;
+    } else {
+      out << ce.trace[i];
+    }
+  }
+  out << "]\n}\n";
+  return static_cast<bool>(out);
+}
+
+std::optional<CounterexampleFile> read_counterexample(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  CounterexampleFile ce;
+  const auto kind = string_after(text, "kind");
+  if (!kind) return std::nullopt;
+  ce.kind = *kind;
+  ce.violation = string_after(text, "violation").value_or("");
+  const auto drop = string_after(text, "drop");
+  ce.options.drop_message_name = drop.value_or("");
+
+  auto require = [&](const char* key, auto& field) {
+    const auto v = uint_after(text, key);
+    if (v) field = static_cast<std::remove_reference_t<decltype(field)>>(*v);
+    return v.has_value();
+  };
+  if (!require("seed", ce.options.seed)) return std::nullopt;
+  if (!require("nodes", ce.options.nodes)) return std::nullopt;
+  if (!require("max_rounds", ce.options.max_rounds)) return std::nullopt;
+  if (!require("scramble_seed", ce.options.scramble.seed)) return std::nullopt;
+  require("label_null_pct", ce.options.scramble.label_null_pct);
+  require("label_random_pct", ce.options.scramble.label_random_pct);
+  require("edge_null_pct", ce.options.scramble.edge_null_pct);
+  require("max_shortcuts", ce.options.scramble.max_shortcuts);
+  require("junk_messages", ce.options.scramble.junk_messages);
+  require("max_label_len", ce.options.scramble.max_label_len);
+  const auto databases = scalar_after(text, "databases");
+  if (databases) ce.options.scramble.databases = *databases == "true";
+  const auto tries = scalar_after(text, "tries");
+  if (tries) ce.options.scramble.tries = *tries == "true";
+
+  const std::size_t open = text.find("\"trace\":");
+  if (open == std::string::npos) return std::nullopt;
+  const std::size_t lbrack = text.find('[', open);
+  const std::size_t rbrack = text.find(']', open);
+  if (lbrack == std::string::npos || rbrack == std::string::npos) {
+    return std::nullopt;
+  }
+  std::stringstream items(text.substr(lbrack + 1, rbrack - lbrack - 1));
+  std::string item;
+  while (std::getline(items, item, ',')) {
+    try {
+      const long long v = std::stoll(item);
+      ce.trace.push_back(v < 0 ? kAdvance
+                                : static_cast<std::uint32_t>(v));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+  return ce;
+}
+
+}  // namespace ssps::mc

@@ -1,0 +1,36 @@
+// Counterexample (de)serialization: a failing schedule as a small JSON
+// file that replays deterministically.
+//
+// The file carries everything Executor::replay needs to re-establish the
+// violating execution bit-for-bit — the full root options (seed, size,
+// scramble knobs, mutation) plus the choice trace — so a counterexample
+// found by a nightly bounded-depth run reproduces locally with
+// `ssps_mc --replay <file>`.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mc/explorer.hpp"
+
+namespace ssps::mc {
+
+struct CounterexampleFile {
+  Executor::Options options;
+  /// "depth-bound" or "livelock".
+  std::string kind;
+  /// Oracle summary at the recorded end state (informational; replay
+  /// recomputes it).
+  std::string violation;
+  Trace trace;
+};
+
+/// Writes `ce` as JSON to `path`; returns false on I/O failure.
+bool write_counterexample(const std::string& path,
+                          const CounterexampleFile& ce);
+
+/// Parses a file written by write_counterexample. Returns nullopt on I/O
+/// or parse failure.
+std::optional<CounterexampleFile> read_counterexample(const std::string& path);
+
+}  // namespace ssps::mc

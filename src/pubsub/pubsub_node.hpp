@@ -30,6 +30,24 @@ inline std::size_t publication_bytes(const Publication& p) {
   return kRefBytes + p.payload.size();
 }
 
+/// Canonical encodings (common/encode.hpp) of the publication-layer value
+/// types, mirroring core::encode_label / encode_ref.
+inline void encode_bits(common::Encoder& e, const BitString& b) {
+  const std::vector<std::uint8_t> packed = b.to_bytes();
+  e.u64(b.size());  // bit length: keeps "0" and "00" distinct
+  e.raw(packed.data(), packed.size());
+}
+
+inline void encode_summary(common::Encoder& e, const NodeSummary& s) {
+  encode_bits(e, s.label);
+  e.raw(s.hash.data(), s.hash.size());
+}
+
+inline void encode_publication(common::Encoder& e, const Publication& p) {
+  e.u64(p.origin.value);
+  e.string(p.payload);  // `born` excluded: telemetry stamp, not identity
+}
+
 /// CheckTrie(sender, tuples): compare these (label, hash) node summaries
 /// against the receiver's trie.
 struct CheckTrie final : sim::MsgBase<CheckTrie> {
@@ -46,6 +64,12 @@ struct CheckTrie final : sim::MsgBase<CheckTrie> {
   }
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     out.push_back(sender);
+  }
+  bool encode(common::Encoder& e) const override {
+    e.u64(sender.value);
+    e.u64(tuples.size());
+    for (const auto& t : tuples) encode_summary(e, t);
+    return true;
   }
 };
 
@@ -67,6 +91,13 @@ struct CheckAndPublish final : sim::MsgBase<CheckAndPublish> {
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     out.push_back(sender);
   }
+  bool encode(common::Encoder& e) const override {
+    e.u64(sender.value);
+    e.u64(tuples.size());
+    for (const auto& t : tuples) encode_summary(e, t);
+    encode_bits(e, prefix);
+    return true;
+  }
 };
 
 /// Publish(P): deliver a batch of publications.
@@ -83,6 +114,11 @@ struct Publish final : sim::MsgBase<Publish> {
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     for (const auto& p : pubs) out.push_back(p.origin);
   }
+  bool encode(common::Encoder& e) const override {
+    e.u64(pubs.size());
+    for (const auto& p : pubs) encode_publication(e, p);
+    return true;
+  }
 };
 
 /// PublishNew(p): flooding of a fresh publication (§4.3).
@@ -94,6 +130,10 @@ struct PublishNew final : sim::MsgBase<PublishNew> {
   std::size_t wire_size() const override { return kHeaderBytes + publication_bytes(pub); }
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     out.push_back(pub.origin);
+  }
+  bool encode(common::Encoder& e) const override {
+    encode_publication(e, pub);
+    return true;
   }
 };
 

@@ -225,11 +225,8 @@ ScenarioSpec geo_steady(std::uint64_t seed, std::size_t nodes) {
   spec.seed = seed;
   spec.nodes = nodes;
   spec.mode = Mode::kSingleTopic;
-  spec.scheduler = Scheduler::kTimed;
   spec.fd_delay = 4;
-  spec.timed.zones = 3;
-  spec.timed.local.latency = {sim::LatencySpec::Dist::kConstant, 0.05, 0.0};
-  spec.timed.remote.latency = {sim::LatencySpec::Dist::kUniform, 0.1, 0.8};
+  apply_latency_profile(spec.exec, "geo");
 
   Phase bootstrap;
   bootstrap.name = "bootstrap";
@@ -274,12 +271,12 @@ ScenarioSpec lossy_churn(std::uint64_t seed, std::size_t nodes) {
   spec.seed = seed;
   spec.nodes = nodes;
   spec.mode = Mode::kSingleTopic;
-  spec.scheduler = Scheduler::kTimed;
+  spec.exec.scheduler = Scheduler::kTimed;
   spec.fd_delay = 4;  // a lost heartbeat must not evict instantly
-  spec.timed.local.latency = {sim::LatencySpec::Dist::kUniform, 0.02, 0.25};
-  spec.timed.local.loss = 0.05;
-  spec.timed.local.duplicate = 0.01;
-  spec.timed.local.reorder = 0.02;
+  spec.exec.timed.local.latency = {sim::LatencySpec::Dist::kUniform, 0.02, 0.25};
+  spec.exec.timed.local.loss = 0.05;
+  spec.exec.timed.local.duplicate = 0.01;
+  spec.exec.timed.local.reorder = 0.02;
 
   Phase bootstrap;
   bootstrap.name = "bootstrap";

@@ -1,0 +1,37 @@
+#include "scenario/execution.hpp"
+
+namespace ssps::scenario {
+
+std::optional<std::string> ExecutionSpec::validate() const {
+  if (trace && threads != 1) {
+    return "an event trace requires threads 1 (tracing is serial-only)";
+  }
+  if (scheduler == Scheduler::kTimed && threads != 1) {
+    return "the timed scheduler is single-threaded; requires threads 1";
+  }
+  return std::nullopt;
+}
+
+bool apply_latency_profile(ExecutionSpec& exec, std::string_view profile) {
+  using sim::LatencySpec;
+  sim::TimedConfig timed;
+  if (profile == "default") {
+    // Constant 1 s: the round-equivalent channel.
+  } else if (profile == "lan") {
+    timed.local.latency = {LatencySpec::Dist::kUniform, 0.001, 0.005};
+  } else if (profile == "wan") {
+    // exp(-2.5) ~ 82 ms median with a heavy-ish tail.
+    timed.local.latency = {LatencySpec::Dist::kLognormal, -2.5, 0.5};
+  } else if (profile == "geo") {
+    timed.zones = 3;
+    timed.local.latency = {LatencySpec::Dist::kConstant, 0.05, 0.0};
+    timed.remote.latency = {LatencySpec::Dist::kUniform, 0.1, 0.8};
+  } else {
+    return false;
+  }
+  exec.scheduler = Scheduler::kTimed;
+  exec.timed = timed;
+  return true;
+}
+
+}  // namespace ssps::scenario

@@ -1,0 +1,21 @@
+#include "scenario/mc_certify.hpp"
+
+namespace ssps::scenario {
+
+mc::Executor::Options mc_certify_options(std::uint64_t seed,
+                                         std::size_t nodes) {
+  mc::Executor::Options options;
+  options.seed = seed;
+  options.nodes = nodes;
+  // Same decorrelation as scrambled_variant: the raw seed feeds the
+  // network/scheduler streams, the mixed seed feeds the injector.
+  options.scramble.seed =
+      seed * 0x9e3779b97f4a7c15ULL + 0x5ca91b1e5ca91b1eULL;
+  return options;
+}
+
+mc::Certificate mc_certify(std::uint64_t seed, std::size_t nodes) {
+  return mc::Explorer(mc_certify_options(seed, nodes)).run();
+}
+
+}  // namespace ssps::scenario

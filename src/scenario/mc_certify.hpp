@@ -1,0 +1,26 @@
+// mc-certify: the scenario layer's canonical model-checking entry.
+//
+// Where scrambled_variant() samples ONE schedule per seed from a scrambled
+// start, mc_certify() hands the same kind of scrambled small-n root to the
+// exhaustive interleaving explorer (src/mc) and certifies EVERY schedule.
+// The option derivation mirrors the sweep family — the scramble seed is
+// decorrelated from the construction seed with the same mixing constants
+// as scrambled_variant — so a certified (seed, nodes) pair is the
+// exhaustive counterpart of the sweep's sampled verdicts.
+#pragma once
+
+#include <cstdint>
+
+#include "mc/explorer.hpp"
+
+namespace ssps::scenario {
+
+/// The canonical certification configuration for one (seed, nodes) pair:
+/// scrambled root, small junk-message budget, 24-round depth bound.
+mc::Executor::Options mc_certify_options(std::uint64_t seed,
+                                         std::size_t nodes);
+
+/// Runs the exhaustive explorer over mc_certify_options(seed, nodes).
+mc::Certificate mc_certify(std::uint64_t seed, std::size_t nodes);
+
+}  // namespace ssps::scenario

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "core/label.hpp"
+#include "sched/async.hpp"
 
 namespace ssps::scenario {
 
@@ -45,13 +46,14 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
   // timed specs never install the pool (see the guard below), so they
   // report 1.
   report_.threads =
-      spec_.scheduler == Scheduler::kRounds ? spec_.threads : 1;
-  report_.clock = clock_label(spec_.scheduler);
+      spec_.exec.scheduler == Scheduler::kRounds ? spec_.exec.threads : 1;
+  report_.clock = clock_label(spec_.exec.scheduler);
   report_.latency.unit = report_.clock;
 
   if (spec_.mode == Mode::kSingleTopic) {
     single_ = std::make_unique<pubsub::PubSubSystem>(
-        core::SkipRingSystem::Options{.seed = spec_.seed, .fd_delay = spec_.fd_delay},
+        core::SkipRingSystem::Options{.seed = spec_.seed,
+                                      .fd_delay = spec_.fd_delay},
         spec_.pubsub);
   } else {
     SSPS_ASSERT_MSG(spec_.supervisors >= 1, "multi-topic scenario needs a supervisor");
@@ -63,27 +65,32 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     for (std::size_t i = 0; i < spec_.supervisors; ++i) initial.push_back(spawn_supervisor());
     group_ = std::make_unique<pubsub::SupervisorGroup>(initial, spec_.virtual_nodes);
   }
-  if (spec_.scheduler == Scheduler::kTimed) {
+  if (spec_.exec.scheduler == Scheduler::kTimed) {
     // Installs the event-driven scheduler and the link model. The network
     // is still quiescent here (subscribers join in phase 0), which
     // enable_timed requires.
-    net().enable_timed(spec_.timed);
-  } else if (spec_.scheduler == Scheduler::kAsync) {
+    net().enable_timed(spec_.exec.timed);
+  } else if (spec_.exec.scheduler == Scheduler::kAsync) {
+    // The async stepper sits behind the same seam as the other flavors:
+    // one unit = one randomized step, probe sampling on the step stride.
+    net().set_scheduler(std::make_unique<sched::AsyncScheduler>());
     // Async runs measure latency and stamp telemetry on the step clock —
     // the round counter barely moves under step scheduling.
     net().set_clock_mode(sim::Network::ClockMode::kSteps);
   }
-  // Async/timed specs never call the parallel run_round path, so a worker
+  // Async/timed schedulers are single-threaded by contract, so a worker
   // pool would be dead weight — threads only applies to the round
-  // scheduler.
-  if (spec_.threads > 1 && spec_.scheduler == Scheduler::kRounds) {
-    net().set_threads(spec_.threads);
+  // scheduler (a spec-authored mismatch is tolerated and ignored; the
+  // tools reject user-requested ones via ExecutionSpec::validate).
+  if (spec_.exec.threads > 1 && spec_.exec.scheduler == Scheduler::kRounds) {
+    net().set_threads(spec_.exec.threads);
   }
 
-  // Per-phase telemetry ring: round/timed runs sample once per round
-  // (Network::run_round, after the barrier); async runs sample every
-  // AsyncConfig::probe_stride steps on the step clock. The enricher
-  // supplies the one field the Network cannot compute itself.
+  // Per-phase telemetry ring: every scheduler samples through its own
+  // Scheduler::sample hook — round/timed runs once per round after the
+  // barrier, async runs every AsyncConfig::probe_stride steps on the step
+  // clock. The enricher supplies the one field the Network cannot compute
+  // itself.
   if (spec_.timeseries_capacity > 0) {
     probe_ = std::make_unique<telemetry::RoundProbe>(spec_.timeseries_capacity);
     probe_->set_enricher([this](telemetry::RoundSample& s) {
@@ -190,7 +197,7 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
   const sim::Step step_start = network.now();
 
   if (!phase.partitions.empty()) {
-    SSPS_ASSERT_MSG(spec_.scheduler == Scheduler::kTimed,
+    SSPS_ASSERT_MSG(spec_.exec.scheduler == Scheduler::kTimed,
                     "phase partitions require the timed scheduler");
     // Spec windows are relative to the phase start; shift them onto the
     // absolute virtual clock.
@@ -218,7 +225,7 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
 
   // Rounds and timed intervals both advance the round counter; only the
   // async scheduler counts raw steps.
-  out.rounds = spec_.scheduler == Scheduler::kAsync
+  out.rounds = spec_.exec.scheduler == Scheduler::kAsync
                    ? static_cast<std::size_t>(network.now() - step_start)
                    : static_cast<std::size_t>(network.round() - round_start);
 
@@ -552,12 +559,9 @@ void ScenarioRunner::apply_supervisor_changes(const Phase& phase, PhaseReport& o
 
 void ScenarioRunner::run_budget(std::size_t budget) {
   if (budget == 0) return;
-  if (spec_.scheduler == Scheduler::kAsync) {
-    net().run_steps(budget);
-  } else {
-    // Rounds, or timed one-second intervals — both go through run_round.
-    net().run_rounds(budget);
-  }
+  // One call for every flavor: the installed scheduler defines the unit
+  // (round, timed interval, or async step).
+  net().run_units(budget);
 }
 
 bool ScenarioRunner::converged() const {
@@ -661,24 +665,16 @@ std::size_t ScenarioRunner::wait_converged(std::size_t max_rounds, bool oracle_t
   auto settled = [this, oracle_too] {
     return converged() && (!oracle_too || check_oracle().ok());
   };
-  if (spec_.scheduler != Scheduler::kAsync) {
-    const auto used = net().run_until(settled, max_rounds);
-    converged_out = used.has_value();
-    return used.value_or(max_rounds);
-  }
-  // Async: check between chunks of ~one action per alive node. The return
-  // value counts steps, matching PhaseReport::rounds' units in this mode.
-  const sim::Step start = net().now();
-  const std::size_t chunk = std::max<std::size_t>(net().alive_count(), 1);
-  for (std::size_t i = 0; i < max_rounds; ++i) {
-    if (settled()) {
-      converged_out = true;
-      return static_cast<std::size_t>(net().now() - start);
-    }
-    net().run_steps(chunk);
-  }
-  converged_out = settled();
-  return static_cast<std::size_t>(net().now() - start);
+  // One wait for every flavor: run_until probes once per unit under the
+  // round/timed schedulers and once per settle_stride (~one action per
+  // alive node) under the async stepper. The returned duration is in the
+  // scheduler's own units — step-grained schedulers report elapsed steps
+  // (stride x iterations), matching PhaseReport::rounds' units.
+  const std::uint64_t start = net().unit_now();
+  const auto used = net().run_until(settled, max_rounds);
+  converged_out = used.has_value();
+  return used.value_or(
+      static_cast<std::size_t>(net().unit_now() - start));
 }
 
 // ---------------------------------------------------------------------------

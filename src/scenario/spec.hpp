@@ -24,7 +24,7 @@
 #include "oracle/scramble.hpp"
 #include "pubsub/pubsub_node.hpp"
 #include "pubsub/supervisor_group.hpp"
-#include "sim/link.hpp"
+#include "scenario/execution.hpp"
 #include "sim/types.hpp"
 
 namespace ssps::scenario {
@@ -39,16 +39,6 @@ enum class Mode {
   /// A sim::Network holding MultiTopicSupervisorNodes sharded by a
   /// consistent-hashing SupervisorGroup, plus MultiTopicNode clients.
   kMultiTopic,
-};
-
-/// Scheduler flavor used for the phase budgets.
-enum class Scheduler {
-  kRounds,  ///< synchronous rounds (run_round)
-  kAsync,   ///< randomized asynchronous steps (step); budgets are steps
-  /// Event-driven virtual clock with per-link latency/loss/duplication/
-  /// reordering (sim/link.hpp). Budgets count one-second intervals, so
-  /// phase durations and latency percentiles read as virtual seconds.
-  kTimed,
 };
 
 /// One wave of membership churn.
@@ -145,18 +135,11 @@ struct ScenarioSpec {
   std::size_t nodes = 32;
 
   Mode mode = Mode::kSingleTopic;
-  Scheduler scheduler = Scheduler::kRounds;
 
-  /// Round-scheduler worker count (1 = serial). Any value produces the
-  /// same report byte-for-byte apart from the recorded `threads` header
-  /// field (sched/parallel.hpp); only wall-clock changes. Ignored by the
-  /// async and timed schedulers (both are single-threaded by contract).
-  unsigned threads = 1;
-
-  /// Link latency/fault model for Scheduler::kTimed (ignored otherwise).
-  /// The default — constant one-second latency, zero faults — reproduces
-  /// the round scheduler's reports byte-for-byte (minus clock labels).
-  sim::TimedConfig timed;
+  /// How the scenario executes: scheduler flavor, worker count, timed
+  /// link model (execution.hpp). Consolidated so the tools validate flag
+  /// combinations through one library-level rule set.
+  ExecutionSpec exec;
 
   // ---- multi-topic shape ----------------------------------------------
   std::size_t supervisors = 1;       ///< initial supervisor-group size

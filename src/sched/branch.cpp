@@ -1,0 +1,13 @@
+#include "sched/branch.hpp"
+
+namespace ssps::sched {
+
+std::size_t BranchScheduler::advance(sim::Network& net) {
+  const std::size_t batch = prime(net);
+  const std::size_t delivered =
+      net.deliver_grouped_range(0, batch, net.main_ctx_);
+  barrier(net);
+  return delivered;
+}
+
+}  // namespace ssps::sched

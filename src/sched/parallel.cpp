@@ -61,8 +61,8 @@ void ParallelScheduler::worker_main(std::size_t index) {
   }
 }
 
-std::size_t ParallelScheduler::run_round(sim::Network& net) {
-  SSPS_ASSERT_MSG(!shutdown_, "run_round: scheduler was retired");
+std::size_t ParallelScheduler::advance(sim::Network& net) {
+  SSPS_ASSERT_MSG(!shutdown_, "advance: scheduler was retired");
   const std::size_t batch = net.round_begin();
   const std::size_t worker_count = workers_.size();
 

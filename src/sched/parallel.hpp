@@ -65,10 +65,10 @@ class ParallelScheduler final : public Scheduler {
   explicit ParallelScheduler(unsigned threads);
   ~ParallelScheduler() override;
 
-  std::size_t run_round(sim::Network& net) override;
+  std::size_t advance(sim::Network& net) override;
   void flush_metrics(sim::Network& net) override;
   /// Joins the pool threads (the per-worker arenas stay alive under any
-  /// in-flight envelopes). A retired scheduler must not run_round again.
+  /// in-flight envelopes). A retired scheduler must not advance again.
   void retire() override { stop_workers(); }
   unsigned threads() const override {
     return static_cast<unsigned>(workers_.size());

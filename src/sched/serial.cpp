@@ -4,7 +4,7 @@
 
 namespace ssps::sched {
 
-std::size_t SerialScheduler::run_round(sim::Network& net) {
+std::size_t SerialScheduler::advance(sim::Network& net) {
   const std::size_t batch = net.round_begin();
   const std::size_t delivered =
       net.deliver_grouped_range(0, batch, net.main_ctx_);

@@ -11,7 +11,7 @@ namespace ssps::sched {
 /// trace bit-for-bit.
 class SerialScheduler final : public Scheduler {
  public:
-  std::size_t run_round(sim::Network& net) override;
+  std::size_t advance(sim::Network& net) override;
   unsigned threads() const override { return 1; }
   std::string_view name() const override { return "serial"; }
 };

@@ -4,7 +4,7 @@
 
 namespace ssps::sched {
 
-std::size_t TimedScheduler::run_round(sim::Network& net) {
+std::size_t TimedScheduler::advance(sim::Network& net) {
   return net.timed_interval();
 }
 

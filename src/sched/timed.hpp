@@ -6,7 +6,7 @@
 namespace ssps::sched {
 
 /// Runs one virtual-clock interval (sim::Network::timed_interval) per
-/// run_round call on the calling thread: pops every event due by the
+/// advance call on the calling thread: pops every event due by the
 /// interval deadline off the Network's delivery-time heap, delivers, and
 /// routes the resulting sends through the per-link latency/fault model
 /// (sim/link.hpp). Single-threaded by contract — link routing mutates the
@@ -15,7 +15,8 @@ namespace ssps::sched {
 /// bit-identical to SerialScheduler's.
 class TimedScheduler final : public Scheduler {
  public:
-  std::size_t run_round(sim::Network& net) override;
+  std::size_t advance(sim::Network& net) override;
+  Unit unit() const override { return Unit::kInterval; }
   unsigned threads() const override { return 1; }
   std::string_view name() const override { return "timed"; }
 };

@@ -7,6 +7,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/encode.hpp"
 #include "sim/message_pool.hpp"
 #include "sim/types.hpp"
 
@@ -58,6 +59,18 @@ class Message {
   virtual PooledMsg clone_into(MessagePool& pool) const {
     (void)pool;
     return PooledMsg{};
+  }
+
+  /// Appends a canonical byte encoding of this message's payload to `enc`
+  /// (common/encode.hpp). The model checker keys channel contents on
+  /// name() + this encoding — NOT on type_id(), which is assigned in
+  /// first-use order at runtime and is not stable across processes — so
+  /// the encoding doubles as the wire-format draft for the messages that
+  /// override it. Returns false when the type has no canonical encoding;
+  /// the model checker refuses to explore states containing such messages.
+  virtual bool encode(common::Encoder& enc) const {
+    (void)enc;
+    return false;
   }
 
  protected:

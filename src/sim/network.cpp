@@ -300,13 +300,14 @@ void Network::timeout_sweep() {
   last_round_timeouts_ = timeouts;
 }
 
-std::size_t Network::run_round() {
-  const std::size_t delivered = scheduler_->run_round(*this);
-  // Sample after the round barrier: the parallel phase is over, so
-  // pending_ and the alive count are stable and every serialized field is
-  // a pure function of the simulated state (worker-count-invariant).
-  if (round_probe_ != nullptr) sample_round_probe(delivered);
+std::size_t Network::run_unit() {
+  const std::size_t delivered = scheduler_->advance(*this);
+  scheduler_->sample(*this, delivered);
   return delivered;
+}
+
+std::uint64_t Network::unit_now() const {
+  return scheduler_->unit() == sched::Scheduler::Unit::kStep ? step_ : round_;
 }
 
 void Network::sample_round_probe(std::size_t delivered) {
@@ -320,12 +321,27 @@ void Network::sample_round_probe(std::size_t delivered) {
   round_probe_->push(sample);
 }
 
-void Network::run_rounds(std::size_t k) {
-  for (std::size_t i = 0; i < k; ++i) run_round();
+void Network::run_units(std::size_t k) {
+  for (std::size_t i = 0; i < k; ++i) run_unit();
 }
 
 std::optional<std::size_t> Network::run_until(const std::function<bool()>& pred,
-                                              std::size_t max_rounds) {
+                                              std::size_t max_units) {
+  if (scheduler_->unit() == sched::Scheduler::Unit::kStep) {
+    // Step-grained schedulers have no quiescent units to skip (a step is
+    // one action, or nothing only when the whole system is empty), so the
+    // loop simply batches settle_stride units between probes. The stride
+    // is pinned before the first unit: probe points must not drift with
+    // the alive count as nodes crash or spawn mid-wait.
+    const Step start = step_;
+    const std::size_t stride = scheduler_->settle_stride(*this);
+    for (std::size_t i = 0; i < max_units; ++i) {
+      if (pred()) return step_ - start;
+      run_units(stride);
+    }
+    if (pred()) return step_ - start;
+    return std::nullopt;
+  }
   // Quiescence short-circuit: a round that delivered zero messages and
   // fired zero timeouts executed no action, so no node variable and no
   // channel changed — a predicate over the simulated state that was false
@@ -336,16 +352,16 @@ std::optional<std::size_t> Network::run_until(const std::function<bool()>& pred,
   // every round is quiescent and an O(n)-ish probe per round would be pure
   // overhead.
   bool known_false = false;
-  for (std::size_t i = 0; i < max_rounds; ++i) {
+  for (std::size_t i = 0; i < max_units; ++i) {
     if (!known_false) {
       if (pred()) return i;
       known_false = true;
     }
-    const std::size_t delivered = run_round();
+    const std::size_t delivered = run_unit();
     if (delivered > 0 || last_round_timeouts_ > 0) known_false = false;
   }
   if (known_false) return std::nullopt;
-  return pred() ? std::optional<std::size_t>(max_rounds) : std::nullopt;
+  return pred() ? std::optional<std::size_t>(max_units) : std::nullopt;
 }
 
 void Network::set_scheduler(std::unique_ptr<sched::Scheduler> scheduler) {
@@ -611,7 +627,7 @@ std::pair<Step, Network::Slot*> Network::stalest_timeout() {
   return {0, nullptr};
 }
 
-void Network::step() {
+std::size_t Network::step() {
   ++step_;
 
   // Fairness enforcement must serve by AGE, not by discovery order: under
@@ -630,18 +646,18 @@ void Network::step() {
       oldest_msg_age >= stalest_timeout_age) {
     deliver_at(oldest_msg_index);
     ++window_delivered_;
-    return;
+    return 1;
   }
   if (stalest_timeout_slot != nullptr &&
       stalest_timeout_age > async_cfg_.max_timeout_gap) {
     fire_timeout(*stalest_timeout_slot);
     ++window_timeouts_;
-    return;
+    return 0;
   }
   if (oldest_msg_age > async_cfg_.max_message_age) {
     deliver_at(oldest_msg_index);
     ++window_delivered_;
-    return;
+    return 1;
   }
 
   const bool prefer_timeout =
@@ -653,13 +669,14 @@ void Network::step() {
     }
     fire_timeout(*find_slot(alive_cache_[rng_.pick_index(alive_cache_)]));
     ++window_timeouts_;
-    return;
+    return 0;
   }
-  if (pending_.empty()) return;
+  if (pending_.empty()) return 0;
 
   // Pick a uniformly random pending message.
   deliver_at(static_cast<std::size_t>(rng_.below(pending_.size())));
   ++window_delivered_;
+  return 1;
 }
 
 void Network::run_steps(std::size_t k) {

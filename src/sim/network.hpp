@@ -50,6 +50,8 @@ class Scheduler;
 class SerialScheduler;
 class ParallelScheduler;
 class TimedScheduler;
+class AsyncScheduler;
+class BranchScheduler;
 }  // namespace ssps::sched
 
 namespace ssps::telemetry {
@@ -267,31 +269,45 @@ class Network {
 
   // ---- Scheduling -----------------------------------------------------
 
-  /// Synchronous-round scheduler: delivers every message that was pending
-  /// at round start (randomized order), then fires every alive node's
-  /// Timeout (randomized order). One round is the paper's "timeout
-  /// interval". Returns the number of messages delivered. Executed by the
-  /// installed round scheduler (see set_threads / set_scheduler).
-  std::size_t run_round();
+  /// Executes one schedule unit of the installed scheduler — a
+  /// synchronous round, a timed interval, or a single asynchronous step
+  /// (sched::Scheduler::Unit) — then lets the scheduler sample any
+  /// attached probe. Returns the number of messages it delivered.
+  std::size_t run_unit();
 
-  /// Runs `k` rounds.
-  void run_rounds(std::size_t k);
+  /// Runs `k` schedule units.
+  void run_units(std::size_t k);
 
-  /// Runs rounds until `pred()` holds (checked after each round) or
-  /// `max_rounds` elapse. Returns the number of rounds executed, or
+  /// Synchronous-round alias of run_unit() (the historical name; every
+  /// round-grained scheduler executes exactly one round per unit):
+  /// delivers every message that was pending at round start (randomized
+  /// order), then fires every alive node's Timeout. One round is the
+  /// paper's "timeout interval".
+  std::size_t run_round() { return run_unit(); }
+
+  /// Runs `k` rounds (alias of run_units).
+  void run_rounds(std::size_t k) { run_units(k); }
+
+  /// Runs schedule units until `pred()` holds or `max_units` probe
+  /// opportunities elapse. Returns the number of units executed, or
   /// nullopt if the predicate never held.
   ///
   /// `pred` must be a function of the simulated system state (every
-  /// convergence probe is): rounds that executed no action at all are
-  /// skipped without re-evaluating it (see the quiescence note in
-  /// network.cpp).
+  /// convergence probe is). Round-grained schedulers probe once per
+  /// round, and rounds that executed no action at all are skipped without
+  /// re-evaluating it (see the quiescence note in network.cpp).
+  /// Step-grained schedulers batch settle_stride() units (~one action per
+  /// alive node) between probes so the probe isn't priced per single
+  /// delivery; the budget counts probes, keeping it comparable to a round
+  /// budget.
   std::optional<std::size_t> run_until(const std::function<bool()>& pred,
-                                       std::size_t max_rounds);
+                                       std::size_t max_units);
 
   /// One step of the randomized asynchronous scheduler: executes exactly
   /// one enabled action (a delivery or a Timeout) subject to the fairness
-  /// bounds in AsyncConfig.
-  void step();
+  /// bounds in AsyncConfig. Returns the number of messages delivered by
+  /// the step (0 or 1).
+  std::size_t step();
 
   /// Runs `k` async steps.
   void run_steps(std::size_t k);
@@ -316,6 +332,11 @@ class Network {
 
   /// Current async step (advanced by step only).
   Step now() const { return step_; }
+
+  /// The installed scheduler's unit clock: the step clock for a
+  /// step-grained scheduler, the round clock otherwise — the clock every
+  /// run_until budget and phase duration is denominated in.
+  std::uint64_t unit_now() const;
 
   AsyncConfig& async_config() { return async_cfg_; }
 
@@ -403,9 +424,12 @@ class Network {
   bool weakly_connected(NodeId anchor = NodeId::null()) const;
 
  private:
+  friend class sched::Scheduler;
   friend class sched::SerialScheduler;
   friend class sched::ParallelScheduler;
   friend class sched::TimedScheduler;
+  friend class sched::AsyncScheduler;
+  friend class sched::BranchScheduler;
 
   struct Slot {
     std::unique_ptr<Node> node;  // null = tombstone (crashed)

@@ -67,6 +67,12 @@ class Node {
   /// need their identity to finish construction hook in here.
   virtual void on_register() {}
 
+  /// Snapshot of this node's private randomness stream. The model
+  /// checker's canonical state hash includes it: two states that agree on
+  /// every protocol variable but differ in pending randomness can still
+  /// diverge later, so they must not be deduplicated.
+  std::array<std::uint64_t, 4> rng_state() const { return rng_.state(); }
+
  protected:
   explicit Node(NodeKind kind = NodeKind::kOther) : kind_(kind) {}
 

@@ -255,7 +255,7 @@ TEST(CustomSpec, AsyncTimeseriesAndLatencyUseTheStepClock) {
   spec.seed = 17;
   spec.nodes = 8;
   spec.mode = Mode::kSingleTopic;
-  spec.scheduler = Scheduler::kAsync;
+  spec.exec.scheduler = Scheduler::kAsync;
   spec.timeseries_capacity = 64;
 
   Phase bootstrap;
@@ -320,7 +320,7 @@ TEST(TimedScheduler, DefaultProfileMatchesRoundReports) {
   for (const char* name : {"steady", "churn-wave"}) {
     ScenarioSpec spec = builtin_scenario(name, 11, 12);
     ScenarioRunner rounds(spec);
-    spec.scheduler = Scheduler::kTimed;
+    spec.exec.scheduler = Scheduler::kTimed;
     ScenarioRunner timed(spec);
     const std::string a = rounds.run().to_json().dump(2);
     const std::string b = timed.run().to_json().dump(2);
@@ -352,7 +352,7 @@ TEST(CustomSpec, AsyncSchedulerPhasesAreDeterministic) {
   spec.seed = 13;
   spec.nodes = 6;
   spec.mode = Mode::kSingleTopic;
-  spec.scheduler = Scheduler::kAsync;
+  spec.exec.scheduler = Scheduler::kAsync;
 
   Phase bootstrap;
   bootstrap.name = "bootstrap";

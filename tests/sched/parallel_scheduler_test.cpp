@@ -178,7 +178,7 @@ std::string report_json(const std::string& builtin, unsigned threads,
                         bool scrambled) {
   ScenarioSpec spec = builtin_scenario(builtin, /*seed=*/11, /*nodes=*/16);
   if (scrambled) spec = scrambled_variant(std::move(spec));
-  spec.threads = threads;
+  spec.exec.threads = threads;
   ScenarioRunner runner(std::move(spec));
   return runner.run().to_json().dump(2);
 }
@@ -206,7 +206,7 @@ TEST(ParallelScheduler, TelemetrySectionsPopulatedAndThreadInvariant) {
   // every serialized field matches across worker counts.
   auto run = [](const char* builtin, unsigned threads) {
     ScenarioSpec spec = builtin_scenario(builtin, /*seed=*/11, /*nodes=*/16);
-    spec.threads = threads;
+    spec.exec.threads = threads;
     ScenarioRunner runner(std::move(spec));
     return runner.run();  // copies the report out of the dying runner
   };
@@ -249,7 +249,7 @@ TEST(ParallelScheduler, TelemetrySectionsPopulatedAndThreadInvariant) {
 
 TEST(ParallelScheduler, ThreadsRecordedInReportHeader) {
   ScenarioSpec spec = builtin_scenario("steady", 3, 12);
-  spec.threads = 2;
+  spec.exec.threads = 2;
   ScenarioRunner runner(std::move(spec));
   const std::string json = runner.run().to_json().dump(2);
   EXPECT_NE(json.find("\"threads\": 2"), std::string::npos);
@@ -315,7 +315,7 @@ TEST(ConvergedProbe, CacheSurvivesTopicRehomingUnderParallelRounds) {
   spec.topics = 5;
   spec.topics_per_client = 2;
   spec.nodes = 10;
-  spec.threads = 3;
+  spec.exec.threads = 3;
   Phase join;
   join.name = "join";
   join.churn.joins = 10;

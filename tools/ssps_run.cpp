@@ -15,6 +15,7 @@
 
 #include "cli_util.hpp"
 #include "scenario/builtin.hpp"
+#include "scenario/execution.hpp"
 #include "scenario/runner.hpp"
 #include "sim/trace.hpp"
 #include "telemetry/perfetto.hpp"
@@ -177,25 +178,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Flag-combination validation happens before any work: a bad combination
-  // exits 2 without running a single round.
-  if (!trace_path.empty() && threads != 1) {
-    std::fprintf(stderr, "ssps_run: --trace requires --threads 1\n");
-    return 2;
-  }
-  if (timed && threads != 1) {
-    std::fprintf(stderr,
-                 "ssps_run: --timed (and --loss/--latency-profile) requires "
-                 "--threads 1\n");
-    return 2;
-  }
-  if (!latency_profile.empty() && latency_profile != "default" &&
-      latency_profile != "lan" && latency_profile != "wan" &&
-      latency_profile != "geo") {
+  // Flag-combination validation happens before any work: the requested
+  // execution shape is built first, and a contradictory combination (the
+  // library-level rules in scenario/execution.hpp) exits 2 without running
+  // a single round.
+  ssps::scenario::ExecutionSpec exec;
+  exec.threads = static_cast<unsigned>(threads);
+  exec.trace = !trace_path.empty();
+  if (timed) exec.scheduler = ssps::scenario::Scheduler::kTimed;
+  if (!latency_profile.empty() &&
+      !ssps::scenario::apply_latency_profile(exec, latency_profile)) {
     std::fprintf(stderr,
                  "ssps_run: unknown latency profile '%s' "
                  "(default, lan, wan, geo)\n",
                  latency_profile.c_str());
+    return 2;
+  }
+  if (const auto problem = exec.validate()) {
+    std::fprintf(stderr, "ssps_run: %s\n", problem->c_str());
     return 2;
   }
 
@@ -203,31 +203,17 @@ int main(int argc, char** argv) {
       scenario, seed, static_cast<std::size_t>(nodes));
   if (scramble) spec = ssps::scenario::scrambled_variant(std::move(spec));
   if (oracle) spec.oracle = true;
-  spec.threads = static_cast<unsigned>(threads);
+  spec.exec.threads = exec.threads;
 
   if (timed) {
-    using ssps::sim::LatencySpec;
-    spec.scheduler = ssps::scenario::Scheduler::kTimed;
-    if (latency_profile == "lan") {
-      spec.timed = {};
-      spec.timed.local.latency = {LatencySpec::Dist::kUniform, 0.001, 0.005};
-    } else if (latency_profile == "wan") {
-      spec.timed = {};
-      // exp(-2.5) ~ 82 ms median with a heavy-ish tail.
-      spec.timed.local.latency = {LatencySpec::Dist::kLognormal, -2.5, 0.5};
-    } else if (latency_profile == "geo") {
-      spec.timed = {};
-      spec.timed.zones = 3;
-      spec.timed.local.latency = {LatencySpec::Dist::kConstant, 0.05, 0.0};
-      spec.timed.remote.latency = {LatencySpec::Dist::kUniform, 0.1, 0.8};
-    } else if (latency_profile == "default") {
-      spec.timed = {};  // constant 1 s: the round-equivalent channel
-    }
-    // No profile flag: keep whatever the builtin configured (default
-    // TimedConfig for round builtins forced timed by --timed).
+    spec.exec.scheduler = ssps::scenario::Scheduler::kTimed;
+    // A named profile replaces the builtin's link model; a bare --timed
+    // keeps whatever the builtin configured (default TimedConfig for
+    // round builtins forced timed by --timed).
+    if (!latency_profile.empty()) spec.exec.timed = exec.timed;
     if (loss >= 0.0) {
-      spec.timed.local.loss = loss;
-      spec.timed.remote.loss = loss;
+      spec.exec.timed.local.loss = loss;
+      spec.exec.timed.remote.loss = loss;
     }
   }
 

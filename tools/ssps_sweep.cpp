@@ -17,6 +17,7 @@
 
 #include "cli_util.hpp"
 #include "scenario/builtin.hpp"
+#include "scenario/execution.hpp"
 #include "scenario/runner.hpp"
 
 namespace {
@@ -25,6 +26,7 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ssps_sweep [--scenarios <a,b,...>] [--seeds <n>]\n"
                "                  [--base-seed <u64>] [--nodes <n>] [--threads <n>]\n"
+               "                  [--timed] [--loss <p>] [--latency-profile <name>]\n"
                "                  [--no-scramble] [--no-oracle] [--out <file>]\n"
                "                  [--verbose]\n"
                "\n"
@@ -39,6 +41,15 @@ void usage(std::FILE* to) {
                "  --nodes <n>        client population size (default 12)\n"
                "  --threads <n>      round-scheduler workers per run (default 1;\n"
                "                     results are identical for any value)\n"
+               "  --timed            run every selected scenario under the\n"
+               "                     event-driven timed scheduler (virtual clock,\n"
+               "                     per-link latency). Requires --threads 1\n"
+               "  --loss <p>         drop each message with probability p in [0,1)\n"
+               "                     on every link (implies --timed)\n"
+               "  --latency-profile <name>\n"
+               "                     per-link latency model (implies --timed):\n"
+               "                     default, lan, wan, geo — same profiles as\n"
+               "                     ssps_run\n"
                "  --no-scramble      run the plain variants (default: scrambled)\n"
                "  --no-oracle        skip the invariant oracle (convergence only)\n"
                "  --out <file>       write the sweep matrix as JSON to <file>\n"
@@ -72,6 +83,9 @@ int main(int argc, char** argv) {
   bool scramble = true;
   bool oracle = true;
   bool verbose = false;
+  bool timed = false;
+  double loss = -1.0;  // < 0 = unset
+  std::string latency_profile;
   std::string out_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -114,6 +128,22 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "ssps_sweep: --threads expects 1..256\n");
         return 2;
       }
+    } else if (arg == "--timed") {
+      timed = true;
+    } else if (arg == "--loss") {
+      if (!ssps::cli::parse_double(value(), loss) || loss < 0.0 || loss >= 1.0) {
+        std::fprintf(stderr, "ssps_sweep: --loss expects a probability in [0,1)\n");
+        return 2;
+      }
+      timed = true;
+    } else if (arg == "--latency-profile") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      latency_profile = v;
+      timed = true;
     } else if (arg == "--no-scramble") {
       scramble = false;
     } else if (arg == "--no-oracle") {
@@ -138,6 +168,28 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // The requested execution shape, validated once through the library's
+  // flag-combination rules (scenario/execution.hpp) before any run.
+  ssps::scenario::ExecutionSpec exec;
+  exec.threads = static_cast<unsigned>(threads);
+  if (timed) exec.scheduler = ssps::scenario::Scheduler::kTimed;
+  if (!latency_profile.empty() &&
+      !ssps::scenario::apply_latency_profile(exec, latency_profile)) {
+    std::fprintf(stderr,
+                 "ssps_sweep: unknown latency profile '%s' "
+                 "(default, lan, wan, geo)\n",
+                 latency_profile.c_str());
+    return 2;
+  }
+  if (const auto problem = exec.validate()) {
+    std::fprintf(stderr, "ssps_sweep: %s\n", problem->c_str());
+    return 2;
+  }
+  if (loss >= 0.0) {
+    exec.timed.local.loss = loss;
+    exec.timed.remote.loss = loss;
+  }
+
   ssps::scenario::Json matrix = ssps::scenario::Json::object();
   std::size_t failures = 0;
 
@@ -154,7 +206,17 @@ int main(int argc, char** argv) {
       // Override the variant's default: --no-oracle means convergence only,
       // even for scrambled runs.
       spec.oracle = oracle;
-      spec.threads = static_cast<unsigned>(threads);
+      spec.exec.threads = exec.threads;
+      if (timed) {
+        spec.exec.scheduler = ssps::scenario::Scheduler::kTimed;
+        // A named profile replaces the builtin's link model; a bare
+        // --timed keeps whatever the builtin configured.
+        if (!latency_profile.empty()) spec.exec.timed = exec.timed;
+        if (loss >= 0.0) {
+          spec.exec.timed.local.loss = loss;
+          spec.exec.timed.remote.loss = loss;
+        }
+      }
 
       ssps::scenario::ScenarioRunner runner(std::move(spec));
       const ssps::scenario::ScenarioReport& report = runner.run();
