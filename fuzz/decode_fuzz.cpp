@@ -1,0 +1,308 @@
+// Fuzz target for the wire codec's totality guarantee (wire/codec.hpp):
+// decode_message must map ANY byte string to either a message that
+// re-encodes byte-identically or a structured DecodeError — never UB,
+// never an assert, never an unbounded allocation.
+//
+// Two build modes share one `one_input` body:
+//
+//  - With -DSSPS_FUZZER and -fsanitize=fuzzer this is a libFuzzer target
+//    (LLVMFuzzerTestOneInput).
+//  - Without it, the file builds as the `ssps_decode_fuzz` binary: it
+//    replays a committed corpus directory and then runs a deterministic
+//    seeded mutation loop over it — the sanitizer-CI smoke shape, which
+//    needs no fuzzer runtime.
+//
+//      $ ssps_decode_fuzz fuzz/corpus                      # replay only
+//      $ ssps_decode_fuzz fuzz/corpus --iters 200000       # replay + mutate
+//      $ ssps_decode_fuzz --write-corpus fuzz/corpus       # regenerate seeds
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "sim/message_pool.hpp"
+#include "wire/codec.hpp"
+
+namespace {
+
+/// One fuzz iteration: decode must be total, and a successful decode must
+/// re-encode to exactly the consumed frame (trailing bytes past the
+/// declared payload are stream residue, not frame content).
+void one_input(const std::uint8_t* data, std::size_t size) {
+  ssps::sim::MessagePool pool;
+  const std::span<const std::uint8_t> bytes(data, size);
+  ssps::wire::DecodeResult result = ssps::wire::decode_message(bytes, pool);
+  if (!result.ok()) return;
+
+  std::vector<std::uint8_t> reencoded;
+  if (!ssps::wire::encode_message(*result.msg, reencoded)) __builtin_trap();
+  if (reencoded.size() > size) __builtin_trap();
+  if (std::memcmp(reencoded.data(), data, reencoded.size()) != 0) __builtin_trap();
+
+  // Decoded messages are cloned across pools by the simulator (parallel
+  // workers, snapshots); the clone must preserve the wire image.
+  ssps::sim::MessagePool other;
+  ssps::sim::PooledMsg clone = result.msg->clone_into(other);
+  if (!clone) __builtin_trap();
+  std::vector<std::uint8_t> cloned;
+  if (!ssps::wire::encode_message(*clone, cloned)) __builtin_trap();
+  if (cloned != reencoded) __builtin_trap();
+}
+
+}  // namespace
+
+#ifdef SSPS_FUZZER
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  one_input(data, size);
+  return 0;
+}
+
+#else  // standalone replay + deterministic mutation binary
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "pubsub/pubsub_node.hpp"
+#include "pubsub/topics.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using ssps::core::IntroFlag;
+using ssps::core::Label;
+using ssps::core::LabeledRef;
+using ssps::pubsub::BitString;
+using ssps::pubsub::Digest;
+using ssps::pubsub::NodeSummary;
+using ssps::pubsub::Publication;
+using ssps::sim::NodeId;
+
+Digest fill_digest(std::uint8_t seed) {
+  Digest d;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    d[i] = static_cast<std::uint8_t>(seed + i);
+  }
+  return d;
+}
+
+/// One canonical instance of every WireType, encoded. The corpus seeds
+/// must cover every decode_payload branch so mutations start inside each
+/// message's structure instead of having to discover the type bytes.
+std::vector<std::pair<std::string, std::vector<std::uint8_t>>> seed_corpus() {
+  namespace msg = ssps::core::msg;
+  namespace pmsg = ssps::pubsub::msg;
+  ssps::sim::MessagePool pool;
+  const Label label0 = Label::from_index(0);
+  const Label label3 = Label::from_index(3);
+  const LabeledRef ref{label3, NodeId{7}};
+
+  std::vector<std::pair<std::string, ssps::sim::PooledMsg>> samples;
+  samples.emplace_back("subscribe", pool.make<msg::Subscribe>(NodeId{2}));
+  samples.emplace_back("unsubscribe", pool.make<msg::Unsubscribe>(NodeId{3}));
+  samples.emplace_back("get-configuration",
+                       pool.make<msg::GetConfiguration>(NodeId{4}, NodeId{5}));
+  samples.emplace_back(
+      "set-data", pool.make<msg::SetData>(ref, label0, LabeledRef{label0, NodeId{9}}));
+  samples.emplace_back("set-data-evict",
+                       pool.make<msg::SetData>(std::nullopt, std::nullopt, std::nullopt));
+  samples.emplace_back("check",
+                       pool.make<msg::Check>(ref, label0, IntroFlag::kCyclic));
+  samples.emplace_back("introduce",
+                       pool.make<msg::Introduce>(ref, IntroFlag::kLinear));
+  samples.emplace_back("remove-connections",
+                       pool.make<msg::RemoveConnections>(NodeId{6}));
+  samples.emplace_back("introduce-shortcut", pool.make<msg::IntroduceShortcut>(ref));
+
+  std::vector<NodeSummary> tuples;
+  tuples.push_back(NodeSummary{BitString::from_uint(0b101, 3), fill_digest(1)});
+  tuples.push_back(NodeSummary{BitString::from_uint(0b1100, 4), fill_digest(9)});
+  samples.emplace_back("check-trie", pool.make<pmsg::CheckTrie>(NodeId{8}, tuples));
+  samples.emplace_back("check-and-publish",
+                       pool.make<pmsg::CheckAndPublish>(NodeId{8}, tuples,
+                                                        BitString::from_uint(0b10, 2)));
+  std::vector<Publication> pubs;
+  pubs.push_back(Publication{NodeId{11}, "breaking news", 0});
+  pubs.push_back(Publication{NodeId{12}, "", 0});
+  samples.emplace_back("publish", pool.make<pmsg::Publish>(pubs));
+  samples.emplace_back("publish-new",
+                       pool.make<pmsg::PublishNew>(Publication{NodeId{13}, "x", 0}));
+  samples.emplace_back(
+      "topic-envelope",
+      pool.make<ssps::pubsub::TopicEnvelope>(
+          42, pool.make<msg::Subscribe>(NodeId{2})));
+  samples.emplace_back(
+      "topic-envelope-nested",
+      pool.make<ssps::pubsub::TopicEnvelope>(
+          1, pool.make<ssps::pubsub::TopicEnvelope>(
+                 2, pool.make<msg::RemoveConnections>(NodeId{3}))));
+
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> out;
+  for (const auto& [name, sample] : samples) {
+    std::vector<std::uint8_t> bytes;
+    if (!ssps::wire::encode_message(*sample, bytes)) __builtin_trap();
+    out.emplace_back(name, std::move(bytes));
+  }
+  // Structurally broken seeds: each exercises one DecodeStatus branch.
+  out.emplace_back("broken-empty", std::vector<std::uint8_t>{});
+  out.emplace_back("broken-truncated-header", std::vector<std::uint8_t>{1, 2, 3});
+  {
+    std::vector<std::uint8_t> bad = out[0].second;  // subscribe frame
+    bad.back() ^= 0xFF;                             // payload damage -> bad CRC
+    out.emplace_back("broken-checksum", std::move(bad));
+  }
+  {
+    std::vector<std::uint8_t> unknown = out[0].second;
+    unknown[0] = 200;  // type byte outside the enum
+    out.emplace_back("broken-unknown-type", std::move(unknown));
+  }
+  return out;
+}
+
+/// Mutates `bytes` in place: byte flips, truncation, extension, splicing.
+/// Half the time the frame CRC is recomputed afterwards so the mutation
+/// reaches the payload decoders instead of dying at the checksum.
+void mutate(std::vector<std::uint8_t>& bytes, ssps::Rng& rng) {
+  const std::uint64_t flavor = rng.below(10);
+  if (flavor < 5 || bytes.size() < 14) {
+    const std::uint64_t flips = 1 + rng.below(8);
+    for (std::uint64_t i = 0; i < flips && !bytes.empty(); ++i) {
+      bytes[rng.below(bytes.size())] ^=
+          static_cast<std::uint8_t>(1U << rng.below(8));
+    }
+  } else if (flavor < 7) {
+    bytes.resize(rng.below(bytes.size()));  // truncate
+  } else if (flavor < 9) {
+    const std::uint64_t extra = 1 + rng.below(32);
+    for (std::uint64_t i = 0; i < extra; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(rng.next()));
+    }
+  } else {
+    const std::uint64_t at = rng.below(bytes.size());
+    bytes[at] = static_cast<std::uint8_t>(rng.next());
+  }
+  if (bytes.size() >= 13 && rng.below(2) == 0) {
+    // Re-seal the frame: valid header + CRC over the mutated payload.
+    std::uint64_t payload_len = 0;
+    for (int i = 0; i < 8; ++i) {
+      payload_len |= static_cast<std::uint64_t>(bytes[1 + i]) << (8 * i);
+    }
+    if (payload_len <= bytes.size() - 13) {
+      std::uint32_t crc = ssps::wire::crc32({&bytes[0], 1});
+      crc = ssps::wire::crc32({bytes.data() + 13, payload_len}, crc);
+      for (int i = 0; i < 4; ++i) {
+        bytes[9 + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+      }
+    }
+  }
+}
+
+int write_corpus(const fs::path& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  for (const auto& [name, bytes] : seed_corpus()) {
+    std::ofstream out(dir / (name + ".bin"), std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    if (!out) {
+      std::fprintf(stderr, "ssps_decode_fuzz: cannot write %s\n",
+                   (dir / (name + ".bin")).c_str());
+      return 1;
+    }
+  }
+  std::printf("wrote %zu corpus seeds to %s\n", seed_corpus().size(),
+              dir.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_dir;
+  std::uint64_t iters = 0;
+  std::uint64_t seed = 1;
+  std::uint64_t dump_at = 0;
+  bool write = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--write-corpus") {
+      write = true;
+    } else if (arg == "--iters" && i + 1 < argc) {
+      iters = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--dump-at" && i + 1 < argc) {
+      dump_at = std::strtoull(argv[++i], nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: ssps_decode_fuzz [--write-corpus] <corpus-dir>\n"
+          "                        [--iters <n>] [--seed <u64>] [--dump-at <n>]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] != '-') {
+      corpus_dir = arg;
+    } else {
+      std::fprintf(stderr, "ssps_decode_fuzz: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (corpus_dir.empty()) {
+    std::fprintf(stderr, "ssps_decode_fuzz: corpus directory required\n");
+    return 2;
+  }
+  if (write) return write_corpus(corpus_dir);
+
+  // Replay: every committed corpus entry, in sorted order (determinism).
+  std::vector<std::vector<std::uint8_t>> corpus;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(corpus_dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    one_input(bytes.data(), bytes.size());
+    corpus.push_back(std::move(bytes));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "ssps_decode_fuzz: no corpus files in %s\n",
+                 corpus_dir.c_str());
+    return 2;
+  }
+  std::printf("replayed %zu corpus entries\n", corpus.size());
+
+  // Deterministic mutation loop seeded from the corpus. A trap at
+  // iteration N reproduces with --dump-at N, which prints the offending
+  // input as hex before running it.
+  ssps::Rng rng(seed);
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    std::vector<std::uint8_t> bytes = corpus[rng.below(corpus.size())];
+    mutate(bytes, rng);
+    if (i + 1 == dump_at) {
+      std::printf("iteration %llu input (%zu bytes):",
+                  static_cast<unsigned long long>(i + 1), bytes.size());
+      for (std::uint8_t b : bytes) std::printf(" %02x", b);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+    one_input(bytes.data(), bytes.size());
+  }
+  if (iters > 0) {
+    std::printf("ran %llu mutated inputs (seed %llu)\n",
+                static_cast<unsigned long long>(iters),
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}
+
+#endif  // SSPS_FUZZER

@@ -8,6 +8,7 @@
 #include <memory>
 #include <optional>
 
+#include "common/decode.hpp"
 #include "common/encode.hpp"
 #include "core/label.hpp"
 #include "sim/message.hpp"
@@ -28,6 +29,26 @@ inline void encode_label(common::Encoder& e, const Label& l) {
 inline void encode_ref(common::Encoder& e, const LabeledRef& r) {
   encode_label(e, r.label);
   e.u64(r.node.value);
+}
+
+/// Total decoders of the same value types (common/decode.hpp): corrupted
+/// bytes return false instead of tripping the Label constructor's
+/// invariants, so the wire codec and the snapshot restore stay total.
+inline bool decode_label(common::Decoder& d, Label& out) {
+  std::uint64_t bits = 0;
+  std::uint8_t len = 0;
+  if (!d.u64(bits) || !d.u8(len)) return false;
+  if (len < 1 || len > Label::kMaxLen) return false;
+  if (len < 64 && bits >= (1ULL << len)) return false;
+  out = Label(bits, len);
+  return true;
+}
+
+inline bool decode_ref(common::Decoder& d, LabeledRef& out) {
+  std::uint64_t node = 0;
+  if (!decode_label(d, out.label) || !d.u64(node)) return false;
+  out.node = sim::NodeId{node};
+  return true;
 }
 
 namespace msg {

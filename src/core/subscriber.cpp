@@ -690,4 +690,39 @@ void SubscriberProtocol::encode_state(common::Encoder& enc) const {
   }
 }
 
+bool SubscriberProtocol::decode_state(common::Decoder& dec) {
+  std::uint8_t phase = 0;
+  std::optional<Label> label;
+  std::optional<LabeledRef> left, right, ring;
+  if (!dec.u8(phase) || phase > 2) return false;
+  if (!dec.optional(label, decode_label) || !dec.optional(left, decode_ref) ||
+      !dec.optional(right, decode_ref) || !dec.optional(ring, decode_ref)) {
+    return false;
+  }
+  std::uint64_t count = 0;
+  if (!dec.u64(count)) return false;
+  // Label (9 bytes) + node (8 bytes) per entry: bound the declared count
+  // by the remaining input before reserving.
+  if (count > dec.remaining() / 17) return false;
+  std::vector<ShortcutTable::value_type> table;
+  table.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Label key;
+    std::uint64_t node = 0;
+    if (!decode_label(dec, key) || !dec.u64(node)) return false;
+    // Canonical form: strictly ascending keys (the table's sort order).
+    if (!table.empty() && !(table.back().first < key)) return false;
+    table.emplace_back(key, sim::NodeId{node});
+  }
+  phase_ = static_cast<SubscriberPhase>(phase);
+  label_ = label;
+  left_ = left;
+  right_ = right;
+  ring_ = ring;
+  shortcuts_.assign_sorted(std::move(table));
+  derived_.valid = false;
+  touch();
+  return true;
+}
+
 }  // namespace ssps::core

@@ -104,6 +104,13 @@ class SubscriberProtocol {
   /// are determined by (or pure memoization of) the encoded variables.
   void encode_state(common::Encoder& enc) const;
 
+  /// Restores every protocol variable from a snapshot produced by
+  /// encode_state — possibly stale, possibly corrupted. Total and
+  /// transactional: malformed input returns false with the state
+  /// untouched. A restored state is just an arbitrary initial state as
+  /// far as the protocol is concerned; self-stabilization does the rest.
+  bool decode_state(common::Decoder& dec);
+
   // ---- Adversarial state injection (tests/benches only) ---------------
   // Self-stabilization quantifies over *arbitrary* initial states; these
   // setters let the chaos generators produce them. They perform no

@@ -87,7 +87,12 @@ void SupervisorProtocol::check_labels() {
       crash_cursor_ = visible;
     }
     for (; crash_cursor_ < visible; ++crash_cursor_) {
-      evict(fd_->visible_crash(crash_cursor_));
+      const sim::NodeId gone = fd_->visible_crash(crash_cursor_);
+      // A crash-log entry is history, not a death sentence: the node may
+      // have been recovered (Network::recover) by the time its entry
+      // becomes visible. suspects() is the authority — never true for
+      // alive nodes — so a recovered subscriber's tuple survives.
+      if (fd_->suspects(gone)) evict(gone);
     }
   }
   if (labels_clean_) return;
@@ -365,6 +370,43 @@ void SupervisorProtocol::encode_state(common::Encoder& enc) const {
   enc.u64(next_);
   enc.u8(labels_clean_ ? 1 : 0);
   enc.u64(crash_cursor_);
+}
+
+bool SupervisorProtocol::decode_state(common::Decoder& dec) {
+  std::uint64_t count = 0;
+  if (!dec.u64(count)) return false;
+  // Each tuple costs at least 17 bytes (label = u64 bits + u8 len, node =
+  // u64): bound the declared count by the remaining input before building
+  // anything, so a corrupted count cannot balloon memory.
+  if (count > dec.remaining() / 17) return false;
+  std::map<Label, sim::NodeId> db;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Label label;
+    std::uint64_t node = 0;
+    if (!decode_label(dec, label) || !dec.u64(node)) return false;
+    // Canonical form is std::map iteration order: strictly ascending keys.
+    if (!db.empty() && !(db.rbegin()->first < label)) return false;
+    db.emplace_hint(db.end(), label, sim::NodeId{node});
+  }
+  std::uint64_t next = 0;
+  std::uint8_t clean = 0;
+  std::uint64_t cursor = 0;
+  if (!dec.u64(next) || !dec.u8(clean) || clean > 1 || !dec.u64(cursor)) {
+    return false;
+  }
+  db_ = std::move(db);
+  index_.clear();
+  for (const auto& [label, node] : db_) index_add(node, label);
+  next_ = next;
+  // Stale-snapshot safety: whatever cleanliness the snapshot claimed,
+  // force the full dirty re-sweep — subscribers may have crashed while
+  // this supervisor was down, with their crash-log entries already
+  // consumed by the pre-crash cursor. (A corrupted-huge cursor is clamped
+  // by check_labels' rewind.)
+  labels_clean_ = false;
+  crash_cursor_ = static_cast<std::size_t>(cursor);
+  ++db_version_;
+  return true;
 }
 
 }  // namespace ssps::core

@@ -68,6 +68,15 @@ class SupervisorProtocol {
   /// draft. Excludes db_version() — determined by the encoded variables.
   void encode_state(common::Encoder& enc) const;
 
+  /// Restores the protocol variables from a snapshot produced by
+  /// encode_state — possibly stale, possibly corrupted. Total and
+  /// transactional: malformed input returns false with the state
+  /// untouched. A successful restore marks the labels dirty: the
+  /// snapshot's database describes membership at capture time, not now,
+  /// so the next Timeout re-validates every tuple (evicting subscribers
+  /// that died while this supervisor was down).
+  bool decode_state(common::Decoder& dec);
+
   // ---- Adversarial injection (tests/benches only) -----------------------
 
   /// Inserts a raw tuple, bypassing all invariants (may create duplicates

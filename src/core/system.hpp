@@ -60,6 +60,13 @@ class SubscriberNode : public sim::Node {
     sink_.emplace(net());
     proto_.emplace(id(), supervisor_, *sink_, rng());
   }
+  bool snapshot_state(common::Encoder& enc) const override {
+    proto_->encode_state(enc);
+    return true;
+  }
+  bool restore_state(common::Decoder& dec) override {
+    return proto_->decode_state(dec) && dec.done();
+  }
 
   SubscriberProtocol& protocol() { return *proto_; }
   const SubscriberProtocol& protocol() const { return *proto_; }
@@ -91,6 +98,13 @@ class SupervisorNode : public sim::Node {
   void on_register() override {
     sink_.emplace(net());
     proto_.emplace(id(), *sink_);
+  }
+  bool snapshot_state(common::Encoder& enc) const override {
+    proto_->encode_state(enc);
+    return true;
+  }
+  bool restore_state(common::Decoder& dec) override {
+    return proto_->decode_state(dec) && dec.done();
   }
 
   SupervisorProtocol& protocol() { return *proto_; }
@@ -143,6 +157,13 @@ class SkipRingSystem {
 
   void request_unsubscribe(sim::NodeId id);
   void crash(sim::NodeId id);
+
+  /// Restarts a crashed subscriber from its last periodic snapshot (see
+  /// Network::recover — enable snapshots with net().enable_snapshots).
+  /// The snapshot may be stale or corrupted; the recovered node then
+  /// starts from whatever restored (or from scratch) and re-stabilizes.
+  /// Returns true when the snapshot restored cleanly.
+  bool recover_subscriber(sim::NodeId id);
 
   /// Full legitimacy check: database consistent and matching the active
   /// set, every subscriber holding its database label, and every explicit

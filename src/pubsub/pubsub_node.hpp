@@ -217,6 +217,40 @@ class PubSubNode final : public core::SubscriberNode {
     core::SubscriberNode::timeout();
     if (!protocol().departed()) pubsub_->timeout();
   }
+  bool snapshot_state(common::Encoder& enc) const override {
+    // Overlay first, then the publication store: origin, payload, born
+    // (the born stamp survives recovery so latency telemetry stays
+    // meaningful for replicated copies).
+    core::SubscriberNode::snapshot_state(enc);
+    const std::vector<Publication> pubs = pubsub_->trie().all();
+    enc.u64(pubs.size());
+    for (const Publication& p : pubs) {
+      enc.u64(p.origin.value);
+      enc.string(p.payload);
+      enc.u64(p.born);
+    }
+    return true;
+  }
+  bool restore_state(common::Decoder& dec) override {
+    if (!protocol().decode_state(dec)) return false;
+    std::uint64_t count = 0;
+    if (!dec.u64(count)) return false;
+    // origin (8) + payload length (8) + born (8) minimum per entry.
+    if (count > dec.remaining() / 24) return false;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Publication p;
+      std::uint64_t origin = 0, born = 0;
+      if (!dec.u64(origin) || !dec.string(p.payload) || !dec.u64(born)) {
+        return false;
+      }
+      p.origin = sim::NodeId{origin};
+      p.born = born;
+      // add_local, not publish: restored publications are pre-existing
+      // state, neither re-flooded nor re-counted as deliveries.
+      pubsub_->add_local(p);
+    }
+    return dec.done();
+  }
 
   PubSubProtocol& pubsub() { return *pubsub_; }
   const PubSubProtocol& pubsub() const { return *pubsub_; }
@@ -243,6 +277,14 @@ class PubSubSystem : public core::SkipRingSystem {
     ids.reserve(count);
     for (std::size_t i = 0; i < count; ++i) ids.push_back(add_pubsub_subscriber());
     return ids;
+  }
+
+  /// Restarts a crashed pub-sub subscriber from its last snapshot (see
+  /// SkipRingSystem::recover_subscriber; this variant restores the
+  /// publication store too).
+  bool recover_pubsub_subscriber(sim::NodeId id) {
+    return net().recover(id,
+                         std::make_unique<PubSubNode>(supervisor_id(), config_));
   }
 
   PubSubProtocol& pubsub(sim::NodeId id) {

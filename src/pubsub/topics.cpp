@@ -133,6 +133,17 @@ const core::SupervisorProtocol* MultiTopicSupervisorNode::find_topic(
 void MultiTopicSupervisorNode::handle(sim::PooledMsg msg) {
   auto* env = sim::msg_cast<TopicEnvelope>(*msg);
   if (env == nullptr) return;
+  // Only a Subscribe may create a topic instance: it is the one message
+  // that legitimately introduces a new topic to its owner. Any other
+  // inner type addressed to a topic this node does not host is junk —
+  // typically a corrupted envelope whose topic field survived the
+  // checksum — and instantiating per-topic state for it would let a
+  // hostile byte stream grow this node without bound.
+  if (!topics_.contains(env->topic) &&
+      sim::msg_cast<core::msg::Subscribe>(*env->inner) == nullptr) {
+    net().record_reject(msg->wire_size());
+    return;
+  }
   topic_supervisor(env->topic).handle(*env->inner);
 }
 

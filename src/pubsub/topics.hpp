@@ -37,6 +37,15 @@ struct TopicEnvelope final : sim::MsgBase<TopicEnvelope> {
     if (!inner_copy) return {};
     return pool.make<TopicEnvelope>(topic, std::move(inner_copy));
   }
+  bool encode(common::Encoder& e) const override {
+    // Topic first, then the inner payload. The extra u32 keeps an
+    // enveloped message's encoding distinct from its bare payload's (they
+    // share name()). The wire codec (src/wire/codec.cpp) frames envelopes
+    // itself — topic, inner *wire type*, inner payload — because a decoder
+    // needs the inner type tag this canonical form omits.
+    e.u32(topic);
+    return inner->encode(e);
+  }
 };
 
 /// MessageSink that stamps outgoing messages with a fixed topic.

@@ -307,6 +307,60 @@ ScenarioSpec lossy_churn(std::uint64_t seed, std::size_t nodes) {
   return spec;
 }
 
+/// Survive the wire: lossy-churn's jittery links plus a corrupting channel
+/// (2% of messages are bit-flipped/truncated/spliced in flight and must be
+/// caught — or survived — by the wire codec) and a crash-recovery wave:
+/// crashed nodes restart from periodic snapshots that are stale by up to
+/// the snapshot cadence, then re-stabilize oracle-green.
+ScenarioSpec chaos_churn(std::uint64_t seed, std::size_t nodes) {
+  ScenarioSpec spec;
+  spec.name = "chaos-churn";
+  spec.seed = seed;
+  spec.nodes = nodes;
+  spec.mode = Mode::kSingleTopic;
+  spec.exec.scheduler = Scheduler::kTimed;
+  spec.fd_delay = 4;
+  spec.exec.timed.local.latency = {sim::LatencySpec::Dist::kUniform, 0.02, 0.25};
+  spec.exec.timed.local.loss = 0.05;
+  spec.exec.timed.local.duplicate = 0.01;
+  spec.exec.timed.local.reorder = 0.02;
+  spec.exec.timed.local.corrupt = 0.02;
+  spec.snapshot_every = 5;
+
+  Phase bootstrap;
+  bootstrap.name = "bootstrap";
+  bootstrap.churn.joins = nodes;
+  bootstrap.converge = true;
+  spec.phases.push_back(bootstrap);
+
+  Phase pubs;
+  pubs.name = "seed-publications";
+  pubs.publish.count = at_least(nodes / 4, 3);
+  pubs.converge = true;
+  spec.phases.push_back(pubs);
+
+  Phase wave;
+  wave.name = "crash-wave";
+  wave.churn.joins = at_least(nodes / 8, 1);
+  wave.churn.crashes = at_least(nodes / 8, 1);
+  wave.converge = true;
+  spec.phases.push_back(wave);
+
+  Phase recover;
+  recover.name = "recover";
+  recover.churn.recoveries = at_least(nodes / 8, 1);
+  recover.converge = true;
+  spec.phases.push_back(recover);
+
+  Phase burst;
+  burst.name = "corrupted-burst";
+  burst.publish.count = at_least(nodes / 4, 3);
+  burst.publish.gap = 1;
+  burst.converge = true;
+  spec.phases.push_back(burst);
+  return spec;
+}
+
 // ---- scale family ---------------------------------------------------
 // Large-n workloads (default n = 1024, meant for n up to 4096): the same
 // shapes as the small builtins but tuned so the convergence predicates
@@ -422,6 +476,7 @@ constexpr BuiltinEntry kBuiltins[] = {
     {"partition-drill", partition_drill, 32},
     {"geo-steady", geo_steady, 32},
     {"lossy-churn", lossy_churn, 32},
+    {"chaos-churn", chaos_churn, 32},
     {"scale-steady", scale_steady, 1024},
     {"scale-churn", scale_churn, 1024},
     {"scale-flash", scale_flash, 1024},

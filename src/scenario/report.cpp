@@ -25,6 +25,17 @@ Json phase_to_json(const PhaseReport& p) {
     j["injected"] = p.injected;
     j["injected_bytes"] = p.injected_bytes;
   }
+  // Emitted only when the faults actually fired, so reports of scenarios
+  // without a corrupting link or recovery wave stay byte-identical.
+  if (p.corrupted > 0 || p.rejected > 0) {
+    j["corrupted"] = p.corrupted;
+    j["rejected"] = p.rejected;
+    j["rejected_bytes"] = p.rejected_bytes;
+  }
+  if (p.recovered > 0) {
+    j["recovered"] = static_cast<std::uint64_t>(p.recovered);
+    j["recovered_clean"] = static_cast<std::uint64_t>(p.recovered_clean);
+  }
   Json labels = Json::object();
   for (const auto& [name, cb] : p.by_label) {
     Json entry = Json::object();

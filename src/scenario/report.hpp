@@ -55,6 +55,20 @@ struct PhaseReport {
   /// Adversarially injected messages/bytes (chaos junk, scramble garbage).
   std::uint64_t injected = 0;
   std::uint64_t injected_bytes = 0;
+  /// Corrupting-link damage this phase (timed scheduler with
+  /// LinkProfile::corrupt > 0): messages whose encoded bytes were mangled
+  /// in flight, and the subset the wire decoder rejected (with their
+  /// original wire bytes). corrupted - rejected messages survived decode
+  /// as valid — possibly different — messages and were delivered.
+  std::uint64_t corrupted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t rejected_bytes = 0;
+  /// Crash-recovery lifecycle (ChurnWave::recoveries): nodes restarted
+  /// this phase, and how many restored their snapshot cleanly (the rest
+  /// restarted from scratch — empty, stale-truncated or corrupted
+  /// snapshots all land here).
+  std::size_t recovered = 0;
+  std::size_t recovered_clean = 0;
   /// Per-action-label (count, bytes) send counters.
   std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> by_label;
 

@@ -70,6 +70,15 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     // is still quiescent here (subscribers join in phase 0), which
     // enable_timed requires.
     net().enable_timed(spec_.exec.timed);
+    // Corrupting links need the damage model: encode, mangle, re-decode
+    // through the real wire codec. Installed only when some link class can
+    // actually corrupt, so corruption-free timed specs keep reproducing
+    // their previous reports byte-for-byte.
+    if (spec_.exec.timed.local.corrupt > 0.0 ||
+        spec_.exec.timed.remote.corrupt > 0.0) {
+      corrupter_ = std::make_unique<wire::CodecCorrupter>();
+      net().set_corrupter(corrupter_.get());
+    }
   } else if (spec_.exec.scheduler == Scheduler::kAsync) {
     // The async stepper sits behind the same seam as the other flavors:
     // one unit = one randomized step, probe sampling on the step stride.
@@ -78,6 +87,9 @@ ScenarioRunner::ScenarioRunner(ScenarioSpec spec)
     // the round counter barely moves under step scheduling.
     net().set_clock_mode(sim::Network::ClockMode::kSteps);
   }
+  // Crash-recovery needs periodic state snapshots to restart from; any
+  // scheduler flavor can take them (the capture is a pure state read).
+  if (spec_.snapshot_every > 0) net().enable_snapshots(spec_.snapshot_every);
   // Async/timed schedulers are single-threaded by contract, so a worker
   // pool would be dead weight — threads only applies to the round
   // scheduler (a spec-authored mismatch is tolerated and ignored; the
@@ -195,6 +207,8 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
   network.metrics().reset();
   const sim::Round round_start = network.round();
   const sim::Step step_start = network.now();
+  // timed_corrupted is cumulative over the run; the phase reports a delta.
+  const std::uint64_t corrupted_start = network.timed_corrupted();
 
   if (!phase.partitions.empty()) {
     SSPS_ASSERT_MSG(spec_.exec.scheduler == Scheduler::kTimed,
@@ -211,7 +225,7 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
   }
   if (phase.set_fd_delay) apply_fd_delay(*phase.set_fd_delay);
   if (spec_.mode == Mode::kMultiTopic) apply_supervisor_changes(phase, out);
-  apply_churn(phase.churn);
+  apply_churn(phase.churn, out);
   if (phase.flash_crowd_topic) apply_flash_crowd(*phase.flash_crowd_topic);
   apply_chaos(phase);
   apply_scramble(phase);
@@ -229,6 +243,7 @@ const PhaseReport& ScenarioRunner::run_phase(std::size_t index) {
                    ? static_cast<std::size_t>(network.now() - step_start)
                    : static_cast<std::size_t>(network.round() - round_start);
 
+  out.corrupted = network.timed_corrupted() - corrupted_start;
   sample(phase, out);
   if (oracle_enabled(phase)) {
     constexpr std::size_t kMaxDetails = 8;
@@ -285,8 +300,19 @@ sim::NodeId ScenarioRunner::pick_active_single() {
   return active[rng_.pick_index(active)];
 }
 
-void ScenarioRunner::apply_churn(const ChurnWave& churn) {
+void ScenarioRunner::apply_churn(const ChurnWave& churn, PhaseReport& out) {
   if (spec_.mode == Mode::kSingleTopic) {
+    // Recoveries first (oldest crash first), so a phase never revives a
+    // node its own crash wave just killed. A node whose snapshot restores
+    // cleanly resumes from that (stale) state; any other node — empty,
+    // truncated or corrupted snapshot — restarts from scratch. Both
+    // re-stabilize through the ordinary join/repair path.
+    for (std::size_t i = 0; i < churn.recoveries && !crashed_single_.empty(); ++i) {
+      const sim::NodeId revived = crashed_single_.front();
+      crashed_single_.erase(crashed_single_.begin());
+      out.recovered += 1;
+      if (single_->recover_pubsub_subscriber(revived)) out.recovered_clean += 1;
+    }
     std::size_t crashes = churn.crashes;
     if (churn.crash_min_label && crashes > 0) {
       // The label-"0" holder is the hub of every shortcut table — the
@@ -295,12 +321,17 @@ void ScenarioRunner::apply_churn(const ChurnWave& churn) {
         const auto& label = single_->subscriber(id).label();
         if (label && *label == core::Label::from_index(0)) {
           single_->crash(id);
+          crashed_single_.push_back(id);
           crashes -= 1;
           break;
         }
       }
     }
-    for (std::size_t i = 0; i < crashes; ++i) single_->crash(pick_active_single());
+    for (std::size_t i = 0; i < crashes; ++i) {
+      const sim::NodeId victim = pick_active_single();
+      single_->crash(victim);
+      crashed_single_.push_back(victim);
+    }
     for (std::size_t i = 0; i < churn.leaves; ++i) {
       single_->request_unsubscribe(pick_active_single());
     }
@@ -689,6 +720,8 @@ void ScenarioRunner::sample(const Phase& phase, PhaseReport& out) {
   out.bytes = metrics.total_bytes();
   out.injected = metrics.total_injected();
   out.injected_bytes = metrics.injected_bytes();
+  out.rejected = metrics.total_rejected();
+  out.rejected_bytes = metrics.rejected_bytes();
   for (const auto& [label, counter] : metrics.by_label()) {
     out.by_label[label] = {counter.count, counter.bytes};
   }

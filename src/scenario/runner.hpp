@@ -22,6 +22,7 @@
 #include "scenario/spec.hpp"
 #include "sim/failure_detector.hpp"
 #include "telemetry/round_probe.hpp"
+#include "wire/corrupt.hpp"
 
 namespace ssps::scenario {
 
@@ -80,7 +81,7 @@ class ScenarioRunner {
   // Phase machinery.
   void apply_fd_delay(sim::Round delay);
   void apply_supervisor_changes(const Phase& phase, PhaseReport& out);
-  void apply_churn(const ChurnWave& churn);
+  void apply_churn(const ChurnWave& churn, PhaseReport& out);
   void apply_flash_crowd(TopicId topic);
   void apply_chaos(const Phase& phase);
   void apply_scramble(const Phase& phase);
@@ -120,6 +121,14 @@ class ScenarioRunner {
   /// to the network right after deployment construction; its enricher
   /// fills the nonconforming count from the mode's convergence probe.
   std::unique_ptr<telemetry::RoundProbe> probe_;
+
+  /// Corrupting-link damage model (wire/corrupt.hpp), installed when a
+  /// timed spec sets a nonzero LinkProfile::corrupt on any link class.
+  /// Owned here; the network holds a raw pointer for the run's lifetime.
+  std::unique_ptr<wire::CodecCorrupter> corrupter_;
+  /// Single-topic crash log in crash order; ChurnWave::recoveries
+  /// restarts from the front (oldest crash first).
+  std::vector<sim::NodeId> crashed_single_;
 
   // Single-topic deployment.
   std::unique_ptr<pubsub::PubSubSystem> single_;

@@ -46,6 +46,13 @@ struct ChurnWave {
   std::size_t joins = 0;    ///< fresh subscribers spawned (and subscribed)
   std::size_t leaves = 0;   ///< graceful unsubscribes of random members
   std::size_t crashes = 0;  ///< fail-stop crashes of random members
+  /// Single-topic only: restart this many previously crashed subscribers
+  /// (oldest crash first) from their last periodic snapshot
+  /// (ScenarioSpec::snapshot_every; sim::Network::recover). A node whose
+  /// snapshot is stale, corrupted or missing restarts from scratch; either
+  /// way it re-stabilizes into the ring. Applied before this wave's own
+  /// crashes, so a phase cannot recover a node it just killed.
+  std::size_t recoveries = 0;
   /// Single-topic only: make one of the crashes hit the label-"0" holder
   /// (the best-connected node) if it exists — the worst-case crash.
   bool crash_min_label = false;
@@ -149,6 +156,12 @@ struct ScenarioSpec {
 
   /// Failure-detector delay in rounds at scenario start.
   sim::Round fd_delay = 0;
+
+  /// Snapshot cadence in rounds (0 = never). When set, every alive node
+  /// serializes its protocol state (encode_state) every this-many rounds;
+  /// ChurnWave::recoveries restarts crashed nodes from the snapshot,
+  /// which is up to `snapshot_every` rounds stale by construction.
+  sim::Round snapshot_every = 0;
 
   /// Run the invariant oracle after every phase (see Phase::check_invariants).
   bool oracle = false;

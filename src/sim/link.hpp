@@ -58,6 +58,14 @@ struct LinkProfile {
   double loss = 0.0;       ///< P(message silently dropped)
   double duplicate = 0.0;  ///< P(a clone is delivered too, independently)
   double reorder = 0.0;    ///< P(extra jitter pushes it behind later sends)
+  /// P(the encoded bytes are mangled in flight). Requires a Corrupter
+  /// installed on the Network (sim/network.hpp): the message is serialized,
+  /// damaged (bit-flips, truncation, garbage splice) and re-decoded, so a
+  /// corrupted send exercises the real wire-decode path — most manglings
+  /// fail the frame checksum and the message is rejected (counted, not
+  /// delivered); the rest decode into a valid-but-different message the
+  /// protocol must stabilize around.
+  double corrupt = 0.0;
 };
 
 /// One directional (or symmetric) link cut between two zones over a

@@ -64,8 +64,16 @@ void Metrics::on_inject(std::size_t bytes) {
   injected_bytes_ += bytes;
 }
 
+void Metrics::on_reject(std::size_t bytes) {
+  total_rejected_ += 1;
+  rejected_bytes_ += bytes;
+}
+
 void Metrics::fold_into(Metrics& dst) const {
-  if (total_sent_ == 0 && total_delivered_ == 0 && total_injected_ == 0) return;
+  if (total_sent_ == 0 && total_delivered_ == 0 && total_injected_ == 0 &&
+      total_rejected_ == 0) {
+    return;
+  }
   // Shard label id -> dst label id, resolved by name on first use.
   constexpr std::uint32_t kUnmapped = ~0u;
   std::vector<std::uint32_t> remap(label_names_.size(), kUnmapped);
@@ -105,6 +113,8 @@ void Metrics::fold_into(Metrics& dst) const {
   dst.total_bytes_ += total_bytes_;
   dst.total_injected_ += total_injected_;
   dst.injected_bytes_ += injected_bytes_;
+  dst.total_rejected_ += total_rejected_;
+  dst.rejected_bytes_ += rejected_bytes_;
   dst.view_sent_ = kViewInvalid;  // by_label_ moved without a counted send
 }
 
@@ -121,6 +131,8 @@ void Metrics::reset() {
   total_bytes_ = 0;
   total_injected_ = 0;
   injected_bytes_ = 0;
+  total_rejected_ = 0;
+  rejected_bytes_ = 0;
 }
 
 std::uint64_t Metrics::sent(std::string_view name) const {

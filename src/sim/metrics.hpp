@@ -62,6 +62,13 @@ class Metrics {
   /// protocol traffic, but stabilization reports want its volume.
   void on_inject(std::size_t bytes);
 
+  /// Records a message rejected instead of processed: wire bytes that
+  /// failed to decode (corrupting links, stale snapshots) or received
+  /// contents a handler refused as malformed. The robustness counterpart
+  /// of a crash — rejections are expected under fault injection, and the
+  /// reports surface their volume.
+  void on_reject(std::size_t bytes);
+
   /// Clears all counters (label interning survives; it is not
   /// observable through any accessor).
   void reset();
@@ -95,6 +102,12 @@ class Metrics {
 
   /// Bytes injected adversarially since the last reset.
   std::uint64_t injected_bytes() const { return injected_bytes_; }
+
+  /// Messages rejected as malformed since the last reset.
+  std::uint64_t total_rejected() const { return total_rejected_; }
+
+  /// Bytes rejected as malformed since the last reset.
+  std::uint64_t rejected_bytes() const { return rejected_bytes_; }
 
   /// Messages sent under one action label.
   std::uint64_t sent(std::string_view name) const;
@@ -195,6 +208,8 @@ class Metrics {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t total_injected_ = 0;
   std::uint64_t injected_bytes_ = 0;
+  std::uint64_t total_rejected_ = 0;
+  std::uint64_t rejected_bytes_ = 0;
 
   /// Cached by_label() view. Valid while view_sent_ == total_sent_, which
   /// only moves on counted sends (monotone between resets; reset() stamps

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <deque>
 
+#include "common/decode.hpp"
+#include "common/encode.hpp"
 #include "sched/parallel.hpp"
 #include "sched/serial.hpp"
 #include "sched/timed.hpp"
@@ -121,6 +123,61 @@ std::optional<Round> Network::crash_round(NodeId id) const {
   const Slot* slot = find_slot(id);
   if (slot == nullptr || slot->node != nullptr) return std::nullopt;
   return slot->crash_round;
+}
+
+void Network::take_snapshots() {
+  SSPS_ASSERT_MSG(!in_parallel_phase_, "take_snapshots: mid-round");
+  last_snapshot_round_ = round_;
+  common::Encoder enc;
+  for (Slot& slot : slots_) {
+    if (slot.node == nullptr) continue;
+    enc.clear();
+    if (slot.node->snapshot_state(enc)) slot.snapshot = enc.buffer();
+  }
+}
+
+const std::vector<std::uint8_t>& Network::snapshot_of(NodeId id) const {
+  const Slot* slot = find_slot(id);
+  SSPS_ASSERT_MSG(slot != nullptr, "snapshot_of: unknown node");
+  return slot->snapshot;
+}
+
+std::vector<std::uint8_t>& Network::mutable_snapshot(NodeId id) {
+  Slot* slot = find_slot(id);
+  SSPS_ASSERT_MSG(slot != nullptr, "mutable_snapshot: unknown node");
+  return slot->snapshot;
+}
+
+bool Network::recover(NodeId id, std::unique_ptr<Node> node) {
+  SSPS_ASSERT(node != nullptr);
+  SSPS_ASSERT_MSG(!in_parallel_phase_,
+                  "recover during a parallel round is unsupported");
+  Slot* slot = find_slot(id);
+  SSPS_ASSERT_MSG(slot != nullptr && slot->node == nullptr,
+                  "recover: node unknown or still alive");
+  // Mirror register_node's bookkeeping, but re-occupy the existing slot:
+  // the recovered process keeps its NodeId, so every stale reference to
+  // it in peers and in-flight messages points at the reborn node again.
+  Node* raw = node.get();
+  raw->id_ = id;
+  raw->net_ = this;
+  raw->rng_ = rng_.split();
+  slot->node = std::move(node);
+  slot->last_timeout = step_;
+  ++alive_count_;
+  alive_cache_valid_ = false;
+  if (async_timeout_heap_valid_) {
+    async_timeout_heap_.push_back(
+        {step_, static_cast<std::uint32_t>(slot - slots_.data())});
+    std::push_heap(async_timeout_heap_.begin(), async_timeout_heap_.end(),
+                   timeout_entry_later);
+  }
+  raw->on_register();
+  // Re-resolve: on_register may spawn, which can reallocate the slot table.
+  slot = find_slot(id);
+  if (slot->snapshot.empty()) return false;
+  common::Decoder dec(slot->snapshot);
+  return raw->restore_state(dec);
 }
 
 void Network::collect_alive(std::vector<NodeId>& out) const {
@@ -302,6 +359,15 @@ void Network::timeout_sweep() {
 
 std::size_t Network::run_unit() {
   const std::size_t delivered = scheduler_->advance(*this);
+  // Periodic crash-recovery checkpoints: capture at round boundaries on
+  // the configured cadence. Pure state reads (no rng draws), so enabling
+  // snapshots never perturbs a run's delivery trace. The last-round guard
+  // keeps step-grained schedulers (round clock frozen) from re-capturing
+  // every unit.
+  if (snapshot_every_ > 0 && round_ != last_snapshot_round_ &&
+      round_ % snapshot_every_ == 0) {
+    take_snapshots();
+  }
   scheduler_->sample(*this, delivered);
   return delivered;
 }
@@ -532,6 +598,27 @@ void Network::route_envelope(const Envelope& env, Step send_tick) {
     drop_envelope(env);
     return;
   }
+  Envelope routed = env;
+  if (corrupter_ != nullptr && profile.corrupt > 0.0 &&
+      link_rng_.uniform01() < profile.corrupt) {
+    // Wire damage: serialize, mangle, re-decode (wire::CodecCorrupter).
+    // Detected damage rejects the bytes — counted, never delivered;
+    // undetected damage yields a valid-but-different message that rides
+    // the link from here exactly like the original would have.
+    ++timed_corrupted_;
+    PooledMsg replacement = corrupter_->corrupt(*routed.msg, pool_, link_rng_);
+    const std::size_t bytes = routed.msg->wire_size();
+    if (trace_ != nullptr) [[unlikely]] trace_forget(routed.msg);
+    routed.pool->destroy(routed.msg, routed.handle);
+    if (!replacement) {
+      ++timed_rejected_;
+      metrics_.on_reject(bytes);
+      return;
+    }
+    routed.msg = replacement.get();
+    routed.pool = replacement.pool();
+    routed.handle = replacement.release();
+  }
   Step delay = profile.latency.sample_ticks(link_rng_);
   if (profile.reorder > 0.0 && link_rng_.uniform01() < profile.reorder) {
     // Reordering = extra jitter that pushes this message behind sends
@@ -539,12 +626,12 @@ void Network::route_envelope(const Envelope& env, Step send_tick) {
     delay += 1 + link_rng_.below(kTicksPerInterval);
   }
   if (profile.duplicate > 0.0 && link_rng_.uniform01() < profile.duplicate) {
-    PooledMsg copy = env.msg->clone_into(pool_);
+    PooledMsg copy = routed.msg->clone_into(pool_);
     if (copy) {  // null = not clonable; skip the duplicate
       Envelope dup;
-      dup.to = env.to;
-      dup.from = env.from;
-      dup.sent_at = env.sent_at;
+      dup.to = routed.to;
+      dup.from = routed.from;
+      dup.sent_at = routed.sent_at;
       dup.seq = next_send_seq_++;
       dup.msg = copy.get();
       dup.pool = copy.pool();
@@ -554,7 +641,7 @@ void Network::route_envelope(const Envelope& env, Step send_tick) {
       ++timed_duplicated_;
     }
   }
-  push_timed_event(send_tick + delay, env);
+  push_timed_event(send_tick + delay, routed);
 }
 
 void Network::push_timed_event(Step at, const Envelope& env) {

@@ -132,6 +132,21 @@ extern thread_local SendContext* tls_send_ctx;
 
 class Trace;
 
+/// Wire-level damage model for the timed scheduler's corrupting links
+/// (LinkProfile::corrupt). The sim layer owns only the seam: an
+/// implementation serializes the message, mangles the bytes and re-decodes
+/// them, so a corrupted send exercises a real decode path. Returns the
+/// message the receiver ends up decoding (usually different from the
+/// original), or an empty handle when the damage is detected (checksum or
+/// structure) and the bytes are rejected instead of delivered.
+/// wire::CodecCorrupter (src/wire/corrupt.hpp) is the implementation.
+class Corrupter {
+ public:
+  virtual ~Corrupter() = default;
+  virtual PooledMsg corrupt(const Message& m, MessagePool& pool,
+                            ssps::Rng& rng) = 0;
+};
+
 /// The simulated network. Owns all nodes, channels, randomness, the
 /// message pool and the metrics.
 class Network {
@@ -226,7 +241,13 @@ class Network {
   void send(NodeId to, PooledMsg msg) {
     SSPS_ASSERT(msg);
     SendContext& ctx = send_ctx();
-    ctx.metrics->on_send_id(ctx.metrics->label_id(*msg), msg->wire_size(), to);
+    // Per-node offered-load cells exist only for addresses the slot table
+    // has ever issued. Anything else — e.g. a garbage reference decoded
+    // from a corrupted message, which can be any 64-bit value — still
+    // counts in the totals but gets no cell: the per-node tables index by
+    // id, and an attacker-chosen id must not size an allocation.
+    const NodeId to_cell = to.value <= slots_.size() ? to : NodeId::null();
+    ctx.metrics->on_send_id(ctx.metrics->label_id(*msg), msg->wire_size(), to_cell);
     const bool enqueued = alive(to);
     if (trace_ != nullptr) [[unlikely]] trace_send(to, *msg, enqueued);
     if (!enqueued) {
@@ -380,6 +401,48 @@ class Network {
   std::uint64_t timed_dropped() const { return timed_dropped_; }
   /// Extra deliveries manufactured by link duplication (timed mode).
   std::uint64_t timed_duplicated() const { return timed_duplicated_; }
+  /// Messages whose bytes were mangled in flight (timed mode; requires a
+  /// Corrupter). Counts both outcomes: rejected and delivered-different.
+  std::uint64_t timed_corrupted() const { return timed_corrupted_; }
+  /// Corrupted messages whose damage was detected and rejected (subset of
+  /// timed_corrupted; also counted in Metrics::total_rejected).
+  std::uint64_t timed_rejected() const { return timed_rejected_; }
+
+  /// Installs the wire-damage model corrupting links apply (nullptr
+  /// detaches). Without one, LinkProfile::corrupt > 0 is inert. The
+  /// corrupter must outlive the attachment.
+  void set_corrupter(Corrupter* corrupter) { corrupter_ = corrupter; }
+  Corrupter* corrupter() const { return corrupter_; }
+
+  // ---- Crash recovery (periodic snapshots; see Node::snapshot_state) ---
+
+  /// Turns on periodic snapshots: at the end of every round divisible by
+  /// `every`, each alive node that implements snapshot_state has its
+  /// encoded state captured (overwriting the previous capture). 0
+  /// disables. Snapshots survive the node's crash — that is the point:
+  /// recover() restores from the last capture, which may be arbitrarily
+  /// stale by then.
+  void enable_snapshots(Round every) { snapshot_every_ = every; }
+
+  /// Captures snapshots of every alive node right now (also called
+  /// automatically on the enable_snapshots cadence).
+  void take_snapshots();
+
+  /// The stored snapshot bytes for `id` (empty if none was ever taken).
+  /// The mutable variant lets fault injection damage stored snapshots —
+  /// recovery must then survive restore_state rejecting them.
+  const std::vector<std::uint8_t>& snapshot_of(NodeId id) const;
+  std::vector<std::uint8_t>& mutable_snapshot(NodeId id);
+
+  /// Restarts a crashed node: re-occupies `id`'s tombstone slot with
+  /// `node` (same NodeId — the paper's model has no address reuse issue
+  /// because a recovered process IS the process, rebooted), then replays
+  /// the stored snapshot through restore_state. Returns true if the
+  /// snapshot restored cleanly; false when there was no snapshot or
+  /// restore_state rejected it (the node then starts from its freshly
+  /// constructed state and must re-stabilize from scratch). After
+  /// recover, alive(id) is true and crash_round(id) is nullopt again.
+  bool recover(NodeId id, std::unique_ptr<Node> node);
 
   // ---- Introspection ---------------------------------------------------
 
@@ -402,6 +465,14 @@ class Network {
   void record_delivery_latency(std::uint32_t topic, Round rounds) {
     send_ctx().latency->record(topic, rounds);
   }
+
+  /// Records a handler-level rejection: received contents that decoded
+  /// into a well-formed message but that the handler refused as
+  /// malformed or unservable (e.g. a non-Subscribe envelope for a topic
+  /// the supervisor does not host). Routed through the calling thread's
+  /// SendContext, so a parallel worker's rejections land in its own
+  /// shard without atomics.
+  void record_reject(std::size_t bytes) { send_ctx().metrics->on_reject(bytes); }
 
   /// Attaches a per-round time-series probe: every run_round() pushes one
   /// RoundSample after the round barrier. Pass nullptr to detach. The
@@ -435,6 +506,10 @@ class Network {
     std::unique_ptr<Node> node;  // null = tombstone (crashed)
     Step last_timeout = 0;
     Round crash_round = 0;
+    /// Last periodic snapshot of the node's encoded state (empty = never
+    /// captured). Deliberately kept across crash(): recover() restores
+    /// from it.
+    std::vector<std::uint8_t> snapshot;
   };
 
   /// One scheduled delivery on the timed event heap: the envelope plus
@@ -613,6 +688,17 @@ class Network {
   ssps::Rng link_rng_{0};
   std::uint64_t timed_dropped_ = 0;
   std::uint64_t timed_duplicated_ = 0;
+  std::uint64_t timed_corrupted_ = 0;
+  std::uint64_t timed_rejected_ = 0;
+  /// Wire-damage model of corrupting links (null = corruption inert).
+  Corrupter* corrupter_ = nullptr;
+
+  // ---- Snapshot / recovery state ---------------------------------------
+  /// Periodic snapshot cadence in rounds (0 = off).
+  Round snapshot_every_ = 0;
+  /// Last round at which the periodic capture ran (run_unit may be called
+  /// by step-grained schedulers that never advance the round clock).
+  Round last_snapshot_round_ = 0;
 
   // ---- Async oldest-first index state ----------------------------------
   /// Lazy min-heaps over (sent_at, seq) / (last_timeout, slot); entries

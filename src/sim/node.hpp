@@ -8,6 +8,11 @@
 #include "sim/message_pool.hpp"
 #include "sim/types.hpp"
 
+namespace ssps::common {
+class Encoder;
+class Decoder;
+}  // namespace ssps::common
+
 namespace ssps::sim {
 
 class Network;
@@ -66,6 +71,28 @@ class Node {
   /// Called once by the Network after id/net/rng are assigned; nodes that
   /// need their identity to finish construction hook in here.
   virtual void on_register() {}
+
+  /// Serializes the node's recoverable protocol state into `enc`
+  /// (canonical encoding, common/encode.hpp). Returns false when the node
+  /// does not support snapshots (the default); the Network then keeps no
+  /// snapshot for it. Used by the periodic snapshot engine
+  /// (Network::enable_snapshots) to capture crash-recovery checkpoints.
+  virtual bool snapshot_state(common::Encoder& enc) const {
+    (void)enc;
+    return false;
+  }
+
+  /// Restores state from a snapshot previously produced by
+  /// snapshot_state — possibly STALE (taken rounds before the crash) and
+  /// possibly CORRUPTED (fault injection mangles stored snapshots too).
+  /// Must be total: on malformed input, return false leaving the node in
+  /// a valid (if arbitrary) state; self-stabilization recovers from
+  /// whatever was restored. Called by Network::recover after
+  /// on_register.
+  virtual bool restore_state(common::Decoder& dec) {
+    (void)dec;
+    return false;
+  }
 
   /// Snapshot of this node's private randomness stream. The model
   /// checker's canonical state hash includes it: two states that agree on

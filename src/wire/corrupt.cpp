@@ -1,0 +1,90 @@
+#include "wire/corrupt.hpp"
+
+#include <algorithm>
+
+namespace ssps::wire {
+
+namespace {
+
+/// Frame header size: u8 type + u64 payload length + u32 CRC.
+constexpr std::size_t kFrameHeader = 13;
+/// Byte offset of the CRC field within a frame.
+constexpr std::size_t kCrcOffset = 9;
+
+void flip_bits(std::vector<std::uint8_t>& bytes, ssps::Rng& rng) {
+  const std::uint64_t flips = 1 + rng.below(8);
+  for (std::uint64_t i = 0; i < flips; ++i) {
+    const std::size_t at = static_cast<std::size_t>(rng.below(bytes.size()));
+    bytes[at] ^= static_cast<std::uint8_t>(1u << rng.below(8));
+  }
+}
+
+void truncate(std::vector<std::uint8_t>& bytes, ssps::Rng& rng) {
+  bytes.resize(static_cast<std::size_t>(rng.below(bytes.size())));
+}
+
+void splice_garbage(std::vector<std::uint8_t>& bytes, ssps::Rng& rng) {
+  const std::size_t at = static_cast<std::size_t>(rng.below(bytes.size()));
+  const std::size_t max_run = std::min<std::size_t>(16, bytes.size() - at);
+  const std::size_t run = 1 + static_cast<std::size_t>(rng.below(max_run));
+  for (std::size_t i = 0; i < run; ++i) {
+    bytes[at + i] = static_cast<std::uint8_t>(rng.below(256));
+  }
+}
+
+/// Scrambles payload bytes, then recomputes the CRC so the frame still
+/// passes the checksum — the mode that forces structural validation (and
+/// occasionally a clean decode into a different message) instead of the
+/// checksum shortcut.
+void scramble_past_checksum(std::vector<std::uint8_t>& bytes, ssps::Rng& rng) {
+  if (bytes.size() <= kFrameHeader) {
+    flip_bits(bytes, rng);  // header-only frame: nothing past the CRC
+    return;
+  }
+  const std::size_t payload = bytes.size() - kFrameHeader;
+  const std::uint64_t hits = 1 + rng.below(std::min<std::size_t>(4, payload));
+  for (std::uint64_t i = 0; i < hits; ++i) {
+    const std::size_t at =
+        kFrameHeader + static_cast<std::size_t>(rng.below(payload));
+    bytes[at] = static_cast<std::uint8_t>(rng.below(256));
+  }
+  std::uint32_t crc = crc32({bytes.data(), 1});
+  crc = crc32({bytes.data() + kFrameHeader, payload}, crc);
+  for (int i = 0; i < 4; ++i) {
+    bytes[kCrcOffset + i] = static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+}
+
+}  // namespace
+
+void mangle(std::vector<std::uint8_t>& bytes, ssps::Rng& rng) {
+  if (bytes.empty()) return;
+  switch (rng.below(4)) {
+    case 0: flip_bits(bytes, rng); break;
+    case 1: truncate(bytes, rng); break;
+    case 2: splice_garbage(bytes, rng); break;
+    default: scramble_past_checksum(bytes, rng); break;
+  }
+}
+
+sim::PooledMsg CodecCorrupter::corrupt(const sim::Message& m,
+                                       sim::MessagePool& pool,
+                                       ssps::Rng& rng) {
+  scratch_.clear();
+  if (!encode_message(m, scratch_)) {
+    // Outside the wire surface (ad-hoc test messages): nothing to mangle,
+    // deliver untouched — clone because the caller reclaims the original.
+    return m.clone_into(pool);
+  }
+  mangle(scratch_, rng);
+  DecodeResult result = decode_message(scratch_, pool);
+  if (result.ok()) {
+    ++survived_;
+    return std::move(result.msg);
+  }
+  const auto status = static_cast<std::size_t>(result.error.status);
+  if (status < rejected_by_status_.size()) ++rejected_by_status_[status];
+  return {};
+}
+
+}  // namespace ssps::wire

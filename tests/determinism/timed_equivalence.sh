@@ -28,9 +28,10 @@ fi
 compared=0
 for scenario in $scenarios; do
   # The natively timed builtins have no round-scheduler twin: their specs
-  # carry non-default link profiles and partition schedules.
+  # carry non-default link profiles, fault probabilities and partition
+  # schedules.
   case "$scenario" in
-    geo-*|lossy-*) continue ;;
+    geo-*|lossy-*|chaos-*) continue ;;
   esac
   for variant in plain scrambled; do
     flags=""

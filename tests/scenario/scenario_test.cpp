@@ -75,7 +75,7 @@ TEST(ScenarioReplay, DifferentSeedsProduceDifferentTraffic) {
 // ---------------------------------------------------------------------------
 
 TEST(Builtins, NamesRoundTrip) {
-  EXPECT_EQ(builtin_names().size(), 10u);  // 5 classic + 2 timed + 3 scale-*
+  EXPECT_EQ(builtin_names().size(), 11u);  // 5 classic + 3 timed + 3 scale-*
   for (const std::string& name : builtin_names()) {
     EXPECT_TRUE(is_builtin(name));
     const ScenarioSpec spec = builtin_scenario(name, 3, 10);
@@ -180,6 +180,47 @@ TEST(ChurnWave, SupervisorArcsRebalanceAndSystemRecovers) {
   // Rehomed topics kept their publication history (clients re-add their
   // local stores at the new owner).
   EXPECT_GE(report.phases.back().publications, report.phases[1].publications);
+}
+
+TEST(ChaosChurn, FaultCountersAndRecoveriesSurfaceInTheReport) {
+  ScenarioRunner runner(builtin_scenario("chaos-churn", 7, 16));
+  const ScenarioReport& report = runner.run();
+  ASSERT_TRUE(report.ok) << report.to_json().dump(2);
+  ASSERT_TRUE(report.oracle_ok) << report.to_json().dump(2);
+  ASSERT_EQ(report.phases.size(), 5u);
+
+  // The corrupting links damaged frames, and the codec rejected the bulk
+  // of them; both counters flow into the report.
+  std::uint64_t corrupted = 0;
+  std::uint64_t rejected = 0;
+  for (const PhaseReport& p : report.phases) {
+    corrupted += p.corrupted;
+    rejected += p.rejected;
+  }
+  EXPECT_GT(corrupted, 0u);
+  EXPECT_GT(rejected, 0u);
+
+  // The recover phase restarted the crash wave's victims from snapshots.
+  const PhaseReport& recover = report.phases[3];
+  EXPECT_EQ(recover.name, "recover");
+  EXPECT_GT(recover.recovered, 0u);
+  EXPECT_LE(recover.recovered_clean, recover.recovered);
+
+  // The counters reach the JSON artifact (the chaos campaign's contract).
+  const std::string json = report.to_json().dump(0);
+  EXPECT_NE(json.find("\"corrupted\""), std::string::npos);
+  EXPECT_NE(json.find("\"rejected\""), std::string::npos);
+  EXPECT_NE(json.find("\"recovered\""), std::string::npos);
+}
+
+TEST(ChaosChurn, ReportsWithoutFaultsOmitTheFaultFields) {
+  // Pre-existing scenarios must stay byte-identical: the new report
+  // fields only appear when their counters are nonzero.
+  ScenarioRunner runner(builtin_scenario("steady", 5, 10));
+  const std::string json = runner.run().to_json().dump(0);
+  EXPECT_EQ(json.find("\"corrupted\""), std::string::npos);
+  EXPECT_EQ(json.find("\"rejected\""), std::string::npos);
+  EXPECT_EQ(json.find("\"recovered\""), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

@@ -19,6 +19,9 @@ Gated metrics:
       drift check:      latency_p50/p99/p999/max (both directions: delivery
                         latency in rounds is bit-deterministic per seed, so
                         any drift is a protocol change to acknowledge)
+      drift check:      recovery_seconds (both directions: virtual seconds
+                        for crash-recovered nodes to re-stabilize under the
+                        chaos-churn fault mix — deterministic per seed)
   throughput (wall-clock; --throughput-tolerance, default 15%):
       higher is better: rounds_per_sec, msgs_per_sec
 
@@ -41,7 +44,7 @@ import sys
 LOWER_IS_BETTER = {"bootstrap_rounds", "rounds"}
 HIGHER_IS_BETTER = {"rounds_per_sec", "msgs_per_sec"}
 BOTH_DIRECTIONS = {"msgs_per_round", "latency_p50", "latency_p99",
-                   "latency_p999", "latency_max"}
+                   "latency_p999", "latency_max", "recovery_seconds"}
 IDENTIFYING_KEYS = ("n", "threads", "class", "name", "scheduler")
 
 

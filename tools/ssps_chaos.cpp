@@ -1,0 +1,350 @@
+// ssps_chaos — fault-schedule campaign over the corrupting, lossy,
+// crash-recovering timed network.
+//
+// Sweeps a grid of loss probability x corruption probability x named
+// fault schedule x seed, running the chaos-churn scenario (crash waves,
+// snapshot-based recoveries, corrupted bursts) under each cell and
+// asserting every run ends oracle-green within a virtual-time budget.
+// Every failing cell prints (and records in the JSON report) the exact
+// ssps_chaos invocation that replays just that run — the campaign is
+// deterministic, so the replay reproduces the failure bit-for-bit.
+//
+//   $ ssps_chaos                                    # default grid
+//   $ ssps_chaos --seeds 3 --nodes 16               # CI nightly shape
+//   $ ssps_chaos --schedules split --loss 0.1 --corrupt 0.05
+//   $ ssps_chaos --out chaos.json
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "scenario/builtin.hpp"
+#include "scenario/runner.hpp"
+
+namespace {
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: ssps_chaos [--schedules <a,b,...>] [--loss <csv>]\n"
+               "                  [--corrupt <csv>] [--seeds <n>]\n"
+               "                  [--base-seed <u64>] [--nodes <n>]\n"
+               "                  [--budget <virtual-seconds>] [--no-scramble]\n"
+               "                  [--out <file>] [--verbose]\n"
+               "\n"
+               "Runs the chaos-churn scenario across a fault grid and fails\n"
+               "(exit 1) if any run diverges, reports oracle violations, or\n"
+               "overruns the virtual-time budget.\n"
+               "\n"
+               "schedules:\n"
+               "  churn       crash wave + snapshot recoveries (the builtin)\n"
+               "  no-recover  crashed subscribers stay dead; the ring must\n"
+               "              close over the holes without them\n"
+               "  split       two zones; the crash wave runs under a 10\n"
+               "              virtual-second inter-zone partition\n"
+               "\n"
+               "options:\n"
+               "  --schedules <csv>  schedules to run (default: all three)\n"
+               "  --loss <csv>       loss probabilities (default 0,0.05)\n"
+               "  --corrupt <csv>    corruption probabilities (default 0,0.02)\n"
+               "  --seeds <n>        seeds per cell (default 5)\n"
+               "  --base-seed <u64>  first seed (default 1)\n"
+               "  --nodes <n>        subscriber population (default 16)\n"
+               "  --budget <n>       virtual-second ceiling per run (default 600)\n"
+               "  --no-scramble      start converged instead of from arbitrary\n"
+               "                     scrambled state\n"
+               "  --out <file>       write the campaign matrix as JSON to <file>\n"
+               "  --verbose          one line per run instead of per cell\n");
+}
+
+using ssps::cli::parse_double;
+using ssps::cli::parse_u64;
+using ssps::cli::split_csv;
+
+const char* const kAllSchedules[] = {"churn", "no-recover", "split"};
+
+bool is_schedule(const std::string& name) {
+  for (const char* s : kAllSchedules) {
+    if (name == s) return true;
+  }
+  return false;
+}
+
+/// Applies one named fault schedule to a chaos-churn spec.
+void apply_schedule(ssps::scenario::ScenarioSpec& spec, const std::string& name) {
+  if (name == "no-recover") {
+    for (ssps::scenario::Phase& phase : spec.phases) phase.churn.recoveries = 0;
+    return;
+  }
+  if (name == "split") {
+    // Two zones with identical link behavior, cut from each other for the
+    // first 10 virtual seconds of the crash wave: crashes, the failure
+    // detector's reaction and the repair traffic all happen while half the
+    // ring is unreachable, and stabilization must complete after the heal.
+    spec.exec.timed.zones = 2;
+    spec.exec.timed.remote = spec.exec.timed.local;
+    for (ssps::scenario::Phase& phase : spec.phases) {
+      if (phase.name != "crash-wave") continue;
+      ssps::sim::PartitionWindow cut;
+      cut.from_s = 0;
+      cut.to_s = 10;
+      cut.zone_a = 0;
+      cut.zone_b = 1;
+      phase.partitions.push_back(cut);
+    }
+    return;
+  }
+  // "churn": the builtin as constructed.
+}
+
+struct RunResult {
+  std::uint64_t seed = 0;
+  bool converged = true;
+  bool within_budget = true;
+  std::size_t virtual_s = 0;  ///< total virtual seconds (timed intervals)
+  std::size_t oracle_violations = 0;
+  std::uint64_t corrupted = 0;
+  std::uint64_t rejected = 0;
+  std::size_t recovered = 0;
+  std::size_t recovered_clean = 0;
+  std::string first_detail;
+
+  bool failed() const { return !converged || !within_budget; }
+};
+
+std::string replay_command(const std::string& schedule, double loss, double corrupt,
+                           std::uint64_t seed, std::uint64_t nodes, bool scramble) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "ssps_chaos --schedules %s --loss %g --corrupt %g "
+                "--seeds 1 --base-seed %llu --nodes %llu%s",
+                schedule.c_str(), loss, corrupt,
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(nodes),
+                scramble ? "" : " --no-scramble");
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> schedules(kAllSchedules,
+                                     kAllSchedules + std::size(kAllSchedules));
+  std::vector<double> losses = {0.0, 0.05};
+  std::vector<double> corrupts = {0.0, 0.02};
+  std::uint64_t seeds = 5;
+  std::uint64_t base_seed = 1;
+  std::uint64_t nodes = 16;
+  std::uint64_t budget_s = 600;
+  bool scramble = true;
+  bool verbose = false;
+  std::string out_path;
+
+  auto parse_prob_list = [](const char* v, std::vector<double>& out) {
+    if (v == nullptr) return false;
+    out.clear();
+    for (const std::string& item : split_csv(v)) {
+      double p = 0.0;
+      if (!parse_double(item.c_str(), p) || p < 0.0 || p >= 1.0) return false;
+      out.push_back(p);
+    }
+    return !out.empty();
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    }
+    if (arg == "--schedules") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      schedules = split_csv(v);
+      for (const std::string& name : schedules) {
+        if (!is_schedule(name)) {
+          std::fprintf(stderr, "ssps_chaos: unknown schedule '%s'\n", name.c_str());
+          return 2;
+        }
+      }
+    } else if (arg == "--loss") {
+      if (!parse_prob_list(value(), losses)) {
+        std::fprintf(stderr, "ssps_chaos: --loss expects probabilities in [0,1)\n");
+        return 2;
+      }
+    } else if (arg == "--corrupt") {
+      if (!parse_prob_list(value(), corrupts)) {
+        std::fprintf(stderr, "ssps_chaos: --corrupt expects probabilities in [0,1)\n");
+        return 2;
+      }
+    } else if (arg == "--seeds") {
+      if (!parse_u64(value(), seeds) || seeds == 0) {
+        std::fprintf(stderr, "ssps_chaos: --seeds expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--base-seed") {
+      if (!parse_u64(value(), base_seed)) {
+        std::fprintf(stderr, "ssps_chaos: --base-seed expects an unsigned integer\n");
+        return 2;
+      }
+    } else if (arg == "--nodes") {
+      if (!parse_u64(value(), nodes) || nodes == 0) {
+        std::fprintf(stderr, "ssps_chaos: --nodes expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--budget") {
+      if (!parse_u64(value(), budget_s) || budget_s == 0) {
+        std::fprintf(stderr, "ssps_chaos: --budget expects a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--no-scramble") {
+      scramble = false;
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) {
+        usage(stderr);
+        return 2;
+      }
+      out_path = v;
+    } else {
+      std::fprintf(stderr, "ssps_chaos: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    }
+  }
+  if (schedules.empty()) {
+    std::fprintf(stderr, "ssps_chaos: no schedules selected\n");
+    return 2;
+  }
+
+  ssps::scenario::Json cells = ssps::scenario::Json::array();
+  std::size_t failures = 0;
+  std::vector<std::string> replays;
+
+  for (const std::string& schedule : schedules) {
+    for (const double loss : losses) {
+      for (const double corrupt : corrupts) {
+        std::vector<RunResult> results;
+        std::size_t worst_s = 0;
+
+        for (std::uint64_t s = 0; s < seeds; ++s) {
+          const std::uint64_t seed = base_seed + s;
+          ssps::scenario::ScenarioSpec spec = ssps::scenario::builtin_scenario(
+              "chaos-churn", seed, static_cast<std::size_t>(nodes));
+          if (scramble) spec = ssps::scenario::scrambled_variant(std::move(spec));
+          spec.exec.timed.local.loss = loss;
+          spec.exec.timed.remote.loss = loss;
+          spec.exec.timed.local.corrupt = corrupt;
+          spec.exec.timed.remote.corrupt = corrupt;
+          apply_schedule(spec, schedule);
+
+          ssps::scenario::ScenarioRunner runner(std::move(spec));
+          const ssps::scenario::ScenarioReport& report = runner.run();
+
+          RunResult result;
+          result.seed = seed;
+          result.converged = report.ok && report.oracle_ok;
+          result.virtual_s = report.total_rounds;
+          result.within_budget = result.virtual_s <= budget_s;
+          for (const ssps::scenario::PhaseReport& p : report.phases) {
+            result.corrupted += p.corrupted;
+            result.rejected += p.rejected;
+            result.recovered += p.recovered;
+            result.recovered_clean += p.recovered_clean;
+            if (p.oracle && p.oracle->violations > 0) {
+              result.oracle_violations += p.oracle->violations;
+              if (result.first_detail.empty() && !p.oracle->details.empty()) {
+                result.first_detail = p.oracle->details.front();
+              }
+            }
+          }
+          worst_s = std::max(worst_s, result.virtual_s);
+
+          if (result.failed()) {
+            failures += 1;
+            replays.push_back(
+                replay_command(schedule, loss, corrupt, seed, nodes, scramble));
+          }
+          if (verbose || result.failed()) {
+            std::printf(
+                "%-10s loss %-5g corrupt %-5g seed %-5llu %s %4zus  "
+                "corrupted %llu rejected %llu recovered %zu/%zu%s%s\n",
+                schedule.c_str(), loss, corrupt,
+                static_cast<unsigned long long>(seed),
+                result.failed() ? "FAILED   " : "converged", result.virtual_s,
+                static_cast<unsigned long long>(result.corrupted),
+                static_cast<unsigned long long>(result.rejected),
+                result.recovered_clean, result.recovered,
+                result.first_detail.empty() ? "" : "  first: ",
+                result.first_detail.c_str());
+          }
+          results.push_back(std::move(result));
+        }
+
+        std::size_t ok_count = 0;
+        for (const RunResult& r : results) ok_count += r.failed() ? 0 : 1;
+        std::printf(
+            "%-10s loss %-5g corrupt %-5g  %zu/%zu seeds clean, "
+            "worst %zu virtual seconds\n",
+            schedule.c_str(), loss, corrupt, ok_count, results.size(), worst_s);
+
+        ssps::scenario::Json runs = ssps::scenario::Json::array();
+        for (const RunResult& r : results) {
+          ssps::scenario::Json entry = ssps::scenario::Json::object();
+          entry["seed"] = r.seed;
+          entry["converged"] = r.converged;
+          entry["within_budget"] = r.within_budget;
+          entry["virtual_seconds"] = static_cast<std::uint64_t>(r.virtual_s);
+          entry["oracle_violations"] = static_cast<std::uint64_t>(r.oracle_violations);
+          entry["corrupted"] = r.corrupted;
+          entry["rejected"] = r.rejected;
+          entry["recovered"] = static_cast<std::uint64_t>(r.recovered);
+          entry["recovered_clean"] = static_cast<std::uint64_t>(r.recovered_clean);
+          if (!r.first_detail.empty()) entry["first_detail"] = r.first_detail;
+          if (r.failed()) {
+            entry["replay"] = replay_command(schedule, loss, corrupt, r.seed, nodes,
+                                             scramble);
+          }
+          runs.push_back(std::move(entry));
+        }
+        ssps::scenario::Json cell = ssps::scenario::Json::object();
+        cell["schedule"] = schedule;
+        cell["loss"] = loss;
+        cell["corrupt"] = corrupt;
+        cell["runs"] = std::move(runs);
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+
+  if (!out_path.empty()) {
+    ssps::scenario::Json doc = ssps::scenario::Json::object();
+    doc["tool"] = std::string("ssps_chaos");
+    doc["nodes"] = nodes;
+    doc["seeds"] = seeds;
+    doc["base_seed"] = base_seed;
+    doc["budget_seconds"] = budget_s;
+    doc["scramble"] = scramble;
+    doc["failures"] = static_cast<std::uint64_t>(failures);
+    doc["cells"] = std::move(cells);
+    if (!ssps::scenario::write_json_file(out_path, doc)) {
+      std::fprintf(stderr, "ssps_chaos: cannot write '%s'\n", out_path.c_str());
+      return 1;
+    }
+  }
+
+  if (failures > 0) {
+    std::fprintf(stderr, "ssps_chaos: %zu run(s) failed; replay with:\n", failures);
+    for (const std::string& replay : replays) {
+      std::fprintf(stderr, "  %s\n", replay.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}
