@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "common/encode.hpp"
 #include "sim/message_pool.hpp"
 #include "wire/codec.hpp"
 
@@ -144,6 +145,8 @@ std::vector<std::pair<std::string, std::vector<std::uint8_t>>> seed_corpus() {
       pool.make<ssps::pubsub::TopicEnvelope>(
           1, pool.make<ssps::pubsub::TopicEnvelope>(
                  2, pool.make<msg::RemoveConnections>(NodeId{3}))));
+  samples.emplace_back("hello", pool.make<ssps::wire::Hello>(
+                                    ssps::wire::kProtocolVersion, NodeId{5}));
 
   std::vector<std::pair<std::string, std::vector<std::uint8_t>>> out;
   for (const auto& [name, sample] : samples) {
@@ -163,6 +166,27 @@ std::vector<std::pair<std::string, std::vector<std::uint8_t>>> seed_corpus() {
     std::vector<std::uint8_t> unknown = out[0].second;
     unknown[0] = 200;  // type byte outside the enum
     out.emplace_back("broken-unknown-type", std::move(unknown));
+  }
+  {
+    // A future-version Hello with a correct checksum: the handshake
+    // rejection path (kVersionMismatch) the deployment transport takes
+    // when two builds meet.
+    std::vector<std::uint8_t> bytes;
+    ssps::common::Encoder payload;
+    payload.u32(ssps::wire::kProtocolVersion + 1);
+    payload.u64(5);
+    bytes.push_back(static_cast<std::uint8_t>(ssps::wire::WireType::kHello));
+    const std::uint64_t len = payload.buffer().size();
+    for (int i = 0; i < 8; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    }
+    std::uint32_t crc = ssps::wire::crc32({bytes.data(), 1});
+    crc = ssps::wire::crc32(payload.buffer(), crc);
+    for (int i = 0; i < 4; ++i) {
+      bytes.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+    }
+    bytes.insert(bytes.end(), payload.buffer().begin(), payload.buffer().end());
+    out.emplace_back("hello-version-mismatch", std::move(bytes));
   }
   return out;
 }

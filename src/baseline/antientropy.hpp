@@ -33,6 +33,11 @@ struct FullState final : sim::MsgBase<FullState> {
   void collect_refs(std::vector<sim::NodeId>& out) const override {
     for (const auto& p : pubs) out.push_back(p.origin);
   }
+  void adopt_offwire(const sim::Message& original) override {
+    const auto* o = sim::msg_cast<FullState>(original);
+    if (o == nullptr || o->pubs.size() != pubs.size()) return;
+    for (std::size_t i = 0; i < pubs.size(); ++i) pubs[i].born = o->pubs[i].born;
+  }
 };
 
 }  // namespace msg

@@ -1,0 +1,38 @@
+#include "net/handshake.hpp"
+
+#include "sim/message_pool.hpp"
+
+namespace ssps::net {
+
+bool send_hello(Socket& sock, sim::NodeId node) {
+  const wire::Hello hello(wire::kProtocolVersion, node);
+  std::vector<std::uint8_t> frame;
+  if (!wire::encode_message(hello, frame)) return false;
+  return sock.send_all(frame);
+}
+
+HelloResult expect_hello(Socket& sock, FrameAssembler& stream, int timeout_ms) {
+  HelloResult out;
+  const auto frame = sock.read_frame(stream, timeout_ms);
+  if (!frame) {
+    out.status = stream.failed() ? stream.error().status
+                                 : wire::DecodeStatus::kTruncated;
+    return out;
+  }
+  sim::MessagePool pool;
+  const wire::DecodeResult decoded = wire::decode_message(*frame, pool);
+  if (!decoded.ok()) {
+    out.status = decoded.error.status;
+    return out;
+  }
+  const auto* hello = sim::msg_cast<wire::Hello>(*decoded.msg);
+  if (hello == nullptr) {
+    out.status = wire::DecodeStatus::kBadPayload;
+    return out;
+  }
+  out.ok = true;
+  out.node = hello->node;
+  return out;
+}
+
+}  // namespace ssps::net

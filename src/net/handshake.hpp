@@ -1,0 +1,34 @@
+// Versioned connection handshake: each side opens with a wire-codec
+// Hello frame (protocol version + the node/shard id it claims). A peer
+// speaking another protocol version decodes to a structured
+// DecodeStatus::kVersionMismatch and the connection is refused — two
+// incompatible builds must part ways at byte one, not diverge mid-run.
+#pragma once
+
+#include <cstdint>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "sim/types.hpp"
+#include "wire/codec.hpp"
+
+namespace ssps::net {
+
+/// Sends a Hello carrying this side's protocol version and `node`.
+bool send_hello(Socket& sock, sim::NodeId node);
+
+struct HelloResult {
+  bool ok = false;
+  /// Why the handshake failed (kVersionMismatch for a peer from another
+  /// build; kTruncated for EOF/timeout; kBadPayload for a non-Hello
+  /// opening frame).
+  wire::DecodeStatus status = wire::DecodeStatus::kOk;
+  /// The peer's claimed node/shard id (valid when ok).
+  sim::NodeId node;
+};
+
+/// Reads the peer's opening frame and requires it to be a valid,
+/// version-matching Hello.
+HelloResult expect_hello(Socket& sock, FrameAssembler& stream, int timeout_ms);
+
+}  // namespace ssps::net

@@ -1,0 +1,87 @@
+// BarrierTracker: the coordinator's per-round barrier bookkeeping as a
+// pure, I/O-free state machine, so the awkward cases — a process crashing
+// mid-round, a slow joiner acking last, duplicate acks from a retrying
+// peer — are unit-testable without sockets or forked processes.
+//
+// One tracker survives the whole run; begin_round arms it for the next
+// barrier. A round completes when every shard either acked the current
+// round (with the expected digest) or has been marked dead; the caller
+// then respawns dead shards before releasing the barrier. Divergence —
+// a digest mismatch, an ack for a round the barrier isn't at, or a relay
+// count disagreeing with the ack's claim — is sticky: a diverged fleet
+// must abort, not limp on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ssps::proc {
+
+class BarrierTracker {
+ public:
+  explicit BarrierTracker(std::size_t shards);
+
+  /// Arms the barrier for `round`; every live shard must ack with
+  /// `expected_digest`.
+  void begin_round(std::uint64_t round, std::uint64_t expected_digest);
+
+  enum class Ack {
+    kAccepted,        ///< first ack of this shard for the current round
+    kDuplicate,       ///< already acked this round; counted once
+    kStale,           ///< ack for an already-released round; ignored
+    kWrongRound,      ///< ack from the future — protocol violation
+    kDigestMismatch,  ///< replica state diverged
+  };
+
+  /// Processes one RoundDone{round, digest} from `shard`.
+  Ack round_done(std::size_t shard, std::uint64_t round, std::uint64_t digest);
+
+  /// Records `relays` relay frames received from `shard` this round;
+  /// checked against the ack's claimed count in complete().
+  void count_relay(std::size_t shard) { relays_seen_[shard] += 1; }
+
+  /// The relay count `shard`'s ack claimed (valid once acked).
+  void claim_relays(std::size_t shard, std::uint64_t count) {
+    relays_claimed_[shard] = count;
+  }
+
+  /// Marks `shard` dead (EOF / kill observed). Its ack is no longer
+  /// awaited and its received relays no longer checked (a process dying
+  /// mid-send legitimately truncates its relay stream).
+  void mark_dead(std::size_t shard);
+
+  /// Back alive after a respawn (the respawned replica re-acks the
+  /// current round before the barrier releases).
+  void mark_alive(std::size_t shard);
+
+  bool dead(std::size_t shard) const { return dead_[shard] != 0; }
+
+  /// True when every shard is accounted for (acked or dead).
+  bool complete() const;
+
+  /// Called once the barrier completes: true when every acked shard's
+  /// received relay count equals the count its ack claimed. A mismatch
+  /// (a lost or injected relay frame) marks the fleet diverged.
+  bool verify_relay_counts();
+
+  /// Shards neither acked nor dead (the slow joiners still awaited).
+  std::vector<std::size_t> missing() const;
+
+  /// Sticky divergence flag (digest mismatch, future-round ack, or a
+  /// relay count mismatch detected by complete()).
+  bool diverged() const { return diverged_; }
+
+  std::uint64_t round() const { return round_; }
+
+ private:
+  std::uint64_t round_ = 0;
+  std::uint64_t expected_digest_ = 0;
+  bool diverged_ = false;
+  std::vector<std::uint8_t> acked_;
+  std::vector<std::uint8_t> dead_;
+  std::vector<std::uint64_t> relays_seen_;
+  std::vector<std::uint64_t> relays_claimed_;
+};
+
+}  // namespace ssps::proc

@@ -1,0 +1,106 @@
+#include "proc/snapshot_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "wire/codec.hpp"
+
+namespace ssps::proc {
+namespace {
+
+constexpr char kMagic[4] = {'S', 'N', 'A', 'P'};
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+}  // namespace
+
+SnapshotStore::SnapshotStore(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::filesystem::path SnapshotStore::path_of(sim::NodeId id) const {
+  return dir_ / ("node-" + std::to_string(id.value) + ".snap");
+}
+
+bool SnapshotStore::save(sim::NodeId id, std::span<const std::uint8_t> bytes) const {
+  std::vector<std::uint8_t> blob;
+  blob.reserve(16 + bytes.size());
+  blob.insert(blob.end(), kMagic, kMagic + 4);
+  put_u32(blob, wire::crc32(bytes));
+  put_u64(blob, bytes.size());
+  blob.insert(blob.end(), bytes.begin(), bytes.end());
+
+  const std::filesystem::path final_path = path_of(id);
+  const std::filesystem::path tmp_path =
+      final_path.string() + ".tmp";  // same directory, so rename is atomic
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    std::remove(tmp_path.c_str());
+    return false;
+  }
+  return std::rename(tmp_path.c_str(), final_path.c_str()) == 0;
+}
+
+std::optional<std::vector<std::uint8_t>> SnapshotStore::load(sim::NodeId id) const {
+  std::FILE* f = std::fopen(path_of(id).c_str(), "rb");
+  if (f == nullptr) return std::nullopt;
+  std::vector<std::uint8_t> blob;
+  std::uint8_t chunk[65536];
+  for (;;) {
+    const std::size_t n = std::fread(chunk, 1, sizeof(chunk), f);
+    blob.insert(blob.end(), chunk, chunk + n);
+    if (n < sizeof(chunk)) break;
+  }
+  std::fclose(f);
+  if (blob.size() < 16 || std::memcmp(blob.data(), kMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  std::uint32_t crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    crc |= static_cast<std::uint32_t>(blob[4 + i]) << (8 * i);
+  }
+  std::uint64_t len = 0;
+  for (int i = 0; i < 8; ++i) {
+    len |= static_cast<std::uint64_t>(blob[8 + i]) << (8 * i);
+  }
+  if (blob.size() - 16 != len) return std::nullopt;
+  std::vector<std::uint8_t> payload(blob.begin() + 16, blob.end());
+  if (wire::crc32(payload) != crc) return std::nullopt;
+  return payload;
+}
+
+std::vector<sim::NodeId> SnapshotStore::stored() const {
+  std::vector<sim::NodeId> out;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node-", 0) != 0) continue;
+    const std::size_t dot = name.find(".snap");
+    if (dot == std::string::npos) continue;
+    const std::string digits = name.substr(5, dot - 5);
+    if (digits.empty() ||
+        digits.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    out.push_back(sim::NodeId{std::stoull(digits)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](sim::NodeId a, sim::NodeId b) { return a.value < b.value; });
+  return out;
+}
+
+}  // namespace ssps::proc

@@ -1,0 +1,48 @@
+// Disk persistence for Network::enable_snapshots checkpoints: one file
+// per node, written tmp-then-atomic-rename so a daemon killed mid-write
+// never leaves a torn snapshot — the file either holds the previous
+// checkpoint or the new one. A restarted ssps_noded loads these and feeds
+// them through the simulator's stale-snapshot recovery path
+// (Network::mutable_snapshot + recover), exactly the crash-recovery
+// machinery the in-process chaos campaigns exercise.
+//
+// File format: "SNAP" magic, u32 CRC-32 over the payload, u64 payload
+// length, payload (the node's encode_state bytes). load() verifies all
+// three and returns nullopt for missing, torn or damaged files — recovery
+// then falls back to a fresh-start node, which the protocol stabilizes
+// from anyway.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace ssps::proc {
+
+class SnapshotStore {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit SnapshotStore(std::filesystem::path dir);
+
+  /// Atomically replaces node `id`'s snapshot file.
+  bool save(sim::NodeId id, std::span<const std::uint8_t> bytes) const;
+
+  /// The stored snapshot, or nullopt if missing/corrupt.
+  std::optional<std::vector<std::uint8_t>> load(sim::NodeId id) const;
+
+  /// Ids with a snapshot file present (any validity), in id order.
+  std::vector<sim::NodeId> stored() const;
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+ private:
+  std::filesystem::path path_of(sim::NodeId id) const;
+
+  std::filesystem::path dir_;
+};
+
+}  // namespace ssps::proc

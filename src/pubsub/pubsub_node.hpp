@@ -119,6 +119,11 @@ struct Publish final : sim::MsgBase<Publish> {
     for (const auto& p : pubs) encode_publication(e, p);
     return true;
   }
+  void adopt_offwire(const sim::Message& original) override {
+    const auto* o = sim::msg_cast<Publish>(original);
+    if (o == nullptr || o->pubs.size() != pubs.size()) return;
+    for (std::size_t i = 0; i < pubs.size(); ++i) pubs[i].born = o->pubs[i].born;
+  }
 };
 
 /// PublishNew(p): flooding of a fresh publication (§4.3).
@@ -134,6 +139,9 @@ struct PublishNew final : sim::MsgBase<PublishNew> {
   bool encode(common::Encoder& e) const override {
     encode_publication(e, pub);
     return true;
+  }
+  void adopt_offwire(const sim::Message& original) override {
+    if (const auto* o = sim::msg_cast<PublishNew>(original)) pub.born = o->pub.born;
   }
 };
 

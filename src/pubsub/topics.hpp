@@ -46,6 +46,11 @@ struct TopicEnvelope final : sim::MsgBase<TopicEnvelope> {
     e.u32(topic);
     return inner->encode(e);
   }
+  void adopt_offwire(const sim::Message& original) override {
+    if (const auto* o = sim::msg_cast<TopicEnvelope>(original)) {
+      inner->adopt_offwire(*o->inner);
+    }
+  }
 };
 
 /// MessageSink that stamps outgoing messages with a fixed topic.

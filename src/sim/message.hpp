@@ -61,6 +61,14 @@ class Message {
     return PooledMsg{};
   }
 
+  /// Copies telemetry-only stamps — fields deliberately left off the wire,
+  /// like pubsub::Publication::born — from `original`, which the caller
+  /// must already have proven byte-identical to this message under
+  /// encode(). The deployment layer calls this on a wire-decoded copy
+  /// before swapping it into the in-flight lane, so delivery-latency
+  /// histograms are unaffected by the swap. Default: no off-wire state.
+  virtual void adopt_offwire(const Message& original) { (void)original; }
+
   /// Appends a canonical byte encoding of this message's payload to `enc`
   /// (common/encode.hpp). The model checker keys channel contents on
   /// name() + this encoding — NOT on type_id(), which is assigned in

@@ -104,6 +104,29 @@ void Network::drop_pending_for(NodeId to) {
   }
 }
 
+const Envelope* Network::find_pending(NodeId from, std::uint64_t seq) const {
+  for (const Envelope& env : pending_) {
+    if (env.seq == seq && env.from == from) return &env;
+  }
+  return nullptr;
+}
+
+bool Network::replace_pending_message(NodeId from, std::uint64_t seq,
+                                      PooledMsg msg) {
+  SSPS_ASSERT(msg);
+  for (Envelope& env : pending_) {
+    if (env.seq == seq && env.from == from) {
+      if (trace_ != nullptr) [[unlikely]] trace_forget(env.msg);
+      env.pool->destroy(env.msg, env.handle);
+      env.msg = msg.get();
+      env.pool = msg.pool();
+      env.handle = msg.release();
+      return true;
+    }
+  }
+  return false;
+}
+
 void Network::crash(NodeId id) {
   Slot* slot = find_slot(id);
   SSPS_ASSERT_MSG(slot != nullptr && slot->node != nullptr,
@@ -321,14 +344,15 @@ std::size_t Network::deliver_grouped_range(std::size_t begin, std::size_t end,
     }
     ctx.metrics->on_deliver(*env.msg, env.to);
     if (trace_ != nullptr) [[unlikely]] trace_deliver(env);
-    else if (timed_enabled_) acting_node_ = env.to;
+    else if (timed_enabled_ || attribute_sends_) acting_node_ = env.to;
     slot->node->handle(PooledMsg(env.pool, env.msg, env.handle));
     ++delivered;
   }
   // Timed mode attributes each handler's sends to the handling node
-  // (trace_deliver does the same when tracing); the guard keeps this a
-  // no-write under the parallel scheduler, where timed mode is off.
-  if (timed_enabled_) acting_node_ = NodeId::null();
+  // (trace_deliver does the same when tracing, set_attribute_sends asks
+  // for the same in plain round mode); the guard keeps this a no-write
+  // under the parallel scheduler, where all three are off.
+  if (timed_enabled_ || attribute_sends_) acting_node_ = NodeId::null();
   return delivered;
 }
 
@@ -343,7 +367,7 @@ void Network::timeout_sweep() {
   // A full sweep rewrites every alive last_timeout: cheaper to let the
   // async index rebuild once on the next step() than to push n updates.
   async_timeout_heap_valid_ = false;
-  const bool attribute = trace_ != nullptr || timed_enabled_;
+  const bool attribute = trace_ != nullptr || timed_enabled_ || attribute_sends_;
   const std::size_t population = slots_.size();
   std::size_t timeouts = 0;
   for (std::size_t i = 0; i < population; ++i) {

@@ -486,6 +486,43 @@ class Network {
   /// while a trace is attached. Pass nullptr to detach.
   void attach_trace(Trace* trace);
 
+  /// Maintains sender attribution (Envelope::from) for round-mode sends
+  /// even without a trace or timed mode: the multi-process deployment
+  /// shards in-flight messages by sending node, so it needs `from` on
+  /// every node-originated envelope. Round delivery never reads `from`
+  /// (grouping, shuffling and crash drops all key on `to`), so flipping
+  /// this changes no delivery decision and no report byte. Serial-only,
+  /// like tracing: attribution goes through the single acting_node_
+  /// member.
+  void set_attribute_sends(bool on) {
+    SSPS_ASSERT_MSG(!on || scheduler_threads() == 1,
+                    "set_attribute_sends: attribution is serial-only");
+    attribute_sends_ = on;
+  }
+
+  /// Visits every in-flight round-lane envelope in canonical send (seq)
+  /// order — pending_ appends in send order and only the round barrier
+  /// reorders, so iteration order IS the simulator's canonical order.
+  /// Read-only: the deployment layer uses it to extract the envelopes its
+  /// shard originated.
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    for (const Envelope& env : pending_) fn(env);
+  }
+
+  /// The in-flight envelope stamped (from, seq), or nullptr. Seq values
+  /// are unique (single monotone counter), so the pair over-identifies;
+  /// `from` is kept in the key as a cross-process consistency check.
+  const Envelope* find_pending(NodeId from, std::uint64_t seq) const;
+
+  /// Swaps the payload of the in-flight envelope stamped (from, seq) for
+  /// `msg`, keeping the envelope's routing fields (to, sent_at, seq).
+  /// The deployment transport uses this to substitute the bytes that
+  /// actually travelled the socket for the replica-generated message —
+  /// delivery then consumes the wire-decoded object. Returns false if no
+  /// such envelope is in flight.
+  bool replace_pending_message(NodeId from, std::uint64_t seq, PooledMsg msg);
+
   ssps::Rng& rng() { return rng_; }
 
   /// True if the union graph of explicit edges (node variables) and
@@ -738,6 +775,9 @@ class Network {
   /// the single member is race-free); null for sends from outside any
   /// round (harness injections, publishes).
   NodeId acting_node_;
+  /// Keep acting_node_ maintained in plain round mode too
+  /// (set_attribute_sends; serial-only like the trace/timed cases).
+  bool attribute_sends_ = false;
   /// In-flight flow correlation: message -> flow id, assigned in send
   /// order. Only populated while a trace is attached.
   std::unordered_map<const Message*, std::uint64_t> flow_ids_;

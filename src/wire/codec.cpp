@@ -238,6 +238,16 @@ sim::PooledMsg decode_payload(WireType type, Decoder& d, sim::MessagePool& pool,
     }
     case WireType::kTopicEnvelope:
       return decode_envelope(d, pool, error, depth);
+    case WireType::kHello: {
+      std::uint32_t version = 0;
+      std::uint64_t node = 0;
+      const std::size_t version_at = d.offset();
+      if (!d.u32(version) || !d.u64(node)) return bad();
+      if (version != kProtocolVersion) {
+        return fail(error, DecodeStatus::kVersionMismatch, version_at);
+      }
+      return pool.make<Hello>(version, sim::NodeId{node});
+    }
   }
   return fail(error, DecodeStatus::kUnknownType, start);
 }
@@ -259,6 +269,8 @@ const char* decode_status_name(DecodeStatus s) {
     case DecodeStatus::kBadPayload: return "bad-payload";
     case DecodeStatus::kTrailingBytes: return "trailing-bytes";
     case DecodeStatus::kDepthExceeded: return "depth-exceeded";
+    case DecodeStatus::kVersionMismatch: return "version-mismatch";
+    case DecodeStatus::kFrameTooLarge: return "frame-too-large";
   }
   return "invalid-status";
 }
@@ -279,6 +291,7 @@ std::optional<WireType> wire_type_of(const sim::Message& m) {
   if (sim::msg_cast<pm::Publish>(m)) return WireType::kPublish;
   if (sim::msg_cast<pm::PublishNew>(m)) return WireType::kPublishNew;
   if (sim::msg_cast<pubsub::TopicEnvelope>(m)) return WireType::kTopicEnvelope;
+  if (sim::msg_cast<Hello>(m)) return WireType::kHello;
   return std::nullopt;
 }
 

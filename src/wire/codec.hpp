@@ -47,6 +47,33 @@ enum class WireType : std::uint8_t {
   kPublishNew = 12,
   // topic multiplexing (§4)
   kTopicEnvelope = 13,
+  // net/ (deployment handshake)
+  kHello = 14,
+};
+
+/// Version stamped into Hello frames. Bump on any incompatible change to
+/// the frame layout or the control protocol; peers with a different
+/// version are rejected at handshake time (DecodeStatus::kVersionMismatch)
+/// instead of diverging mid-run.
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Handshake greeting exchanged when a transport connection opens: the
+/// speaker's protocol version plus the node (shard) id it claims to host.
+/// A transport-level message — it never travels through the simulator —
+/// but it shares the codec so the fuzzer and the total-decode guarantee
+/// cover it like any protocol frame.
+struct Hello final : sim::MsgBase<Hello> {
+  std::uint32_t version = kProtocolVersion;
+  sim::NodeId node;
+
+  Hello(std::uint32_t v, sim::NodeId n) : version(v), node(n) {}
+  std::string_view name() const override { return "Hello"; }
+  std::size_t wire_size() const override { return 8 + 4 + 8; }
+  bool encode(common::Encoder& e) const override {
+    e.u32(version);
+    e.u64(node.value);
+    return true;
+  }
 };
 
 /// Why a decode failed. kOk never appears in a DecodeError.
@@ -58,6 +85,8 @@ enum class DecodeStatus : std::uint8_t {
   kBadPayload,     ///< payload structure invalid (bad label, length, flag…)
   kTrailingBytes,  ///< payload longer than the message's fields consume
   kDepthExceeded,  ///< TopicEnvelope nesting beyond kMaxEnvelopeDepth
+  kVersionMismatch,  ///< Hello from a peer speaking another protocol version
+  kFrameTooLarge,  ///< frame header claims a payload beyond the assembly cap
 };
 
 /// Stable kebab-case name (metrics labels, JSON reports, fuzz triage).

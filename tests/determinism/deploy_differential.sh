@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Live-vs-sim differential oracle: a real multi-process deployment (one
+# ssps_deploy coordinator + ssps_noded daemons over localhost TCP) must
+# produce a JSON report byte-identical to the in-process simulator's for
+# the same (scenario, seed, nodes) — after stripping the deploy_* header
+# keys only the live run carries. Covered shapes: n = 64 steady across 4
+# processes, and the scrambled churn-wave variant (multi-topic +
+# stabilization-from-arbitrary-state) across 3.
+#
+#   usage: deploy_differential.sh <ssps_deploy> <ssps_noded> <ssps_run>
+set -u
+
+deploy=${1:?usage: deploy_differential.sh <ssps_deploy> <ssps_noded> <ssps_run>}
+noded=${2:?usage: deploy_differential.sh <ssps_deploy> <ssps_noded> <ssps_run>}
+run=${3:?usage: deploy_differential.sh <ssps_deploy> <ssps_noded> <ssps_run>}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+status=0
+
+check() {
+  local name=$1 scenario=$2 seed=$3 nodes=$4 procs=$5 extra=$6
+  local live="$workdir/$name-live.json" sim="$workdir/$name-sim.json"
+  if ! "$deploy" --noded "$noded" --scenario "$scenario" --seed "$seed" \
+      --nodes "$nodes" --procs "$procs" $extra --quiet --out "$live"; then
+    echo "FAILED DEPLOY: $name"
+    status=1
+    return
+  fi
+  if ! "$run" --scenario "$scenario" --seed "$seed" --nodes "$nodes" \
+      $extra --quiet --out "$sim"; then
+    echo "FAILED SIM: $name"
+    status=1
+    return
+  fi
+  # Guard against a vacuous pass: the live report must actually carry the
+  # deployment header (i.e. really came from the multi-process path).
+  if ! grep -q '"deploy_procs"' "$live"; then
+    echo "MISSING DEPLOY HEADER: $name"
+    status=1
+    return
+  fi
+  if ! diff <(grep -v '"deploy_' "$live") "$sim" >/dev/null; then
+    echo "DIFFERENTIAL MISMATCH: $name (live vs sim)"
+    diff <(grep -v '"deploy_' "$live") "$sim" | head -20
+    status=1
+    return
+  fi
+  echo "ok: $name"
+}
+
+check steady-64 steady 7 64 4 ""
+check churn-wave-scrambled-64 churn-wave 5 64 3 "--scramble"
+
+exit $status

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Kill-recovery: SIGKILL one ssps_noded mid-scenario and let the
+# coordinator respawn it. The respawned process replays the prefix
+# locally, audits its on-disk snapshots against the replayed state, then
+# rejoins the barrier; every replica applies the same lockstep
+# crash+recover (stale-snapshot path) for the killed shard's nodes. The
+# run must finish with ok = true and oracle_ok = true (exit 0) — the
+# deployment stays oracle-green through a real process death, though the
+# report legitimately differs from an undisturbed run's.
+#
+#   usage: deploy_kill_restart.sh <ssps_deploy> <ssps_noded>
+set -u
+
+deploy=${1:?usage: deploy_kill_restart.sh <ssps_deploy> <ssps_noded>}
+noded=${2:?usage: deploy_kill_restart.sh <ssps_deploy> <ssps_noded>}
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+out="$workdir/kill-live.json"
+if ! "$deploy" --noded "$noded" --scenario steady --seed 11 --nodes 48 \
+    --procs 3 --oracle --snapshot-every 2 --snapshot-dir "$workdir/snaps" \
+    --kill-shard 1 --kill-round 6 --quiet --out "$out"; then
+  echo "FAILED: kill-restart deployment exited nonzero"
+  exit 1
+fi
+# Guard against vacuous passes: the respawn must actually have happened,
+# and the killed shard must have left snapshot files behind.
+if ! grep -q '"deploy_respawns": 1' "$out"; then
+  echo "FAILED: no respawn recorded in the report"
+  exit 1
+fi
+if ! ls "$workdir/snaps"/node-*.snap >/dev/null 2>&1; then
+  echo "FAILED: no snapshot files were persisted"
+  exit 1
+fi
+echo "ok: killed+respawned daemon converged oracle-green"

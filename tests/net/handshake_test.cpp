@@ -1,0 +1,141 @@
+// Versioned Hello handshake: roundtrip over a real socket pair, structured
+// rejection of version-mismatched and non-Hello openings, loopback
+// listener/connect plumbing (ephemeral port discovery included).
+#include <sys/socket.h>
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/encode.hpp"
+#include "net/frame.hpp"
+#include "net/handshake.hpp"
+#include "net/socket.hpp"
+#include "proc/ctrl.hpp"
+#include "wire/codec.hpp"
+
+namespace ssps::net {
+namespace {
+
+using ssps::sim::NodeId;
+
+constexpr int kTimeoutMs = 5000;
+
+struct SocketPair {
+  Socket a;
+  Socket b;
+};
+
+SocketPair make_pair() {
+  int fds[2] = {-1, -1};
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  return {Socket(fds[0]), Socket(fds[1])};
+}
+
+/// A Hello frame claiming protocol version `version` — built by hand so
+/// the test can speak a version the codec itself refuses to emit.
+std::vector<std::uint8_t> hello_frame(std::uint32_t version, std::uint64_t node) {
+  ssps::common::Encoder payload;
+  payload.u32(version);
+  payload.u64(node);
+  std::vector<std::uint8_t> out;
+  const std::uint8_t type_byte =
+      static_cast<std::uint8_t>(wire::WireType::kHello);
+  out.push_back(type_byte);
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(payload.size() >> (8 * i)));
+  }
+  std::uint32_t crc = wire::crc32({&type_byte, 1});
+  crc = wire::crc32(payload.buffer(), crc);
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  out.insert(out.end(), payload.buffer().begin(), payload.buffer().end());
+  return out;
+}
+
+TEST(Handshake, RoundtripOverSocketPair) {
+  SocketPair pair = make_pair();
+  ASSERT_TRUE(send_hello(pair.a, NodeId{7}));
+  FrameAssembler stream;
+  const HelloResult got = expect_hello(pair.b, stream, kTimeoutMs);
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.status, wire::DecodeStatus::kOk);
+  EXPECT_EQ(got.node.value, 7u);
+}
+
+TEST(Handshake, VersionMismatchIsStructuredRejection) {
+  SocketPair pair = make_pair();
+  const std::vector<std::uint8_t> frame =
+      hello_frame(wire::kProtocolVersion + 1, 7);
+  ASSERT_TRUE(pair.a.send_all(frame));
+  FrameAssembler stream;
+  const HelloResult got = expect_hello(pair.b, stream, kTimeoutMs);
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(got.status, wire::DecodeStatus::kVersionMismatch);
+}
+
+TEST(Handshake, NonHelloOpeningFrameIsRejected) {
+  // A control frame's type byte (0x40+) is outside the WireType enum, so
+  // a peer that skips the handshake is rejected with kUnknownType.
+  SocketPair pair = make_pair();
+  std::vector<std::uint8_t> frame;
+  proc::encode_ctrl(proc::RoundGo{1}, frame);
+  ASSERT_TRUE(pair.a.send_all(frame));
+  FrameAssembler stream;
+  const HelloResult got = expect_hello(pair.b, stream, kTimeoutMs);
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(got.status, wire::DecodeStatus::kUnknownType);
+}
+
+TEST(Handshake, PeerHangupReportsTruncation) {
+  SocketPair pair = make_pair();
+  pair.a.close();
+  FrameAssembler stream;
+  const HelloResult got = expect_hello(pair.b, stream, kTimeoutMs);
+  EXPECT_FALSE(got.ok);
+  EXPECT_EQ(got.status, wire::DecodeStatus::kTruncated);
+}
+
+TEST(Handshake, HelloSplitAcrossWritesStillLands) {
+  SocketPair pair = make_pair();
+  const std::vector<std::uint8_t> frame = hello_frame(wire::kProtocolVersion, 21);
+  for (const std::uint8_t byte : frame) {
+    ASSERT_TRUE(pair.a.send_all({&byte, 1}));
+  }
+  FrameAssembler stream;
+  const HelloResult got = expect_hello(pair.b, stream, kTimeoutMs);
+  ASSERT_TRUE(got.ok);
+  EXPECT_EQ(got.node.value, 21u);
+}
+
+TEST(Handshake, LoopbackListenerEphemeralPortRoundtrip) {
+  std::optional<Listener> listener = Listener::bind_local(0);
+  ASSERT_TRUE(listener.has_value());
+  ASSERT_GT(listener->port(), 0);
+
+  std::optional<Socket> client =
+      Socket::connect_local(listener->port(), kTimeoutMs);
+  ASSERT_TRUE(client.has_value());
+  std::optional<Socket> server = listener->accept_one(kTimeoutMs);
+  ASSERT_TRUE(server.has_value());
+
+  // Both directions handshake, daemon-style (client first).
+  ASSERT_TRUE(send_hello(*client, NodeId{3}));
+  FrameAssembler server_stream;
+  const HelloResult at_server = expect_hello(*server, server_stream, kTimeoutMs);
+  ASSERT_TRUE(at_server.ok);
+  EXPECT_EQ(at_server.node.value, 3u);
+
+  ASSERT_TRUE(send_hello(*server, NodeId{0}));
+  FrameAssembler client_stream;
+  const HelloResult at_client = expect_hello(*client, client_stream, kTimeoutMs);
+  ASSERT_TRUE(at_client.ok);
+  EXPECT_TRUE(at_client.node.is_null());
+}
+
+}  // namespace
+}  // namespace ssps::net

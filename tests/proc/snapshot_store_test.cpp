@@ -1,0 +1,116 @@
+// SnapshotStore: per-node checkpoint files — roundtrip, overwrite,
+// torn/corrupt-file rejection, directory enumeration.
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "proc/snapshot_store.hpp"
+
+namespace ssps::proc {
+namespace {
+
+using ssps::sim::NodeId;
+
+class SnapshotStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ssps-snap-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::filesystem::path dir_;
+};
+
+std::vector<std::uint8_t> bytes_of(const char* s) {
+  return {reinterpret_cast<const std::uint8_t*>(s),
+          reinterpret_cast<const std::uint8_t*>(s) + std::string(s).size()};
+}
+
+TEST_F(SnapshotStoreTest, RoundtripAndOverwrite) {
+  SnapshotStore store(dir_);
+  const auto first = bytes_of("subscriber state v1");
+  ASSERT_TRUE(store.save(NodeId{7}, first));
+  EXPECT_EQ(store.load(NodeId{7}), first);
+
+  const auto second = bytes_of("subscriber state v2, longer than before");
+  ASSERT_TRUE(store.save(NodeId{7}, second));
+  EXPECT_EQ(store.load(NodeId{7}), second);
+}
+
+TEST_F(SnapshotStoreTest, EmptyPayloadRoundtrips) {
+  SnapshotStore store(dir_);
+  ASSERT_TRUE(store.save(NodeId{3}, std::vector<std::uint8_t>{}));
+  const auto got = store.load(NodeId{3});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->empty());
+}
+
+TEST_F(SnapshotStoreTest, MissingFileIsNullopt) {
+  SnapshotStore store(dir_);
+  EXPECT_FALSE(store.load(NodeId{99}).has_value());
+}
+
+TEST_F(SnapshotStoreTest, TruncatedFileIsNullopt) {
+  SnapshotStore store(dir_);
+  ASSERT_TRUE(store.save(NodeId{5}, bytes_of("some state bytes")));
+  const std::filesystem::path path = dir_ / "node-5.snap";
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 3);
+  EXPECT_FALSE(store.load(NodeId{5}).has_value());
+}
+
+TEST_F(SnapshotStoreTest, FlippedPayloadByteFailsChecksum) {
+  SnapshotStore store(dir_);
+  ASSERT_TRUE(store.save(NodeId{5}, bytes_of("some state bytes")));
+  const std::filesystem::path path = dir_ / "node-5.snap";
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(17);  // past magic+crc+len, inside the payload
+  f.put(static_cast<char>(0xff));
+  f.close();
+  EXPECT_FALSE(store.load(NodeId{5}).has_value());
+}
+
+TEST_F(SnapshotStoreTest, BadMagicIsNullopt) {
+  SnapshotStore store(dir_);
+  std::ofstream f(dir_ / "node-2.snap", std::ios::binary);
+  f << "JUNKJUNKJUNKJUNKJUNK";
+  f.close();
+  EXPECT_FALSE(store.load(NodeId{2}).has_value());
+}
+
+TEST_F(SnapshotStoreTest, SaveLeavesNoTmpFileBehind) {
+  SnapshotStore store(dir_);
+  ASSERT_TRUE(store.save(NodeId{4}, bytes_of("state")));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".snap") << entry.path();
+  }
+}
+
+TEST_F(SnapshotStoreTest, StoredEnumeratesInIdOrder) {
+  SnapshotStore store(dir_);
+  ASSERT_TRUE(store.save(NodeId{30}, bytes_of("c")));
+  ASSERT_TRUE(store.save(NodeId{2}, bytes_of("a")));
+  ASSERT_TRUE(store.save(NodeId{11}, bytes_of("b")));
+  // Unrelated files are skipped.
+  std::ofstream(dir_ / "notes.txt") << "not a snapshot";
+  std::ofstream(dir_ / "node-x.snap") << "bad id";
+  const std::vector<NodeId> got = store.stored();
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0].value, 2u);
+  EXPECT_EQ(got[1].value, 11u);
+  EXPECT_EQ(got[2].value, 30u);
+}
+
+}  // namespace
+}  // namespace ssps::proc

@@ -82,6 +82,8 @@ std::vector<std::pair<std::string, PooledMsg>> all_samples(MessagePool& pool) {
       "TopicEnvelope-nested",
       pool.make<TopicEnvelope>(
           1, pool.make<TopicEnvelope>(2, pool.make<cmsg::RemoveConnections>(NodeId{3}))));
+  out.emplace_back("Hello", pool.make<ssps::wire::Hello>(
+                                ssps::wire::kProtocolVersion, NodeId{21}));
   return out;
 }
 
@@ -94,8 +96,8 @@ std::vector<std::uint8_t> encode_or_die(const sim::Message& m) {
 TEST(WireCodec, EveryMessageRoundTripsBitExactly) {
   MessagePool pool;
   auto samples = all_samples(pool);
-  // 13 wire types + the two extra field-shape variants.
-  EXPECT_EQ(samples.size(), 15u);
+  // 14 wire types + the two extra field-shape variants.
+  EXPECT_EQ(samples.size(), 16u);
   for (const auto& [name, msg] : samples) {
     SCOPED_TRACE(name);
     const std::vector<std::uint8_t> bytes = encode_or_die(*msg);
@@ -256,7 +258,7 @@ TEST(WireCodec, ElementCountBombIsRejectedWithoutAllocating) {
 TEST(WireClone, EveryMessageClonesIntoAForeignPoolBitExactly) {
   MessagePool pool;
   auto samples = all_samples(pool);
-  EXPECT_EQ(samples.size(), 15u);
+  EXPECT_EQ(samples.size(), 16u);
   for (const auto& [name, msg] : samples) {
     SCOPED_TRACE(name);
     const std::vector<std::uint8_t> original = encode_or_die(*msg);
